@@ -1,0 +1,103 @@
+// Shared configuration for the figure-reproduction benches.
+//
+// The paper's runs used 280/560/1120 ranks of Polaris and up to 3000
+// timesteps; this reproduction scales ranks and steps down (DESIGN.md §5)
+// while keeping the experimental structure: the same three configurations,
+// the same trigger cadence relationship, the same 4:1 in transit ratio.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/workflows.hpp"
+#include "instrument/report.hpp"
+#include "nekrs/cases.hpp"
+
+namespace bench {
+
+/// Scaled-down stand-ins for the paper's 280/560/1120-rank runs.
+inline constexpr int kInSituRankCounts[] = {2, 4, 8};
+/// Weak-scaling sim-rank counts for the in transit case.
+inline constexpr int kInTransitSimRanks[] = {2, 4, 8};
+
+/// Fresh output directory under the system temp dir.
+inline std::string MakeOutputDir(const std::string& tag) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("nsm_bench_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// The pb146 stand-in used by the Fig 2/3 benches: fixed global size
+/// (strong-scaling layout like the paper's fixed pebble-bed case).
+inline nekrs::FlowConfig PebbleBedBenchCase() {
+  nekrs::cases::PebbleBedOptions pb;
+  pb.elements = {4, 4, 8};
+  pb.order = 4;
+  pb.pebble_count = 146;
+  pb.dt = 1.5e-3;
+  return nekrs::cases::PebbleBedCase(pb);
+}
+
+/// The RBC case used by the Fig 5/6 benches: weak scaling grows the slab
+/// horizontally (wider aspect ratio, constant element size and per-rank
+/// load) — the mesoscale-convection setup of §4.2.  The mesh is
+/// partitioned along the growing axis.
+inline nekrs::FlowConfig RayleighBenardBenchCase(int sim_ranks) {
+  nekrs::cases::RayleighBenardOptions rbc;
+  rbc.elements = {2 * sim_ranks, 2, 4};
+  rbc.order = 4;
+  rbc.aspect = 0.75 * sim_ranks;  // keeps element size constant
+  rbc.rayleigh = 1e5;
+  rbc.dt = 5e-3;
+  nekrs::FlowConfig config = nekrs::cases::RayleighBenardCase(rbc);
+  config.mesh.partition_axis = 0;
+  return config;
+}
+
+/// SENSEI XML for the in situ Catalyst configuration (renders one image per
+/// trigger from the temperature field, as Fig 1 visualizes).
+inline std::string InSituCatalystXml(const std::string& out, int frequency) {
+  return "<sensei><analysis type=\"catalyst\" frequency=\"" +
+         std::to_string(frequency) + "\" output=\"" + out +
+         "\" width=\"640\" height=\"480\">"
+         "<render array=\"temperature\" colormap=\"plasma\" azimuth=\"35\" "
+         "elevation=\"25\"/></analysis></sensei>";
+}
+
+/// SENSEI XML for the in situ Checkpointing configuration (raw fields to
+/// disk every `frequency` steps).
+inline std::string InSituCheckpointXml(const std::string& out,
+                                       int frequency) {
+  return "<sensei><analysis type=\"checkpoint\" frequency=\"" +
+         std::to_string(frequency) + "\" output=\"" + out +
+         "\"/></sensei>";
+}
+
+/// Sim-side XML activating the SST stream every `frequency` steps.
+inline std::string InTransitAdiosXml(int frequency) {
+  return "<sensei><analysis type=\"adios\" frequency=\"" +
+         std::to_string(frequency) + "\"/></sensei>";
+}
+
+/// Endpoint XML for the in transit Checkpointing measurement point.
+inline std::string EndpointCheckpointXml(const std::string& out) {
+  return "<sensei><analysis type=\"checkpoint\" output=\"" + out +
+         "\"/></sensei>";
+}
+
+/// Endpoint XML for the in transit Catalyst measurement point: the paper's
+/// two images per trigger.
+inline std::string EndpointCatalystXml(const std::string& out) {
+  return "<sensei><analysis type=\"catalyst\" output=\"" + out +
+         "\" width=\"640\" height=\"240\">"
+         "<render array=\"temperature\" name=\"side\" colormap=\"coolwarm\" "
+         "azimuth=\"270\" elevation=\"0\" min=\"-0.5\" max=\"0.5\"/>"
+         "<render array=\"velocity\" magnitude=\"1\" name=\"speed\" "
+         "colormap=\"viridis\" azimuth=\"250\" elevation=\"20\"/>"
+         "</analysis></sensei>";
+}
+
+}  // namespace bench

@@ -1,0 +1,100 @@
+// Figure 3: in situ pebble-bed CPU memory footprint.
+//
+// Paper: aggregate memory high-water-mark across ranks for the Catalyst and
+// Checkpointing configurations; Catalyst ~25 % higher (GPU->CPU staging +
+// Catalyst/VTK structures live on the host).
+//
+// Here: tracked host-allocation high-water (device memory excluded — the
+// figure plots CPU memory), per rank and aggregated, for the same two
+// configurations plus the Original baseline for reference.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+// Larger than the Fig-2 timing mesh so per-rank field data dominates the
+// fixed-size render framebuffer, the regime the paper's nodes are in.
+nekrs::FlowConfig MemoryBenchCase() {
+  nekrs::cases::PebbleBedOptions pb;
+  pb.elements = {6, 6, 8};
+  pb.order = 5;
+  pb.pebble_count = 146;
+  pb.dt = 1.5e-3;
+  return nekrs::cases::PebbleBedCase(pb);
+}
+
+// Checkpointing saves the velocity and pressure fields (the fields §4.2
+// names); Catalyst renders two views (temperature + velocity magnitude),
+// staging those fields plus the rendering buffers.
+std::string CheckpointXml(const std::string& out, int frequency) {
+  return "<sensei><analysis type=\"checkpoint\" frequency=\"" +
+         std::to_string(frequency) + "\" output=\"" + out +
+         "\" arrays=\"velocity,pressure\"/></sensei>";
+}
+
+std::string CatalystXml(const std::string& out, int frequency) {
+  return "<sensei><analysis type=\"catalyst\" frequency=\"" +
+         std::to_string(frequency) + "\" output=\"" + out +
+         "\" width=\"320\" height=\"240\">"
+         "<render array=\"temperature\" colormap=\"plasma\"/>"
+         "<render array=\"velocity\" magnitude=\"1\" azimuth=\"120\"/>"
+         "</analysis></sensei>";
+}
+
+}  // namespace
+
+int main() {
+  const std::string out_root = bench::MakeOutputDir("fig3");
+  constexpr int kSteps = 8;
+  constexpr int kFrequency = 4;
+
+  instrument::Table table(
+      "Figure 3: in situ CPU memory high-water (pb146 stand-in)");
+  table.SetHeader({"ranks", "config", "max_rank_host", "aggregate_host",
+                   "catalyst_vs_checkpoint"});
+
+  for (int ranks : bench::kInSituRankCounts) {
+    std::size_t checkpoint_total = 0;
+    for (const std::string config : {"original", "checkpointing", "catalyst"}) {
+      const std::string out =
+          out_root + "/" + config + "_" + std::to_string(ranks);
+      std::filesystem::create_directories(out);
+
+      nek_sensei::InSituOptions options;
+      options.flow = MemoryBenchCase();
+      options.steps = kSteps;
+      if (config == "original") {
+        options.use_sensei = false;
+      } else if (config == "checkpointing") {
+        options.sensei_xml = CheckpointXml(out, kFrequency);
+      } else {
+        options.sensei_xml = CatalystXml(out, kFrequency);
+      }
+      const auto metrics = nek_sensei::RunInSitu(ranks, options);
+
+      std::string delta = "-";
+      if (config == "checkpointing") {
+        checkpoint_total = metrics.TotalSimHostPeakBytes();
+      } else if (config == "catalyst" && checkpoint_total) {
+        char text[32];
+        std::snprintf(text, sizeof(text), "%+.1f%%",
+                      100.0 * (static_cast<double>(
+                                   metrics.TotalSimHostPeakBytes()) /
+                                   static_cast<double>(checkpoint_total) -
+                               1.0));
+        delta = text;
+      }
+      table.AddRow({std::to_string(ranks), config,
+                    instrument::FormatBytes(metrics.MaxSimHostPeakBytes()),
+                    instrument::FormatBytes(metrics.TotalSimHostPeakBytes()),
+                    delta});
+    }
+  }
+
+  table.Print(std::cout);
+  table.WriteCsv(out_root + "/fig3_memory.csv");
+  std::cout << "CSV written under " << out_root << "\n";
+  return 0;
+}

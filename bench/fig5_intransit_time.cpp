@@ -1,0 +1,66 @@
+// Figure 5: in transit RBC — mean time per timestep on the simulation
+// ranks, weak scaling.
+//
+// Paper: JUWELS Booster, NekRS-SENSEI + ADIOS2 SST, sim:endpoint 4:1,
+// measurement points No Transport / Checkpointing / Catalyst.  Expected
+// shape: the three curves nearly coincide (in transit overhead is small)
+// and stay flat as ranks grow (weak scaling works).
+//
+// Here: the same three measurement points at 2/4/8 sim ranks (+1/1/2
+// endpoint ranks), constant per-rank load, 30 steps, streaming every 10.
+// Each rank is one "GPU" as in the paper's figure.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  const std::string out_root = bench::MakeOutputDir("fig5");
+  constexpr int kSteps = 30;
+  constexpr int kFrequency = 10;
+
+  instrument::Table table(
+      "Figure 5: in transit mean time per timestep on sim ranks (RBC weak "
+      "scaling, 4:1 sim:endpoint)");
+  table.SetHeader({"sim_ranks", "endpoint_ranks", "mode", "per_step_ms",
+                   "stream_bytes", "images"});
+
+  for (int sim_ranks : bench::kInTransitSimRanks) {
+    for (const std::string mode : {"no-transport", "checkpointing",
+                                   "catalyst"}) {
+      const std::string out =
+          out_root + "/" + mode + "_" + std::to_string(sim_ranks);
+      std::filesystem::create_directories(out);
+
+      nek_sensei::InTransitOptions options;
+      options.flow = bench::RayleighBenardBenchCase(sim_ranks);
+      options.steps = kSteps;
+      options.sim_per_endpoint = 4;
+      if (mode == "no-transport") {
+        // SENSEI is still in the loop, but no analysis adaptor is enabled
+        // in the runtime XML (the paper's reference measurement).
+        options.sim_xml = "<sensei/>";
+        options.endpoint_xml = "<sensei/>";
+      } else {
+        options.sim_xml = bench::InTransitAdiosXml(kFrequency);
+        options.endpoint_xml = mode == "checkpointing"
+                                   ? bench::EndpointCheckpointXml(out)
+                                   : bench::EndpointCatalystXml(out);
+      }
+
+      const auto metrics = nek_sensei::RunInTransit(sim_ranks, options);
+      const int endpoint_ranks =
+          static_cast<int>(metrics.ranks.size()) - sim_ranks;
+      table.AddRow(
+          {std::to_string(sim_ranks), std::to_string(endpoint_ranks), mode,
+           instrument::FormatSeconds(metrics.MeanSimStepSeconds() * 1e3),
+           instrument::FormatBytes(metrics.bytes_written),
+           std::to_string(metrics.images_written)});
+    }
+  }
+
+  table.Print(std::cout);
+  table.WriteCsv(out_root + "/fig5_time.csv");
+  std::cout << "CSV written under " << out_root << "\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 6: in transit RBC — main-memory footprint per simulation rank.
+//
+// Paper: sim-node memory for No Transport / Checkpointing / Catalyst under
+// weak scaling.  Expected shape: Catalyst ~= No Transport (the endpoint
+// does the rendering, sim nodes only marshal); Checkpointing (endpoint
+// writing VTU) visible but not large; flat across rank counts; and — key
+// point — sim-node memory independent of the number of visualization ranks.
+//
+// Here: tracked host-allocation high-water per sim rank for the same three
+// measurement points, plus an endpoint-count sweep at fixed sim ranks to
+// demonstrate the independence claim directly.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  const std::string out_root = bench::MakeOutputDir("fig6");
+  constexpr int kSteps = 12;
+  constexpr int kFrequency = 6;
+
+  instrument::Table table(
+      "Figure 6: in transit sim-rank CPU memory high-water (RBC weak "
+      "scaling, 4:1 sim:endpoint)");
+  table.SetHeader({"sim_ranks", "mode", "max_sim_host", "mean_sim_host"});
+
+  auto run_mode = [&](int sim_ranks, const std::string& mode,
+                      int sim_per_endpoint) {
+    const std::string out = out_root + "/" + mode + "_" +
+                            std::to_string(sim_ranks) + "_r" +
+                            std::to_string(sim_per_endpoint);
+    std::filesystem::create_directories(out);
+    nek_sensei::InTransitOptions options;
+    options.flow = bench::RayleighBenardBenchCase(sim_ranks);
+    options.steps = kSteps;
+    options.sim_per_endpoint = sim_per_endpoint;
+    if (mode == "no-transport") {
+      options.sim_xml = "<sensei/>";
+      options.endpoint_xml = "<sensei/>";
+    } else {
+      options.sim_xml = bench::InTransitAdiosXml(kFrequency);
+      options.endpoint_xml = mode == "checkpointing"
+                                 ? bench::EndpointCheckpointXml(out)
+                                 : bench::EndpointCatalystXml(out);
+    }
+    return nek_sensei::RunInTransit(sim_ranks, options);
+  };
+
+  for (int sim_ranks : bench::kInTransitSimRanks) {
+    for (const std::string mode : {"no-transport", "checkpointing",
+                                   "catalyst"}) {
+      const auto metrics = run_mode(sim_ranks, mode, 4);
+      double mean = 0.0;
+      int count = 0;
+      for (const auto& r : metrics.ranks) {
+        if (!r.is_sim) continue;
+        mean += static_cast<double>(r.host_peak_bytes);
+        ++count;
+      }
+      mean = count ? mean / count : 0.0;
+      table.AddRow({std::to_string(sim_ranks), mode,
+                    instrument::FormatBytes(metrics.MaxSimHostPeakBytes()),
+                    instrument::FormatBytes(
+                        static_cast<std::size_t>(mean))});
+    }
+  }
+  table.Print(std::cout);
+  table.WriteCsv(out_root + "/fig6_memory.csv");
+
+  // Independence of the visualizer count (§4.2's highlighted property):
+  // fixed sim ranks, varying endpoints — sim memory must not change.
+  instrument::Table indep(
+      "Section 4.2: sim-rank memory vs number of endpoint ranks (4 sim "
+      "ranks, catalyst endpoint)");
+  indep.SetHeader({"sim_ranks", "endpoint_ranks", "max_sim_host"});
+  for (int ratio : {4, 2, 1}) {  // 1, 2, 4 endpoint ranks
+    const auto metrics = run_mode(4, "catalyst", ratio);
+    const int endpoint_ranks = static_cast<int>(metrics.ranks.size()) - 4;
+    indep.AddRow({"4", std::to_string(endpoint_ranks),
+                  instrument::FormatBytes(metrics.MaxSimHostPeakBytes())});
+  }
+  indep.Print(std::cout);
+  indep.WriteCsv(out_root + "/fig6_independence.csv");
+  std::cout << "CSV written under " << out_root << "\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation A3 (DESIGN.md): BP marshaling and SST streaming throughput —
+// the transport layer of the in transit workflow (§4.2's UCX data plane +
+// BP marshaling option, scaled to the mpimini fabric).
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "adios/marshal.hpp"
+#include "adios/sst.hpp"
+#include "mpimini/runtime.hpp"
+
+namespace {
+
+adios::StepPayload MakePayload(std::size_t bytes) {
+  adios::StepPayload payload;
+  payload.step = 1;
+  payload.writer_rank = 0;
+  payload.variables["mesh"] = std::vector<std::byte>(bytes, std::byte{0x5A});
+  return payload;
+}
+
+void BM_MarshalStep(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const adios::StepPayload payload = MakePayload(bytes);
+  for (auto _ : state) {
+    auto buffer = adios::MarshalStep(payload);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MarshalStep)->Range(1 << 10, 1 << 22);
+
+void BM_UnmarshalStep(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const auto buffer = adios::MarshalStep(MakePayload(bytes));
+  for (auto _ : state) {
+    auto payload = adios::UnmarshalStep(buffer);
+    benchmark::DoNotOptimize(&payload);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_UnmarshalStep)->Range(1 << 10, 1 << 22);
+
+// One iteration = a full 16-step stream between a writer and a reader rank
+// (queue_limit 1, so this measures the synchronous handoff path including
+// acks).  Includes the rank-thread spawn, amortized over the 16 steps.
+void BM_SstStream16Steps(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  constexpr int kSteps = 16;
+  const std::vector<std::byte> block(bytes, std::byte{0x42});
+  for (auto _ : state) {
+    mpimini::Runtime::Run(2, [&](mpimini::Comm& comm) {
+      if (comm.Rank() == 0) {
+        adios::SstWriter writer(comm, 1);
+        for (int i = 0; i < kSteps; ++i) {
+          writer.BeginStep(i);
+          writer.Put("mesh", block);
+          writer.EndStep();
+        }
+        writer.Close();
+      } else {
+        adios::SstReader reader(comm, {0});
+        while (reader.NextStep()) {
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSteps * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SstStream16Steps)
+    ->Range(1 << 12, 1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Ablation A1 (DESIGN.md): the GPU->CPU staging copy the paper identifies
+// as the price of Catalyst-style in situ ("simulation data residing on GPU
+// device memory must be transferred to the CPU ... due to VTK data model's
+// current lack of GPU device memory support", §3.2).
+//
+// Sweeps the field size: copy time must grow linearly in bytes and the
+// host staging allocation must equal the field size.
+
+#include <benchmark/benchmark.h>
+
+#include "instrument/memory_tracker.hpp"
+#include "occamini/device.hpp"
+
+namespace {
+
+void BM_DeviceToHostCopy(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  occamini::Device device(occamini::Backend::kSimGpu);
+  occamini::Array<double> field(device, count);
+  std::vector<double> init(count, 1.5);
+  field.CopyFromHost(init);
+
+  std::vector<double> staging(count);
+  for (auto _ : state) {
+    field.CopyToHost(staging);
+    benchmark::DoNotOptimize(staging.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(double)));
+}
+BENCHMARK(BM_DeviceToHostCopy)->Range(1 << 10, 1 << 20);
+
+void BM_HostToDeviceCopy(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  occamini::Device device(occamini::Backend::kSimGpu);
+  occamini::Array<double> field(device, count);
+  std::vector<double> host(count, 2.0);
+  for (auto _ : state) {
+    field.CopyFromHost(host);
+    benchmark::DoNotOptimize(field.DevicePtr());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(double)));
+}
+BENCHMARK(BM_HostToDeviceCopy)->Range(1 << 10, 1 << 20);
+
+// The same copy under a PCIe-like transfer model: the simulated interconnect
+// dominates, which is the regime the paper's A100 nodes live in.
+void BM_DeviceToHostCopyThrottled(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  occamini::TransferModel model;
+  model.latency_seconds = 5e-6;
+  model.bytes_per_second = 16e9;  // ~PCIe gen4 x16
+  occamini::Device device(occamini::Backend::kSimGpu, model);
+  occamini::Array<double> field(device, count);
+  std::vector<double> staging(count);
+  for (auto _ : state) {
+    field.CopyToHost(staging);
+    benchmark::DoNotOptimize(staging.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(double)));
+}
+BENCHMARK(BM_DeviceToHostCopyThrottled)->Range(1 << 12, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Ablation A4 (DESIGN.md): the Catalyst-stand-in rendering pipeline —
+// rasterization cost vs resolution and geometry, and depth compositing vs
+// rank count (the IceT role).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "mpimini/runtime.hpp"
+#include "render/compositor.hpp"
+#include "render/rasterizer.hpp"
+
+namespace {
+
+// A block of n^3 hex cells with a smooth scalar.
+svtk::UnstructuredGrid MakeBlock(int n) {
+  const int np = n + 1;
+  svtk::UnstructuredGrid grid(
+      static_cast<std::size_t>(np) * np * np,
+      static_cast<std::size_t>(n) * n * n);
+  for (int k = 0; k < np; ++k) {
+    for (int j = 0; j < np; ++j) {
+      for (int i = 0; i < np; ++i) {
+        const std::size_t p =
+            static_cast<std::size_t>(i + np * (j + np * k));
+        grid.SetPoint(p, static_cast<double>(i) / n,
+                      static_cast<double>(j) / n,
+                      static_cast<double>(k) / n);
+      }
+    }
+  }
+  std::size_t c = 0;
+  auto id = [np](int i, int j, int k) {
+    return static_cast<std::int64_t>(i + np * (j + np * k));
+  };
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        grid.SetCell(c++, {id(i, j, k), id(i + 1, j, k), id(i + 1, j + 1, k),
+                           id(i, j + 1, k), id(i, j, k + 1),
+                           id(i + 1, j, k + 1), id(i + 1, j + 1, k + 1),
+                           id(i, j + 1, k + 1)});
+      }
+    }
+  }
+  svtk::DataArray& s = grid.AddPointArray("f", 1);
+  for (std::size_t t = 0; t < grid.NumPoints(); ++t) {
+    auto p = grid.GetPoint(t);
+    s.At(t) = std::sin(6.0 * p[0]) * std::cos(5.0 * p[1]) + p[2];
+  }
+  return grid;
+}
+
+void BM_RasterizeByResolution(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  svtk::UnstructuredGrid grid = MakeBlock(8);
+  render::RenderSpec spec;
+  spec.array = "f";
+  render::Camera camera = render::FitCamera(grid.Bounds(), 40, 25,
+                                            1.0, 1.0);
+  render::Framebuffer fb(size, size);
+  for (auto _ : state) {
+    fb.Clear(spec.background);
+    auto stats = render::RasterizeGrid(grid, spec, camera, fb);
+    benchmark::DoNotOptimize(stats.pixels_shaded);
+  }
+  state.counters["pixels"] = static_cast<double>(size) * size;
+}
+BENCHMARK(BM_RasterizeByResolution)->RangeMultiplier(2)->Range(128, 1024);
+
+void BM_RasterizeByGeometry(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  svtk::UnstructuredGrid grid = MakeBlock(n);
+  render::RenderSpec spec;
+  spec.array = "f";
+  render::Camera camera = render::FitCamera(grid.Bounds(), 40, 25, 1.0, 1.0);
+  render::Framebuffer fb(512, 512);
+  for (auto _ : state) {
+    fb.Clear(spec.background);
+    auto stats = render::RasterizeGrid(grid, spec, camera, fb);
+    benchmark::DoNotOptimize(stats.triangles_drawn);
+  }
+  state.counters["cells"] = static_cast<double>(n) * n * n;
+}
+BENCHMARK(BM_RasterizeByGeometry)->RangeMultiplier(2)->Range(4, 16);
+
+void BM_CompositeByRanks(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpimini::Runtime::Run(nranks, [&](mpimini::Comm& comm) {
+      render::Framebuffer fb(512, 512);
+      fb.Clear({0, 0, 0});
+      fb.SetPixel(comm.Rank(), 0, {255, 255, 255},
+                  static_cast<float>(comm.Rank()));
+      render::CompositeToRoot(comm, fb, 0);
+    });
+  }
+  state.counters["ranks"] = nranks;
+}
+BENCHMARK(BM_CompositeByRanks)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

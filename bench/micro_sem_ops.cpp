@@ -1,0 +1,124 @@
+// Ablation A2 (DESIGN.md): spectral-element operator throughput — the
+// solver's flop core, standing in for NekRS's libParanumal kernels.
+//
+// Sweeps the polynomial order: the 3-D tensor-product operators cost
+// O(N^4) per element, and the Helmholtz CG iteration is dominated by them.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "mpimini/runtime.hpp"
+#include "nekrs/helmholtz.hpp"
+#include "sem/box_mesh.hpp"
+#include "sem/filter.hpp"
+#include "sem/operators.hpp"
+
+namespace {
+
+struct Setup {
+  sem::GllRule rule;
+  sem::BoxMesh mesh;
+  sem::ElementOperators ops;
+  std::vector<double> u, out, ux, uy, uz;
+
+  explicit Setup(int order)
+      : rule(sem::MakeGllRule(order)),
+        mesh(sem::BoxMeshSpec{order, {4, 4, 4}, {1, 1, 1},
+                              {false, false, false}},
+             0, 1),
+        ops(rule, mesh),
+        u(mesh.NumLocalDofs(), 1.0),
+        out(u.size()),
+        ux(u.size()),
+        uy(u.size()),
+        uz(u.size()) {
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      u[i] = std::sin(0.001 * static_cast<double>(i));
+    }
+  }
+};
+
+void BM_Laplacian(benchmark::State& state) {
+  Setup s(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    s.ops.Laplacian(s.u, s.out);
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.u.size()));
+}
+BENCHMARK(BM_Laplacian)->DenseRange(2, 8, 2);
+
+void BM_Gradient(benchmark::State& state) {
+  Setup s(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    s.ops.Gradient(s.u, s.ux, s.uy, s.uz);
+    benchmark::DoNotOptimize(s.ux.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.u.size()));
+}
+BENCHMARK(BM_Gradient)->DenseRange(2, 8, 2);
+
+void BM_ModalFilter(benchmark::State& state) {
+  Setup s(static_cast<int>(state.range(0)));
+  sem::ModalFilter filter(s.rule, 0.1, 2);
+  for (auto _ : state) {
+    filter.Apply(s.u);
+    benchmark::DoNotOptimize(s.u.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.u.size()));
+}
+BENCHMARK(BM_ModalFilter)->DenseRange(2, 8, 2);
+
+void BM_GatherScatterSum(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  mpimini::Runtime::Run(1, [&](mpimini::Comm& comm) {
+    Setup s(order);
+    std::vector<std::int64_t> gids(s.mesh.NumLocalDofs());
+    s.mesh.FillGlobalIds(gids);
+    sem::GatherScatter gs(comm, gids);
+    for (auto _ : state) {
+      gs.Sum(s.u);
+      benchmark::DoNotOptimize(s.u.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(s.u.size()));
+  });
+}
+BENCHMARK(BM_GatherScatterSum)->DenseRange(2, 8, 2);
+
+void BM_HelmholtzSolve(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  mpimini::Runtime::Run(1, [&](mpimini::Comm& comm) {
+    Setup s(order);
+    std::vector<std::int64_t> gids(s.mesh.NumLocalDofs());
+    s.mesh.FillGlobalIds(gids);
+    sem::GatherScatter gs(comm, gids);
+    nekrs::HelmholtzSolver solver(comm, s.ops, gs);
+    std::vector<double> mask(s.u.size());
+    s.mesh.FillDirichletMask({true, true, true, true, true, true}, mask);
+    std::vector<double> rhs(s.u.size());
+    auto mass = s.ops.MassDiag();
+    for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = mass[i];
+    nekrs::HelmholtzSolver::Options options;
+    options.h1 = 1.0;
+    options.h0 = 1.0;
+    options.tolerance = 1e-8;
+    int iterations = 0;
+    for (auto _ : state) {
+      std::vector<double> x(s.u.size(), 0.0);
+      auto result = solver.Solve(options, rhs, x, mask);
+      iterations = result.iterations;
+      benchmark::DoNotOptimize(x.data());
+    }
+    state.counters["cg_iters"] = iterations;
+  });
+}
+BENCHMARK(BM_HelmholtzSolve)->DenseRange(2, 6, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+#include "adios/bp_file.hpp"
+
+#include <stdexcept>
+
+namespace adios {
+
+BpFileWriter::BpFileWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) throw std::runtime_error("adios: cannot open " + path);
+}
+
+void BpFileWriter::BeginStep(int step) {
+  if (step_open_) throw std::runtime_error("adios: step already open");
+  staged_ = StepPayload{};
+  staged_.step = step;
+  step_open_ = true;
+}
+
+void BpFileWriter::Put(const std::string& name,
+                       std::span<const std::byte> data) {
+  if (!step_open_) throw std::runtime_error("adios: Put outside a step");
+  staged_.variables[name].assign(data.begin(), data.end());
+}
+
+void BpFileWriter::EndStep() {
+  if (!step_open_) throw std::runtime_error("adios: EndStep outside a step");
+  const std::vector<std::byte> buffer = MarshalStep(staged_);
+  const std::uint64_t length = buffer.size();
+  out_.write(reinterpret_cast<const char*>(&length), sizeof(length));
+  out_.write(reinterpret_cast<const char*>(buffer.data()),
+             static_cast<std::streamsize>(buffer.size()));
+  if (!out_) throw std::runtime_error("adios: write failed: " + path_);
+  bytes_written_ += sizeof(length) + buffer.size();
+  staged_ = StepPayload{};
+  step_open_ = false;
+}
+
+void BpFileWriter::Close() {
+  if (step_open_) throw std::runtime_error("adios: Close with open step");
+  out_.flush();
+  out_.close();
+}
+
+BpFileReader::BpFileReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) throw std::runtime_error("adios: cannot open " + path);
+}
+
+std::optional<StepPayload> BpFileReader::NextStep() {
+  std::uint64_t length = 0;
+  in_.read(reinterpret_cast<char*>(&length), sizeof(length));
+  if (in_.eof()) return std::nullopt;
+  if (!in_) throw std::runtime_error("adios: read failed: " + path_);
+  std::vector<std::byte> buffer(length);
+  in_.read(reinterpret_cast<char*>(buffer.data()),
+           static_cast<std::streamsize>(length));
+  if (!in_) throw std::runtime_error("adios: truncated step in " + path_);
+  return UnmarshalStep(buffer);
+}
+
+}  // namespace adios

@@ -1,0 +1,49 @@
+// BP file engine: the file-based counterpart of the SST stream (ADIOS2's
+// BP4/BP5 engines).  Each rank appends marshaled steps to its own .bp file;
+// a reader can re-open the file and iterate steps.  Used for file-based
+// transport ablations and as a second checkpoint format.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "adios/marshal.hpp"
+
+namespace adios {
+
+class BpFileWriter {
+ public:
+  /// Creates/truncates `<path>`.
+  explicit BpFileWriter(const std::string& path);
+
+  void BeginStep(int step);
+  void Put(const std::string& name, std::span<const std::byte> data);
+  /// Appends the marshaled step, prefixed by its byte length.
+  void EndStep();
+  void Close();
+
+  [[nodiscard]] std::size_t BytesWritten() const { return bytes_written_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  StepPayload staged_;
+  bool step_open_ = false;
+  std::size_t bytes_written_ = 0;
+};
+
+class BpFileReader {
+ public:
+  explicit BpFileReader(const std::string& path);
+
+  /// Next step in file order, or nullopt at end.
+  std::optional<StepPayload> NextStep();
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+};
+
+}  // namespace adios

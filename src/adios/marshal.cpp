@@ -1,0 +1,92 @@
+#include "adios/marshal.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace adios {
+
+namespace {
+
+constexpr std::uint64_t kBpMagic = 0x4250354D494E49ULL;  // "BP5MINI"
+
+template <typename T>
+void Append(std::vector<std::byte>& buf, const T& v) {
+  const std::size_t old = buf.size();
+  buf.resize(old + sizeof(T));
+  std::memcpy(buf.data() + old, &v, sizeof(T));
+}
+
+template <typename T>
+T Read(std::span<const std::byte> buf, std::size_t& pos) {
+  if (pos + sizeof(T) > buf.size()) {
+    throw std::runtime_error("adios: marshal buffer underrun");
+  }
+  T v;
+  std::memcpy(&v, buf.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> MarshalStep(const StepPayload& payload) {
+  std::vector<std::byte> buf;
+  std::size_t reserve = 32;
+  for (const auto& [name, data] : payload.variables) {
+    reserve += 16 + name.size() + data.size();
+  }
+  buf.reserve(reserve);
+
+  Append(buf, kBpMagic);
+  Append(buf, static_cast<std::int64_t>(payload.step));
+  Append(buf, static_cast<std::int64_t>(payload.writer_rank));
+  Append(buf, static_cast<std::uint64_t>(payload.variables.size()));
+  for (const auto& [name, data] : payload.variables) {
+    Append(buf, static_cast<std::uint64_t>(name.size()));
+    const std::size_t old = buf.size();
+    buf.resize(old + name.size());
+    std::memcpy(buf.data() + old, name.data(), name.size());
+    Append(buf, static_cast<std::uint64_t>(data.size()));
+    const std::size_t data_at = buf.size();
+    buf.resize(data_at + data.size());
+    if (!data.empty()) {
+      std::memcpy(buf.data() + data_at, data.data(), data.size());
+    }
+  }
+  return buf;
+}
+
+StepPayload UnmarshalStep(std::span<const std::byte> buffer) {
+  std::size_t pos = 0;
+  if (Read<std::uint64_t>(buffer, pos) != kBpMagic) {
+    throw std::runtime_error("adios: bad BP magic");
+  }
+  StepPayload payload;
+  payload.step = static_cast<int>(Read<std::int64_t>(buffer, pos));
+  payload.writer_rank = static_cast<int>(Read<std::int64_t>(buffer, pos));
+  const auto count = Read<std::uint64_t>(buffer, pos);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = Read<std::uint64_t>(buffer, pos);
+    if (pos + name_len > buffer.size()) {
+      throw std::runtime_error("adios: marshal name underrun");
+    }
+    std::string name(reinterpret_cast<const char*>(buffer.data() + pos),
+                     name_len);
+    pos += name_len;
+    const auto data_len = Read<std::uint64_t>(buffer, pos);
+    if (pos + data_len > buffer.size()) {
+      throw std::runtime_error("adios: marshal data underrun");
+    }
+    std::vector<std::byte> data(buffer.begin() + static_cast<std::ptrdiff_t>(pos),
+                                buffer.begin() +
+                                    static_cast<std::ptrdiff_t>(pos + data_len));
+    pos += data_len;
+    payload.variables[name] = std::move(data);
+  }
+  if (pos != buffer.size()) {
+    throw std::runtime_error("adios: marshal trailing bytes");
+  }
+  return payload;
+}
+
+}  // namespace adios

@@ -1,0 +1,34 @@
+// BP-style variable marshaling: named byte blobs packed per step into a
+// single contiguous buffer (the "data marshaling option" the paper
+// configures ADIOS2's SST engine with).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace adios {
+
+/// One step's worth of named variables from one writer.
+struct StepPayload {
+  int step = -1;
+  int writer_rank = -1;
+  std::map<std::string, std::vector<std::byte>> variables;
+
+  [[nodiscard]] std::size_t TotalBytes() const {
+    std::size_t total = 0;
+    for (const auto& [name, data] : variables) total += data.size();
+    return total;
+  }
+};
+
+/// Pack a payload into a single BP-like buffer:
+/// magic, step, writer_rank, count, then per variable (name, size, bytes).
+std::vector<std::byte> MarshalStep(const StepPayload& payload);
+
+/// Inverse of MarshalStep; throws std::runtime_error on malformed input.
+StepPayload UnmarshalStep(std::span<const std::byte> buffer);
+
+}  // namespace adios

@@ -1,0 +1,137 @@
+#include "adios/sst.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace adios {
+
+namespace {
+
+// Wire tags (user tag space of the world communicator).
+constexpr int kTagSstMsg = 8001;  // data plane: 1-byte kind + payload
+constexpr int kTagSstAck = 8002;  // control plane: reader -> writer acks
+
+constexpr std::byte kKindData{0};
+constexpr std::byte kKindEos{1};
+
+void TrackMarshal(std::ptrdiff_t delta) {
+  if (auto* tracker = instrument::CurrentTracker()) {
+    if (delta > 0) {
+      tracker->Allocate("marshal", static_cast<std::size_t>(delta));
+    } else if (delta < 0) {
+      tracker->Release("marshal", static_cast<std::size_t>(-delta));
+    }
+  }
+}
+
+}  // namespace
+
+SstWriter::SstWriter(mpimini::Comm world, int reader_world_rank,
+                     SstParams params)
+    : world_(world), reader_(reader_world_rank), params_(params) {
+  if (params_.queue_limit < 1) {
+    throw std::invalid_argument("adios: SST queue_limit must be >= 1");
+  }
+}
+
+void SstWriter::DrainAcks(int target_in_flight) {
+  while (static_cast<int>(in_flight_.size()) > target_in_flight) {
+    world_.RecvValue<std::int32_t>(reader_, kTagSstAck);
+    ++stats_.control_messages;
+    TrackMarshal(-static_cast<std::ptrdiff_t>(in_flight_.front()));
+    in_flight_.pop_front();
+  }
+}
+
+void SstWriter::BeginStep(int step) {
+  if (closed_) throw std::runtime_error("adios: BeginStep after Close");
+  if (step_open_) throw std::runtime_error("adios: step already open");
+  DrainAcks(params_.queue_limit - 1);
+  staged_ = StepPayload{};
+  staged_.step = step;
+  staged_.writer_rank = world_.Rank();
+  step_open_ = true;
+}
+
+void SstWriter::Put(const std::string& name, std::span<const std::byte> data) {
+  if (!step_open_) throw std::runtime_error("adios: Put outside a step");
+  auto& slot = staged_.variables[name];
+  TrackMarshal(static_cast<std::ptrdiff_t>(data.size()) -
+               static_cast<std::ptrdiff_t>(slot.size()));
+  slot.assign(data.begin(), data.end());
+}
+
+void SstWriter::EndStep() {
+  if (!step_open_) throw std::runtime_error("adios: EndStep outside a step");
+  std::vector<std::byte> buffer = MarshalStep(staged_);
+  TrackMarshal(static_cast<std::ptrdiff_t>(buffer.size()));
+
+  std::vector<std::byte> message(1 + buffer.size());
+  message[0] = kKindData;
+  std::memcpy(message.data() + 1, buffer.data(), buffer.size());
+  world_.SendBytes(reader_, kTagSstMsg, message.data(), message.size());
+
+  // The staged variables are released, but the packed buffer stays
+  // attributed to this writer until the reader acks (SST staging queue).
+  TrackMarshal(-static_cast<std::ptrdiff_t>(staged_.TotalBytes()));
+  ++stats_.steps;
+  stats_.payload_bytes += buffer.size();
+  staged_ = StepPayload{};
+  step_open_ = false;
+  in_flight_.push_back(buffer.size());
+}
+
+void SstWriter::Close() {
+  if (closed_) return;
+  if (step_open_) throw std::runtime_error("adios: Close with open step");
+  const std::byte eos = kKindEos;
+  world_.SendBytes(reader_, kTagSstMsg, &eos, 1);
+  ++stats_.control_messages;
+  DrainAcks(0);
+  closed_ = true;
+}
+
+SstReader::SstReader(mpimini::Comm world, std::vector<int> writer_world_ranks,
+                     SstParams params)
+    : world_(world),
+      writers_(std::move(writer_world_ranks)),
+      open_(writers_.size(), true),
+      params_(params) {}
+
+std::optional<SstReader::Step> SstReader::NextStep() {
+  Step out;
+  bool any = false;
+  for (std::size_t w = 0; w < writers_.size(); ++w) {
+    if (!open_[w]) continue;
+    mpimini::Message message = world_.RecvBytes(writers_[w], kTagSstMsg);
+    if (message.payload.empty()) {
+      throw std::runtime_error("adios: empty SST message");
+    }
+    if (message.payload[0] == kKindEos) {
+      open_[w] = false;
+      ++stats_.control_messages;
+      continue;
+    }
+    StepPayload payload = UnmarshalStep(
+        std::span<const std::byte>(message.payload.data() + 1,
+                                   message.payload.size() - 1));
+    stats_.payload_bytes += message.payload.size() - 1;
+    // Ack immediately: the writer's staging slot is free once the payload
+    // is on the endpoint.
+    world_.SendValue<std::int32_t>(writers_[w], kTagSstAck,
+                                   static_cast<std::int32_t>(payload.step));
+    ++stats_.control_messages;
+
+    if (any && payload.step != out.step) {
+      throw std::runtime_error("adios: writers out of step");
+    }
+    out.step = payload.step;
+    out.payloads[payload.writer_rank] = std::move(payload);
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  ++stats_.steps;
+  return out;
+}
+
+}  // namespace adios

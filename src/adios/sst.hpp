@@ -1,0 +1,100 @@
+// Sustainable Staging Transport (SST) stand-in: a streaming writer/reader
+// pair over mpimini messages, reproducing the in transit architecture the
+// paper configures (classic streaming data architecture, BP marshaling,
+// bounded staging queue).
+//
+// Control plane (the TCP-socket role): step announcements, acks, and
+// end-of-stream markers.  Data plane (the UCX role): the marshaled BP
+// buffer.  Flow control: a writer may have at most `queue_limit`
+// unacknowledged steps in flight; beyond that BeginStep blocks until the
+// reader acks — this bounds the writer-side staging memory exactly the way
+// SST's queue limit does, which is what keeps the simulation-node memory
+// footprint independent of the endpoint count (Fig 6).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adios/marshal.hpp"
+#include "instrument/memory_tracker.hpp"
+#include "mpimini/comm.hpp"
+
+namespace adios {
+
+struct SstParams {
+  /// Max unacknowledged steps in flight per writer (SST QueueLimit).
+  int queue_limit = 1;
+};
+
+/// Cumulative transport statistics (writer or reader side).
+struct SstStats {
+  std::uint64_t steps = 0;
+  std::size_t payload_bytes = 0;
+  std::uint64_t control_messages = 0;
+};
+
+/// Simulation-side SST endpoint: one per sim rank, streaming to a fixed
+/// endpoint (reader) rank of the same world communicator.
+class SstWriter {
+ public:
+  SstWriter(mpimini::Comm world, int reader_world_rank, SstParams params = {});
+
+  /// Begin step `step`; blocks while the staging queue is full.
+  void BeginStep(int step);
+  /// Stage a named variable for the current step (copies the bytes into the
+  /// marshal buffer; tracked under category "marshal").
+  void Put(const std::string& name, std::span<const std::byte> data);
+  /// Marshal and ship the staged step to the reader.
+  void EndStep();
+  /// Send end-of-stream and drain outstanding acks.
+  void Close();
+
+  [[nodiscard]] const SstStats& Stats() const { return stats_; }
+
+ private:
+  void DrainAcks(int required_credits);
+
+  mpimini::Comm world_;
+  int reader_ = -1;
+  SstParams params_;
+  SstStats stats_;
+  /// Byte sizes of marshaled steps shipped but not yet acked: this memory
+  /// stays attributed to the writer ("marshal" category) until the reader
+  /// acks, exactly like SST's writer-side staging queue — the mechanism
+  /// that keeps Fig 6's sim-node footprint bounded by queue_limit.
+  std::deque<std::size_t> in_flight_;
+  bool step_open_ = false;
+  bool closed_ = false;
+  StepPayload staged_;
+};
+
+/// Endpoint-side SST: receives streams from a fixed set of writer ranks.
+class SstReader {
+ public:
+  SstReader(mpimini::Comm world, std::vector<int> writer_world_ranks,
+            SstParams params = {});
+
+  /// One completed step: every live writer's payload, keyed by writer rank.
+  struct Step {
+    int step = -1;
+    std::map<int, StepPayload> payloads;
+  };
+
+  /// Block until the next step is complete on all live writers (acking each
+  /// writer as its payload arrives), or all writers closed (nullopt).
+  std::optional<Step> NextStep();
+
+  [[nodiscard]] const SstStats& Stats() const { return stats_; }
+
+ private:
+  mpimini::Comm world_;
+  std::vector<int> writers_;
+  std::vector<bool> open_;
+  SstParams params_;
+  SstStats stats_;
+};
+
+}  // namespace adios

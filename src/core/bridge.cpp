@@ -1,0 +1,25 @@
+#include "core/bridge.hpp"
+
+namespace nek_sensei {
+
+Bridge::Bridge(
+    nekrs::FlowSolver& solver, const std::string& sensei_xml,
+    const std::function<void(sensei::ConfigurableAnalysis&)>& customize)
+    : solver_(solver), analysis_(solver.Comm()) {
+  data_.Initialize(&solver_);
+  if (customize) customize(analysis_);
+  analysis_.Initialize(xmlcfg::Parse(sensei_xml).root);
+}
+
+bool Bridge::Update() {
+  data_.SetPipelineTime(solver_.StepNumber(), solver_.Time());
+  return analysis_.Execute(data_);
+}
+
+void Bridge::Finalize() {
+  if (finalized_) return;
+  analysis_.Finalize();
+  finalized_ = true;
+}
+
+}  // namespace nek_sensei

@@ -1,0 +1,44 @@
+// nek_sensei bridge (Listing 3 of the paper): the glue that embeds SENSEI
+// into NekRS — initializes the library, owns the data adaptor, and invokes
+// the configured analyses as the simulation steps.
+//
+// One Bridge per rank (ranks are threads here, so no globals).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/nek_data_adaptor.hpp"
+#include "sensei/configurable_analysis.hpp"
+
+namespace nek_sensei {
+
+class Bridge {
+ public:
+  /// `solver` must outlive the bridge. `sensei_xml` is the runtime
+  /// configuration (Listing 1 shaped); pass an empty <sensei/> to run with
+  /// SENSEI in the loop but no analyses (the "No Transport" measurement
+  /// point). `customize` may register extra factories (e.g. the in transit
+  /// "adios" sender) before the XML is instantiated.
+  Bridge(nekrs::FlowSolver& solver, const std::string& sensei_xml,
+         const std::function<void(sensei::ConfigurableAnalysis&)>& customize =
+             {});
+
+  /// Invoke after every solver step; runs due analyses. Returns false if
+  /// any analysis failed.
+  bool Update();
+
+  /// Flush all analyses (closes streams, writes trailing output).
+  void Finalize();
+
+  [[nodiscard]] sensei::ConfigurableAnalysis& Analysis() { return analysis_; }
+  [[nodiscard]] NekDataAdaptor& Data() { return data_; }
+
+ private:
+  nekrs::FlowSolver& solver_;
+  NekDataAdaptor data_;
+  sensei::ConfigurableAnalysis analysis_;
+  bool finalized_ = false;
+};
+
+}  // namespace nek_sensei

@@ -1,0 +1,54 @@
+// nek_sensei::NekDataAdaptor — the paper's contribution (Listing 2): the
+// SENSEI DataAdaptor for Nek-family spectral element solvers.
+//
+// Data path, exactly as §3.2 describes: solver fields live in (simulated)
+// GPU device memory; because the VTK data model has no device support, each
+// requested array is copied device -> host into a staging buffer (tracked
+// under "staging", metered by occamini) and then laid into a VTK-model
+// DataArray.  The spectral element mesh is exposed as an unstructured hex
+// grid with each element tessellated into order^3 linear sub-cells.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nekrs/flow_solver.hpp"
+#include "sensei/data_adaptor.hpp"
+
+namespace nek_sensei {
+
+class NekDataAdaptor final : public sensei::DataAdaptor {
+ public:
+  NekDataAdaptor() = default;
+
+  /// Bind to a running solver (the paper's Initialize(nek_data)).
+  void Initialize(nekrs::FlowSolver* solver);
+
+  int GetNumberOfMeshes() override;
+  sensei::MeshMetadata GetMeshMetadata(int id) override;
+  std::shared_ptr<svtk::UnstructuredGrid> GetMesh(int id) override;
+  bool AddArray(svtk::UnstructuredGrid& mesh, const std::string& name,
+                svtk::Centering centering) override;
+  void ReleaseData() override;
+
+  /// Bytes currently held in host staging buffers (diagnostics/tests).
+  [[nodiscard]] std::size_t StagingBytes() const;
+
+  /// Enable/disable advertising derived fields (vorticity, qcriterion);
+  /// enabled by default. Computing them costs nine gradient evaluations on
+  /// the device per request.
+  void SetDerivedFieldsEnabled(bool enabled) { derived_ = enabled; }
+
+ private:
+  /// Copy one device field into a host staging buffer.
+  void Stage(occamini::Array<double>& field,
+             instrument::TrackedBuffer<double>& staging);
+
+  nekrs::FlowSolver* solver_ = nullptr;
+  bool derived_ = true;
+  std::shared_ptr<svtk::UnstructuredGrid> mesh_;  // cached until ReleaseData
+  instrument::TrackedBuffer<double> stage_u_, stage_v_, stage_w_, stage_p_,
+      stage_t_;
+};
+
+}  // namespace nek_sensei

@@ -1,0 +1,235 @@
+#include "core/workflows.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "adios/sst.hpp"
+#include "core/bridge.hpp"
+#include "mpimini/runtime.hpp"
+#include "sensei/adios_adaptor.hpp"
+#include "sensei/catalyst_adaptor.hpp"
+#include "sensei/configurable_analysis.hpp"
+#include "sensei/intransit_data_adaptor.hpp"
+
+namespace nek_sensei {
+
+namespace {
+
+// Shared collection slot filled by world rank 0 inside the run.
+struct SharedMetrics {
+  std::mutex mutex;
+  WorkflowMetrics metrics;
+};
+
+// Gather per-rank reports and analysis byte counts onto world rank 0.
+void CollectReports(mpimini::Comm& world, const RankReport& mine,
+                    std::size_t my_bytes, std::size_t my_images,
+                    SharedMetrics& shared) {
+  std::vector<RankReport> reports =
+      world.Gather<RankReport>(std::span<const RankReport>(&mine, 1), 0);
+  std::size_t bytes = my_bytes;
+  std::size_t images = my_images;
+  std::array<std::size_t, 2> io{bytes, images};
+  world.Reduce(std::span<std::size_t>(io), mpimini::Op::kSum, 0);
+  if (world.Rank() == 0) {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    shared.metrics.ranks = std::move(reports);
+    shared.metrics.bytes_written = io[0];
+    shared.metrics.images_written = io[1];
+  }
+}
+
+RankReport MakeReport(mpimini::Comm& world, bool is_sim,
+                      double step_busy_seconds) {
+  RankReport report;
+  report.world_rank = world.Rank();
+  report.is_sim = is_sim;
+  report.step_busy_seconds = step_busy_seconds;
+  if (mpimini::RankEnv* env = mpimini::CurrentEnv()) {
+    report.total_busy_seconds = env->busy.Seconds();
+    report.host_peak_bytes = env->memory.HostPeakBytes();
+    report.device_peak_bytes =
+        env->memory.PeakBytes(instrument::kDeviceCategory);
+  }
+  return report;
+}
+
+bool XmlHasAdios(const std::string& xml) {
+  const xmlcfg::Document doc = xmlcfg::Parse(xml);
+  for (const xmlcfg::Element* analysis : doc.root.FindAll("analysis")) {
+    if (analysis->Attr("type") == "adios" &&
+        analysis->AttrInt("enabled", 1) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double WorkflowMetrics::MeanSimStepSeconds() const {
+  double sum = 0.0;
+  int count = 0;
+  for (const RankReport& r : ranks) {
+    if (!r.is_sim) continue;
+    sum += r.step_busy_seconds;
+    ++count;
+  }
+  return count && steps ? sum / count / steps : 0.0;
+}
+
+double WorkflowMetrics::TotalSimBusySeconds() const {
+  double sum = 0.0;
+  for (const RankReport& r : ranks) {
+    if (r.is_sim) sum += r.step_busy_seconds;
+  }
+  return sum;
+}
+
+std::size_t WorkflowMetrics::MaxSimHostPeakBytes() const {
+  std::size_t peak = 0;
+  for (const RankReport& r : ranks) {
+    if (r.is_sim) peak = std::max(peak, r.host_peak_bytes);
+  }
+  return peak;
+}
+
+std::size_t WorkflowMetrics::TotalSimHostPeakBytes() const {
+  std::size_t total = 0;
+  for (const RankReport& r : ranks) {
+    if (r.is_sim) total += r.host_peak_bytes;
+  }
+  return total;
+}
+
+std::size_t WorkflowMetrics::MaxSimDevicePeakBytes() const {
+  std::size_t peak = 0;
+  for (const RankReport& r : ranks) {
+    if (r.is_sim) peak = std::max(peak, r.device_peak_bytes);
+  }
+  return peak;
+}
+
+WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
+  SharedMetrics shared;
+  shared.metrics.steps = options.steps;
+
+  mpimini::RunResult run = mpimini::Runtime::Run(nranks, [&](mpimini::Comm&
+                                                                 comm) {
+    occamini::Device device(options.backend, options.transfer);
+    nekrs::FlowSolver solver(comm, device, options.flow);
+    std::optional<Bridge> bridge;
+    if (options.use_sensei) bridge.emplace(solver, options.sensei_xml);
+
+    mpimini::RankEnv* env = mpimini::CurrentEnv();
+    const double busy0 = env ? env->busy.Seconds() : 0.0;
+    for (int s = 0; s < options.steps; ++s) {
+      solver.Step();
+      if (bridge) bridge->Update();
+    }
+    if (bridge) bridge->Finalize();
+    const double step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
+
+    std::size_t bytes = 0;
+    std::size_t images = 0;
+    if (bridge) {
+      bytes = bridge->Analysis().TotalBytesWritten();
+      if (auto catalyst = std::dynamic_pointer_cast<
+              sensei::CatalystAnalysisAdaptor>(
+              bridge->Analysis().Find("catalyst"))) {
+        images = catalyst->ImagesWritten();
+      }
+    }
+    CollectReports(comm, MakeReport(comm, /*is_sim=*/true, step_busy), bytes,
+                   images, shared);
+  });
+
+  shared.metrics.wall_seconds = run.wall_seconds;
+  return shared.metrics;
+}
+
+WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
+  const int ratio = std::max(1, options.sim_per_endpoint);
+  const int endpoint_ranks = (sim_ranks + ratio - 1) / ratio;
+  const int world_ranks = sim_ranks + endpoint_ranks;
+  const bool streaming = XmlHasAdios(options.sim_xml);
+
+  SharedMetrics shared;
+  shared.metrics.steps = options.steps;
+
+  mpimini::RunResult run = mpimini::Runtime::Run(world_ranks, [&](
+                                                                 mpimini::Comm&
+                                                                     world) {
+    const bool is_sim = world.Rank() < sim_ranks;
+    mpimini::Comm group = world.Split(is_sim ? 0 : 1, world.Rank());
+    mpimini::RankEnv* env = mpimini::CurrentEnv();
+
+    std::size_t bytes = 0;
+    std::size_t images = 0;
+    double step_busy = 0.0;
+
+    if (is_sim) {
+      occamini::Device device(options.backend, options.transfer);
+      nekrs::FlowSolver solver(group, device, options.flow);
+      const int endpoint_world_rank = sim_ranks + world.Rank() / ratio;
+
+      Bridge bridge(solver, options.sim_xml,
+                    [&](sensei::ConfigurableAnalysis& analysis) {
+                      analysis.RegisterFactory(
+                          "adios",
+                          [&](const xmlcfg::Element& e, mpimini::Comm&) {
+                            sensei::AdiosOptions adios_options;
+                            adios_options.arrays =
+                                sensei::SplitList(e.Attr("arrays"));
+                            adios_options.sst.queue_limit =
+                                options.sst_queue_limit;
+                            return std::make_shared<
+                                sensei::AdiosAnalysisAdaptor>(
+                                world, endpoint_world_rank, adios_options);
+                          });
+                    });
+
+      const double busy0 = env ? env->busy.Seconds() : 0.0;
+      for (int s = 0; s < options.steps; ++s) {
+        solver.Step();
+        bridge.Update();
+      }
+      bridge.Finalize();
+      step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
+      bytes = bridge.Analysis().TotalBytesWritten();
+    } else if (streaming) {
+      // Endpoint rank: receive steps and run the endpoint analyses.
+      std::vector<int> writers;
+      for (int w = 0; w < sim_ranks; ++w) {
+        if (sim_ranks + w / ratio == world.Rank()) writers.push_back(w);
+      }
+      adios::SstReader reader(world, writers,
+                              {.queue_limit = options.sst_queue_limit});
+      sensei::InTransitDataAdaptor data(group);
+      sensei::ConfigurableAnalysis analysis(group);
+      analysis.Initialize(xmlcfg::Parse(options.endpoint_xml).root);
+
+      const double busy0 = env ? env->busy.Seconds() : 0.0;
+      while (auto step = reader.NextStep()) {
+        data.SetStep(step->step, 0.0, step->payloads);
+        analysis.Execute(data);
+      }
+      analysis.Finalize();
+      step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
+      bytes = analysis.TotalBytesWritten();
+      if (auto catalyst =
+              std::dynamic_pointer_cast<sensei::CatalystAnalysisAdaptor>(
+                  analysis.Find("catalyst"))) {
+        images = catalyst->ImagesWritten();
+      }
+    }
+
+    CollectReports(world, MakeReport(world, is_sim, step_busy), bytes, images,
+                   shared);
+  });
+
+  shared.metrics.wall_seconds = run.wall_seconds;
+  return shared.metrics;
+}
+
+}  // namespace nek_sensei

@@ -1,0 +1,57 @@
+// Fixed-width table and CSV reporting for the benchmark harnesses.
+//
+// Every figure-reproduction binary prints one of these tables; the same rows
+// are optionally mirrored into a CSV file so plots can be regenerated.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace instrument {
+
+/// A simple column-aligned table with a title, headers, and string cells.
+///
+/// Usage:
+///   Table t("Figure 2: time-to-solution");
+///   t.SetHeader({"ranks", "config", "wall_s"});
+///   t.AddRow({"280", "catalyst", "12.3"});
+///   t.Print(std::cout);
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  [[nodiscard]] const std::string& Title() const { return title_; }
+  [[nodiscard]] const std::vector<std::string>& Header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& Rows() const {
+    return rows_;
+  }
+
+  /// Render as an aligned ASCII table.
+  void Print(std::ostream& os) const;
+
+  /// Write header + rows as RFC-4180-ish CSV (quotes cells containing
+  /// commas or quotes).
+  void WriteCsv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds with 4 significant decimals ("1.2345").
+std::string FormatSeconds(double seconds);
+
+/// Format a byte count in a human unit ("6.5 MB", "19.0 GB").
+std::string FormatBytes(std::size_t bytes);
+
+}  // namespace instrument

@@ -1,0 +1,17 @@
+#include "instrument/timer.hpp"
+
+#include <ctime>
+
+#include <cmath>
+
+namespace instrument {
+
+double BusyClock::ThreadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace instrument

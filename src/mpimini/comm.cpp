@@ -1,0 +1,199 @@
+#include "mpimini/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "mpimini/comm_state.hpp"
+#include "mpimini/runtime.hpp"
+
+namespace mpimini {
+
+namespace detail {
+
+namespace {
+
+// Pause the calling rank's busy clock for the duration of a condition wait.
+class IdleScope {
+ public:
+  IdleScope() : env_(CurrentEnv()) {
+    if (env_) env_->busy.Pause();
+  }
+  ~IdleScope() {
+    if (env_) env_->busy.Resume();
+  }
+  IdleScope(const IdleScope&) = delete;
+  IdleScope& operator=(const IdleScope&) = delete;
+
+ private:
+  RankEnv* env_;
+};
+
+bool Matches(const Message& m, int source, int tag) {
+  return (source == kAnySource || m.source == source) &&
+         (tag == kAnyTag || m.tag == tag);
+}
+
+// First matching message in the deque, or end().
+std::deque<Message>::iterator FindMatch(std::deque<Message>& box, int source,
+                                        int tag) {
+  return std::find_if(box.begin(), box.end(), [&](const Message& m) {
+    return Matches(m, source, tag);
+  });
+}
+
+}  // namespace
+}  // namespace detail
+
+int Comm::Size() const { return state_ ? state_->size : 0; }
+
+void Comm::SendBytes(int dest, int tag, const void* data, std::size_t bytes) {
+  if (!state_) throw std::runtime_error("mpimini: send on invalid comm");
+  if (dest < 0 || dest >= state_->size) {
+    throw std::runtime_error("mpimini: send to invalid rank " +
+                             std::to_string(dest));
+  }
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload.resize(bytes);
+  if (bytes) std::memcpy(m.payload.data(), data, bytes);
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->boxes[static_cast<std::size_t>(dest)].push_back(std::move(m));
+  }
+  state_->cv.notify_all();
+}
+
+Message Comm::RecvBytes(int source, int tag) {
+  if (!state_) throw std::runtime_error("mpimini: recv on invalid comm");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  auto& box = state_->boxes[static_cast<std::size_t>(rank_)];
+  auto it = detail::FindMatch(box, source, tag);
+  if (it == box.end()) {
+    detail::IdleScope idle;
+    state_->cv.wait(lock, [&] {
+      it = detail::FindMatch(box, source, tag);
+      return it != box.end();
+    });
+  }
+  Message m = std::move(*it);
+  box.erase(it);
+  return m;
+}
+
+std::size_t Comm::Probe(int source, int tag) {
+  if (!state_) throw std::runtime_error("mpimini: probe on invalid comm");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  auto& box = state_->boxes[static_cast<std::size_t>(rank_)];
+  auto it = detail::FindMatch(box, source, tag);
+  if (it == box.end()) {
+    detail::IdleScope idle;
+    state_->cv.wait(lock, [&] {
+      it = detail::FindMatch(box, source, tag);
+      return it != box.end();
+    });
+  }
+  return it->payload.size();
+}
+
+bool Comm::HasMessage(int source, int tag) {
+  if (!state_) throw std::runtime_error("mpimini: probe on invalid comm");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  auto& box = state_->boxes[static_cast<std::size_t>(rank_)];
+  return detail::FindMatch(box, source, tag) != box.end();
+}
+
+void Comm::Barrier() {
+  if (!state_) throw std::runtime_error("mpimini: barrier on invalid comm");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  const std::uint64_t generation = state_->barrier_generation;
+  if (++state_->barrier_count == state_->size) {
+    state_->barrier_count = 0;
+    ++state_->barrier_generation;
+    state_->cv.notify_all();
+    return;
+  }
+  detail::IdleScope idle;
+  state_->cv.wait(lock,
+                  [&] { return state_->barrier_generation != generation; });
+}
+
+std::vector<std::vector<std::byte>> Comm::GatherBytes(
+    std::span<const std::byte> mine, int root) {
+  if (Rank() == root) {
+    std::vector<std::vector<std::byte>> all(
+        static_cast<std::size_t>(Size()));
+    all[static_cast<std::size_t>(root)].assign(mine.begin(), mine.end());
+    for (int src = 0; src < Size(); ++src) {
+      if (src == root) continue;
+      Message m = RecvBytes(src, detail::kTagGather);
+      all[static_cast<std::size_t>(src)] = std::move(m.payload);
+    }
+    return all;
+  }
+  SendBytes(root, detail::kTagGather, mine.data(), mine.size_bytes());
+  return {};
+}
+
+std::vector<std::vector<std::byte>> Comm::AllToAllBytes(
+    const std::vector<std::vector<std::byte>>& outgoing) {
+  if (static_cast<int>(outgoing.size()) != Size()) {
+    throw std::runtime_error("mpimini: AllToAllBytes needs Size() blobs");
+  }
+  std::vector<std::vector<std::byte>> incoming(
+      static_cast<std::size_t>(Size()));
+  for (int dest = 0; dest < Size(); ++dest) {
+    if (dest == rank_) {
+      incoming[static_cast<std::size_t>(dest)] =
+          outgoing[static_cast<std::size_t>(dest)];
+      continue;
+    }
+    const auto& blob = outgoing[static_cast<std::size_t>(dest)];
+    SendBytes(dest, detail::kTagAllToAll, blob.data(), blob.size());
+  }
+  for (int src = 0; src < Size(); ++src) {
+    if (src == rank_) continue;
+    incoming[static_cast<std::size_t>(src)] =
+        RecvBytes(src, detail::kTagAllToAll).payload;
+  }
+  return incoming;
+}
+
+Comm Comm::Split(int color, int key) {
+  if (!state_) throw std::runtime_error("mpimini: split on invalid comm");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  const std::uint64_t seq = state_->split_seq[static_cast<std::size_t>(rank_)]++;
+  detail::CommState::SplitOp& op = state_->splits[seq];
+  op.entries[rank_] = {color, key};
+
+  if (static_cast<int>(op.entries.size()) == state_->size) {
+    // Last rank to arrive builds the child communicators.
+    std::map<int, std::vector<std::pair<int, int>>> groups;  // color -> (key, rank)
+    for (const auto& [r, ck] : op.entries) {
+      if (ck.first >= 0) groups[ck.first].push_back({ck.second, r});
+    }
+    for (auto& [c, members] : groups) {
+      std::sort(members.begin(), members.end());
+      auto child = std::make_shared<detail::CommState>(
+          static_cast<int>(members.size()));
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        op.result[members[i].second] = {child, static_cast<int>(i)};
+      }
+    }
+    op.ready = true;
+    state_->cv.notify_all();
+  } else {
+    detail::IdleScope idle;
+    state_->cv.wait(lock, [&] { return op.ready; });
+  }
+
+  Comm child;
+  auto it = op.result.find(rank_);
+  if (it != op.result.end()) {
+    child = Comm(it->second.first, it->second.second);
+  }
+  if (++op.taken == state_->size) state_->splits.erase(seq);
+  return child;
+}
+
+}  // namespace mpimini

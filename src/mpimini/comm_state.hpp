@@ -1,0 +1,46 @@
+// Internal: shared communicator state. Included only by mpimini .cpp files.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpimini/comm.hpp"
+
+namespace mpimini::detail {
+
+// Shared state of one communicator: one mailbox per destination rank plus a
+// central barrier and split rendezvous, all guarded by a single mutex (ranks
+// are threads on one core; a finer-grained design would buy nothing here).
+struct CommState {
+  explicit CommState(int n)
+      : size(n),
+        boxes(static_cast<std::size_t>(n)),
+        split_seq(static_cast<std::size_t>(n), 0) {}
+
+  struct SplitOp {
+    // rank -> (color, key)
+    std::map<int, std::pair<int, int>> entries;
+    bool ready = false;
+    // rank -> (child state, child rank); absent for color < 0.
+    std::map<int, std::pair<std::shared_ptr<CommState>, int>> result;
+    int taken = 0;
+  };
+
+  const int size;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::deque<Message>> boxes;
+
+  int barrier_count = 0;
+  std::uint64_t barrier_generation = 0;
+
+  std::vector<std::uint64_t> split_seq;
+  std::map<std::uint64_t, SplitOp> splits;
+};
+
+}  // namespace mpimini::detail

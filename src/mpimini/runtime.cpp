@@ -1,0 +1,110 @@
+#include "mpimini/runtime.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "mpimini/comm_state.hpp"
+
+namespace mpimini {
+
+namespace {
+thread_local RankEnv* g_env = nullptr;
+
+class EnvScope {
+ public:
+  explicit EnvScope(RankEnv* env) : previous_(g_env) { g_env = env; }
+  ~EnvScope() { g_env = previous_; }
+  EnvScope(const EnvScope&) = delete;
+  EnvScope& operator=(const EnvScope&) = delete;
+
+ private:
+  RankEnv* previous_;
+};
+}  // namespace
+
+RankEnv* CurrentEnv() { return g_env; }
+
+double RunResult::MeanBusySeconds() const {
+  if (ranks.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RankMetrics& r : ranks) sum += r.busy_seconds;
+  return sum / static_cast<double>(ranks.size());
+}
+
+std::size_t RunResult::MaxPeakBytes() const {
+  std::size_t peak = 0;
+  for (const RankMetrics& r : ranks) peak = std::max(peak, r.peak_bytes);
+  return peak;
+}
+
+std::size_t RunResult::TotalPeakBytes() const {
+  std::size_t total = 0;
+  for (const RankMetrics& r : ranks) total += r.peak_bytes;
+  return total;
+}
+
+RunResult Runtime::Run(int nranks, const std::function<void(Comm&)>& body) {
+  if (nranks < 1) throw std::invalid_argument("mpimini: nranks must be >= 1");
+
+  // Build the world communicator via a size-preserving Split of a fresh
+  // single-purpose state: we reuse Comm's private constructor through a
+  // friend-free trick — construct the shared state here.
+  struct WorldMaker : Comm {
+    WorldMaker(std::shared_ptr<detail::CommState> s, int r) : Comm(s, r) {}
+  };
+
+  auto world_state = std::make_shared<detail::CommState>(nranks);
+
+  std::vector<std::unique_ptr<RankEnv>> envs;
+  envs.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    auto env = std::make_unique<RankEnv>();
+    env->rank = r;
+    envs.push_back(std::move(env));
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+
+  instrument::WallTimer wall;
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      RankEnv* env = envs[static_cast<std::size_t>(r)].get();
+      EnvScope env_scope(env);
+      instrument::TrackerScope tracker_scope(&env->memory);
+      Comm comm = WorldMaker(world_state, r);
+      env->busy.Resume();
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      env->busy.Pause();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_seconds = wall.Elapsed();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  RunResult result;
+  result.wall_seconds = wall_seconds;
+  for (int r = 0; r < nranks; ++r) {
+    const RankEnv& env = *envs[static_cast<std::size_t>(r)];
+    RankMetrics m;
+    m.rank = r;
+    m.busy_seconds = env.busy.Seconds();
+    m.peak_bytes = env.memory.PeakBytes();
+    for (const auto& [name, bytes] : env.memory.ByCategory()) {
+      m.peak_by_category[name] = env.memory.PeakBytes(name);
+    }
+    m.timings = env.timings;
+    result.ranks.push_back(std::move(m));
+  }
+  return result;
+}
+
+}  // namespace mpimini

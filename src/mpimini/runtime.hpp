@@ -1,0 +1,64 @@
+// The mpimini runtime: spawns N rank threads, installs per-rank
+// instrumentation (busy clock, memory tracker, timing registry), runs the
+// user's rank body, and collects per-rank metrics afterwards.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "instrument/memory_tracker.hpp"
+#include "instrument/timer.hpp"
+#include "mpimini/comm.hpp"
+
+namespace mpimini {
+
+/// Per-rank instrumentation owned by the runtime for the lifetime of a run.
+///
+/// Rank code reaches it through CurrentEnv(); blocking mpimini operations
+/// pause `busy` so it accumulates only active time.
+struct RankEnv {
+  int rank = -1;
+  instrument::BusyClock busy;
+  instrument::MemoryTracker memory;
+  instrument::TimingRegistry timings;
+};
+
+/// The calling thread's RankEnv, or nullptr outside a rank.
+RankEnv* CurrentEnv();
+
+/// Metrics harvested from one rank after the run completes.
+struct RankMetrics {
+  int rank = -1;
+  double busy_seconds = 0.0;
+  std::size_t peak_bytes = 0;
+  std::map<std::string, std::size_t> peak_by_category;
+  instrument::TimingRegistry timings;
+};
+
+/// Result of Runtime::Run: wall time of the whole run plus per-rank metrics.
+struct RunResult {
+  double wall_seconds = 0.0;
+  std::vector<RankMetrics> ranks;
+
+  /// Mean of per-rank busy seconds.
+  [[nodiscard]] double MeanBusySeconds() const;
+  /// Maximum per-rank peak tracked bytes.
+  [[nodiscard]] std::size_t MaxPeakBytes() const;
+  /// Sum of per-rank peak tracked bytes (aggregate footprint, as the paper's
+  /// "aggregate memory high water mark across all MPI ranks").
+  [[nodiscard]] std::size_t TotalPeakBytes() const;
+};
+
+/// Launches message-passing programs.
+class Runtime {
+ public:
+  /// Run `body(comm)` on `nranks` rank threads sharing a fresh world
+  /// communicator. Blocks until every rank returns. If any rank throws, the
+  /// remaining ranks are still joined and the first exception is rethrown.
+  static RunResult Run(int nranks, const std::function<void(Comm&)>& body);
+};
+
+}  // namespace mpimini

@@ -1,0 +1,203 @@
+#include "nekrs/cases.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace nekrs::cases {
+
+namespace {
+
+// Small deterministic LCG so pebble layouts are identical on every rank and
+// every run without touching global random state.
+class Lcg {
+ public:
+  explicit Lcg(unsigned seed) : state_(seed ? seed : 1u) {}
+  double NextUnit() {
+    state_ = 1664525u * state_ + 1013904223u;
+    return static_cast<double>(state_ >> 8) /
+           static_cast<double>(1u << 24);
+  }
+
+ private:
+  unsigned state_;
+};
+
+}  // namespace
+
+PebbleLayout MakePebbleLayout(const PebbleBedOptions& options) {
+  PebbleLayout layout;
+  // Place pebbles on the densest cubic lattice that fits pebble_count, then
+  // jitter them so the flow is not trivially symmetric.
+  const int per_axis = static_cast<int>(
+      std::ceil(std::cbrt(static_cast<double>(options.pebble_count))));
+  const double cell = 1.0 / per_axis;
+  layout.radius = options.pebble_radius > 0.0 ? options.pebble_radius
+                                              : 0.30 * cell;
+  Lcg rng(options.seed);
+  const double jitter = 0.5 * (cell - 2.0 * layout.radius);
+  for (int k = 0; k < per_axis; ++k) {
+    for (int j = 0; j < per_axis; ++j) {
+      for (int i = 0; i < per_axis; ++i) {
+        if (static_cast<int>(layout.centers.size()) >= options.pebble_count) {
+          return layout;
+        }
+        const double cx = (i + 0.5) * cell + jitter * (rng.NextUnit() - 0.5);
+        const double cy = (j + 0.5) * cell + jitter * (rng.NextUnit() - 0.5);
+        const double cz = (k + 0.5) * cell + jitter * (rng.NextUnit() - 0.5);
+        layout.centers.push_back({cx, cy, cz});
+      }
+    }
+  }
+  return layout;
+}
+
+FlowConfig PebbleBedCase(const PebbleBedOptions& options) {
+  FlowConfig config;
+  config.mesh.order = options.order;
+  config.mesh.elements = options.elements;
+  config.mesh.length = {1.0, 1.0, 1.0};
+  // Streamwise (z) periodic channel with no-slip side walls.
+  config.mesh.periodic = {false, false, true};
+  config.velocity_dirichlet = {true, true, true, true, false, false};
+  config.temperature_dirichlet = {true, true, true, true, false, false};
+
+  config.dt = options.dt;
+  config.viscosity = options.viscosity;
+  config.conductivity = options.viscosity;  // unit Prandtl
+  config.solve_temperature = true;
+  config.body_force = {0.0, 0.0, options.driving_force};
+  config.filter_strength = 0.05;
+  config.filter_modes = 1;
+
+  const PebbleLayout layout = MakePebbleLayout(options);
+  const double r2 = layout.radius * layout.radius;
+  auto inside = [layout, r2](double x, double y, double z) {
+    for (const auto& c : layout.centers) {
+      const double dx = x - c[0];
+      const double dy = y - c[1];
+      const double dz = z - c[2];
+      if (dx * dx + dy * dy + dz * dz < r2) return true;
+    }
+    return false;
+  };
+  const double drag = options.drag;
+  config.brinkman = [inside, drag](double x, double y, double z) {
+    return inside(x, y, z) ? drag : 0.0;
+  };
+  const double heating = options.heating;
+  config.heat_source = [inside, heating](double x, double y, double z) {
+    return inside(x, y, z) ? heating : 0.0;
+  };
+  config.initial_condition = [](double, double, double, double& u, double& v,
+                                double& w, double& T) {
+    u = 0.0;
+    v = 0.0;
+    w = 0.1;  // mild initial through-flow
+    T = 0.0;
+  };
+  return config;
+}
+
+FlowConfig RayleighBenardCase(const RayleighBenardOptions& options) {
+  // Free-fall nondimensionalization: length H, velocity U_f = sqrt(g beta
+  // dT H), so velocities stay O(1) for any Ra and a fixed dt obeys the CFL
+  // limit.  Momentum diffusivity sqrt(Pr/Ra), thermal 1/sqrt(Ra Pr),
+  // buoyancy coefficient 1.
+  FlowConfig config;
+  config.mesh.order = options.order;
+  config.mesh.elements = options.elements;
+  config.mesh.length = {options.aspect, 0.5 * options.aspect, 1.0};
+  config.mesh.periodic = {true, true, false};
+  // No-slip top and bottom plates; x/y periodic.
+  config.velocity_dirichlet = {false, false, false, false, true, true};
+  config.temperature_dirichlet = {false, false, false, false, true, true};
+  config.temperature_zlo = 0.5;
+  config.temperature_zhi = -0.5;
+
+  config.dt = options.dt;
+  config.viscosity = std::sqrt(options.prandtl / options.rayleigh);
+  config.conductivity = 1.0 / std::sqrt(options.rayleigh * options.prandtl);
+  config.solve_temperature = true;
+  config.buoyancy = 1.0;
+  config.filter_strength = 0.1;
+  config.filter_modes = 2;
+
+  // Finite-amplitude divergence-free convection-roll seed (streamfunction
+  // psi = -(A/k) sin(pi z) sin(k x)), with a correlated temperature
+  // perturbation, superposed on the conduction profile.  At supercritical
+  // Ra the roll sustains and transports heat; below critical it decays.
+  const double amp = options.perturbation;
+  const double k = 2.0 * std::numbers::pi / config.mesh.length[0];
+  config.initial_condition = [amp, k](double x, double, double z, double& u,
+                                      double& v, double& w, double& T) {
+    using std::numbers::pi;
+    u = -(amp * pi / k) * std::cos(pi * z) * std::sin(k * x);
+    v = 0.0;
+    w = amp * std::sin(pi * z) * std::cos(k * x);
+    T = (0.5 - z) + 0.5 * amp * std::sin(pi * z) * std::cos(k * x);
+  };
+  return config;
+}
+
+FlowConfig TaylorGreenCase(const TaylorGreenOptions& options) {
+  FlowConfig config;
+  using std::numbers::pi;
+  config.mesh.order = options.order;
+  config.mesh.elements = options.elements;
+  config.mesh.length = {2.0 * pi, 2.0 * pi, 2.0 * pi};
+  config.mesh.periodic = {true, true, true};
+  config.dt = options.dt;
+  config.viscosity = options.viscosity;
+  config.solve_temperature = false;
+  config.initial_condition = [](double x, double y, double, double& u,
+                                double& v, double& w, double& T) {
+    u = std::sin(x) * std::cos(y);
+    v = -std::cos(x) * std::sin(y);
+    w = 0.0;
+    T = 0.0;
+  };
+  return config;
+}
+
+void KovasznayExact(double reynolds, double x, double y, double& u,
+                    double& v) {
+  using std::numbers::pi;
+  const double lambda =
+      0.5 * reynolds - std::sqrt(0.25 * reynolds * reynolds + 4.0 * pi * pi);
+  const double e = std::exp(lambda * (x - 0.5));
+  u = 1.0 - e * std::cos(2.0 * pi * y);
+  v = lambda / (2.0 * pi) * e * std::sin(2.0 * pi * y);
+}
+
+FlowConfig KovasznayCase(const KovasznayOptions& options) {
+  FlowConfig config;
+  config.mesh.order = options.order;
+  config.mesh.elements = options.elements;
+  config.mesh.length = {1.5, 1.0, 0.25};
+  config.mesh.periodic = {false, true, true};
+  config.mesh.partition_axis = 0;  // z has a single element layer
+  config.velocity_dirichlet = {true, true, false, false, false, false};
+  config.velocity_ic_carries_bc = true;
+
+  config.dt = options.dt;
+  config.viscosity = 1.0 / options.reynolds;
+  config.solve_temperature = false;
+
+  const double re = options.reynolds;
+  config.initial_condition = [re](double x, double y, double, double& u,
+                                  double& v, double& w, double& T) {
+    KovasznayExact(re, x, y, u, v);
+    w = 0.0;
+    T = 0.0;
+  };
+  return config;
+}
+
+double TaylorGreenKineticEnergy(double viscosity, double t) {
+  // KE(t) = 0.5 int |u|^2 = 0.5 * (2pi)^3 * 0.5 * exp(-4 nu t)
+  using std::numbers::pi;
+  const double volume = std::pow(2.0 * pi, 3);
+  return 0.25 * volume * std::exp(-4.0 * viscosity * t);
+}
+
+}  // namespace nekrs::cases

@@ -1,0 +1,101 @@
+// Ready-made flow configurations mirroring the paper's two use cases plus a
+// verification case.
+//
+//  * PebbleBedCase  — the "pb146" stand-in: pressure-driven flow through a
+//    box containing spherical pebbles modelled by Brinkman volume
+//    penalization, with volumetric heating inside the pebbles (DESIGN.md
+//    substitution ledger).
+//  * RayleighBenardCase — Boussinesq Rayleigh-Bénard convection in a
+//    periodic slab, heated below and cooled above (the in transit mesoscale
+//    case).
+//  * TaylorGreenCase — 2-D Taylor-Green vortex (z-invariant) with a known
+//    analytic decay rate, used by the verification tests.
+#pragma once
+
+#include <vector>
+
+#include "nekrs/flow_solver.hpp"
+
+namespace nekrs::cases {
+
+struct PebbleBedOptions {
+  std::array<int, 3> elements = {4, 4, 4};
+  int order = 4;
+  int pebble_count = 146;      ///< pebbles placed on a jittered lattice
+  double pebble_radius = 0.0;  ///< 0 => auto from count and domain
+  double drag = 1e3;           ///< Brinkman drag inside pebbles
+  double heating = 5.0;        ///< volumetric heat source inside pebbles
+  double driving_force = 1.0;  ///< streamwise (z) body force
+  double viscosity = 5e-3;
+  double dt = 2e-3;
+  unsigned seed = 146u;        ///< jitter seed (deterministic)
+};
+
+/// Pebble centres used by a PebbleBedCase (exposed for rendering/tests).
+struct PebbleLayout {
+  std::vector<std::array<double, 3>> centers;
+  double radius = 0.0;
+};
+
+/// Compute the deterministic pebble layout for the given options.
+PebbleLayout MakePebbleLayout(const PebbleBedOptions& options);
+
+/// Flow through a pebble bed: periodic in z (streamwise), no-slip side
+/// walls, temperature carried from heated pebbles.
+FlowConfig PebbleBedCase(const PebbleBedOptions& options);
+
+struct RayleighBenardOptions {
+  std::array<int, 3> elements = {6, 2, 4};
+  int order = 4;
+  double rayleigh = 1e5;
+  double prandtl = 0.71;
+  double aspect = 3.0;  ///< Lx / H (Ly is half that, H = 1)
+  double dt = 5e-3;
+  /// Amplitude of the divergence-free convection-roll seed.
+  double perturbation = 0.1;
+};
+
+/// RBC in free-fall units (velocity scale sqrt(g beta dT H)): momentum
+/// diffusivity sqrt(Pr/Ra), thermal diffusivity 1/sqrt(Ra Pr), unit
+/// buoyancy; T = +0.5 at the bottom plate, -0.5 at the top.
+FlowConfig RayleighBenardCase(const RayleighBenardOptions& options);
+
+struct TaylorGreenOptions {
+  std::array<int, 3> elements = {4, 4, 2};
+  int order = 5;
+  double viscosity = 1e-2;
+  double dt = 2e-3;
+};
+
+/// 2-D Taylor-Green vortex on [0,2pi]^3 (z-invariant, fully periodic):
+/// u =  sin(x) cos(y) exp(-2 nu t)
+/// v = -cos(x) sin(y) exp(-2 nu t)
+/// An exact Navier-Stokes solution; kinetic energy decays as exp(-4 nu t).
+FlowConfig TaylorGreenCase(const TaylorGreenOptions& options);
+
+/// Analytic kinetic energy of the Taylor-Green case at time t (for the
+/// domain [0,2pi]^3).
+double TaylorGreenKineticEnergy(double viscosity, double t);
+
+struct KovasznayOptions {
+  std::array<int, 3> elements = {6, 4, 1};
+  int order = 6;
+  double reynolds = 40.0;
+  double dt = 5e-4;  ///< the pressure start-up transient needs a small step
+};
+
+/// Kovasznay flow: the classic exact *steady* Navier-Stokes solution (wake
+/// behind a periodic grid). On x in [0, 1.5], y in [0, 1] (periodic), with
+/// lambda = Re/2 - sqrt(Re^2/4 + 4 pi^2):
+///   u = 1 - exp(lambda (x - 0.5)) cos(2 pi y)
+///   v = (lambda / 2 pi) exp(lambda (x - 0.5)) sin(2 pi y)
+/// The x faces carry the exact (inhomogeneous Dirichlet) values; starting
+/// from the exact solution the flow must remain steady — a discriminating
+/// verification of the advection/pressure/viscous coupling.
+FlowConfig KovasznayCase(const KovasznayOptions& options);
+
+/// Exact Kovasznay velocity at (x, y) for the given Reynolds number.
+void KovasznayExact(double reynolds, double x, double y, double& u,
+                    double& v);
+
+}  // namespace nekrs::cases

@@ -1,0 +1,223 @@
+#include "nekrs/helmholtz.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nekrs {
+
+HelmholtzSolver::Projection::Projection(std::size_t ndofs, int max_vectors)
+    : ndofs_(ndofs),
+      max_vectors_(max_vectors),
+      xs_("device", ndofs * static_cast<std::size_t>(max_vectors)),
+      axs_("device", ndofs * static_cast<std::size_t>(max_vectors)) {
+  if (max_vectors < 1) {
+    throw std::invalid_argument("nekrs: projection needs >= 1 vector");
+  }
+}
+
+HelmholtzSolver::HelmholtzSolver(mpimini::Comm comm,
+                                 const sem::ElementOperators& ops,
+                                 const sem::GatherScatter& gs)
+    : comm_(comm),
+      ops_(ops),
+      gs_(gs),
+      r_("device", ops.NumDofs()),
+      z_("device", ops.NumDofs()),
+      p_("device", ops.NumDofs()),
+      w_("device", ops.NumDofs()),
+      diag_("device", ops.NumDofs()) {
+  double local = 0.0;
+  for (double m : ops_.MassDiag()) local += m;
+  volume_ = comm_.AllReduceValue(local, mpimini::Op::kSum);
+}
+
+void HelmholtzSolver::ApplyOperator(double h1, double h0,
+                                    std::span<const double> x,
+                                    std::span<const double> mask,
+                                    std::span<double> w) {
+  ops_.Laplacian(x, w);
+  auto mass = ops_.MassDiag();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = h1 * w[i] + h0 * mass[i] * x[i];
+  }
+  gs_.Sum(w);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] *= mask[i];
+}
+
+double HelmholtzSolver::WeightedMean(std::span<const double> v) {
+  auto mass = ops_.MassDiag();
+  double local = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) local += mass[i] * v[i];
+  return comm_.AllReduceValue(local, mpimini::Op::kSum) / volume_;
+}
+
+HelmholtzResult HelmholtzSolver::Solve(const Options& options,
+                                       std::span<const double> rhs,
+                                       std::span<double> x,
+                                       std::span<const double> mask,
+                                       Projection* projection) {
+  const std::size_t n = ops_.NumDofs();
+  if (rhs.size() != n || x.size() != n || mask.size() != n) {
+    throw std::invalid_argument("nekrs: Helmholtz size mismatch");
+  }
+  auto mass = ops_.MassDiag();
+  auto adiag = ops_.StiffnessDiag();
+  auto mult = std::span<const double>(gs_.Multiplicity());
+
+  // Jacobi diagonal of the assembled operator.
+  for (std::size_t i = 0; i < n; ++i) {
+    diag_[i] = options.h1 * adiag[i] + options.h0 * mass[i];
+  }
+  gs_.Sum({diag_.data(), n});
+  for (std::size_t i = 0; i < n; ++i) {
+    if (diag_[i] == 0.0 || mask[i] == 0.0) diag_[i] = 1.0;
+  }
+
+  // r = mask . QQ^T (rhs_local - (h1 A + h0 B) x).
+  ops_.Laplacian(x, {w_.data(), n});
+  for (std::size_t i = 0; i < n; ++i) {
+    r_[i] = rhs[i] - (options.h1 * w_[i] + options.h0 * mass[i] * x[i]);
+  }
+  gs_.Sum({r_.data(), n});
+  for (std::size_t i = 0; i < n; ++i) r_[i] *= mask[i];
+  if (options.remove_mean) {
+    // Orthogonalize against the constant null vector of the pure-Neumann
+    // operator: subtract the multiplicity-weighted mean of the assembled
+    // residual.
+    double local = 0.0;
+    double count = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      local += r_[i] / mult[i];
+      count += 1.0 / mult[i];
+    }
+    const double mean =
+        comm_.AllReduceValue(local, mpimini::Op::kSum) /
+        comm_.AllReduceValue(count, mpimini::Op::kSum);
+    for (std::size_t i = 0; i < n; ++i) r_[i] -= mean;
+  }
+
+  // The convergence target is set from the residual of the caller's guess,
+  // before any projection: projection accelerates the solve, it must not
+  // tighten (or loosen) the requested tolerance.
+  HelmholtzResult result;
+  double rr = sem::AssembledDot(comm_, {r_.data(), n}, {r_.data(), n}, mult);
+  double target = options.tolerance * options.tolerance;
+  if (options.relative_tolerance) {
+    target = std::max(target, target * rr);
+  }
+
+  // Seed from the projection history: with an A-orthonormal basis {e_k},
+  // the best initial increment is sum_k (e_k . r) e_k, and the residual
+  // update uses the stored A e_k (no extra operator applications).
+  std::vector<double> x_entry;
+  if (projection) {
+    if (projection->ndofs_ != n) {
+      throw std::invalid_argument("nekrs: projection size mismatch");
+    }
+    x_entry.assign(x.begin(), x.end());
+    for (int k = 0; k < projection->count_; ++k) {
+      const double* ek = projection->xs_.data() + static_cast<std::size_t>(k) * n;
+      const double* aek =
+          projection->axs_.data() + static_cast<std::size_t>(k) * n;
+      const double alpha =
+          sem::AssembledDot(comm_, {ek, n}, {r_.data(), n}, mult);
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] += alpha * ek[i];
+        r_[i] -= alpha * aek[i];
+      }
+    }
+    rr = sem::AssembledDot(comm_, {r_.data(), n}, {r_.data(), n}, mult);
+  }
+  if (rr <= target) {
+    result.converged = true;
+    result.residual = std::sqrt(rr);
+    return result;
+  }
+
+  auto apply_precond = [&] {
+    if (options.preconditioner) {
+      options.preconditioner->Apply(options.h1, options.h0, {r_.data(), n},
+                                    {z_.data(), n});
+      for (std::size_t i = 0; i < n; ++i) z_[i] *= mask[i];
+    } else {
+      for (std::size_t i = 0; i < n; ++i) z_[i] = r_[i] / diag_[i];
+    }
+  };
+  apply_precond();
+  double rho = sem::AssembledDot(comm_, {r_.data(), n}, {z_.data(), n}, mult);
+  for (std::size_t i = 0; i < n; ++i) p_[i] = z_[i];
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    ApplyOperator(options.h1, options.h0, {p_.data(), n}, mask,
+                  {w_.data(), n});
+    const double pw =
+        sem::AssembledDot(comm_, {p_.data(), n}, {w_.data(), n}, mult);
+    if (pw == 0.0) break;
+    const double alpha = rho / pw;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p_[i];
+      r_[i] -= alpha * w_[i];
+    }
+    rr = sem::AssembledDot(comm_, {r_.data(), n}, {r_.data(), n}, mult);
+    result.iterations = it + 1;
+    if (rr <= target) {
+      result.converged = true;
+      break;
+    }
+    apply_precond();
+    const double rho_new =
+        sem::AssembledDot(comm_, {r_.data(), n}, {z_.data(), n}, mult);
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i) p_[i] = z_[i] + beta * p_[i];
+  }
+
+  if (options.remove_mean) {
+    const double mean = WeightedMean(x);
+    for (std::size_t i = 0; i < n; ++i) x[i] -= mean;
+  }
+  result.residual = std::sqrt(rr);
+
+  // Record the solve's increment, A-orthonormalized against the history
+  // (one extra operator application per solve).
+  if (projection) {
+    std::vector<double> w(n);
+    for (std::size_t i = 0; i < n; ++i) w[i] = x[i] - x_entry[i];
+    ApplyOperator(options.h1, options.h0, w, mask, {w_.data(), n});
+    std::vector<double> aw(w_.begin(), w_.begin() + static_cast<std::ptrdiff_t>(n));
+    if (projection->count_ == projection->max_vectors_) {
+      // Basis full: restart from scratch with the newest direction (the
+      // standard NekRS reset policy).
+      projection->count_ = 0;
+    }
+    for (int k = 0; k < projection->count_; ++k) {
+      const double* ek = projection->xs_.data() + static_cast<std::size_t>(k) * n;
+      const double* aek =
+          projection->axs_.data() + static_cast<std::size_t>(k) * n;
+      const double beta =
+          sem::AssembledDot(comm_, {ek, n}, {aw.data(), n}, mult);
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] -= beta * ek[i];
+        aw[i] -= beta * aek[i];
+      }
+    }
+    const double norm2 =
+        sem::AssembledDot(comm_, {w.data(), n}, {aw.data(), n}, mult);
+    if (norm2 > 1e-24) {
+      const double inv = 1.0 / std::sqrt(norm2);
+      double* slot =
+          projection->xs_.data() + static_cast<std::size_t>(projection->count_) * n;
+      double* aslot =
+          projection->axs_.data() +
+          static_cast<std::size_t>(projection->count_) * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        slot[i] = w[i] * inv;
+        aslot[i] = aw[i] * inv;
+      }
+      ++projection->count_;
+    }
+  }
+  return result;
+}
+
+}  // namespace nekrs

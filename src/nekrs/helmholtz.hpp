@@ -1,0 +1,106 @@
+// Jacobi-preconditioned conjugate-gradient solver for the SEM Helmholtz
+// system (h1 A + h0 B) x = b, the workhorse of every implicit substep
+// (viscous velocity solve, pressure Poisson, scalar diffusion) — the NekRS
+// elliptic solver reduced to its algorithmic core.
+#pragma once
+
+#include <span>
+
+#include "instrument/memory_tracker.hpp"
+#include "mpimini/comm.hpp"
+#include "sem/gather_scatter.hpp"
+#include "sem/operators.hpp"
+
+namespace nekrs {
+
+struct HelmholtzResult {
+  int iterations = 0;
+  double residual = 0.0;  ///< final assembled 2-norm of the residual
+  bool converged = false;
+};
+
+/// Preconditioner interface for the CG solver: z = M^{-1} r. `r` is the
+/// assembled masked residual; implementations must return an assembled
+/// (continuous, masked) z and be symmetric positive definite.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual void Apply(double h1, double h0, std::span<const double> r,
+                     std::span<double> z) = 0;
+};
+
+class HelmholtzSolver {
+ public:
+  /// `ops` and `gs` must outlive the solver and describe the same mesh.
+  HelmholtzSolver(mpimini::Comm comm, const sem::ElementOperators& ops,
+                  const sem::GatherScatter& gs);
+
+  /// Solution-projection acceleration (NekRS's pressure "projection"):
+  /// keeps up to `max_vectors` A-orthonormal previous solution increments
+  /// and projects each new right-hand side onto their span before CG, which
+  /// typically cuts the iteration count severalfold in time-stepping where
+  /// consecutive solves are similar. One Projection instance belongs to one
+  /// (h1, h0, mask) solve family.
+  class Projection {
+   public:
+    Projection(std::size_t ndofs, int max_vectors);
+
+    [[nodiscard]] int Size() const { return count_; }
+    void Clear() { count_ = 0; }
+
+   private:
+    friend class HelmholtzSolver;
+    std::size_t ndofs_;
+    int max_vectors_;
+    int count_ = 0;
+    // Basis vectors and their operator images, packed contiguously
+    // (vector k occupies [k*ndofs, (k+1)*ndofs)).
+    instrument::TrackedBuffer<double> xs_;
+    instrument::TrackedBuffer<double> axs_;
+  };
+
+  struct Options {
+    double h1 = 1.0;        ///< stiffness coefficient (viscosity / 1)
+    double h0 = 0.0;        ///< mass coefficient (BDF b0 / 0 for Poisson)
+    double tolerance = 1e-8;///< tolerance on the residual norm
+    /// Optional preconditioner; nullptr = the built-in Jacobi diagonal.
+    Preconditioner* preconditioner = nullptr;
+    /// When true the tolerance is relative to the initial residual norm
+    /// (with `tolerance` also acting as an absolute floor), which keeps the
+    /// iteration count independent of problem size under weak scaling.
+    bool relative_tolerance = false;
+    int max_iterations = 500;
+    bool remove_mean = false;  ///< project out constants (singular Neumann)
+  };
+
+  /// Solve (h1 A + h0 B) x = rhs.
+  ///
+  /// `rhs` is the unassembled local weak-form right-hand side (B-weighted,
+  /// per element copy).  `x` enters as the initial guess carrying any
+  /// inhomogeneous Dirichlet values at nodes where mask == 0, and leaves as
+  /// the solution; masked nodes keep their boundary values exactly.
+  /// Collective over the communicator. `projection`, when given, seeds the
+  /// solve from the recorded history and is updated with the new solution.
+  HelmholtzResult Solve(const Options& options, std::span<const double> rhs,
+                        std::span<double> x, std::span<const double> mask,
+                        Projection* projection = nullptr);
+
+ private:
+  /// w = mask . QQ^T (h1 A_L + h0 B) x; x must be continuous.
+  void ApplyOperator(double h1, double h0, std::span<const double> x,
+                     std::span<const double> mask, std::span<double> w);
+
+  /// B-weighted mean over the domain (uses quadrature partition of unity).
+  double WeightedMean(std::span<const double> v);
+
+  mpimini::Comm comm_;
+  const sem::ElementOperators& ops_;
+  const sem::GatherScatter& gs_;
+  double volume_ = 0.0;
+
+  // CG work vectors live in "device" memory conceptually; tracked so the
+  // GPU-side footprint is attributable.
+  instrument::TrackedBuffer<double> r_, z_, p_, w_, diag_;
+};
+
+}  // namespace nekrs

@@ -1,0 +1,180 @@
+#include "nekrs/multigrid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sem/tensor.hpp"
+
+namespace nekrs {
+
+namespace {
+
+sem::BoxMeshSpec CoarseSpec(sem::BoxMeshSpec spec) {
+  spec.order = 1;
+  return spec;
+}
+
+std::vector<std::int64_t> CoarseGids(const sem::BoxMesh& mesh) {
+  std::vector<std::int64_t> gids(mesh.NumLocalDofs());
+  mesh.FillGlobalIds(gids);
+  return gids;
+}
+
+}  // namespace
+
+MultigridPreconditioner::MultigridPreconditioner(
+    mpimini::Comm comm, const sem::BoxMeshSpec& spec, int rank, int nranks,
+    const sem::ElementOperators& fine_ops, const sem::GatherScatter& fine_gs,
+    const std::array<bool, 6>& dirichlet, Options options)
+    : comm_(comm),
+      options_(options),
+      fine_ops_(fine_ops),
+      fine_gs_(fine_gs),
+      coarse_rule_(sem::MakeGllRule(1)),
+      coarse_mesh_(CoarseSpec(spec), rank, nranks),
+      coarse_ops_(coarse_rule_, coarse_mesh_) {
+  coarse_gs_ = std::make_unique<sem::GatherScatter>(comm_,
+                                                    CoarseGids(coarse_mesh_));
+  coarse_solver_ =
+      std::make_unique<HelmholtzSolver>(comm_, coarse_ops_, *coarse_gs_);
+
+  coarse_mask_.resize(coarse_mesh_.NumLocalDofs());
+  coarse_mesh_.FillDirichletMask(dirichlet, coarse_mask_);
+
+  sem::BoxMesh fine_mesh(spec, rank, nranks);
+  fine_mask_.resize(fine_mesh.NumLocalDofs());
+  fine_mesh.FillDirichletMask(dirichlet, fine_mask_);
+
+  // Transfer operators: trilinear (order-1) basis evaluated at the fine
+  // GLL nodes gives the per-direction prolongation matrix.
+  const sem::GllRule fine_rule = sem::MakeGllRule(spec.order);
+  prolong_1d_ = sem::InterpolationMatrix(coarse_rule_, fine_rule.nodes);
+  const int np = fine_rule.NumPoints();
+  restrict_1d_.assign(prolong_1d_.size(), 0.0);
+  for (int f = 0; f < np; ++f) {
+    for (int c = 0; c < 2; ++c) {
+      restrict_1d_[static_cast<std::size_t>(c * np + f)] =
+          prolong_1d_[static_cast<std::size_t>(f * 2 + c)];
+    }
+  }
+
+  fine_tmp_.resize(fine_ops_.NumDofs());
+  fine_res_.resize(fine_ops_.NumDofs());
+  fine_diag_.resize(fine_ops_.NumDofs());
+  coarse_rhs_.resize(coarse_mesh_.NumLocalDofs());
+  coarse_sol_.resize(coarse_mesh_.NumLocalDofs());
+}
+
+void MultigridPreconditioner::Restrict(std::span<const double> fine,
+                                       std::span<double> coarse) const {
+  // Adjoint of Prolong under the multiplicity-weighted inner product:
+  // unassemble the dual vector, then apply P^T element-wise. The caller's
+  // coarse result is *unassembled* (the coarse solver assembles internally).
+  const auto& mult = fine_gs_.Multiplicity();
+  const int np = static_cast<int>(std::round(
+      std::cbrt(static_cast<double>(fine.size()) /
+                static_cast<double>(coarse.size() / 8))));
+  const std::size_t per_fine = static_cast<std::size_t>(np) * np * np;
+  const std::size_t nel = fine.size() / per_fine;
+  std::vector<double> local(per_fine);
+  for (std::size_t e = 0; e < nel; ++e) {
+    for (std::size_t q = 0; q < per_fine; ++q) {
+      const std::size_t idx = e * per_fine + q;
+      local[q] = fine[idx] / mult[idx];
+    }
+    const std::vector<double> down =
+        sem::Interp3D(restrict_1d_, 2, np, local);
+    for (std::size_t q = 0; q < 8; ++q) coarse[e * 8 + q] = down[q];
+  }
+}
+
+void MultigridPreconditioner::Prolong(std::span<const double> coarse,
+                                      std::span<double> fine) const {
+  const std::size_t nel = coarse.size() / 8;
+  const std::size_t per_fine = fine.size() / nel;
+  const int np = static_cast<int>(std::round(
+      std::cbrt(static_cast<double>(per_fine))));
+  std::vector<double> local(8);
+  for (std::size_t e = 0; e < nel; ++e) {
+    for (std::size_t q = 0; q < 8; ++q) local[q] = coarse[e * 8 + q];
+    const std::vector<double> up = sem::Interp3D(prolong_1d_, np, 2, local);
+    for (std::size_t q = 0; q < per_fine; ++q) fine[e * per_fine + q] = up[q];
+  }
+}
+
+void MultigridPreconditioner::FineOperator(double h1, double h0,
+                                           std::span<const double> x,
+                                           std::span<double> w) {
+  fine_ops_.Laplacian(x, w);
+  auto mass = fine_ops_.MassDiag();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = h1 * w[i] + h0 * mass[i] * x[i];
+  }
+  fine_gs_.Sum(w);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] *= fine_mask_[i];
+}
+
+void MultigridPreconditioner::Apply(double h1, double h0,
+                                    std::span<const double> r,
+                                    std::span<double> z) {
+  const std::size_t n = fine_ops_.NumDofs();
+  if (r.size() != n || z.size() != n) {
+    throw std::invalid_argument("nekrs: multigrid size mismatch");
+  }
+
+  // (Re)build the assembled fine Jacobi diagonal when coefficients change.
+  if (h1 != diag_h1_ || h0 != diag_h0_) {
+    auto adiag = fine_ops_.StiffnessDiag();
+    auto mass = fine_ops_.MassDiag();
+    for (std::size_t i = 0; i < n; ++i) {
+      fine_diag_[i] = h1 * adiag[i] + h0 * mass[i];
+    }
+    fine_gs_.Sum(fine_diag_);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fine_diag_[i] == 0.0 || fine_mask_[i] == 0.0) fine_diag_[i] = 1.0;
+    }
+    diag_h1_ = h1;
+    diag_h0_ = h0;
+  }
+
+  const double omega = options_.jacobi_weight;
+
+  // Pre-smooth from z = 0: first sweep is z = w D^-1 r, later sweeps use
+  // the current residual.
+  for (std::size_t i = 0; i < n; ++i) {
+    z[i] = omega * r[i] / fine_diag_[i] * fine_mask_[i];
+  }
+  for (int s = 1; s < options_.smooth_sweeps; ++s) {
+    FineOperator(h1, h0, z, fine_res_);
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] += omega * (r[i] - fine_res_[i]) / fine_diag_[i] * fine_mask_[i];
+    }
+  }
+
+  // Coarse-grid correction.
+  FineOperator(h1, h0, z, fine_res_);
+  for (std::size_t i = 0; i < n; ++i) fine_res_[i] = r[i] - fine_res_[i];
+  Restrict(fine_res_, coarse_rhs_);
+  std::fill(coarse_sol_.begin(), coarse_sol_.end(), 0.0);
+  HelmholtzSolver::Options coarse_options;
+  coarse_options.h1 = h1;
+  coarse_options.h0 = h0;
+  coarse_options.tolerance = options_.coarse_tolerance;
+  coarse_options.relative_tolerance = true;
+  coarse_options.max_iterations = options_.coarse_max_iterations;
+  coarse_options.remove_mean = options_.remove_mean;
+  coarse_solver_->Solve(coarse_options, coarse_rhs_, coarse_sol_,
+                        coarse_mask_);
+  Prolong(coarse_sol_, fine_tmp_);
+  for (std::size_t i = 0; i < n; ++i) z[i] += fine_tmp_[i] * fine_mask_[i];
+
+  // Post-smooth (symmetric with the pre-smoothing).
+  for (int s = 0; s < options_.smooth_sweeps; ++s) {
+    FineOperator(h1, h0, z, fine_res_);
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] += omega * (r[i] - fine_res_[i]) / fine_diag_[i] * fine_mask_[i];
+    }
+  }
+}
+
+}  // namespace nekrs

@@ -1,0 +1,84 @@
+// Two-level p-multigrid preconditioner — the role NekRS's pMG + coarse-grid
+// solve plays for the pressure Poisson equation.
+//
+// Fine level: the solver's order-N spectral element space. Coarse level:
+// order-1 (trilinear) elements on the same mesh — the classic "p-coarsening
+// to vertices". One symmetric V-cycle per application:
+//
+//   pre-smooth   : damped Jacobi on the fine level
+//   coarse solve : Jacobi-CG on the vertex problem (tiny, loose tolerance)
+//   post-smooth  : damped Jacobi
+//
+// The cycle is symmetric positive definite, so it is a valid CG
+// preconditioner. Its payoff is weak-scaling: the coarse solve carries the
+// global (domain-extent) information that makes plain Jacobi-CG iteration
+// counts grow with domain size.
+#pragma once
+
+#include <memory>
+
+#include "nekrs/helmholtz.hpp"
+#include "sem/box_mesh.hpp"
+#include "sem/gather_scatter.hpp"
+#include "sem/operators.hpp"
+
+namespace nekrs {
+
+class MultigridPreconditioner final : public Preconditioner {
+ public:
+  struct Options {
+    int smooth_sweeps = 2;        ///< damped-Jacobi sweeps pre and post
+    double jacobi_weight = 0.8;   ///< damping factor
+    double coarse_tolerance = 0.05;  ///< relative tolerance of coarse CG
+    int coarse_max_iterations = 200;
+    bool remove_mean = false;  ///< singular (pure-Neumann) problems
+  };
+
+  /// Collective constructor. `spec` must be the fine mesh's spec;
+  /// `dirichlet` the face flags of the solve family this preconditioner
+  /// serves (all false for the pressure Poisson problem).
+  MultigridPreconditioner(mpimini::Comm comm, const sem::BoxMeshSpec& spec,
+                          int rank, int nranks,
+                          const sem::ElementOperators& fine_ops,
+                          const sem::GatherScatter& fine_gs,
+                          const std::array<bool, 6>& dirichlet,
+                          Options options);
+
+  /// z = V-cycle(r). Collective.
+  void Apply(double h1, double h0, std::span<const double> r,
+             std::span<double> z) override;
+
+ private:
+  void Restrict(std::span<const double> fine, std::span<double> coarse) const;
+  void Prolong(std::span<const double> coarse, std::span<double> fine) const;
+  /// w = mask (QQ^T (h1 A + h0 B) x) on the fine level.
+  void FineOperator(double h1, double h0, std::span<const double> x,
+                    std::span<double> w);
+
+  mpimini::Comm comm_;
+  Options options_;
+  const sem::ElementOperators& fine_ops_;
+  const sem::GatherScatter& fine_gs_;
+  std::vector<double> fine_mask_;
+
+  // Coarse (order-1) level.
+  sem::GllRule coarse_rule_;
+  sem::BoxMesh coarse_mesh_;
+  sem::ElementOperators coarse_ops_;
+  std::unique_ptr<sem::GatherScatter> coarse_gs_;
+  std::unique_ptr<HelmholtzSolver> coarse_solver_;
+  std::vector<double> coarse_mask_;
+
+  // Transfer matrices: prolongation (np x 2 per direction) and its
+  // transpose.
+  std::vector<double> prolong_1d_;   // np x 2
+  std::vector<double> restrict_1d_;  // 2 x np
+
+  // Scratch.
+  std::vector<double> fine_tmp_, fine_res_;
+  std::vector<double> coarse_rhs_, coarse_sol_;
+  std::vector<double> fine_diag_;
+  double diag_h1_ = -1.0, diag_h0_ = -1.0;  // cached diagonal coefficients
+};
+
+}  // namespace nekrs

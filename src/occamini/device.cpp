@@ -1,0 +1,110 @@
+#include "occamini/device.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "instrument/timer.hpp"
+
+namespace occamini {
+
+namespace detail {
+
+// One device allocation. Bytes are tracked under "device" against the
+// MemoryTracker of the rank that allocated, for the lifetime of the block.
+// The owning Device must outlive all Memory handles (as with occa::device).
+struct MemoryBlock {
+  MemoryBlock(Device* d, std::size_t bytes, const std::string& label)
+      : device(d), storage(label, bytes) {}
+
+  ~MemoryBlock() { device->allocated_ -= storage.Bytes(); }
+
+  Device* device;
+  instrument::TrackedBuffer<std::byte> storage;
+};
+
+}  // namespace detail
+
+namespace {
+
+void SimulateTransfer(const TransferModel& model, std::size_t bytes) {
+  const double cost = model.Cost(bytes);
+  if (cost > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(cost));
+  }
+}
+
+}  // namespace
+
+Device::Device(Backend backend, TransferModel model)
+    : backend_(backend), model_(model) {}
+
+Memory Device::Malloc(std::size_t bytes, const std::string& label) {
+  auto block = std::make_shared<detail::MemoryBlock>(this, bytes, label);
+  allocated_ += bytes;
+  return Memory(std::move(block));
+}
+
+void Device::Launch(const std::string& name,
+                    const std::function<void()>& body) {
+  instrument::WallTimer timer;
+  body();
+  KernelStats& stats = kernels_[name];
+  ++stats.launches;
+  stats.seconds += timer.Elapsed();
+}
+
+void Device::ResetStats() {
+  transfers_ = {};
+  kernels_.clear();
+}
+
+std::size_t Memory::Bytes() const {
+  return block_ ? block_->storage.Bytes() : 0;
+}
+
+std::byte* Memory::DevicePtr() {
+  if (!block_) throw std::runtime_error("occamini: null memory");
+  return block_->storage.data();
+}
+
+const std::byte* Memory::DevicePtr() const {
+  if (!block_) throw std::runtime_error("occamini: null memory");
+  return block_->storage.data();
+}
+
+void Memory::CopyFrom(const void* host, std::size_t bytes,
+                      std::size_t offset) {
+  if (!block_) throw std::runtime_error("occamini: null memory");
+  if (offset + bytes > block_->storage.Bytes()) {
+    throw std::out_of_range("occamini: h2d copy out of range");
+  }
+  instrument::WallTimer timer;
+  std::memcpy(block_->storage.data() + offset, host, bytes);
+  if (block_->device->backend_ == Backend::kSimGpu) {
+    SimulateTransfer(block_->device->model_, bytes);
+  }
+  TransferStats& t = block_->device->transfers_;
+  ++t.h2d_count;
+  t.h2d_bytes += bytes;
+  t.h2d_seconds += timer.Elapsed();
+}
+
+void Memory::CopyTo(void* host, std::size_t bytes, std::size_t offset) const {
+  if (!block_) throw std::runtime_error("occamini: null memory");
+  if (offset + bytes > block_->storage.Bytes()) {
+    throw std::out_of_range("occamini: d2h copy out of range");
+  }
+  instrument::WallTimer timer;
+  std::memcpy(host, block_->storage.data() + offset, bytes);
+  if (block_->device->backend_ == Backend::kSimGpu) {
+    SimulateTransfer(block_->device->model_, bytes);
+  }
+  TransferStats& t = block_->device->transfers_;
+  ++t.d2h_count;
+  t.d2h_bytes += bytes;
+  t.d2h_seconds += timer.Elapsed();
+}
+
+}  // namespace occamini

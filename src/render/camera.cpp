@@ -1,0 +1,93 @@
+#include "render/camera.hpp"
+
+#include <numbers>
+
+namespace render {
+
+Mat4 Mat4::Identity() {
+  Mat4 out;
+  out.m[0] = out.m[5] = out.m[10] = out.m[15] = 1.0;
+  return out;
+}
+
+Mat4 Mat4::operator*(const Mat4& o) const {
+  Mat4 out;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      double sum = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        sum += m[static_cast<std::size_t>(4 * r + k)] *
+               o.m[static_cast<std::size_t>(4 * k + c)];
+      }
+      out.m[static_cast<std::size_t>(4 * r + c)] = sum;
+    }
+  }
+  return out;
+}
+
+Vec4 Transform(const Mat4& m, const Vec3& p) {
+  Vec4 out;
+  out.x = m.m[0] * p.x + m.m[1] * p.y + m.m[2] * p.z + m.m[3];
+  out.y = m.m[4] * p.x + m.m[5] * p.y + m.m[6] * p.z + m.m[7];
+  out.z = m.m[8] * p.x + m.m[9] * p.y + m.m[10] * p.z + m.m[11];
+  out.w = m.m[12] * p.x + m.m[13] * p.y + m.m[14] * p.z + m.m[15];
+  return out;
+}
+
+Mat4 Camera::ViewMatrix() const {
+  const Vec3 f = Normalized(target - position);   // forward
+  const Vec3 s = Normalized(Cross(f, up));        // right
+  const Vec3 u = Cross(s, f);                     // true up
+  Mat4 out = Mat4::Identity();
+  out.m[0] = s.x;
+  out.m[1] = s.y;
+  out.m[2] = s.z;
+  out.m[3] = -Dot(s, position);
+  out.m[4] = u.x;
+  out.m[5] = u.y;
+  out.m[6] = u.z;
+  out.m[7] = -Dot(u, position);
+  out.m[8] = -f.x;
+  out.m[9] = -f.y;
+  out.m[10] = -f.z;
+  out.m[11] = Dot(f, position);
+  return out;
+}
+
+Mat4 Camera::ProjectionMatrix() const {
+  const double rad = fov_degrees * std::numbers::pi / 180.0;
+  const double t = 1.0 / std::tan(0.5 * rad);
+  Mat4 out;
+  out.m[0] = t / aspect;
+  out.m[5] = t;
+  out.m[10] = -(far_plane + near_plane) / (far_plane - near_plane);
+  out.m[11] = -2.0 * far_plane * near_plane / (far_plane - near_plane);
+  out.m[14] = -1.0;
+  return out;
+}
+
+Camera FitCamera(const std::array<double, 6>& bounds, double azimuth_deg,
+                 double elevation_deg, double aspect, double zoom) {
+  using std::numbers::pi;
+  Camera camera;
+  camera.aspect = aspect;
+  camera.target = {0.5 * (bounds[0] + bounds[1]),
+                   0.5 * (bounds[2] + bounds[3]),
+                   0.5 * (bounds[4] + bounds[5])};
+  const double dx = bounds[1] - bounds[0];
+  const double dy = bounds[3] - bounds[2];
+  const double dz = bounds[5] - bounds[4];
+  const double diag = std::sqrt(dx * dx + dy * dy + dz * dz);
+  const double distance =
+      (diag > 0.0 ? diag : 1.0) * 1.6 / (zoom > 0.0 ? zoom : 1.0);
+  const double az = azimuth_deg * pi / 180.0;
+  const double el = elevation_deg * pi / 180.0;
+  const Vec3 dir{std::cos(el) * std::cos(az), std::cos(el) * std::sin(az),
+                 std::sin(el)};
+  camera.position = camera.target + dir * distance;
+  camera.near_plane = 0.01 * distance;
+  camera.far_plane = 10.0 * distance;
+  return camera;
+}
+
+}  // namespace render

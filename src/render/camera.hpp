@@ -1,0 +1,69 @@
+// Minimal 3-D camera math for the software renderer: look-at view matrix,
+// perspective projection, and a convenience auto-fit around a bounding box.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace render {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+};
+
+inline double Dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+inline Vec3 Cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+inline double Length(const Vec3& v) { return std::sqrt(Dot(v, v)); }
+inline Vec3 Normalized(const Vec3& v) {
+  const double len = Length(v);
+  return len > 0.0 ? v * (1.0 / len) : v;
+}
+
+/// Row-major 4x4 matrix.
+struct Mat4 {
+  std::array<double, 16> m{};
+
+  static Mat4 Identity();
+  Mat4 operator*(const Mat4& o) const;
+};
+
+/// Homogeneous transform of a point (w-divide applied).
+struct Vec4 {
+  double x = 0.0, y = 0.0, z = 0.0, w = 1.0;
+};
+Vec4 Transform(const Mat4& m, const Vec3& p);
+
+/// Perspective camera.
+struct Camera {
+  Vec3 position{0.0, 0.0, 5.0};
+  Vec3 target{0.0, 0.0, 0.0};
+  Vec3 up{0.0, 0.0, 1.0};
+  double fov_degrees = 40.0;
+  double aspect = 4.0 / 3.0;
+  double near_plane = 0.05;
+  double far_plane = 100.0;
+
+  [[nodiscard]] Mat4 ViewMatrix() const;
+  [[nodiscard]] Mat4 ProjectionMatrix() const;
+  [[nodiscard]] Mat4 ViewProjection() const {
+    return ProjectionMatrix() * ViewMatrix();
+  }
+};
+
+/// Place a camera looking at the centre of `bounds`
+/// ({xmin,xmax,ymin,ymax,zmin,zmax}) from the given azimuth/elevation
+/// (degrees, azimuth in the x-y plane from +x, elevation from the x-y
+/// plane), backed off so the whole box is in view.
+Camera FitCamera(const std::array<double, 6>& bounds, double azimuth_deg,
+                 double elevation_deg, double aspect, double zoom = 1.0);
+
+}  // namespace render

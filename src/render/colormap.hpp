@@ -1,0 +1,40 @@
+// Scalar-to-color mapping for pseudocolor rendering (the ParaView/OSPRay
+// stand-in's transfer functions).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace render {
+
+/// 8-bit RGB color.
+struct Rgb {
+  unsigned char r = 0;
+  unsigned char g = 0;
+  unsigned char b = 0;
+
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+/// Piecewise-linear colormap over [0,1].
+class Colormap {
+ public:
+  /// Control points must be >= 2, evenly spaced over [0,1].
+  explicit Colormap(std::vector<std::array<double, 3>> control_points);
+
+  /// Map t in [0,1] (clamped) to a color.
+  [[nodiscard]] Rgb Sample(double t) const;
+
+  /// Map a value within [lo,hi] (degenerate ranges map to the midpoint).
+  [[nodiscard]] Rgb Map(double value, double lo, double hi) const;
+
+ private:
+  std::vector<std::array<double, 3>> points_;
+};
+
+/// Built-in maps: "viridis", "coolwarm", "plasma", "grayscale".
+/// Throws std::invalid_argument for unknown names.
+const Colormap& GetColormap(const std::string& name);
+
+}  // namespace render

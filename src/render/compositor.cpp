@@ -1,0 +1,39 @@
+#include "render/compositor.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace render {
+
+namespace {
+constexpr int kTagColor = 7101;
+constexpr int kTagDepth = 7102;
+}  // namespace
+
+void CompositeToRoot(mpimini::Comm& comm, Framebuffer& fb, int root) {
+  const std::size_t pixels =
+      static_cast<std::size_t>(fb.Width()) * static_cast<std::size_t>(fb.Height());
+  if (comm.Rank() != root) {
+    comm.Send<unsigned char>(root, kTagColor,
+                             {fb.Color().data(), fb.Color().size()});
+    comm.Send<float>(root, kTagDepth,
+                     {fb.DepthPlane().data(), fb.DepthPlane().size()});
+    return;
+  }
+  for (int src = 0; src < comm.Size(); ++src) {
+    if (src == root) continue;
+    auto color = comm.Recv<unsigned char>(src, kTagColor);
+    auto depth = comm.Recv<float>(src, kTagDepth);
+    if (color.size() != 3 * pixels || depth.size() != pixels) {
+      throw std::runtime_error("render: compositor framebuffer size mismatch");
+    }
+    for (std::size_t p = 0; p < pixels; ++p) {
+      if (depth[p] < fb.DepthPlane()[p]) {
+        fb.DepthPlane()[p] = depth[p];
+        std::memcpy(fb.Color().data() + 3 * p, color.data() + 3 * p, 3);
+      }
+    }
+  }
+}
+
+}  // namespace render

@@ -1,0 +1,20 @@
+// Parallel depth compositing: merge per-rank framebuffers into one image on
+// a root rank (direct-send compositing, the role IceT plays for ParaView).
+//
+// Each rank rasterizes its local blocks into a private framebuffer; the
+// compositor gathers (color, depth) planes and keeps, per pixel, the sample
+// nearest to the camera.  Background pixels carry infinite depth, so they
+// lose against any geometry.
+#pragma once
+
+#include "mpimini/comm.hpp"
+#include "render/rasterizer.hpp"
+
+namespace render {
+
+/// Collective over `comm`: depth-composite everyone's framebuffer into the
+/// root rank's. Non-root framebuffers are left unchanged. All framebuffers
+/// must have identical dimensions.
+void CompositeToRoot(mpimini::Comm& comm, Framebuffer& fb, int root = 0);
+
+}  // namespace render

@@ -1,0 +1,160 @@
+#include "render/image_io.hpp"
+
+#include <zlib.h>
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace render {
+
+namespace {
+
+// Big-endian u32 append.
+void PutU32(std::vector<unsigned char>& out, std::uint32_t v) {
+  out.push_back(static_cast<unsigned char>(v >> 24));
+  out.push_back(static_cast<unsigned char>(v >> 16));
+  out.push_back(static_cast<unsigned char>(v >> 8));
+  out.push_back(static_cast<unsigned char>(v));
+}
+
+void PutChunk(std::vector<unsigned char>& out, const char type[4],
+              const std::vector<unsigned char>& data) {
+  PutU32(out, static_cast<std::uint32_t>(data.size()));
+  const std::size_t crc_from = out.size();
+  out.insert(out.end(), type, type + 4);
+  out.insert(out.end(), data.begin(), data.end());
+  const uLong crc =
+      crc32(0L, out.data() + crc_from, static_cast<uInt>(4 + data.size()));
+  PutU32(out, static_cast<std::uint32_t>(crc));
+}
+
+std::uint32_t GetU32(const unsigned char* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+std::size_t WritePpm(const Framebuffer& fb, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("render: cannot open " + path);
+  const std::string header = "P6\n" + std::to_string(fb.Width()) + " " +
+                             std::to_string(fb.Height()) + "\n255\n";
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(fb.Color().data()),
+            static_cast<std::streamsize>(fb.Color().size()));
+  return header.size() + fb.Color().size();
+}
+
+std::size_t WritePng(const Framebuffer& fb, const std::string& path) {
+  const auto width = static_cast<std::size_t>(fb.Width());
+  const auto height = static_cast<std::size_t>(fb.Height());
+
+  // Raw scanlines with a filter-type-0 byte prefixed to each row.
+  std::vector<unsigned char> raw((3 * width + 1) * height);
+  for (std::size_t y = 0; y < height; ++y) {
+    unsigned char* row = raw.data() + y * (3 * width + 1);
+    row[0] = 0;
+    std::memcpy(row + 1, fb.Color().data() + y * 3 * width, 3 * width);
+  }
+
+  uLongf compressed_size = compressBound(static_cast<uLong>(raw.size()));
+  std::vector<unsigned char> compressed(compressed_size);
+  if (compress2(compressed.data(), &compressed_size, raw.data(),
+                static_cast<uLong>(raw.size()), 6) != Z_OK) {
+    throw std::runtime_error("render: zlib compression failed");
+  }
+  compressed.resize(compressed_size);
+
+  std::vector<unsigned char> png = {0x89, 'P', 'N', 'G', '\r', '\n',
+                                    0x1A, '\n'};
+  std::vector<unsigned char> ihdr;
+  PutU32(ihdr, static_cast<std::uint32_t>(width));
+  PutU32(ihdr, static_cast<std::uint32_t>(height));
+  ihdr.push_back(8);   // bit depth
+  ihdr.push_back(2);   // color type: truecolor RGB
+  ihdr.push_back(0);   // compression
+  ihdr.push_back(0);   // filter method
+  ihdr.push_back(0);   // no interlace
+  PutChunk(png, "IHDR", ihdr);
+  PutChunk(png, "IDAT", compressed);
+  PutChunk(png, "IEND", {});
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("render: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(png.data()),
+            static_cast<std::streamsize>(png.size()));
+  return png.size();
+}
+
+Framebuffer ReadPng(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("render: cannot open " + path);
+  std::vector<unsigned char> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  static const unsigned char kSig[8] = {0x89, 'P', 'N', 'G',
+                                        '\r', '\n', 0x1A, '\n'};
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kSig, 8) != 0) {
+    throw std::runtime_error("render: not a PNG: " + path);
+  }
+  std::size_t pos = 8;
+  std::uint32_t width = 0, height = 0;
+  std::vector<unsigned char> idat;
+  while (pos + 12 <= bytes.size()) {
+    const std::uint32_t length = GetU32(bytes.data() + pos);
+    const char* type = reinterpret_cast<const char*>(bytes.data() + pos + 4);
+    const unsigned char* data = bytes.data() + pos + 8;
+    if (std::memcmp(type, "IHDR", 4) == 0) {
+      width = GetU32(data);
+      height = GetU32(data + 4);
+      if (data[8] != 8 || data[9] != 2) {
+        throw std::runtime_error("render: unsupported PNG layout");
+      }
+    } else if (std::memcmp(type, "IDAT", 4) == 0) {
+      idat.insert(idat.end(), data, data + length);
+    } else if (std::memcmp(type, "IEND", 4) == 0) {
+      break;
+    }
+    pos += 12 + length;
+  }
+  if (!width || !height) throw std::runtime_error("render: bad PNG header");
+
+  std::vector<unsigned char> raw((3 * width + 1) * height);
+  uLongf raw_size = static_cast<uLongf>(raw.size());
+  if (uncompress(raw.data(), &raw_size, idat.data(),
+                 static_cast<uLong>(idat.size())) != Z_OK ||
+      raw_size != raw.size()) {
+    throw std::runtime_error("render: PNG inflate failed");
+  }
+  Framebuffer fb(static_cast<int>(width), static_cast<int>(height));
+  for (std::size_t y = 0; y < height; ++y) {
+    const unsigned char* row = raw.data() + y * (3 * width + 1);
+    if (row[0] != 0) {
+      throw std::runtime_error("render: unsupported PNG filter");
+    }
+    std::memcpy(fb.Color().data() + y * 3 * width, row + 1, 3 * width);
+  }
+  return fb;
+}
+
+Framebuffer ReadPpm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("render: cannot open " + path);
+  std::string magic;
+  int width = 0, height = 0, maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  if (magic != "P6" || maxval != 255 || width < 1 || height < 1) {
+    throw std::runtime_error("render: not a P6 PPM: " + path);
+  }
+  in.get();  // single whitespace after header
+  Framebuffer fb(width, height);
+  in.read(reinterpret_cast<char*>(fb.Color().data()),
+          static_cast<std::streamsize>(fb.Color().size()));
+  if (!in) throw std::runtime_error("render: truncated PPM: " + path);
+  return fb;
+}
+
+}  // namespace render

@@ -1,0 +1,152 @@
+#include "render/isosurface.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace render {
+
+namespace {
+
+// Six-tetrahedra decomposition of a VTK hexahedron around the 0-6 diagonal.
+constexpr int kHexTets[6][4] = {{0, 1, 2, 6}, {0, 2, 3, 6}, {0, 3, 7, 6},
+                                {0, 7, 4, 6}, {0, 4, 5, 6}, {0, 5, 1, 6}};
+
+struct EdgeVertex {
+  Vec3 position;
+  double scalar;
+};
+
+EdgeVertex Interpolate(const Vec3& pa, const Vec3& pb, double va, double vb,
+                       double ca, double cb, double iso) {
+  const double denom = vb - va;
+  const double t = std::abs(denom) < 1e-300 ? 0.5 : (iso - va) / denom;
+  EdgeVertex out;
+  out.position = pa + (pb - pa) * t;
+  out.scalar = ca + (cb - ca) * t;
+  return out;
+}
+
+void EmitTriangle(TriangleMesh& mesh, const EdgeVertex& a, const EdgeVertex& b,
+                  const EdgeVertex& c) {
+  // Degenerate slivers appear when the isovalue passes exactly through grid
+  // nodes; they contribute no area and would have undefined normals.
+  const Vec3 cross = Cross(b.position - a.position, c.position - a.position);
+  if (Length(cross) < 1e-14) return;
+  mesh.positions.push_back(a.position);
+  mesh.positions.push_back(b.position);
+  mesh.positions.push_back(c.position);
+  mesh.scalars.push_back(a.scalar);
+  mesh.scalars.push_back(b.scalar);
+  mesh.scalars.push_back(c.scalar);
+  mesh.normals.push_back(Normalized(cross));
+}
+
+}  // namespace
+
+TriangleMesh ExtractIsosurface(const svtk::UnstructuredGrid& grid,
+                               const std::string& iso_array, double isovalue,
+                               const std::string& color_array,
+                               bool color_by_magnitude) {
+  const svtk::DataArray* iso = grid.PointArray(iso_array);
+  if (!iso) {
+    throw std::invalid_argument("render: no point array '" + iso_array + "'");
+  }
+  const svtk::DataArray* color = grid.PointArray(color_array);
+  if (!color) {
+    throw std::invalid_argument("render: no point array '" + color_array +
+                                "'");
+  }
+  const bool mag = color_by_magnitude && color->Components() > 1;
+  auto color_of = [&](std::size_t p) {
+    return mag ? color->Magnitude(p) : color->At(p);
+  };
+  auto iso_of = [&](std::size_t p) { return iso->At(p); };
+
+  TriangleMesh mesh;
+  const std::size_t nc = grid.NumCells();
+  for (std::size_t cell = 0; cell < nc; ++cell) {
+    const auto nodes = grid.GetCell(cell);
+    for (const auto& tet : kHexTets) {
+      std::array<std::size_t, 4> p{};
+      std::array<Vec3, 4> pos;
+      std::array<double, 4> v{}, c{};
+      int above_mask = 0;
+      for (int i = 0; i < 4; ++i) {
+        p[static_cast<std::size_t>(i)] =
+            static_cast<std::size_t>(nodes[tet[i]]);
+        const auto xyz = grid.GetPoint(p[static_cast<std::size_t>(i)]);
+        pos[static_cast<std::size_t>(i)] = {xyz[0], xyz[1], xyz[2]};
+        v[static_cast<std::size_t>(i)] = iso_of(p[static_cast<std::size_t>(i)]);
+        c[static_cast<std::size_t>(i)] =
+            color_of(p[static_cast<std::size_t>(i)]);
+        if (v[static_cast<std::size_t>(i)] >= isovalue) above_mask |= 1 << i;
+      }
+      if (above_mask == 0 || above_mask == 0xF) continue;
+
+      auto edge = [&](int a, int b) {
+        return Interpolate(pos[static_cast<std::size_t>(a)],
+                           pos[static_cast<std::size_t>(b)],
+                           v[static_cast<std::size_t>(a)],
+                           v[static_cast<std::size_t>(b)],
+                           c[static_cast<std::size_t>(a)],
+                           c[static_cast<std::size_t>(b)], isovalue);
+      };
+
+      // Count vertices above the isovalue.
+      int above[4], below[4];
+      int na = 0, nb = 0;
+      for (int i = 0; i < 4; ++i) {
+        if (above_mask & (1 << i)) {
+          above[na++] = i;
+        } else {
+          below[nb++] = i;
+        }
+      }
+      if (na == 1) {
+        EmitTriangle(mesh, edge(above[0], below[0]), edge(above[0], below[1]),
+                     edge(above[0], below[2]));
+      } else if (na == 3) {
+        EmitTriangle(mesh, edge(below[0], above[0]), edge(below[0], above[1]),
+                     edge(below[0], above[2]));
+      } else {  // 2-2: a quad split into two triangles
+        const EdgeVertex q0 = edge(above[0], below[0]);
+        const EdgeVertex q1 = edge(above[0], below[1]);
+        const EdgeVertex q2 = edge(above[1], below[1]);
+        const EdgeVertex q3 = edge(above[1], below[0]);
+        EmitTriangle(mesh, q0, q1, q2);
+        EmitTriangle(mesh, q0, q2, q3);
+      }
+    }
+  }
+  return mesh;
+}
+
+RasterStats RasterizeTriangleMesh(const TriangleMesh& mesh,
+                                  const std::string& colormap, double lo,
+                                  double hi, const Camera& camera,
+                                  Framebuffer& fb) {
+  RasterStats stats;
+  const Colormap& cmap = GetColormap(colormap);
+  const Mat4 vp = camera.ViewProjection();
+  const Mat4 view = camera.ViewMatrix();
+  const Vec3 light = Normalized(camera.target - camera.position);
+
+  for (std::size_t t = 0; t < mesh.NumTriangles(); ++t) {
+    ScreenVertex sv[3];
+    for (int k = 0; k < 3; ++k) {
+      const Vec3& p = mesh.positions[3 * t + static_cast<std::size_t>(k)];
+      sv[k] = ProjectPoint(vp, view, p, fb.Width(), fb.Height());
+      sv[k].scalar = mesh.scalars[3 * t + static_cast<std::size_t>(k)];
+    }
+    // Headlight Lambert shading, double-sided.
+    const double lambert = std::abs(Dot(mesh.normals[t], light));
+    const double shade = 0.25 + 0.75 * lambert;
+    RasterizeShadedTriangle(sv[0], sv[1], sv[2], cmap, lo, hi, shade, fb,
+                            stats);
+  }
+  stats.cells_drawn = mesh.NumTriangles();
+  return stats;
+}
+
+}  // namespace render

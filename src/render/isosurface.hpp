@@ -1,0 +1,49 @@
+// Isosurface extraction (marching tetrahedra) and shaded surface rendering
+// — the ParaView Contour-filter role of the Catalyst stand-in.
+//
+// Each hex cell is decomposed into six tetrahedra; every tetrahedron whose
+// point-centered field crosses the isovalue contributes one or two
+// triangles with edge-interpolated positions.  A second point array can be
+// interpolated along the same edges to color the surface (e.g. an isosurface
+// of qcriterion colored by velocity magnitude, the classic turbulence shot).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "render/camera.hpp"
+#include "render/rasterizer.hpp"
+#include "svtk/unstructured_grid.hpp"
+
+namespace render {
+
+/// Triangle soup with a scalar value per vertex (for coloring).
+struct TriangleMesh {
+  std::vector<Vec3> positions;   ///< 3 consecutive entries per triangle
+  std::vector<double> scalars;   ///< one per vertex
+  std::vector<Vec3> normals;     ///< one per triangle (unit, gradient sense)
+
+  [[nodiscard]] std::size_t NumTriangles() const {
+    return positions.size() / 3;
+  }
+};
+
+/// Extract the isosurface of point array `iso_array` at `isovalue`.
+/// Vertex scalars are interpolated from `color_array` (must be point
+/// centered; pass the same name to color by the iso field itself). When
+/// `color_by_magnitude` is set and the color array has several components,
+/// its Euclidean magnitude is used.
+TriangleMesh ExtractIsosurface(const svtk::UnstructuredGrid& grid,
+                               const std::string& iso_array, double isovalue,
+                               const std::string& color_array,
+                               bool color_by_magnitude = false);
+
+/// Rasterize a triangle mesh with Lambert shading from a headlight at the
+/// camera. Colors come from mapping vertex scalars through `colormap` over
+/// [lo, hi].
+RasterStats RasterizeTriangleMesh(const TriangleMesh& mesh,
+                                  const std::string& colormap, double lo,
+                                  double hi, const Camera& camera,
+                                  Framebuffer& fb);
+
+}  // namespace render

@@ -1,0 +1,250 @@
+#include "render/rasterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace render {
+
+Framebuffer::Framebuffer(int width, int height)
+    : width_(width),
+      height_(height),
+      color_("render", static_cast<std::size_t>(width) * height * 3),
+      depth_("render", static_cast<std::size_t>(width) * height) {
+  if (width < 1 || height < 1) {
+    throw std::invalid_argument("render: framebuffer size must be positive");
+  }
+  Clear(Rgb{0, 0, 0});
+}
+
+void Framebuffer::Clear(Rgb background) {
+  for (std::size_t p = 0; p < depth_.size(); ++p) {
+    color_[3 * p + 0] = background.r;
+    color_[3 * p + 1] = background.g;
+    color_[3 * p + 2] = background.b;
+    depth_[p] = kFarDepth;
+  }
+}
+
+Rgb Framebuffer::Pixel(int x, int y) const {
+  const std::size_t p =
+      static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+      static_cast<std::size_t>(x);
+  return {color_[3 * p + 0], color_[3 * p + 1], color_[3 * p + 2]};
+}
+
+float Framebuffer::Depth(int x, int y) const {
+  return depth_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                static_cast<std::size_t>(x)];
+}
+
+void Framebuffer::SetPixel(int x, int y, Rgb color, float depth) {
+  const std::size_t p =
+      static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+      static_cast<std::size_t>(x);
+  color_[3 * p + 0] = color.r;
+  color_[3 * p + 1] = color.g;
+  color_[3 * p + 2] = color.b;
+  depth_[p] = depth;
+}
+
+namespace {
+
+// The six faces of a VTK hexahedron (quad corner indices into the cell's
+// 8 nodes), each wound outward.
+constexpr int kHexFaces[6][4] = {{0, 3, 2, 1}, {4, 5, 6, 7}, {0, 1, 5, 4},
+                                 {1, 2, 6, 5}, {2, 3, 7, 6}, {3, 0, 4, 7}};
+
+}  // namespace
+
+ScreenVertex ProjectPoint(const Mat4& vp, const Mat4& view, const Vec3& world,
+                          int width, int height) {
+  ScreenVertex v;
+  const Vec4 clip = Transform(vp, world);
+  if (clip.w <= 0.0) {
+    v.visible = false;
+    return v;
+  }
+  v.x = (clip.x / clip.w * 0.5 + 0.5) * width;
+  v.y = (1.0 - (clip.y / clip.w * 0.5 + 0.5)) * height;
+  const Vec4 eye = Transform(view, world);
+  v.depth = -eye.z;  // distance along the view axis
+  v.visible = v.depth > 0.0;
+  return v;
+}
+
+void RasterizeShadedTriangle(const ScreenVertex& a, const ScreenVertex& b,
+                             const ScreenVertex& c, const Colormap& cmap,
+                             double lo, double hi, double shade,
+                             Framebuffer& fb, RasterStats& stats) {
+  if (!a.visible || !b.visible || !c.visible) return;
+  const double area =
+      (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
+  if (std::abs(area) < 1e-12) return;
+
+  const int min_x = std::max(0, static_cast<int>(std::floor(
+                                    std::min({a.x, b.x, c.x}))));
+  const int max_x = std::min(fb.Width() - 1, static_cast<int>(std::ceil(
+                                                 std::max({a.x, b.x, c.x}))));
+  const int min_y = std::max(0, static_cast<int>(std::floor(
+                                    std::min({a.y, b.y, c.y}))));
+  const int max_y = std::min(fb.Height() - 1, static_cast<int>(std::ceil(
+                                                  std::max({a.y, b.y, c.y}))));
+  if (min_x > max_x || min_y > max_y) return;
+
+  bool drew = false;
+  const double inv_area = 1.0 / area;
+  for (int y = min_y; y <= max_y; ++y) {
+    for (int x = min_x; x <= max_x; ++x) {
+      const double px = x + 0.5;
+      const double py = y + 0.5;
+      const double w0 = ((b.x - px) * (c.y - py) - (c.x - px) * (b.y - py)) *
+                        inv_area;
+      const double w1 = ((c.x - px) * (a.y - py) - (a.x - px) * (c.y - py)) *
+                        inv_area;
+      const double w2 = 1.0 - w0 - w1;
+      if (w0 < 0.0 || w1 < 0.0 || w2 < 0.0) continue;
+      const double depth = w0 * a.depth + w1 * b.depth + w2 * c.depth;
+      if (depth <= 0.0) continue;
+      const auto fdepth = static_cast<float>(depth);
+      if (fdepth >= fb.Depth(x, y)) continue;
+      const double scalar = w0 * a.scalar + w1 * b.scalar + w2 * c.scalar;
+      Rgb color = cmap.Map(scalar, lo, hi);
+      if (shade != 1.0) {
+        color.r = static_cast<unsigned char>(color.r * shade);
+        color.g = static_cast<unsigned char>(color.g * shade);
+        color.b = static_cast<unsigned char>(color.b * shade);
+      }
+      fb.SetPixel(x, y, color, fdepth);
+      ++stats.pixels_shaded;
+      drew = true;
+    }
+  }
+  if (drew) ++stats.triangles_drawn;
+}
+
+void DrawScalarBar(const Colormap& cmap, double lo, double hi,
+                   Framebuffer& fb) {
+  (void)lo;
+  (void)hi;
+  const int bar_width = std::max(6, fb.Width() / 60);
+  const int margin = bar_width;
+  const int top = fb.Height() / 10;
+  const int bottom = fb.Height() - top;
+  const int x0 = fb.Width() - margin - bar_width;
+  if (x0 < 0 || bottom <= top) return;
+  for (int y = top; y < bottom; ++y) {
+    const double t =
+        1.0 - static_cast<double>(y - top) / static_cast<double>(bottom - top);
+    const Rgb color = cmap.Sample(t);
+    for (int x = x0; x < x0 + bar_width; ++x) {
+      fb.SetPixel(x, y, color, 0.0F);
+    }
+  }
+  // White tick marks at lo / mid / hi.
+  for (int yt : {top, (top + bottom) / 2, bottom - 1}) {
+    for (int x = x0 - bar_width / 2; x < x0; ++x) {
+      fb.SetPixel(x, yt, {255, 255, 255}, 0.0F);
+    }
+  }
+}
+
+RasterStats RasterizeGrid(const svtk::UnstructuredGrid& grid,
+                          const RenderSpec& spec, const Camera& camera,
+                          Framebuffer& fb) {
+  RasterStats stats;
+  const svtk::DataArray* array =
+      spec.centering == svtk::Centering::kPoint
+          ? grid.PointArray(spec.array)
+          : grid.CellArray(spec.array);
+  if (!array) {
+    throw std::invalid_argument("render: no such array '" + spec.array + "'");
+  }
+
+  const bool magnitude = spec.color_by_magnitude && array->Components() > 1;
+  auto scalar_of = [&](std::size_t tuple) {
+    return magnitude ? array->Magnitude(tuple) : array->At(tuple);
+  };
+
+  double lo = spec.range_min;
+  double hi = spec.range_max;
+  if (lo == hi) {
+    const auto range = array->ValueRange(magnitude);
+    lo = range.min;
+    hi = range.max;
+  }
+  const Colormap& cmap = GetColormap(spec.colormap);
+
+  // Project all points once.
+  const Mat4 vp = camera.ViewProjection();
+  const Mat4 view = camera.ViewMatrix();
+  const std::size_t np = grid.NumPoints();
+  std::vector<ScreenVertex> projected(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    const auto p = grid.GetPoint(i);
+    projected[i] = ProjectPoint(vp, view, {p[0], p[1], p[2]}, fb.Width(),
+                                fb.Height());
+    if (spec.centering == svtk::Centering::kPoint) {
+      projected[i].scalar = scalar_of(i);
+    }
+  }
+
+  const std::size_t nc = grid.NumCells();
+  for (std::size_t cell = 0; cell < nc; ++cell) {
+    if (spec.slice_axis) {
+      // Keep only cells straddling the slice plane.
+      const auto nodes = grid.GetCell(cell);
+      double lo_c = 0.0, hi_c = 0.0;
+      for (int k = 0; k < 8; ++k) {
+        const auto p = grid.GetPoint(static_cast<std::size_t>(nodes[k]));
+        const double v = p[static_cast<std::size_t>(*spec.slice_axis)];
+        if (k == 0) {
+          lo_c = hi_c = v;
+        } else {
+          lo_c = std::min(lo_c, v);
+          hi_c = std::max(hi_c, v);
+        }
+      }
+      if (spec.slice_position < lo_c || spec.slice_position > hi_c) continue;
+    }
+    double cell_scalar = 0.0;
+    if (spec.centering == svtk::Centering::kCell) {
+      cell_scalar = scalar_of(cell);
+    }
+    if (spec.threshold_min || spec.threshold_max) {
+      double probe = cell_scalar;
+      if (spec.centering == svtk::Centering::kPoint) {
+        const auto nodes = grid.GetCell(cell);
+        probe = 0.0;
+        for (std::int64_t nid : nodes) {
+          probe += scalar_of(static_cast<std::size_t>(nid));
+        }
+        probe /= 8.0;
+      }
+      if (spec.threshold_min && probe < *spec.threshold_min) continue;
+      if (spec.threshold_max && probe > *spec.threshold_max) continue;
+    }
+
+    const auto nodes = grid.GetCell(cell);
+    bool drew_cell = false;
+    for (const auto& face : kHexFaces) {
+      ScreenVertex corners[4];
+      for (int k = 0; k < 4; ++k) {
+        corners[k] = projected[static_cast<std::size_t>(nodes[face[k]])];
+        if (spec.centering == svtk::Centering::kCell) {
+          corners[k].scalar = cell_scalar;
+        }
+      }
+      const std::size_t before = stats.triangles_drawn;
+      RasterizeShadedTriangle(corners[0], corners[1], corners[2], cmap, lo,
+                              hi, 1.0, fb, stats);
+      RasterizeShadedTriangle(corners[0], corners[2], corners[3], cmap, lo,
+                              hi, 1.0, fb, stats);
+      drew_cell = drew_cell || stats.triangles_drawn != before;
+    }
+    if (drew_cell) ++stats.cells_drawn;
+  }
+  return stats;
+}
+
+}  // namespace render

@@ -1,0 +1,168 @@
+#include "sem/box_mesh.hpp"
+
+#include <stdexcept>
+
+namespace sem {
+
+BoxMesh::BoxMesh(const BoxMeshSpec& spec, int rank, int nranks)
+    : spec_(spec), rank_(rank), nranks_(nranks) {
+  if (spec.order < 1) throw std::invalid_argument("sem: order must be >= 1");
+  for (int d = 0; d < 3; ++d) {
+    if (spec.elements[static_cast<std::size_t>(d)] < 1) {
+      throw std::invalid_argument("sem: element counts must be >= 1");
+    }
+  }
+  axis_ = spec.partition_axis;
+  if (axis_ < 0 || axis_ > 2) {
+    throw std::invalid_argument("sem: partition_axis must be 0, 1, or 2");
+  }
+  const int layers = spec.elements[static_cast<std::size_t>(axis_)];
+  if (layers < nranks) {
+    throw std::invalid_argument(
+        "sem: need at least one element layer per rank along the partition "
+        "axis");
+  }
+  // Distribute layers as evenly as possible; the first (layers % nranks)
+  // ranks take one extra layer.
+  const int base = layers / nranks;
+  const int extra = layers % nranks;
+  slab_count_ = base + (rank < extra ? 1 : 0);
+  slab_first_ = rank * base + (rank < extra ? rank : extra);
+  nel_local_ = spec.elements[0] * spec.elements[1] * spec.elements[2] /
+               layers * slab_count_;
+
+  const int n = spec.order;
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t segments =
+        static_cast<std::int64_t>(spec.elements[static_cast<std::size_t>(d)]) * n;
+    lattice_[static_cast<std::size_t>(d)] =
+        segments + (spec.periodic[static_cast<std::size_t>(d)] ? 0 : 1);
+  }
+}
+
+std::size_t BoxMesh::NumLocalDofs() const {
+  const int np = NumPoints1D();
+  return static_cast<std::size_t>(nel_local_) *
+         static_cast<std::size_t>(np * np * np);
+}
+
+std::array<int, 3> BoxMesh::ElementCoords(int e) const {
+  // Local element lattice: global dims with the partition axis replaced by
+  // this rank's slab count; x fastest, then y, then z.
+  std::array<int, 3> local_dims = spec_.elements;
+  local_dims[static_cast<std::size_t>(axis_)] = slab_count_;
+  std::array<int, 3> c{};
+  c[0] = e % local_dims[0];
+  c[1] = (e / local_dims[0]) % local_dims[1];
+  c[2] = e / (local_dims[0] * local_dims[1]);
+  c[static_cast<std::size_t>(axis_)] += slab_first_;
+  return c;
+}
+
+std::array<double, 3> BoxMesh::ElementSize() const {
+  return {spec_.length[0] / spec_.elements[0],
+          spec_.length[1] / spec_.elements[1],
+          spec_.length[2] / spec_.elements[2]};
+}
+
+std::int64_t BoxMesh::GlobalNodeId(int e, int i, int j, int k) const {
+  const auto ec = ElementCoords(e);
+  const int n = spec_.order;
+  std::array<std::int64_t, 3> g = {
+      static_cast<std::int64_t>(ec[0]) * n + i,
+      static_cast<std::int64_t>(ec[1]) * n + j,
+      static_cast<std::int64_t>(ec[2]) * n + k};
+  for (int d = 0; d < 3; ++d) {
+    if (spec_.periodic[static_cast<std::size_t>(d)]) {
+      g[static_cast<std::size_t>(d)] %= lattice_[static_cast<std::size_t>(d)];
+    }
+  }
+  return g[0] + lattice_[0] * (g[1] + lattice_[1] * g[2]);
+}
+
+void BoxMesh::FillGlobalIds(std::span<std::int64_t> gids) const {
+  const int np = NumPoints1D();
+  if (gids.size() != NumLocalDofs()) {
+    throw std::invalid_argument("sem: FillGlobalIds size mismatch");
+  }
+  for (int e = 0; e < nel_local_; ++e) {
+    for (int k = 0; k < np; ++k) {
+      for (int j = 0; j < np; ++j) {
+        for (int i = 0; i < np; ++i) {
+          gids[DofIndex(e, i, j, k)] = GlobalNodeId(e, i, j, k);
+        }
+      }
+    }
+  }
+}
+
+void BoxMesh::FillCoordinates(const GllRule& rule, std::span<double> x,
+                              std::span<double> y,
+                              std::span<double> z) const {
+  const int np = NumPoints1D();
+  if (rule.order != spec_.order) {
+    throw std::invalid_argument("sem: rule order mismatch");
+  }
+  const auto h = ElementSize();
+  for (int e = 0; e < nel_local_; ++e) {
+    const auto ec = ElementCoords(e);
+    const double x0 = ec[0] * h[0];
+    const double y0 = ec[1] * h[1];
+    const double z0 = ec[2] * h[2];
+    for (int k = 0; k < np; ++k) {
+      const double zk = z0 + 0.5 * (rule.nodes[static_cast<std::size_t>(k)] + 1.0) * h[2];
+      for (int j = 0; j < np; ++j) {
+        const double yj = y0 + 0.5 * (rule.nodes[static_cast<std::size_t>(j)] + 1.0) * h[1];
+        for (int i = 0; i < np; ++i) {
+          const double xi = x0 + 0.5 * (rule.nodes[static_cast<std::size_t>(i)] + 1.0) * h[0];
+          const std::size_t idx = DofIndex(e, i, j, k);
+          x[idx] = xi;
+          y[idx] = yj;
+          z[idx] = zk;
+        }
+      }
+    }
+  }
+}
+
+void BoxMesh::FillDirichletMask(const std::array<bool, 6>& dirichlet,
+                                std::span<double> mask) const {
+  const int np = NumPoints1D();
+  const int n = spec_.order;
+  for (std::size_t i = 0; i < mask.size(); ++i) mask[i] = 1.0;
+  for (int e = 0; e < nel_local_; ++e) {
+    const auto ec = ElementCoords(e);
+    for (int k = 0; k < np; ++k) {
+      for (int j = 0; j < np; ++j) {
+        for (int i = 0; i < np; ++i) {
+          bool on_boundary = false;
+          const std::array<std::int64_t, 3> g = {
+              static_cast<std::int64_t>(ec[0]) * n + i,
+              static_cast<std::int64_t>(ec[1]) * n + j,
+              static_cast<std::int64_t>(ec[2]) * n + k};
+          for (int d = 0; d < 3; ++d) {
+            if (spec_.periodic[static_cast<std::size_t>(d)]) continue;
+            const std::int64_t hi =
+                static_cast<std::int64_t>(
+                    spec_.elements[static_cast<std::size_t>(d)]) * n;
+            if (g[static_cast<std::size_t>(d)] == 0 &&
+                dirichlet[static_cast<std::size_t>(2 * d)]) {
+              on_boundary = true;
+            }
+            if (g[static_cast<std::size_t>(d)] == hi &&
+                dirichlet[static_cast<std::size_t>(2 * d + 1)]) {
+              on_boundary = true;
+            }
+          }
+          if (on_boundary) mask[DofIndex(e, i, j, k)] = 0.0;
+        }
+      }
+    }
+  }
+}
+
+std::int64_t BoxMesh::NumGlobalNodes() const {
+  return lattice_[0] * lattice_[1] * lattice_[2];
+}
+
+}  // namespace sem

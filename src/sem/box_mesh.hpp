@@ -1,0 +1,102 @@
+// Distributed hexahedral box mesh for the spectral element method.
+//
+// The global domain [0,Lx]x[0,Ly]x[0,Lz] is divided into ex*ey*ez hexahedral
+// elements; each axis can be periodic.  Elements are partitioned across
+// ranks in z-slabs (NekRS-style contiguous partitions).  Every element
+// carries an (N+1)^3 GLL node lattice; nodes shared between elements (and
+// wrapped periodic images) receive a single global id used by GatherScatter
+// for direct-stiffness summation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sem/gll.hpp"
+
+namespace sem {
+
+struct BoxMeshSpec {
+  int order = 4;                                 ///< polynomial order N
+  std::array<int, 3> elements = {4, 4, 4};       ///< global element counts
+  std::array<double, 3> length = {1.0, 1.0, 1.0};///< domain extents
+  std::array<bool, 3> periodic = {false, false, false};
+  /// Axis along which element slabs are distributed across ranks (0=x,
+  /// 1=y, 2=z).  Weak-scaling setups grow the domain along this axis.
+  int partition_axis = 2;
+};
+
+/// Domain boundary faces in the order x-,x+,y-,y+,z-,z+.
+enum Face : int { kXlo = 0, kXhi, kYlo, kYhi, kZlo, kZhi };
+
+/// One rank's portion of the box mesh.
+class BoxMesh {
+ public:
+  /// Partition `spec` across `nranks` slabs along spec.partition_axis;
+  /// this rank holds slab `rank`. Requires elements[axis] >= nranks.
+  BoxMesh(const BoxMeshSpec& spec, int rank, int nranks);
+
+  [[nodiscard]] const BoxMeshSpec& Spec() const { return spec_; }
+  [[nodiscard]] int Order() const { return spec_.order; }
+  [[nodiscard]] int NumPoints1D() const { return spec_.order + 1; }
+  [[nodiscard]] int NumLocalElements() const { return nel_local_; }
+  [[nodiscard]] int NumGlobalElements() const {
+    return spec_.elements[0] * spec_.elements[1] * spec_.elements[2];
+  }
+  /// Local degrees of freedom (element copies included): nel * (N+1)^3.
+  [[nodiscard]] std::size_t NumLocalDofs() const;
+  /// First global element layer (along the partition axis) owned by this
+  /// rank, and the number of owned layers.
+  [[nodiscard]] int FirstLayer() const { return slab_first_; }
+  [[nodiscard]] int NumLayers() const { return slab_count_; }
+
+  /// Global (ex,ey,ez) element coordinates of local element `e`.
+  [[nodiscard]] std::array<int, 3> ElementCoords(int e) const;
+
+  /// Element size along each axis.
+  [[nodiscard]] std::array<double, 3> ElementSize() const;
+
+  /// Global node id of local node (i,j,k) of local element `e`; periodic
+  /// axes wrap so coincident physical points share one id.
+  [[nodiscard]] std::int64_t GlobalNodeId(int e, int i, int j, int k) const;
+
+  /// Fill `gids` (NumLocalDofs entries, element-major, x-fastest) with
+  /// global node ids.
+  void FillGlobalIds(std::span<std::int64_t> gids) const;
+
+  /// Fill physical node coordinates (each NumLocalDofs entries).
+  void FillCoordinates(const GllRule& rule, std::span<double> x,
+                       std::span<double> y, std::span<double> z) const;
+
+  /// Build a Dirichlet mask: 0.0 at nodes on listed non-periodic domain
+  /// faces, 1.0 elsewhere. `dirichlet[f]` selects Face f.
+  void FillDirichletMask(const std::array<bool, 6>& dirichlet,
+                         std::span<double> mask) const;
+
+  /// Linear index helpers for element-local nodes.
+  [[nodiscard]] int NodeIndex(int i, int j, int k) const {
+    const int np = NumPoints1D();
+    return i + np * (j + np * k);
+  }
+  [[nodiscard]] std::size_t DofIndex(int e, int i, int j, int k) const {
+    const int np = NumPoints1D();
+    return static_cast<std::size_t>(e) * static_cast<std::size_t>(np * np * np) +
+           static_cast<std::size_t>(NodeIndex(i, j, k));
+  }
+
+  /// Total number of distinct global node ids over the whole mesh.
+  [[nodiscard]] std::int64_t NumGlobalNodes() const;
+
+ private:
+  BoxMeshSpec spec_;
+  int rank_ = 0;
+  int nranks_ = 1;
+  int axis_ = 2;        ///< partition axis
+  int slab_first_ = 0;  ///< first owned element layer along axis_
+  int slab_count_ = 0;  ///< owned element layers along axis_
+  int nel_local_ = 0;
+  std::array<std::int64_t, 3> lattice_;  ///< global node lattice dims
+};
+
+}  // namespace sem

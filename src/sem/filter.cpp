@@ -1,0 +1,116 @@
+#include "sem/filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sem/tensor.hpp"
+
+namespace sem {
+
+std::vector<double> LegendreVandermonde(const GllRule& rule) {
+  const int np = rule.NumPoints();
+  std::vector<double> v(static_cast<std::size_t>(np) * np);
+  for (int i = 0; i < np; ++i) {
+    for (int j = 0; j < np; ++j) {
+      v[static_cast<std::size_t>(i * np + j)] =
+          EvalLegendre(j, rule.nodes[static_cast<std::size_t>(i)]).p;
+    }
+  }
+  return v;
+}
+
+std::vector<double> InvertDense(std::vector<double> a, int n) {
+  std::vector<double> inv(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) inv[static_cast<std::size_t>(i * n + i)] = 1.0;
+
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(a[static_cast<std::size_t>(r * n + col)]) >
+          std::abs(a[static_cast<std::size_t>(pivot * n + col)])) {
+        pivot = r;
+      }
+    }
+    const double head = a[static_cast<std::size_t>(pivot * n + col)];
+    if (std::abs(head) < 1e-14) {
+      throw std::runtime_error("sem: singular matrix in InvertDense");
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(a[static_cast<std::size_t>(pivot * n + c)],
+                  a[static_cast<std::size_t>(col * n + c)]);
+        std::swap(inv[static_cast<std::size_t>(pivot * n + c)],
+                  inv[static_cast<std::size_t>(col * n + c)]);
+      }
+    }
+    const double scale = 1.0 / a[static_cast<std::size_t>(col * n + col)];
+    for (int c = 0; c < n; ++c) {
+      a[static_cast<std::size_t>(col * n + c)] *= scale;
+      inv[static_cast<std::size_t>(col * n + c)] *= scale;
+    }
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a[static_cast<std::size_t>(r * n + col)];
+      if (factor == 0.0) continue;
+      for (int c = 0; c < n; ++c) {
+        a[static_cast<std::size_t>(r * n + c)] -=
+            factor * a[static_cast<std::size_t>(col * n + c)];
+        inv[static_cast<std::size_t>(r * n + c)] -=
+            factor * inv[static_cast<std::size_t>(col * n + c)];
+      }
+    }
+  }
+  return inv;
+}
+
+ModalFilter::ModalFilter(const GllRule& rule, double alpha, int modes)
+    : np_(rule.NumPoints()) {
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("sem: filter alpha must be in [0,1]");
+  }
+  if (modes < 0 || modes >= np_) {
+    throw std::invalid_argument("sem: filter modes out of range");
+  }
+  std::vector<double> v = LegendreVandermonde(rule);
+  std::vector<double> vinv = InvertDense(v, np_);
+
+  // F = V diag(sigma) V^{-1}, quadratic attenuation ramp on the top modes.
+  std::vector<double> sigma(static_cast<std::size_t>(np_), 1.0);
+  for (int k = 0; k < modes; ++k) {
+    const int mode = np_ - 1 - k;
+    const double ramp = static_cast<double>(modes - k) / modes;
+    sigma[static_cast<std::size_t>(mode)] = 1.0 - alpha * ramp * ramp;
+  }
+  matrix_.assign(static_cast<std::size_t>(np_) * np_, 0.0);
+  for (int i = 0; i < np_; ++i) {
+    for (int j = 0; j < np_; ++j) {
+      double sum = 0.0;
+      for (int m = 0; m < np_; ++m) {
+        sum += v[static_cast<std::size_t>(i * np_ + m)] *
+               sigma[static_cast<std::size_t>(m)] *
+               vinv[static_cast<std::size_t>(m * np_ + j)];
+      }
+      matrix_[static_cast<std::size_t>(i * np_ + j)] = sum;
+    }
+  }
+}
+
+void ModalFilter::Apply(std::span<double> u) const {
+  const std::size_t per_el =
+      static_cast<std::size_t>(np_) * np_ * np_;
+  if (u.size() % per_el != 0) {
+    throw std::invalid_argument("sem: filter size mismatch");
+  }
+  const std::size_t nel = u.size() / per_el;
+  std::vector<double> tmp(per_el);
+  for (std::size_t e = 0; e < nel; ++e) {
+    std::span<double> ue(u.data() + e * per_el, per_el);
+    ApplyDim0(matrix_, np_, np_, ue, tmp);
+    ApplyDim1(matrix_, np_, np_, tmp, ue);
+    ApplyDim2(matrix_, np_, np_, ue, tmp);
+    for (std::size_t q = 0; q < per_el; ++q) ue[q] = tmp[q];
+  }
+}
+
+}  // namespace sem

@@ -1,0 +1,43 @@
+// Modal high-mode filter for stabilizing under-resolved spectral element
+// runs — the explicit filter NekRS/Nek5000 apply every timestep.
+//
+// Each element's nodal values are transformed to the Legendre modal basis,
+// the highest modes are attenuated with a quadratic ramp of strength
+// `alpha`, and the result is transformed back.  Filtering is element-local
+// and therefore breaks C0 continuity by O(alpha); callers re-average across
+// element boundaries afterwards (FlowSolver does a gather-scatter Average).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sem/gll.hpp"
+
+namespace sem {
+
+class ModalFilter {
+ public:
+  /// Attenuate the top `modes` Legendre modes; mode N-k is scaled by
+  /// 1 - alpha ((k+1)/modes)^2 for k = modes-1..0 (strongest on mode N).
+  ModalFilter(const GllRule& rule, double alpha, int modes);
+
+  /// Apply the filter to every element of `u` (element-major layout,
+  /// (N+1)^3 values per element).
+  void Apply(std::span<double> u) const;
+
+  /// The dense (N+1)^2 filter matrix (row-major), for tests.
+  [[nodiscard]] const std::vector<double>& Matrix() const { return matrix_; }
+
+ private:
+  int np_ = 0;
+  std::vector<double> matrix_;
+};
+
+/// Legendre Vandermonde at the rule's nodes: V(i,j) = P_j(x_i), row-major.
+std::vector<double> LegendreVandermonde(const GllRule& rule);
+
+/// Invert a small dense row-major matrix by Gauss-Jordan elimination with
+/// partial pivoting. Throws on singular input.
+std::vector<double> InvertDense(std::vector<double> a, int n);
+
+}  // namespace sem

@@ -1,0 +1,119 @@
+#include "sem/gll.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sem {
+
+LegendreValue EvalLegendre(int n, double x) {
+  // Three-term recurrence for P_n, derivative from the standard identity
+  // (1-x^2) P'_n = n (P_{n-1} - x P_n), specialised at |x| = 1.
+  double p0 = 1.0;
+  double p1 = x;
+  if (n == 0) return {p0, 0.0};
+  for (int k = 2; k <= n; ++k) {
+    const double pk = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+    p0 = p1;
+    p1 = pk;
+  }
+  double dp;
+  const double denom = 1.0 - x * x;
+  if (std::abs(denom) < 1e-14) {
+    // P'_n(+-1) = (+-1)^{n-1} n(n+1)/2
+    const double sign = (n % 2 == 0) ? x : 1.0;
+    dp = sign * 0.5 * n * (n + 1.0);
+  } else {
+    dp = n * (p0 - x * p1) / denom;
+  }
+  return {p1, dp};
+}
+
+GllRule MakeGllRule(int order) {
+  if (order < 1) throw std::invalid_argument("sem: GLL order must be >= 1");
+  const int np = order + 1;
+  GllRule rule;
+  rule.order = order;
+  rule.nodes.resize(static_cast<std::size_t>(np));
+  rule.weights.resize(static_cast<std::size_t>(np));
+
+  rule.nodes[0] = -1.0;
+  rule.nodes[static_cast<std::size_t>(order)] = 1.0;
+
+  // Interior nodes: roots of P'_N. Newton from Chebyshev-Gauss-Lobatto
+  // guesses; the second derivative comes from Legendre's ODE:
+  // (1-x^2) P''_N = 2x P'_N - N(N+1) P_N.
+  for (int i = 1; i < order; ++i) {
+    double x = -std::cos(std::numbers::pi * i / order);
+    for (int it = 0; it < 100; ++it) {
+      const LegendreValue v = EvalLegendre(order, x);
+      const double d2p =
+          (2.0 * x * v.dp - order * (order + 1.0) * v.p) / (1.0 - x * x);
+      const double dx = v.dp / d2p;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    rule.nodes[static_cast<std::size_t>(i)] = x;
+  }
+
+  for (int i = 0; i < np; ++i) {
+    const double pn = EvalLegendre(order, rule.nodes[static_cast<std::size_t>(i)]).p;
+    rule.weights[static_cast<std::size_t>(i)] =
+        2.0 / (order * (order + 1.0) * pn * pn);
+  }
+
+  // Differentiation matrix for the Lagrange basis on GLL nodes:
+  //   D_ij = (P_N(x_i)/P_N(x_j)) / (x_i - x_j)       (i != j)
+  //   D_00 = -N(N+1)/4, D_NN = +N(N+1)/4, else 0 on the diagonal.
+  rule.deriv.assign(static_cast<std::size_t>(np * np), 0.0);
+  for (int i = 0; i < np; ++i) {
+    const double pi_ = EvalLegendre(order, rule.nodes[static_cast<std::size_t>(i)]).p;
+    for (int j = 0; j < np; ++j) {
+      if (i == j) continue;
+      const double pj = EvalLegendre(order, rule.nodes[static_cast<std::size_t>(j)]).p;
+      rule.deriv[static_cast<std::size_t>(i * np + j)] =
+          (pi_ / pj) /
+          (rule.nodes[static_cast<std::size_t>(i)] -
+           rule.nodes[static_cast<std::size_t>(j)]);
+    }
+  }
+  rule.deriv[0] = -0.25 * order * (order + 1.0);
+  rule.deriv[static_cast<std::size_t>(np * np - 1)] =
+      0.25 * order * (order + 1.0);
+
+  rule.deriv_t.assign(static_cast<std::size_t>(np * np), 0.0);
+  for (int i = 0; i < np; ++i) {
+    for (int j = 0; j < np; ++j) {
+      rule.deriv_t[static_cast<std::size_t>(j * np + i)] =
+          rule.deriv[static_cast<std::size_t>(i * np + j)];
+    }
+  }
+  return rule;
+}
+
+double LagrangeBasis(const GllRule& rule, int j, double x) {
+  // l_j(x) = prod_{k != j} (x - x_k) / (x_j - x_k)
+  double value = 1.0;
+  const double xj = rule.nodes[static_cast<std::size_t>(j)];
+  for (int k = 0; k < rule.NumPoints(); ++k) {
+    if (k == j) continue;
+    const double xk = rule.nodes[static_cast<std::size_t>(k)];
+    value *= (x - xk) / (xj - xk);
+  }
+  return value;
+}
+
+std::vector<double> InterpolationMatrix(const GllRule& rule,
+                                        const std::vector<double>& targets) {
+  const int np = rule.NumPoints();
+  std::vector<double> matrix(targets.size() * static_cast<std::size_t>(np));
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    for (int j = 0; j < np; ++j) {
+      matrix[i * static_cast<std::size_t>(np) + static_cast<std::size_t>(j)] =
+          LagrangeBasis(rule, j, targets[i]);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace sem

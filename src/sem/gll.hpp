@@ -1,0 +1,50 @@
+// Gauss–Lobatto–Legendre (GLL) quadrature and spectral differentiation.
+//
+// The spectral element method collocates fields at GLL nodes on [-1,1] in
+// each direction; quadrature weights give the diagonal mass matrix and the
+// dense (N+1)x(N+1) differentiation matrix D gives spectral derivatives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sem {
+
+/// GLL rule of polynomial order N: N+1 nodes on [-1,1] including endpoints.
+struct GllRule {
+  int order = 0;                 ///< polynomial order N
+  std::vector<double> nodes;     ///< N+1 nodes, ascending, nodes[0] = -1
+  std::vector<double> weights;   ///< matching quadrature weights (sum = 2)
+  std::vector<double> deriv;     ///< row-major (N+1)^2 differentiation matrix
+  std::vector<double> deriv_t;   ///< transpose of `deriv` (adjoint applies)
+
+  [[nodiscard]] int NumPoints() const { return order + 1; }
+
+  /// D(i,j) = dL_j/dx evaluated at node i.
+  [[nodiscard]] double D(int i, int j) const {
+    return deriv[static_cast<std::size_t>(i * NumPoints() + j)];
+  }
+};
+
+/// Compute the GLL rule for polynomial order `order` >= 1.
+///
+/// Interior nodes are the roots of P'_N found by Newton iteration with
+/// Chebyshev initial guesses; weights are 2 / (N (N+1) P_N(x)^2).
+GllRule MakeGllRule(int order);
+
+/// Legendre polynomial P_n(x) and derivative P'_n(x) by recurrence.
+struct LegendreValue {
+  double p;   ///< P_n(x)
+  double dp;  ///< P'_n(x)
+};
+LegendreValue EvalLegendre(int n, double x);
+
+/// Value of the j-th Lagrange cardinal polynomial of `rule` at point x.
+double LagrangeBasis(const GllRule& rule, int j, double x);
+
+/// Row-major interpolation matrix from `rule` nodes to arbitrary `targets`:
+/// out[i*(N+1)+j] = l_j(targets[i]).
+std::vector<double> InterpolationMatrix(const GllRule& rule,
+                                        const std::vector<double>& targets);
+
+}  // namespace sem

@@ -1,0 +1,383 @@
+#include "sem/operators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sem/tensor.hpp"
+
+namespace sem {
+
+ElementOperators::ElementOperators(const GllRule& rule, const BoxMesh& mesh)
+    : rule_(rule),
+      nel_(mesh.NumLocalElements()),
+      ndofs_(mesh.NumLocalDofs()),
+      per_el_(static_cast<std::size_t>(rule.NumPoints()) * rule.NumPoints() *
+              rule.NumPoints()),
+      rx_("device", ndofs_),
+      ry_("device", ndofs_),
+      rz_("device", ndofs_),
+      sx_("device", ndofs_),
+      sy_("device", ndofs_),
+      sz_("device", ndofs_),
+      tx_("device", ndofs_),
+      ty_("device", ndofs_),
+      tz_("device", ndofs_),
+      g11_("device", ndofs_),
+      g12_("device", ndofs_),
+      g13_("device", ndofs_),
+      g22_("device", ndofs_),
+      g23_("device", ndofs_),
+      g33_("device", ndofs_),
+      mass_("device", ndofs_),
+      adiag_("device", ndofs_),
+      scratch_ur_(per_el_),
+      scratch_us_(per_el_),
+      scratch_ut_(per_el_),
+      scratch_w_(3 * per_el_) {
+  if (rule.order != mesh.Order()) {
+    throw std::invalid_argument("sem: rule/mesh order mismatch");
+  }
+  ComputeGeometry(mesh);
+  ComputeStiffnessDiag();
+}
+
+void ElementOperators::ComputeGeometry(const BoxMesh& mesh) {
+  const int np = rule_.NumPoints();
+  std::vector<double> x(ndofs_), y(ndofs_), z(ndofs_);
+  mesh.FillCoordinates(rule_, x, y, z);
+
+  std::vector<double> xr(per_el_), xs(per_el_), xt(per_el_);
+  std::vector<double> yr(per_el_), ys(per_el_), yt(per_el_);
+  std::vector<double> zr(per_el_), zs(per_el_), zt(per_el_);
+
+  for (int e = 0; e < nel_; ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * per_el_;
+    auto sub = [&](std::vector<double>& v) {
+      return std::span<const double>(v.data() + base, per_el_);
+    };
+    DerivR(rule_, sub(x), xr);
+    DerivS(rule_, sub(x), xs);
+    DerivT(rule_, sub(x), xt);
+    DerivR(rule_, sub(y), yr);
+    DerivS(rule_, sub(y), ys);
+    DerivT(rule_, sub(y), yt);
+    DerivR(rule_, sub(z), zr);
+    DerivS(rule_, sub(z), zs);
+    DerivT(rule_, sub(z), zt);
+
+    for (int k = 0; k < np; ++k) {
+      for (int j = 0; j < np; ++j) {
+        for (int i = 0; i < np; ++i) {
+          const std::size_t q =
+              static_cast<std::size_t>(i + np * (j + np * k));
+          const std::size_t idx = base + q;
+          const double J =
+              xr[q] * (ys[q] * zt[q] - yt[q] * zs[q]) -
+              xs[q] * (yr[q] * zt[q] - yt[q] * zr[q]) +
+              xt[q] * (yr[q] * zs[q] - ys[q] * zr[q]);
+          if (J <= 0.0) {
+            throw std::runtime_error("sem: non-positive Jacobian");
+          }
+          const double inv = 1.0 / J;
+          // Inverse of the 3x3 Jacobian (adjugate / det).
+          rx_[idx] = (ys[q] * zt[q] - yt[q] * zs[q]) * inv;
+          ry_[idx] = -(xs[q] * zt[q] - xt[q] * zs[q]) * inv;
+          rz_[idx] = (xs[q] * yt[q] - xt[q] * ys[q]) * inv;
+          sx_[idx] = -(yr[q] * zt[q] - yt[q] * zr[q]) * inv;
+          sy_[idx] = (xr[q] * zt[q] - xt[q] * zr[q]) * inv;
+          sz_[idx] = -(xr[q] * yt[q] - xt[q] * yr[q]) * inv;
+          tx_[idx] = (yr[q] * zs[q] - ys[q] * zr[q]) * inv;
+          ty_[idx] = -(xr[q] * zs[q] - xs[q] * zr[q]) * inv;
+          tz_[idx] = (xr[q] * ys[q] - xs[q] * yr[q]) * inv;
+
+          const double w3 = rule_.weights[static_cast<std::size_t>(i)] *
+                            rule_.weights[static_cast<std::size_t>(j)] *
+                            rule_.weights[static_cast<std::size_t>(k)];
+          const double jw = J * w3;
+          mass_[idx] = jw;
+          g11_[idx] = jw * (rx_[idx] * rx_[idx] + ry_[idx] * ry_[idx] +
+                            rz_[idx] * rz_[idx]);
+          g12_[idx] = jw * (rx_[idx] * sx_[idx] + ry_[idx] * sy_[idx] +
+                            rz_[idx] * sz_[idx]);
+          g13_[idx] = jw * (rx_[idx] * tx_[idx] + ry_[idx] * ty_[idx] +
+                            rz_[idx] * tz_[idx]);
+          g22_[idx] = jw * (sx_[idx] * sx_[idx] + sy_[idx] * sy_[idx] +
+                            sz_[idx] * sz_[idx]);
+          g23_[idx] = jw * (sx_[idx] * tx_[idx] + sy_[idx] * ty_[idx] +
+                            sz_[idx] * tz_[idx]);
+          g33_[idx] = jw * (tx_[idx] * tx_[idx] + ty_[idx] * ty_[idx] +
+                            tz_[idx] * tz_[idx]);
+        }
+      }
+    }
+  }
+}
+
+void ElementOperators::ComputeStiffnessDiag() {
+  // diag(A)_p = sum over the three directions of D(m,i)^2 G_dd at the nodes
+  // the derivative touches; exact for the diagonal-metric (affine box) case
+  // and a good Jacobi scaling in general.
+  const int np = rule_.NumPoints();
+  for (int e = 0; e < nel_; ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * per_el_;
+    for (int k = 0; k < np; ++k) {
+      for (int j = 0; j < np; ++j) {
+        for (int i = 0; i < np; ++i) {
+          const std::size_t idx =
+              base + static_cast<std::size_t>(i + np * (j + np * k));
+          double d = 0.0;
+          for (int m = 0; m < np; ++m) {
+            const double dmi = rule_.D(m, i);
+            const std::size_t q1 =
+                base + static_cast<std::size_t>(m + np * (j + np * k));
+            d += dmi * dmi * g11_[q1];
+            const double dmj = rule_.D(m, j);
+            const std::size_t q2 =
+                base + static_cast<std::size_t>(i + np * (m + np * k));
+            d += dmj * dmj * g22_[q2];
+            const double dmk = rule_.D(m, k);
+            const std::size_t q3 =
+                base + static_cast<std::size_t>(i + np * (j + np * m));
+            d += dmk * dmk * g33_[q3];
+          }
+          adiag_[idx] = d;
+        }
+      }
+    }
+  }
+}
+
+void ElementOperators::Laplacian(std::span<const double> u,
+                                 std::span<double> out) const {
+  if (u.size() != ndofs_ || out.size() != ndofs_) {
+    throw std::invalid_argument("sem: Laplacian size mismatch");
+  }
+  double* wr = scratch_w_.data();
+  double* ws = wr + per_el_;
+  double* wt = ws + per_el_;
+  for (int e = 0; e < nel_; ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * per_el_;
+    std::span<const double> ue(u.data() + base, per_el_);
+    DerivR(rule_, ue, scratch_ur_);
+    DerivS(rule_, ue, scratch_us_);
+    DerivT(rule_, ue, scratch_ut_);
+    for (std::size_t q = 0; q < per_el_; ++q) {
+      const std::size_t idx = base + q;
+      wr[q] = g11_[idx] * scratch_ur_[q] + g12_[idx] * scratch_us_[q] +
+              g13_[idx] * scratch_ut_[q];
+      ws[q] = g12_[idx] * scratch_ur_[q] + g22_[idx] * scratch_us_[q] +
+              g23_[idx] * scratch_ut_[q];
+      wt[q] = g13_[idx] * scratch_ur_[q] + g23_[idx] * scratch_us_[q] +
+              g33_[idx] * scratch_ut_[q];
+    }
+    std::span<double> oe(out.data() + base, per_el_);
+    for (std::size_t q = 0; q < per_el_; ++q) oe[q] = 0.0;
+    DerivRTAdd(rule_, std::span<const double>(wr, per_el_), oe);
+    DerivSTAdd(rule_, std::span<const double>(ws, per_el_), oe);
+    DerivTTAdd(rule_, std::span<const double>(wt, per_el_), oe);
+  }
+}
+
+void ElementOperators::Gradient(std::span<const double> u,
+                                std::span<double> ux, std::span<double> uy,
+                                std::span<double> uz) const {
+  for (int e = 0; e < nel_; ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * per_el_;
+    std::span<const double> ue(u.data() + base, per_el_);
+    DerivR(rule_, ue, scratch_ur_);
+    DerivS(rule_, ue, scratch_us_);
+    DerivT(rule_, ue, scratch_ut_);
+    for (std::size_t q = 0; q < per_el_; ++q) {
+      const std::size_t idx = base + q;
+      ux[idx] = rx_[idx] * scratch_ur_[q] + sx_[idx] * scratch_us_[q] +
+                tx_[idx] * scratch_ut_[q];
+      uy[idx] = ry_[idx] * scratch_ur_[q] + sy_[idx] * scratch_us_[q] +
+                ty_[idx] * scratch_ut_[q];
+      uz[idx] = rz_[idx] * scratch_ur_[q] + sz_[idx] * scratch_us_[q] +
+                tz_[idx] * scratch_ut_[q];
+    }
+  }
+}
+
+void ElementOperators::Divergence(std::span<const double> u,
+                                  std::span<const double> v,
+                                  std::span<const double> w,
+                                  std::span<double> div) const {
+  for (int e = 0; e < nel_; ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * per_el_;
+    // d(u)/dx
+    std::span<const double> ue(u.data() + base, per_el_);
+    DerivR(rule_, ue, scratch_ur_);
+    DerivS(rule_, ue, scratch_us_);
+    DerivT(rule_, ue, scratch_ut_);
+    for (std::size_t q = 0; q < per_el_; ++q) {
+      const std::size_t idx = base + q;
+      div[idx] = rx_[idx] * scratch_ur_[q] + sx_[idx] * scratch_us_[q] +
+                 tx_[idx] * scratch_ut_[q];
+    }
+    // + d(v)/dy
+    std::span<const double> ve(v.data() + base, per_el_);
+    DerivR(rule_, ve, scratch_ur_);
+    DerivS(rule_, ve, scratch_us_);
+    DerivT(rule_, ve, scratch_ut_);
+    for (std::size_t q = 0; q < per_el_; ++q) {
+      const std::size_t idx = base + q;
+      div[idx] += ry_[idx] * scratch_ur_[q] + sy_[idx] * scratch_us_[q] +
+                  ty_[idx] * scratch_ut_[q];
+    }
+    // + d(w)/dz
+    std::span<const double> we(w.data() + base, per_el_);
+    DerivR(rule_, we, scratch_ur_);
+    DerivS(rule_, we, scratch_us_);
+    DerivT(rule_, we, scratch_ut_);
+    for (std::size_t q = 0; q < per_el_; ++q) {
+      const std::size_t idx = base + q;
+      div[idx] += rz_[idx] * scratch_ur_[q] + sz_[idx] * scratch_us_[q] +
+                  tz_[idx] * scratch_ut_[q];
+    }
+  }
+}
+
+void ElementOperators::Advect(std::span<const double> cx,
+                              std::span<const double> cy,
+                              std::span<const double> cz,
+                              std::span<const double> u,
+                              std::span<double> out) const {
+  for (int e = 0; e < nel_; ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * per_el_;
+    std::span<const double> ue(u.data() + base, per_el_);
+    DerivR(rule_, ue, scratch_ur_);
+    DerivS(rule_, ue, scratch_us_);
+    DerivT(rule_, ue, scratch_ut_);
+    for (std::size_t q = 0; q < per_el_; ++q) {
+      const std::size_t idx = base + q;
+      const double dx = rx_[idx] * scratch_ur_[q] + sx_[idx] * scratch_us_[q] +
+                        tx_[idx] * scratch_ut_[q];
+      const double dy = ry_[idx] * scratch_ur_[q] + sy_[idx] * scratch_us_[q] +
+                        ty_[idx] * scratch_ut_[q];
+      const double dz = rz_[idx] * scratch_ur_[q] + sz_[idx] * scratch_us_[q] +
+                        tz_[idx] * scratch_ut_[q];
+      out[idx] = cx[idx] * dx + cy[idx] * dy + cz[idx] * dz;
+    }
+  }
+}
+
+void ElementOperators::EnableDealiasing() {
+  if (DealiasingEnabled()) return;
+  const int np = rule_.NumPoints();
+  const int fine_np = (3 * np + 1) / 2;  // the 3/2 over-integration rule
+  rule_fine_ = MakeGllRule(fine_np - 1);
+  interp_fine_ = InterpolationMatrix(rule_, rule_fine_.nodes);
+  interp_fine_t_.assign(interp_fine_.size(), 0.0);
+  for (int f = 0; f < fine_np; ++f) {
+    for (int c = 0; c < np; ++c) {
+      interp_fine_t_[static_cast<std::size_t>(c * fine_np + f)] =
+          interp_fine_[static_cast<std::size_t>(f * np + c)];
+    }
+  }
+  weights_fine3_.resize(static_cast<std::size_t>(fine_np) * fine_np * fine_np);
+  for (int k = 0; k < fine_np; ++k) {
+    for (int j = 0; j < fine_np; ++j) {
+      for (int i = 0; i < fine_np; ++i) {
+        weights_fine3_[static_cast<std::size_t>(i +
+                                                fine_np * (j + fine_np * k))] =
+            rule_fine_.weights[static_cast<std::size_t>(i)] *
+            rule_fine_.weights[static_cast<std::size_t>(j)] *
+            rule_fine_.weights[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  // Per-element Jacobian; the simple fine-grid quadrature below assumes
+  // affine elements (constant J), which the box mesh provides.
+  jacobian_el_.resize(static_cast<std::size_t>(nel_));
+  const double w000 = rule_.weights[0] * rule_.weights[0] * rule_.weights[0];
+  for (int e = 0; e < nel_; ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * per_el_;
+    const double j0 = mass_[base] / w000;
+    // Affinity check on the opposite corner.
+    const double j1 = mass_[base + per_el_ - 1] / w000;
+    if (std::abs(j1 - j0) > 1e-10 * std::abs(j0)) {
+      throw std::runtime_error(
+          "sem: dealiasing requires affine (constant-Jacobian) elements");
+    }
+    jacobian_el_[static_cast<std::size_t>(e)] = j0;
+  }
+  coarse_ux_.resize(per_el_);
+  coarse_uy_.resize(per_el_);
+  coarse_uz_.resize(per_el_);
+}
+
+void ElementOperators::AdvectDealiased(std::span<const double> cx,
+                                       std::span<const double> cy,
+                                       std::span<const double> cz,
+                                       std::span<const double> u,
+                                       std::span<double> out) const {
+  if (!DealiasingEnabled()) {
+    throw std::runtime_error("sem: call EnableDealiasing() first");
+  }
+  const int np = rule_.NumPoints();
+  const int fine_np = rule_fine_.NumPoints();
+  const std::size_t fine3 =
+      static_cast<std::size_t>(fine_np) * fine_np * fine_np;
+
+  for (int e = 0; e < nel_; ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * per_el_;
+    // Physical gradient of u at the coarse nodes.
+    std::span<const double> ue(u.data() + base, per_el_);
+    DerivR(rule_, ue, scratch_ur_);
+    DerivS(rule_, ue, scratch_us_);
+    DerivT(rule_, ue, scratch_ut_);
+    for (std::size_t q = 0; q < per_el_; ++q) {
+      const std::size_t idx = base + q;
+      coarse_ux_[q] = rx_[idx] * scratch_ur_[q] + sx_[idx] * scratch_us_[q] +
+                      tx_[idx] * scratch_ut_[q];
+      coarse_uy_[q] = ry_[idx] * scratch_ur_[q] + sy_[idx] * scratch_us_[q] +
+                      ty_[idx] * scratch_ut_[q];
+      coarse_uz_[q] = rz_[idx] * scratch_ur_[q] + sz_[idx] * scratch_us_[q] +
+                      tz_[idx] * scratch_ut_[q];
+    }
+
+    // Interpolate each factor to the fine lattice and accumulate the dot
+    // product there — the product of two degree-N polynomials is integrated
+    // exactly, killing the aliasing error of nodal multiplication.
+    std::vector<double> acc(fine3, 0.0);
+    const std::span<const double> factors[3][2] = {
+        {std::span<const double>(cx.data() + base, per_el_),
+         std::span<const double>(coarse_ux_.data(), per_el_)},
+        {std::span<const double>(cy.data() + base, per_el_),
+         std::span<const double>(coarse_uy_.data(), per_el_)},
+        {std::span<const double>(cz.data() + base, per_el_),
+         std::span<const double>(coarse_uz_.data(), per_el_)}};
+    for (const auto& pair : factors) {
+      const std::vector<double> cf = Interp3D(interp_fine_, fine_np, np,
+                                              pair[0]);
+      const std::vector<double> gf = Interp3D(interp_fine_, fine_np, np,
+                                              pair[1]);
+      for (std::size_t q = 0; q < fine3; ++q) acc[q] += cf[q] * gf[q];
+    }
+
+    // Weight with the fine quadrature, project back, and undo the coarse
+    // mass to recover nodal values: out = B^-1 I^T B_f (c . grad u)|_f.
+    const double jac = jacobian_el_[static_cast<std::size_t>(e)];
+    for (std::size_t q = 0; q < fine3; ++q) {
+      acc[q] *= jac * weights_fine3_[q];
+    }
+    const std::vector<double> projected =
+        Interp3D(interp_fine_t_, np, fine_np, acc);
+    for (std::size_t q = 0; q < per_el_; ++q) {
+      out[base + q] = projected[q] / mass_[base + q];
+    }
+  }
+}
+
+double AssembledDot(mpimini::Comm& comm, std::span<const double> a,
+                    std::span<const double> b,
+                    std::span<const double> multiplicity) {
+  double local = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    local += a[i] * b[i] / multiplicity[i];
+  }
+  return comm.AllReduceValue(local, mpimini::Op::kSum);
+}
+
+}  // namespace sem

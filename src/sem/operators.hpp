@@ -1,0 +1,113 @@
+// Element-level SEM operators: geometric factors, diagonal mass matrix,
+// physical gradients, and the weak-form Laplacian (the flop core of the
+// Helmholtz and pressure solves).
+//
+// All operators act on unassembled element data (NumLocalDofs entries,
+// element-major, x-fastest).  Assembly across element/rank boundaries is the
+// caller's job via GatherScatter::Sum.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "instrument/memory_tracker.hpp"
+#include "mpimini/comm.hpp"
+#include "sem/box_mesh.hpp"
+#include "sem/gll.hpp"
+
+namespace sem {
+
+class ElementOperators {
+ public:
+  /// Precompute geometric factors for every node of `mesh` (general
+  /// trilinear-map formulation evaluated from the node coordinates, so a
+  /// deformed mesh would work unchanged).
+  ElementOperators(const GllRule& rule, const BoxMesh& mesh);
+
+  [[nodiscard]] const GllRule& Rule() const { return rule_; }
+  [[nodiscard]] std::size_t NumDofs() const { return ndofs_; }
+
+  /// Diagonal of the (lumped, collocation-exact) mass matrix: J * w3.
+  [[nodiscard]] std::span<const double> MassDiag() const {
+    return {mass_.data(), mass_.size()};
+  }
+
+  /// Diagonal of the assembled stiffness matrix (before gather-scatter);
+  /// used to build the Jacobi preconditioner.
+  [[nodiscard]] std::span<const double> StiffnessDiag() const {
+    return {adiag_.data(), adiag_.size()};
+  }
+
+  /// out = A_L u: unassembled weak Laplacian, all elements.
+  void Laplacian(std::span<const double> u, std::span<double> out) const;
+
+  /// Physical-space gradient at every node (collocation derivative).
+  void Gradient(std::span<const double> u, std::span<double> ux,
+                std::span<double> uy, std::span<double> uz) const;
+
+  /// Pointwise divergence of (u,v,w) via collocation derivatives.
+  void Divergence(std::span<const double> u, std::span<const double> v,
+                  std::span<const double> w, std::span<double> div) const;
+
+  /// Convective derivative (c . grad) u at every node, with advecting
+  /// velocity components (cx, cy, cz).
+  void Advect(std::span<const double> cx, std::span<const double> cy,
+              std::span<const double> cz, std::span<const double> u,
+              std::span<double> out) const;
+
+  /// Prepare the over-integration machinery for AdvectDealiased: a finer
+  /// GLL rule with ceil(3(N+1)/2) points (the 3/2 rule NekRS uses to
+  /// de-alias the quadratic convection term). Requires affine elements
+  /// (constant Jacobian), which the box mesh guarantees.
+  void EnableDealiasing();
+  [[nodiscard]] bool DealiasingEnabled() const { return !interp_fine_.empty(); }
+
+  /// Dealiased convective derivative: velocity and gradient factors are
+  /// interpolated to the fine quadrature grid, multiplied there, and
+  /// L2-projected back to the solution basis.
+  void AdvectDealiased(std::span<const double> cx, std::span<const double> cy,
+                       std::span<const double> cz, std::span<const double> u,
+                       std::span<double> out) const;
+
+ private:
+  void ComputeGeometry(const BoxMesh& mesh);
+  void ComputeStiffnessDiag();
+
+  GllRule rule_;
+  int nel_ = 0;
+  std::size_t ndofs_ = 0;
+  std::size_t per_el_ = 0;
+
+  // All geometric-factor storage is tracked under the "device" category:
+  // NekRS keeps geometric factors resident on the GPU, so they must not
+  // appear in the CPU-memory figures.
+  // Inverse-Jacobian entries (dr_i/dx_j) per node, for gradients.
+  instrument::TrackedBuffer<double> rx_, ry_, rz_, sx_, sy_, sz_, tx_, ty_,
+      tz_;
+  // Symmetric weak-Laplacian metrics G11..G33 = J w3 (grad r_i . grad r_j).
+  instrument::TrackedBuffer<double> g11_, g12_, g13_, g22_, g23_, g33_;
+  instrument::TrackedBuffer<double> mass_;   // J * w3
+  instrument::TrackedBuffer<double> adiag_;  // local Laplacian diagonal
+
+  // Per-apply scratch (single-threaded per rank).
+  mutable std::vector<double> scratch_ur_, scratch_us_, scratch_ut_,
+      scratch_w_;
+
+  // Dealiasing (built by EnableDealiasing): fine rule, coarse->fine
+  // interpolation matrix (row-major, fine x coarse), fine 3-D quadrature
+  // weights, per-element Jacobian, and fine-grid scratch.
+  GllRule rule_fine_;
+  std::vector<double> interp_fine_;    // fine_np x np
+  std::vector<double> interp_fine_t_;  // np x fine_np (projection back)
+  std::vector<double> weights_fine3_;
+  std::vector<double> jacobian_el_;
+  mutable std::vector<double> coarse_ux_, coarse_uy_, coarse_uz_;
+};
+
+/// Masked, assembled dot product: sum_i a_i b_i / multiplicity_i, reduced
+/// over `comm`. The multiplicity weighting counts every global node once.
+double AssembledDot(mpimini::Comm& comm, std::span<const double> a,
+                    std::span<const double> b,
+                    std::span<const double> multiplicity);
+
+}  // namespace sem

@@ -1,0 +1,54 @@
+// Tensor-product kernels on hexahedral spectral elements.
+//
+// Element data is stored x-fastest: u[i + np*(j + np*k)] with np = N+1.
+// All heavy SEM operators (derivatives, interpolation) are applications of a
+// small dense matrix along one of the three index directions; these kernels
+// are the flop-dominant inner loops of the solver (libParanumal's core).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sem/gll.hpp"
+
+namespace sem {
+
+/// out(i,j,k) = sum_m A(i,m) u(m,j,k); A is rows x np row-major.
+/// `u` has np*np*np entries, `out` has rows*np*np (x-direction resized).
+void ApplyDim0(std::span<const double> a, int rows, int np,
+               std::span<const double> u, std::span<double> out);
+
+/// out(i,j,k) = sum_m A(j,m) u(i,m,k).
+void ApplyDim1(std::span<const double> a, int rows, int np,
+               std::span<const double> u, std::span<double> out);
+
+/// out(i,j,k) = sum_m A(k,m) u(i,j,m).
+void ApplyDim2(std::span<const double> a, int rows, int np,
+               std::span<const double> u, std::span<double> out);
+
+/// Spectral derivatives at GLL nodes in reference coordinates (r,s,t):
+/// ur = (D (x) I (x) I) u, etc. Buffers must hold np^3 values.
+void DerivR(const GllRule& rule, std::span<const double> u,
+            std::span<double> ur);
+void DerivS(const GllRule& rule, std::span<const double> u,
+            std::span<double> us);
+void DerivT(const GllRule& rule, std::span<const double> u,
+            std::span<double> ut);
+
+/// Transposed derivative accumulation: out += D^T-applied field, the adjoint
+/// used in the weak-form Laplacian.
+void DerivRTAdd(const GllRule& rule, std::span<const double> f,
+                std::span<double> out);
+void DerivSTAdd(const GllRule& rule, std::span<const double> f,
+                std::span<double> out);
+void DerivTTAdd(const GllRule& rule, std::span<const double> f,
+                std::span<double> out);
+
+/// Interpolate np^3 element data onto an m^3 lattice using interpolation
+/// matrix `interp` (m x np row-major, e.g. from InterpolationMatrix()).
+/// Scratch-free convenience; returns m^3 values.
+std::vector<double> Interp3D(std::span<const double> interp, int m, int np,
+                             std::span<const double> u);
+
+}  // namespace sem

@@ -1,0 +1,46 @@
+#include "sensei/adios_adaptor.hpp"
+
+#include "svtk/serialize.hpp"
+
+namespace sensei {
+
+AdiosAnalysisAdaptor::AdiosAnalysisAdaptor(mpimini::Comm world,
+                                           int reader_world_rank,
+                                           AdiosOptions options)
+    : options_(std::move(options)), writer_(world, reader_world_rank,
+                                            options_.sst) {}
+
+bool AdiosAnalysisAdaptor::Execute(DataAdaptor& data) {
+  MeshMetadata metadata = data.GetMeshMetadata(0);
+  std::shared_ptr<svtk::UnstructuredGrid> mesh = data.GetMesh(0);
+  if (!mesh) return false;
+
+  std::vector<std::string> names = options_.arrays;
+  if (names.empty()) {
+    for (const ArrayMetadata& a : metadata.arrays) names.push_back(a.name);
+  }
+  for (const std::string& name : names) {
+    if (mesh->PointArray(name) || mesh->CellArray(name)) continue;
+    svtk::Centering centering = svtk::Centering::kPoint;
+    for (const ArrayMetadata& a : metadata.arrays) {
+      if (a.name == name) centering = a.centering;
+    }
+    if (!data.AddArray(*mesh, name, centering)) return false;
+  }
+
+  writer_.BeginStep(data.GetDataTimeStep());
+  const std::vector<std::byte> block = svtk::Serialize(*mesh);
+  writer_.Put("mesh", block);
+  const double time = data.GetDataTime();
+  writer_.Put("time", std::as_bytes(std::span<const double>(&time, 1)));
+  writer_.EndStep();
+  return true;
+}
+
+void AdiosAnalysisAdaptor::Finalize() {
+  if (finalized_) return;
+  writer_.Close();
+  finalized_ = true;
+}
+
+}  // namespace sensei

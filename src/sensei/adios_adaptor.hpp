@@ -1,0 +1,46 @@
+// ADIOS AnalysisAdaptor: the in transit sender.
+//
+// On the simulation side this adaptor looks like any other SENSEI analysis,
+// but instead of computing anything it serializes the local mesh block and
+// streams it to a SENSEI endpoint over the SST engine ("the endpoint of our
+// workflow is always a SENSEI data consumer", §4.2).  The actual analysis
+// (rendering / checkpointing) runs on the endpoint ranks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adios/sst.hpp"
+#include "sensei/data_adaptor.hpp"
+
+namespace sensei {
+
+struct AdiosOptions {
+  /// Arrays shipped with the mesh; empty = every advertised array.
+  std::vector<std::string> arrays;
+  adios::SstParams sst;
+};
+
+class AdiosAnalysisAdaptor final : public AnalysisAdaptor {
+ public:
+  /// `world` is the communicator containing both sim and endpoint ranks;
+  /// `reader_world_rank` is this writer's assigned endpoint.
+  AdiosAnalysisAdaptor(mpimini::Comm world, int reader_world_rank,
+                       AdiosOptions options);
+
+  bool Execute(DataAdaptor& data) override;
+  void Finalize() override;
+  [[nodiscard]] std::string Kind() const override { return "adios"; }
+
+  [[nodiscard]] const adios::SstStats& TransportStats() const {
+    return writer_.Stats();
+  }
+
+ private:
+  AdiosOptions options_;
+  adios::SstWriter writer_;
+  bool finalized_ = false;
+};
+
+}  // namespace sensei

@@ -1,0 +1,102 @@
+#include "sensei/autocorrelation_adaptor.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace sensei {
+
+AutocorrelationAnalysisAdaptor::AutocorrelationAnalysisAdaptor(
+    AutocorrelationOptions options)
+    : options_(std::move(options)) {
+  if (options_.window < 2) {
+    throw std::invalid_argument("sensei: autocorrelation window must be >= 2");
+  }
+  if (options_.max_lag < 1 || options_.max_lag >= options_.window) {
+    throw std::invalid_argument(
+        "sensei: autocorrelation max_lag must be in [1, window)");
+  }
+}
+
+bool AutocorrelationAnalysisAdaptor::Execute(DataAdaptor& data) {
+  mpimini::Comm& comm = data.GetCommunicator();
+  std::shared_ptr<svtk::UnstructuredGrid> mesh = data.GetMesh(0);
+  if (!mesh) return false;
+  if (!mesh->PointArray(options_.array) && !mesh->CellArray(options_.array)) {
+    if (!data.AddArray(*mesh, options_.array, options_.centering)) {
+      return false;
+    }
+  }
+  const svtk::DataArray* array =
+      options_.centering == svtk::Centering::kPoint
+          ? mesh->PointArray(options_.array)
+          : mesh->CellArray(options_.array);
+  const bool mag = options_.by_magnitude && array->Components() > 1;
+
+  // Snapshot the (scalar-reduced) field into the sliding window.
+  instrument::TrackedBuffer<double> snapshot("autocorrelation",
+                                             array->Tuples());
+  for (std::size_t t = 0; t < array->Tuples(); ++t) {
+    snapshot[t] = mag ? array->Magnitude(t) : array->At(t);
+  }
+  history_.push_back(std::move(snapshot));
+  if (static_cast<int>(history_.size()) > options_.window) {
+    history_.pop_front();
+  }
+  if (static_cast<int>(history_.size()) < options_.window) {
+    return true;  // window still filling
+  }
+
+  // Temporal mean per point over the window, then autocorrelation per lag,
+  // averaged over points and reduced across ranks.
+  const std::size_t n = history_.front().size();
+  const int w = options_.window;
+  std::vector<double> mean(n, 0.0);
+  for (const auto& snap : history_) {
+    for (std::size_t i = 0; i < n; ++i) mean[i] += snap[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) mean[i] /= w;
+
+  std::vector<double> sums(static_cast<std::size_t>(options_.max_lag) + 1,
+                           0.0);
+  for (int lag = 0; lag <= options_.max_lag; ++lag) {
+    double acc = 0.0;
+    for (int s = 0; s + lag < w; ++s) {
+      const auto& a = history_[static_cast<std::size_t>(s)];
+      const auto& b = history_[static_cast<std::size_t>(s + lag)];
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += (a[i] - mean[i]) * (b[i] - mean[i]);
+      }
+    }
+    sums[static_cast<std::size_t>(lag)] =
+        acc / (static_cast<double>(w - lag));
+  }
+  comm.AllReduce(std::span<double>(sums), mpimini::Op::kSum);
+
+  correlations_.assign(sums.size(), 0.0);
+  const double variance = sums[0];
+  for (std::size_t lag = 0; lag < sums.size(); ++lag) {
+    correlations_[lag] = variance > 0.0 ? sums[lag] / variance : 0.0;
+  }
+
+  if (!options_.output_dir.empty() && comm.Rank() == 0) {
+    char name[512];
+    std::snprintf(name, sizeof(name), "%s/autocorr_%s_%06d.txt",
+                  options_.output_dir.c_str(), options_.array.c_str(),
+                  data.GetDataTimeStep());
+    std::ofstream out(name);
+    std::size_t bytes = 0;
+    for (std::size_t lag = 0; lag < correlations_.size(); ++lag) {
+      char line[64];
+      const int len = std::snprintf(line, sizeof(line), "%zu %.6f\n", lag,
+                                    correlations_[lag]);
+      out << line;
+      bytes += static_cast<std::size_t>(len);
+    }
+    bytes_written_ += bytes;
+  }
+  return true;
+}
+
+}  // namespace sensei

@@ -1,0 +1,58 @@
+// Autocorrelation AnalysisAdaptor — SENSEI's canonical demo analysis
+// (sensei::Autocorrelation): the temporal autocorrelation of a field over a
+// sliding window of snapshots, reduced across ranks.
+//
+// Unlike stats/histogram this analysis is *stateful across triggers*: it
+// must keep `window` past snapshots of the field on the host, so its memory
+// footprint scales with window x field size — a qualitatively different in
+// situ cost point that the memory tracker makes visible.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "instrument/memory_tracker.hpp"
+#include "sensei/data_adaptor.hpp"
+
+namespace sensei {
+
+struct AutocorrelationOptions {
+  std::string array = "velocity";
+  svtk::Centering centering = svtk::Centering::kPoint;
+  bool by_magnitude = true;  ///< reduce vectors to |v| before correlating
+  int window = 8;            ///< snapshots kept
+  int max_lag = 4;           ///< lags computed (< window)
+  std::string output_dir;    ///< empty = keep in memory only
+};
+
+class AutocorrelationAnalysisAdaptor final : public AnalysisAdaptor {
+ public:
+  explicit AutocorrelationAnalysisAdaptor(AutocorrelationOptions options);
+
+  bool Execute(DataAdaptor& data) override;
+  [[nodiscard]] std::string Kind() const override {
+    return "autocorrelation";
+  }
+  [[nodiscard]] std::size_t BytesWritten() const override {
+    return bytes_written_;
+  }
+
+  /// Domain-averaged autocorrelation per lag (valid on every rank once the
+  /// window has filled; empty before that).
+  [[nodiscard]] const std::vector<double>& Correlations() const {
+    return correlations_;
+  }
+  [[nodiscard]] int SnapshotsHeld() const {
+    return static_cast<int>(history_.size());
+  }
+
+ private:
+  AutocorrelationOptions options_;
+  /// Sliding window of host snapshots (tracked: the stateful in situ cost).
+  std::deque<instrument::TrackedBuffer<double>> history_;
+  std::vector<double> correlations_;
+  std::size_t bytes_written_ = 0;
+};
+
+}  // namespace sensei

@@ -1,0 +1,54 @@
+#include "sensei/bpfile_adaptor.hpp"
+
+#include <cstdio>
+
+#include "svtk/serialize.hpp"
+
+namespace sensei {
+
+std::string BpFileAnalysisAdaptor::FilePath(int rank) const {
+  char name[512];
+  std::snprintf(name, sizeof(name), "%s/%s_rank%04d.bp",
+                options_.output_dir.c_str(), options_.prefix.c_str(), rank);
+  return name;
+}
+
+bool BpFileAnalysisAdaptor::Execute(DataAdaptor& data) {
+  MeshMetadata metadata = data.GetMeshMetadata(0);
+  std::shared_ptr<svtk::UnstructuredGrid> mesh = data.GetMesh(0);
+  if (!mesh) return false;
+
+  std::vector<std::string> names = options_.arrays;
+  if (names.empty()) {
+    for (const ArrayMetadata& a : metadata.arrays) names.push_back(a.name);
+  }
+  for (const std::string& name : names) {
+    if (mesh->PointArray(name) || mesh->CellArray(name)) continue;
+    svtk::Centering centering = svtk::Centering::kPoint;
+    for (const ArrayMetadata& a : metadata.arrays) {
+      if (a.name == name) centering = a.centering;
+    }
+    if (!data.AddArray(*mesh, name, centering)) return false;
+  }
+
+  if (!writer_) {
+    writer_ = std::make_unique<adios::BpFileWriter>(
+        FilePath(data.GetCommunicator().Rank()));
+  }
+  writer_->BeginStep(data.GetDataTimeStep());
+  writer_->Put("mesh", svtk::Serialize(*mesh));
+  const double time = data.GetDataTime();
+  writer_->Put("time", std::as_bytes(std::span<const double>(&time, 1)));
+  writer_->EndStep();
+  return true;
+}
+
+void BpFileAnalysisAdaptor::Finalize() {
+  if (writer_) {
+    bytes_final_ = writer_->BytesWritten();
+    writer_->Close();
+    writer_.reset();
+  }
+}
+
+}  // namespace sensei

@@ -1,0 +1,45 @@
+// BP-file AnalysisAdaptor: streams each trigger's mesh block into a
+// rank-local ADIOS-style BP file instead of a live SST connection — the
+// post-hoc counterpart of the in transit workflow.  A later consumer
+// (examples/posthoc_analysis) replays the files through the same SENSEI
+// analyses that run in situ, the classic in-situ-vs-post-hoc comparison.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adios/bp_file.hpp"
+#include "sensei/data_adaptor.hpp"
+
+namespace sensei {
+
+struct BpFileOptions {
+  std::string output_dir = ".";
+  std::string prefix = "stream";
+  /// Arrays shipped with the mesh; empty = every advertised array.
+  std::vector<std::string> arrays;
+};
+
+class BpFileAnalysisAdaptor final : public AnalysisAdaptor {
+ public:
+  explicit BpFileAnalysisAdaptor(BpFileOptions options)
+      : options_(std::move(options)) {}
+
+  bool Execute(DataAdaptor& data) override;
+  void Finalize() override;
+  [[nodiscard]] std::string Kind() const override { return "bpfile"; }
+  [[nodiscard]] std::size_t BytesWritten() const override {
+    return writer_ ? writer_->BytesWritten() : bytes_final_;
+  }
+
+  /// Path of the BP file a given rank writes.
+  [[nodiscard]] std::string FilePath(int rank) const;
+
+ private:
+  BpFileOptions options_;
+  std::unique_ptr<adios::BpFileWriter> writer_;  // opened on first Execute
+  std::size_t bytes_final_ = 0;
+};
+
+}  // namespace sensei

@@ -1,0 +1,43 @@
+#include "sensei/checkpoint_adaptor.hpp"
+
+#include <cstdio>
+
+namespace sensei {
+
+std::string CheckpointAnalysisAdaptor::FilePath(int step, int rank) const {
+  char name[512];
+  std::snprintf(name, sizeof(name), "%s/%s_step%06d_rank%04d.vtu",
+                options_.output_dir.c_str(), options_.prefix.c_str(), step,
+                rank);
+  return name;
+}
+
+bool CheckpointAnalysisAdaptor::Execute(DataAdaptor& data) {
+  MeshMetadata metadata = data.GetMeshMetadata(0);
+  std::shared_ptr<svtk::UnstructuredGrid> mesh = data.GetMesh(0);
+  if (!mesh) return false;
+
+  // Select arrays: explicit list or everything advertised.
+  const std::vector<std::string>* names = &options_.arrays;
+  std::vector<std::string> all;
+  if (names->empty()) {
+    for (const ArrayMetadata& a : metadata.arrays) all.push_back(a.name);
+    names = &all;
+  }
+  for (const std::string& name : *names) {
+    if (mesh->PointArray(name) || mesh->CellArray(name)) continue;
+    svtk::Centering centering = svtk::Centering::kPoint;
+    for (const ArrayMetadata& a : metadata.arrays) {
+      if (a.name == name) centering = a.centering;
+    }
+    if (!data.AddArray(*mesh, name, centering)) return false;
+  }
+
+  const std::string path = FilePath(data.GetDataTimeStep(),
+                                    data.GetCommunicator().Rank());
+  bytes_written_ += svtk::WriteVtu(*mesh, path, options_.encoding);
+  ++files_written_;
+  return true;
+}
+
+}  // namespace sensei

@@ -1,0 +1,219 @@
+#include "sensei/configurable_analysis.hpp"
+
+#include <stdexcept>
+
+#include "sensei/catalyst_adaptor.hpp"
+#include "sensei/autocorrelation_adaptor.hpp"
+#include "sensei/bpfile_adaptor.hpp"
+#include "sensei/checkpoint_adaptor.hpp"
+#include "sensei/histogram_adaptor.hpp"
+#include "sensei/stats_adaptor.hpp"
+
+namespace sensei {
+
+namespace {
+
+svtk::Centering ParseCentering(const std::string& text) {
+  if (text == "cell") return svtk::Centering::kCell;
+  if (text == "point" || text.empty()) return svtk::Centering::kPoint;
+  throw std::invalid_argument("sensei: unknown centering '" + text + "'");
+}
+
+CatalystView ParseView(const xmlcfg::Element& e) {
+  CatalystView view;
+  view.array = e.Attr("array", view.array);
+  view.centering = ParseCentering(e.Attr("centering"));
+  view.color_by_magnitude = e.AttrInt("magnitude", 0) != 0;
+  view.colormap = e.Attr("colormap", view.colormap);
+  view.azimuth = e.AttrDouble("azimuth", view.azimuth);
+  view.elevation = e.AttrDouble("elevation", view.elevation);
+  view.zoom = e.AttrDouble("zoom", view.zoom);
+  view.range_min = e.AttrDouble("min", 0.0);
+  view.range_max = e.AttrDouble("max", 0.0);
+  if (e.HasAttr("threshold_min")) {
+    view.threshold_min = e.AttrDouble("threshold_min");
+  }
+  if (e.HasAttr("threshold_max")) {
+    view.threshold_max = e.AttrDouble("threshold_max");
+  }
+  if (e.HasAttr("isovalue")) {
+    view.isovalue = e.AttrDouble("isovalue");
+    view.iso_array = e.Attr("iso_array");
+  }
+  if (e.HasAttr("slice_axis")) {
+    const std::string axis = e.Attr("slice_axis");
+    if (axis == "x" || axis == "0") view.slice_axis = 0;
+    else if (axis == "y" || axis == "1") view.slice_axis = 1;
+    else if (axis == "z" || axis == "2") view.slice_axis = 2;
+    else throw std::invalid_argument("sensei: bad slice_axis '" + axis + "'");
+    view.slice_position = e.AttrDouble("slice_position", 0.0);
+  }
+  view.name = e.Attr("name", view.array);
+  return view;
+}
+
+std::shared_ptr<AnalysisAdaptor> MakeCatalyst(const xmlcfg::Element& e,
+                                              mpimini::Comm&) {
+  CatalystOptions options;
+  options.width = static_cast<int>(e.AttrInt("width", 640));
+  options.height = static_cast<int>(e.AttrInt("height", 480));
+  options.output_dir = e.Attr("output", ".");
+  options.prefix = e.Attr("prefix", "render");
+  options.format = e.Attr("format", "png");
+  options.scalar_bar = e.AttrInt("scalar_bar", 1) != 0;
+  for (const xmlcfg::Element* view : e.FindAll("render")) {
+    options.views.push_back(ParseView(*view));
+  }
+  if (options.views.empty() && e.HasAttr("array")) {
+    options.views.push_back(ParseView(e));
+  }
+  if (options.views.empty()) {
+    throw std::invalid_argument(
+        "sensei: catalyst analysis needs <render> children or an array "
+        "attribute");
+  }
+  return std::make_shared<CatalystAnalysisAdaptor>(std::move(options));
+}
+
+std::shared_ptr<AnalysisAdaptor> MakeCheckpoint(const xmlcfg::Element& e,
+                                                mpimini::Comm&) {
+  CheckpointOptions options;
+  options.output_dir = e.Attr("output", ".");
+  options.prefix = e.Attr("prefix", "chk");
+  options.encoding = e.Attr("encoding", "binary") == "ascii"
+                         ? svtk::VtuEncoding::kAscii
+                         : svtk::VtuEncoding::kBinary;
+  options.arrays = SplitList(e.Attr("arrays"));
+  return std::make_shared<CheckpointAnalysisAdaptor>(std::move(options));
+}
+
+std::shared_ptr<AnalysisAdaptor> MakeAutocorrelation(const xmlcfg::Element& e,
+                                                     mpimini::Comm&) {
+  AutocorrelationOptions options;
+  options.array = e.Attr("array", options.array);
+  options.centering = ParseCentering(e.Attr("centering"));
+  options.by_magnitude = e.AttrInt("magnitude", 1) != 0;
+  options.window = static_cast<int>(e.AttrInt("window", options.window));
+  options.max_lag = static_cast<int>(e.AttrInt("max_lag", options.max_lag));
+  options.output_dir = e.Attr("output");
+  return std::make_shared<AutocorrelationAnalysisAdaptor>(std::move(options));
+}
+
+std::shared_ptr<AnalysisAdaptor> MakeBpFile(const xmlcfg::Element& e,
+                                            mpimini::Comm&) {
+  BpFileOptions options;
+  options.output_dir = e.Attr("output", ".");
+  options.prefix = e.Attr("prefix", "stream");
+  options.arrays = SplitList(e.Attr("arrays"));
+  return std::make_shared<BpFileAnalysisAdaptor>(std::move(options));
+}
+
+std::shared_ptr<AnalysisAdaptor> MakeStats(const xmlcfg::Element& e,
+                                           mpimini::Comm&) {
+  StatsOptions options;
+  options.arrays = SplitList(e.Attr("arrays"));
+  options.log_path = e.Attr("log");
+  return std::make_shared<StatsAnalysisAdaptor>(std::move(options));
+}
+
+std::shared_ptr<AnalysisAdaptor> MakeHistogram(const xmlcfg::Element& e,
+                                               mpimini::Comm&) {
+  HistogramOptions options;
+  options.array = e.Attr("array", options.array);
+  options.centering = ParseCentering(e.Attr("centering"));
+  options.by_magnitude = e.AttrInt("magnitude", 0) != 0;
+  options.bins = static_cast<int>(e.AttrInt("bins", options.bins));
+  options.output_dir = e.Attr("output");
+  return std::make_shared<HistogramAnalysisAdaptor>(std::move(options));
+}
+
+}  // namespace
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    std::size_t end = csv.find(',', begin);
+    if (end == std::string::npos) end = csv.size();
+    std::string item = csv.substr(begin, end - begin);
+    // trim spaces
+    while (!item.empty() && item.front() == ' ') item.erase(item.begin());
+    while (!item.empty() && item.back() == ' ') item.pop_back();
+    if (!item.empty()) out.push_back(std::move(item));
+    begin = end + 1;
+  }
+  return out;
+}
+
+ConfigurableAnalysis::ConfigurableAnalysis(mpimini::Comm comm) : comm_(comm) {
+  factories_["catalyst"] = MakeCatalyst;
+  factories_["checkpoint"] = MakeCheckpoint;
+  factories_["bpfile"] = MakeBpFile;
+  factories_["autocorrelation"] = MakeAutocorrelation;
+  factories_["stats"] = MakeStats;
+  factories_["histogram"] = MakeHistogram;
+}
+
+void ConfigurableAnalysis::RegisterFactory(const std::string& type,
+                                           Factory factory) {
+  factories_[type] = std::move(factory);
+}
+
+void ConfigurableAnalysis::Initialize(const xmlcfg::Element& root) {
+  if (root.name != "sensei") {
+    throw std::invalid_argument("sensei: configuration root must be <sensei>");
+  }
+  for (const xmlcfg::Element* analysis : root.FindAll("analysis")) {
+    if (analysis->AttrInt("enabled", 1) == 0) continue;
+    const std::string type = analysis->Attr("type");
+    auto factory = factories_.find(type);
+    if (factory == factories_.end()) {
+      throw std::invalid_argument("sensei: unknown analysis type '" + type +
+                                  "'");
+    }
+    Entry entry;
+    entry.type = type;
+    entry.frequency = static_cast<int>(analysis->AttrInt("frequency", 1));
+    if (entry.frequency < 1) {
+      throw std::invalid_argument("sensei: frequency must be >= 1");
+    }
+    entry.adaptor = factory->second(*analysis, comm_);
+    entries_.push_back(std::move(entry));
+  }
+}
+
+void ConfigurableAnalysis::InitializeFromFile(const std::string& path) {
+  Initialize(xmlcfg::ParseFile(path).root);
+}
+
+bool ConfigurableAnalysis::Execute(DataAdaptor& data) {
+  bool ok = true;
+  bool ran = false;
+  for (Entry& entry : entries_) {
+    if (data.GetDataTimeStep() % entry.frequency != 0) continue;
+    ok = entry.adaptor->Execute(data) && ok;
+    ran = true;
+  }
+  if (ran) data.ReleaseData();
+  return ok;
+}
+
+void ConfigurableAnalysis::Finalize() {
+  for (Entry& entry : entries_) entry.adaptor->Finalize();
+}
+
+std::size_t ConfigurableAnalysis::TotalBytesWritten() const {
+  std::size_t total = 0;
+  for (const Entry& entry : entries_) total += entry.adaptor->BytesWritten();
+  return total;
+}
+
+std::shared_ptr<AnalysisAdaptor> ConfigurableAnalysis::Find(
+    const std::string& kind) const {
+  for (const Entry& entry : entries_) {
+    if (entry.adaptor->Kind() == kind) return entry.adaptor;
+  }
+  return nullptr;
+}
+
+}  // namespace sensei

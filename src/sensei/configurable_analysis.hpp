@@ -1,0 +1,79 @@
+// ConfigurableAnalysis: SENSEI's runtime-swappable analysis front end.
+//
+// The active analyses are declared in an XML file (Listing 1 of the paper):
+//
+//   <sensei>
+//     <analysis type="catalyst" frequency="100" output="out" width="640"
+//               height="480">
+//       <render array="temperature" azimuth="45" elevation="25"/>
+//       <render array="velocity" magnitude="1" colormap="coolwarm"/>
+//     </analysis>
+//     <analysis type="checkpoint" frequency="100" output="out"/>
+//     <analysis type="stats" frequency="10" arrays="temperature"/>
+//   </sensei>
+//
+// Changing the in situ pipeline — e.g. enabling Catalyst rendering — is an
+// XML edit, not a recompile.  Additional adaptor types (the in transit
+// "adios" sender, whose endpoint wiring the workflow driver owns) are
+// plugged in through RegisterFactory.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sensei/data_adaptor.hpp"
+#include "xmlcfg/xml.hpp"
+
+namespace sensei {
+
+class ConfigurableAnalysis {
+ public:
+  using Factory = std::function<std::shared_ptr<AnalysisAdaptor>(
+      const xmlcfg::Element&, mpimini::Comm&)>;
+
+  /// Built-in types preregistered: catalyst, checkpoint, stats, histogram.
+  explicit ConfigurableAnalysis(mpimini::Comm comm);
+
+  /// Add (or override) a factory for an <analysis type="..."> value.
+  void RegisterFactory(const std::string& type, Factory factory);
+
+  /// Instantiate every enabled <analysis> child of the <sensei> root.
+  /// Throws on unknown types or malformed configuration.
+  void Initialize(const xmlcfg::Element& root);
+  void InitializeFromFile(const std::string& path);
+
+  /// Run every analysis whose frequency divides the current step; calls
+  /// ReleaseData() on the data adaptor afterwards. Returns false if any
+  /// analysis failed.
+  bool Execute(DataAdaptor& data);
+
+  /// Finalize all adaptors (flush streams, close files).
+  void Finalize();
+
+  struct Entry {
+    std::string type;
+    int frequency = 1;
+    std::shared_ptr<AnalysisAdaptor> adaptor;
+  };
+  [[nodiscard]] const std::vector<Entry>& Analyses() const { return entries_; }
+
+  /// Sum of BytesWritten() over all adaptors.
+  [[nodiscard]] std::size_t TotalBytesWritten() const;
+
+  /// First adaptor of the given kind, or nullptr.
+  [[nodiscard]] std::shared_ptr<AnalysisAdaptor> Find(
+      const std::string& kind) const;
+
+ private:
+  mpimini::Comm comm_;
+  std::map<std::string, Factory> factories_;
+  std::vector<Entry> entries_;
+};
+
+/// Helper shared by factories: split a comma-separated attribute.
+std::vector<std::string> SplitList(const std::string& csv);
+
+}  // namespace sensei

@@ -1,0 +1,5 @@
+#include "sensei/data_adaptor.hpp"
+
+// The abstract interfaces are header-only; this TU anchors their vtables.
+
+namespace sensei {}  // namespace sensei

@@ -1,0 +1,100 @@
+// The SENSEI generic in situ interface (Ayachit et al., ISAV 2016), reduced
+// to the surface this reproduction exercises.
+//
+// A simulation exposes its state by implementing DataAdaptor (Listing 2 of
+// the paper); analysis backends implement AnalysisAdaptor and pull meshes
+// and arrays through the data adaptor.  The two sides are decoupled: any
+// analysis can consume any simulation, and the active analyses are chosen
+// at runtime from an XML file (ConfigurableAnalysis) without recompiling.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpimini/comm.hpp"
+#include "svtk/unstructured_grid.hpp"
+
+namespace sensei {
+
+/// Description of one data array available on a mesh.
+struct ArrayMetadata {
+  std::string name;
+  svtk::Centering centering = svtk::Centering::kPoint;
+  int components = 1;
+};
+
+/// Description of one mesh, global across ranks.
+struct MeshMetadata {
+  std::string mesh_name = "mesh";
+  int num_blocks = 1;  ///< global block count (one block per rank here)
+  std::array<double, 6> global_bounds{};
+  std::vector<ArrayMetadata> arrays;
+};
+
+/// Abstract simulation-side interface: relays simulation state, shaped as
+/// the VTK data model, to analysis adaptors.
+class DataAdaptor {
+ public:
+  virtual ~DataAdaptor() = default;
+
+  /// Number of meshes the simulation exposes.
+  virtual int GetNumberOfMeshes() = 0;
+
+  /// Metadata for mesh `id` (collective: involves a bounds reduction).
+  virtual MeshMetadata GetMeshMetadata(int id) = 0;
+
+  /// This rank's block of mesh `id`, geometry only (no arrays yet).
+  /// The adaptor may cache; callers must not mutate geometry.
+  virtual std::shared_ptr<svtk::UnstructuredGrid> GetMesh(int id) = 0;
+
+  /// Attach the named array to a mesh previously returned by GetMesh.
+  /// Returns false if the array is unknown.
+  virtual bool AddArray(svtk::UnstructuredGrid& mesh, const std::string& name,
+                        svtk::Centering centering) = 0;
+
+  /// Drop any cached meshes/arrays (called after each analysis round;
+  /// SENSEI's ReleaseData).
+  virtual void ReleaseData() {}
+
+  // ---- Common envelope ----------------------------------------------
+
+  [[nodiscard]] int GetDataTimeStep() const { return step_; }
+  [[nodiscard]] double GetDataTime() const { return time_; }
+  void SetPipelineTime(int step, double time) {
+    step_ = step;
+    time_ = time;
+  }
+
+  [[nodiscard]] mpimini::Comm& GetCommunicator() { return comm_; }
+  void SetCommunicator(mpimini::Comm comm) { comm_ = comm; }
+
+ private:
+  int step_ = 0;
+  double time_ = 0.0;
+  mpimini::Comm comm_;
+};
+
+/// Abstract analysis-side interface.
+class AnalysisAdaptor {
+ public:
+  virtual ~AnalysisAdaptor() = default;
+
+  /// Run the analysis against the current simulation state. Collective
+  /// over the data adaptor's communicator. Returns false on failure.
+  virtual bool Execute(DataAdaptor& data) = 0;
+
+  /// Flush and release resources at end of run.
+  virtual void Finalize() {}
+
+  /// Human-readable adaptor kind ("catalyst", "checkpoint", ...).
+  [[nodiscard]] virtual std::string Kind() const = 0;
+
+  /// Total bytes this adaptor wrote to storage so far (images, checkpoint
+  /// files, ...); feeds the paper's storage-economy comparison.
+  [[nodiscard]] virtual std::size_t BytesWritten() const { return 0; }
+};
+
+}  // namespace sensei

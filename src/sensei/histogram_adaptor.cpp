@@ -1,0 +1,78 @@
+#include "sensei/histogram_adaptor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace sensei {
+
+HistogramAnalysisAdaptor::HistogramAnalysisAdaptor(HistogramOptions options)
+    : options_(std::move(options)) {
+  if (options_.bins < 1) {
+    throw std::invalid_argument("sensei: histogram needs >= 1 bin");
+  }
+}
+
+bool HistogramAnalysisAdaptor::Execute(DataAdaptor& data) {
+  mpimini::Comm& comm = data.GetCommunicator();
+  std::shared_ptr<svtk::UnstructuredGrid> mesh = data.GetMesh(0);
+  if (!mesh) return false;
+  if (!mesh->PointArray(options_.array) && !mesh->CellArray(options_.array)) {
+    if (!data.AddArray(*mesh, options_.array, options_.centering)) {
+      return false;
+    }
+  }
+  const svtk::DataArray* array =
+      options_.centering == svtk::Centering::kPoint
+          ? mesh->PointArray(options_.array)
+          : mesh->CellArray(options_.array);
+  const bool mag = options_.by_magnitude && array->Components() > 1;
+
+  auto value_of = [&](std::size_t t) {
+    return mag ? array->Magnitude(t) : array->At(t);
+  };
+
+  double local_min = 0.0, local_max = 0.0;
+  if (array->Tuples() > 0) {
+    local_min = local_max = value_of(0);
+    for (std::size_t t = 1; t < array->Tuples(); ++t) {
+      const double v = value_of(t);
+      local_min = std::min(local_min, v);
+      local_max = std::max(local_max, v);
+    }
+  }
+  lo_ = comm.AllReduceValue(local_min, mpimini::Op::kMin);
+  hi_ = comm.AllReduceValue(local_max, mpimini::Op::kMax);
+  const double width = hi_ > lo_ ? (hi_ - lo_) / options_.bins : 1.0;
+
+  std::vector<long> local(static_cast<std::size_t>(options_.bins), 0);
+  for (std::size_t t = 0; t < array->Tuples(); ++t) {
+    const int bin = std::clamp(
+        static_cast<int>((value_of(t) - lo_) / width), 0, options_.bins - 1);
+    ++local[static_cast<std::size_t>(bin)];
+  }
+  comm.AllReduce(std::span<long>(local), mpimini::Op::kSum);
+  counts_ = std::move(local);
+
+  if (!options_.output_dir.empty() && comm.Rank() == 0) {
+    char name[512];
+    std::snprintf(name, sizeof(name), "%s/histogram_%s_%06d.txt",
+                  options_.output_dir.c_str(), options_.array.c_str(),
+                  data.GetDataTimeStep());
+    std::ofstream out(name);
+    std::size_t bytes = 0;
+    for (int b = 0; b < options_.bins; ++b) {
+      char line[128];
+      const int len = std::snprintf(line, sizeof(line), "%g %ld\n",
+                                    lo_ + (b + 0.5) * width,
+                                    counts_[static_cast<std::size_t>(b)]);
+      out << line;
+      bytes += static_cast<std::size_t>(len);
+    }
+    bytes_written_ += bytes;
+  }
+  return true;
+}
+
+}  // namespace sensei

@@ -1,0 +1,43 @@
+// Histogram AnalysisAdaptor: the canonical SENSEI demo analysis — a global
+// histogram of one array, reduced across ranks and written by rank 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sensei/data_adaptor.hpp"
+
+namespace sensei {
+
+struct HistogramOptions {
+  std::string array = "velocity";
+  svtk::Centering centering = svtk::Centering::kPoint;
+  bool by_magnitude = false;
+  int bins = 32;
+  std::string output_dir;  ///< empty = keep in memory only
+};
+
+class HistogramAnalysisAdaptor final : public AnalysisAdaptor {
+ public:
+  explicit HistogramAnalysisAdaptor(HistogramOptions options);
+
+  bool Execute(DataAdaptor& data) override;
+  [[nodiscard]] std::string Kind() const override { return "histogram"; }
+  [[nodiscard]] std::size_t BytesWritten() const override {
+    return bytes_written_;
+  }
+
+  /// Most recent global histogram (valid on every rank).
+  [[nodiscard]] const std::vector<long>& Counts() const { return counts_; }
+  [[nodiscard]] double RangeMin() const { return lo_; }
+  [[nodiscard]] double RangeMax() const { return hi_; }
+
+ private:
+  HistogramOptions options_;
+  std::vector<long> counts_;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  std::size_t bytes_written_ = 0;
+};
+
+}  // namespace sensei

@@ -1,0 +1,149 @@
+#include "sensei/intransit_data_adaptor.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "svtk/serialize.hpp"
+
+namespace sensei {
+
+std::shared_ptr<svtk::UnstructuredGrid> MergeBlocks(
+    const std::vector<std::shared_ptr<svtk::UnstructuredGrid>>& blocks) {
+  std::size_t npoints = 0;
+  std::size_t ncells = 0;
+  for (const auto& block : blocks) {
+    npoints += block->NumPoints();
+    ncells += block->NumCells();
+  }
+  auto merged = std::make_shared<svtk::UnstructuredGrid>(npoints, ncells);
+
+  // Arrays present in every block survive the merge.
+  std::vector<std::pair<std::string, bool>> arrays;  // (name, is_point)
+  if (!blocks.empty()) {
+    for (const std::string& name : blocks[0]->PointArrayNames()) {
+      bool everywhere = true;
+      for (const auto& block : blocks) {
+        everywhere = everywhere && block->PointArray(name) != nullptr;
+      }
+      if (everywhere) arrays.push_back({name, true});
+    }
+    for (const std::string& name : blocks[0]->CellArrayNames()) {
+      bool everywhere = true;
+      for (const auto& block : blocks) {
+        everywhere = everywhere && block->CellArray(name) != nullptr;
+      }
+      if (everywhere) arrays.push_back({name, false});
+    }
+    for (const auto& [name, is_point] : arrays) {
+      const svtk::DataArray* ref = is_point ? blocks[0]->PointArray(name)
+                                           : blocks[0]->CellArray(name);
+      if (is_point) {
+        merged->AddPointArray(name, ref->Components());
+      } else {
+        merged->AddCellArray(name, ref->Components());
+      }
+    }
+  }
+
+  std::size_t point_base = 0;
+  std::size_t cell_base = 0;
+  for (const auto& block : blocks) {
+    std::memcpy(merged->Points().data() + 3 * point_base,
+                block->Points().data(),
+                block->Points().size() * sizeof(double));
+    for (std::size_t c = 0; c < block->NumCells(); ++c) {
+      auto cell = block->GetCell(c);
+      for (auto& node : cell) node += static_cast<std::int64_t>(point_base);
+      merged->SetCell(cell_base + c, cell);
+    }
+    for (const auto& [name, is_point] : arrays) {
+      const svtk::DataArray* src = is_point ? block->PointArray(name)
+                                           : block->CellArray(name);
+      svtk::DataArray* dst = is_point ? merged->PointArray(name)
+                                      : merged->CellArray(name);
+      const std::size_t base = is_point ? point_base : cell_base;
+      std::memcpy(dst->Data().data() +
+                      base * static_cast<std::size_t>(dst->Components()),
+                  src->Data().data(), src->Data().size() * sizeof(double));
+    }
+    point_base += block->NumPoints();
+    cell_base += block->NumCells();
+  }
+  return merged;
+}
+
+void InTransitDataAdaptor::SetStep(
+    int step, double time,
+    const std::map<int, adios::StepPayload>& payloads) {
+  blocks_.clear();
+  merged_.reset();
+  double data_time = time;
+  for (const auto& [writer, payload] : payloads) {
+    auto it = payload.variables.find("mesh");
+    if (it == payload.variables.end()) {
+      throw std::runtime_error("sensei: SST payload missing 'mesh'");
+    }
+    blocks_.push_back(std::make_shared<svtk::UnstructuredGrid>(
+        svtk::Deserialize(it->second)));
+    auto t = payload.variables.find("time");
+    if (t != payload.variables.end() && t->second.size() == sizeof(double)) {
+      std::memcpy(&data_time, t->second.data(), sizeof(double));
+    }
+  }
+  SetPipelineTime(step, data_time);
+}
+
+MeshMetadata InTransitDataAdaptor::GetMeshMetadata(int) {
+  MeshMetadata metadata;
+  metadata.mesh_name = "mesh";
+  metadata.num_blocks = GetCommunicator().Size();
+
+  std::shared_ptr<svtk::UnstructuredGrid> mesh = GetMesh(0);
+  std::array<double, 6> bounds = mesh->Bounds();
+  mpimini::Comm& comm = GetCommunicator();
+  for (int d = 0; d < 3; ++d) {
+    bounds[static_cast<std::size_t>(2 * d)] = comm.AllReduceValue(
+        bounds[static_cast<std::size_t>(2 * d)], mpimini::Op::kMin);
+    bounds[static_cast<std::size_t>(2 * d + 1)] = comm.AllReduceValue(
+        bounds[static_cast<std::size_t>(2 * d + 1)], mpimini::Op::kMax);
+  }
+  metadata.global_bounds = bounds;
+
+  for (const std::string& name : mesh->PointArrayNames()) {
+    metadata.arrays.push_back(
+        {name, svtk::Centering::kPoint, mesh->PointArray(name)->Components()});
+  }
+  for (const std::string& name : mesh->CellArrayNames()) {
+    metadata.arrays.push_back(
+        {name, svtk::Centering::kCell, mesh->CellArray(name)->Components()});
+  }
+  return metadata;
+}
+
+std::shared_ptr<svtk::UnstructuredGrid> InTransitDataAdaptor::GetMesh(int) {
+  if (!merged_) {
+    if (blocks_.empty()) {
+      throw std::runtime_error("sensei: no in transit step installed");
+    }
+    merged_ = MergeBlocks(blocks_);
+  }
+  return merged_;
+}
+
+bool InTransitDataAdaptor::AddArray(svtk::UnstructuredGrid&,
+                                    const std::string& name,
+                                    svtk::Centering centering) {
+  // Every array arrived with the stream; it is either already on the merged
+  // mesh or unknown.
+  std::shared_ptr<svtk::UnstructuredGrid> mesh = GetMesh(0);
+  return centering == svtk::Centering::kPoint
+             ? mesh->PointArray(name) != nullptr
+             : mesh->CellArray(name) != nullptr;
+}
+
+void InTransitDataAdaptor::ReleaseData() {
+  blocks_.clear();
+  merged_.reset();
+}
+
+}  // namespace sensei

@@ -1,0 +1,50 @@
+// Endpoint-side DataAdaptor: presents grids received over the SST stream to
+// ordinary analysis adaptors, so the same Catalyst/Checkpoint/Stats code
+// runs unchanged in situ and in transit (SENSEI's core promise).
+//
+// One endpoint rank serves several writers (4:1 in the paper); their blocks
+// are exposed as one mesh whose local piece is the union of the received
+// blocks, merged into a single grid.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "adios/marshal.hpp"
+#include "sensei/data_adaptor.hpp"
+
+namespace sensei {
+
+class InTransitDataAdaptor final : public DataAdaptor {
+ public:
+  /// `endpoint_comm` spans only the endpoint ranks (used for collective
+  /// reductions among consumers).
+  explicit InTransitDataAdaptor(mpimini::Comm endpoint_comm) {
+    SetCommunicator(endpoint_comm);
+  }
+
+  /// Install the payloads of one completed SST step (writer rank -> BP
+  /// payload with a "mesh" variable).
+  void SetStep(int step, double time,
+               const std::map<int, adios::StepPayload>& payloads);
+
+  int GetNumberOfMeshes() override { return 1; }
+  MeshMetadata GetMeshMetadata(int id) override;
+  std::shared_ptr<svtk::UnstructuredGrid> GetMesh(int id) override;
+  bool AddArray(svtk::UnstructuredGrid& mesh, const std::string& name,
+                svtk::Centering centering) override;
+  void ReleaseData() override;
+
+ private:
+  /// Deserialized blocks from this step's writers.
+  std::vector<std::shared_ptr<svtk::UnstructuredGrid>> blocks_;
+  std::shared_ptr<svtk::UnstructuredGrid> merged_;
+};
+
+/// Concatenate several grids into one (points and cells renumbered; arrays
+/// present in every block are carried over).
+std::shared_ptr<svtk::UnstructuredGrid> MergeBlocks(
+    const std::vector<std::shared_ptr<svtk::UnstructuredGrid>>& blocks);
+
+}  // namespace sensei

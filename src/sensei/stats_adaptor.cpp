@@ -1,0 +1,67 @@
+#include "sensei/stats_adaptor.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace sensei {
+
+bool StatsAnalysisAdaptor::Execute(DataAdaptor& data) {
+  mpimini::Comm& comm = data.GetCommunicator();
+  MeshMetadata metadata = data.GetMeshMetadata(0);
+  std::shared_ptr<svtk::UnstructuredGrid> mesh = data.GetMesh(0);
+  if (!mesh) return false;
+
+  std::vector<std::string> names = options_.arrays;
+  if (names.empty()) {
+    for (const ArrayMetadata& a : metadata.arrays) names.push_back(a.name);
+  }
+
+  last_.clear();
+  for (const std::string& name : names) {
+    svtk::Centering centering = svtk::Centering::kPoint;
+    for (const ArrayMetadata& a : metadata.arrays) {
+      if (a.name == name) centering = a.centering;
+    }
+    if (!mesh->PointArray(name) && !mesh->CellArray(name)) {
+      if (!data.AddArray(*mesh, name, centering)) return false;
+    }
+    const svtk::DataArray* array = centering == svtk::Centering::kPoint
+                                       ? mesh->PointArray(name)
+                                       : mesh->CellArray(name);
+    double local_min = 0.0, local_max = 0.0, local_sum = 0.0;
+    double local_count = static_cast<double>(array->Values());
+    auto values = array->Data();
+    if (!values.empty()) {
+      local_min = local_max = values[0];
+      for (double v : values) {
+        local_min = std::min(local_min, v);
+        local_max = std::max(local_max, v);
+        local_sum += v;
+      }
+    }
+    ArrayStats stats;
+    stats.min = comm.AllReduceValue(local_min, mpimini::Op::kMin);
+    stats.max = comm.AllReduceValue(local_max, mpimini::Op::kMax);
+    const double sum = comm.AllReduceValue(local_sum, mpimini::Op::kSum);
+    const double count = comm.AllReduceValue(local_count, mpimini::Op::kSum);
+    stats.mean = count > 0.0 ? sum / count : 0.0;
+    last_[name] = stats;
+  }
+
+  if (!options_.log_path.empty() && comm.Rank() == 0) {
+    std::ostringstream line;
+    line << "step " << data.GetDataTimeStep() << " time "
+         << data.GetDataTime();
+    for (const auto& [name, s] : last_) {
+      line << " | " << name << " min " << s.min << " max " << s.max
+           << " mean " << s.mean;
+    }
+    line << '\n';
+    std::ofstream out(options_.log_path, std::ios::app);
+    out << line.str();
+    bytes_written_ += line.str().size();
+  }
+  return true;
+}
+
+}  // namespace sensei

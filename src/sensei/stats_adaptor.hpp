@@ -1,0 +1,46 @@
+// Stats AnalysisAdaptor: lightweight in situ reduction (min / max / mean of
+// selected arrays), appended to a text log on rank 0.  The cheapest useful
+// analysis — handy as a control point between "no analysis" and rendering.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sensei/data_adaptor.hpp"
+
+namespace sensei {
+
+struct StatsOptions {
+  std::vector<std::string> arrays;  ///< empty = all advertised arrays
+  std::string log_path;             ///< empty = keep in memory only
+};
+
+class StatsAnalysisAdaptor final : public AnalysisAdaptor {
+ public:
+  explicit StatsAnalysisAdaptor(StatsOptions options)
+      : options_(std::move(options)) {}
+
+  bool Execute(DataAdaptor& data) override;
+  [[nodiscard]] std::string Kind() const override { return "stats"; }
+  [[nodiscard]] std::size_t BytesWritten() const override {
+    return bytes_written_;
+  }
+
+  struct ArrayStats {
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+  };
+  /// Most recent reduction per array (valid on every rank).
+  [[nodiscard]] const std::map<std::string, ArrayStats>& Last() const {
+    return last_;
+  }
+
+ private:
+  StatsOptions options_;
+  std::map<std::string, ArrayStats> last_;
+  std::size_t bytes_written_ = 0;
+};
+
+}  // namespace sensei

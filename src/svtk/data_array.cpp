@@ -1,0 +1,44 @@
+#include "svtk/data_array.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svtk {
+
+DataArray::DataArray(std::string name, std::size_t tuples, int components)
+    : name_(std::move(name)),
+      tuples_(tuples),
+      components_(components),
+      storage_("vtk", tuples * static_cast<std::size_t>(components)) {}
+
+double DataArray::Magnitude(std::size_t tuple) const {
+  double sum = 0.0;
+  for (int c = 0; c < components_; ++c) {
+    const double v = At(tuple, c);
+    sum += v * v;
+  }
+  return std::sqrt(sum);
+}
+
+DataArray::Range DataArray::ValueRange(bool by_magnitude) const {
+  Range r;
+  if (tuples_ == 0) return r;
+  if (by_magnitude && components_ > 1) {
+    r.min = r.max = Magnitude(0);
+    for (std::size_t t = 1; t < tuples_; ++t) {
+      const double m = Magnitude(t);
+      r.min = std::min(r.min, m);
+      r.max = std::max(r.max, m);
+    }
+  } else {
+    auto data = Data();
+    r.min = r.max = data[0];
+    for (double v : data) {
+      r.min = std::min(r.min, v);
+      r.max = std::max(r.max, v);
+    }
+  }
+  return r;
+}
+
+}  // namespace svtk

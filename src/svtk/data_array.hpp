@@ -1,0 +1,69 @@
+// svtk: the slice of the VTK data model that SENSEI relays.
+//
+// VTK is host-only (the paper calls out "VTK data model's current lack of
+// GPU device memory support"), so every svtk array lives in host memory and
+// its bytes are tracked under the "vtk" category — this is the allocation
+// that produces the Catalyst-vs-Checkpointing memory gap in Fig 3.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "instrument/memory_tracker.hpp"
+
+namespace svtk {
+
+/// Where an array's values live on the mesh.
+enum class Centering { kPoint, kCell };
+
+/// A named array of doubles with a fixed number of components per tuple
+/// (1 = scalar, 3 = vector).
+class DataArray {
+ public:
+  DataArray() = default;
+
+  DataArray(std::string name, std::size_t tuples, int components);
+
+  [[nodiscard]] const std::string& Name() const { return name_; }
+  [[nodiscard]] std::size_t Tuples() const { return tuples_; }
+  [[nodiscard]] int Components() const { return components_; }
+  [[nodiscard]] std::size_t Values() const {
+    return tuples_ * static_cast<std::size_t>(components_);
+  }
+
+  [[nodiscard]] std::span<double> Data() {
+    return {storage_.data(), storage_.size()};
+  }
+  [[nodiscard]] std::span<const double> Data() const {
+    return {storage_.data(), storage_.size()};
+  }
+
+  double& At(std::size_t tuple, int component = 0) {
+    return storage_[tuple * static_cast<std::size_t>(components_) +
+                    static_cast<std::size_t>(component)];
+  }
+  double At(std::size_t tuple, int component = 0) const {
+    return storage_[tuple * static_cast<std::size_t>(components_) +
+                    static_cast<std::size_t>(component)];
+  }
+
+  /// Tuple-wise Euclidean magnitude (used for |velocity| coloring).
+  [[nodiscard]] double Magnitude(std::size_t tuple) const;
+
+  /// Min/max over all values (component-agnostic for scalars; magnitude for
+  /// vectors when `by_magnitude`).
+  struct Range {
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Range ValueRange(bool by_magnitude = false) const;
+
+ private:
+  std::string name_;
+  std::size_t tuples_ = 0;
+  int components_ = 1;
+  instrument::TrackedBuffer<double> storage_;
+};
+
+}  // namespace svtk

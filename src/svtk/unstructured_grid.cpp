@@ -1,0 +1,99 @@
+#include "svtk/unstructured_grid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace svtk {
+
+UnstructuredGrid::UnstructuredGrid(std::size_t npoints, std::size_t ncells)
+    : npoints_(npoints),
+      ncells_(ncells),
+      points_("vtk", npoints * 3),
+      connectivity_("vtk", ncells * 8) {}
+
+void UnstructuredGrid::SetCell(std::size_t cell,
+                               const std::array<std::int64_t, 8>& nodes) {
+  for (std::size_t k = 0; k < 8; ++k) connectivity_[8 * cell + k] = nodes[k];
+}
+
+std::array<std::int64_t, 8> UnstructuredGrid::GetCell(std::size_t cell) const {
+  std::array<std::int64_t, 8> nodes;
+  for (std::size_t k = 0; k < 8; ++k) nodes[k] = connectivity_[8 * cell + k];
+  return nodes;
+}
+
+DataArray& UnstructuredGrid::AddPointArray(const std::string& name,
+                                           int components) {
+  point_arrays_[name] = DataArray(name, npoints_, components);
+  return point_arrays_[name];
+}
+
+DataArray& UnstructuredGrid::AddCellArray(const std::string& name,
+                                          int components) {
+  cell_arrays_[name] = DataArray(name, ncells_, components);
+  return cell_arrays_[name];
+}
+
+DataArray* UnstructuredGrid::PointArray(const std::string& name) {
+  auto it = point_arrays_.find(name);
+  return it == point_arrays_.end() ? nullptr : &it->second;
+}
+
+const DataArray* UnstructuredGrid::PointArray(const std::string& name) const {
+  auto it = point_arrays_.find(name);
+  return it == point_arrays_.end() ? nullptr : &it->second;
+}
+
+DataArray* UnstructuredGrid::CellArray(const std::string& name) {
+  auto it = cell_arrays_.find(name);
+  return it == cell_arrays_.end() ? nullptr : &it->second;
+}
+
+const DataArray* UnstructuredGrid::CellArray(const std::string& name) const {
+  auto it = cell_arrays_.find(name);
+  return it == cell_arrays_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> UnstructuredGrid::PointArrayNames() const {
+  std::vector<std::string> names;
+  names.reserve(point_arrays_.size());
+  for (const auto& [name, array] : point_arrays_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> UnstructuredGrid::CellArrayNames() const {
+  std::vector<std::string> names;
+  names.reserve(cell_arrays_.size());
+  for (const auto& [name, array] : cell_arrays_) names.push_back(name);
+  return names;
+}
+
+std::array<double, 6> UnstructuredGrid::Bounds() const {
+  std::array<double, 6> b{};
+  if (npoints_ == 0) return b;
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  b = {inf, -inf, inf, -inf, inf, -inf};
+  for (std::size_t i = 0; i < npoints_; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      const double v = points_[3 * i + static_cast<std::size_t>(d)];
+      b[static_cast<std::size_t>(2 * d)] =
+          std::min(b[static_cast<std::size_t>(2 * d)], v);
+      b[static_cast<std::size_t>(2 * d + 1)] =
+          std::max(b[static_cast<std::size_t>(2 * d + 1)], v);
+    }
+  }
+  return b;
+}
+
+std::size_t UnstructuredGrid::MemoryBytes() const {
+  std::size_t total = points_.Bytes() + connectivity_.Bytes();
+  for (const auto& [name, array] : point_arrays_) {
+    total += array.Values() * sizeof(double);
+  }
+  for (const auto& [name, array] : cell_arrays_) {
+    total += array.Values() * sizeof(double);
+  }
+  return total;
+}
+
+}  // namespace svtk

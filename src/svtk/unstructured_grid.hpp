@@ -1,0 +1,106 @@
+// Unstructured grid of linear hexahedra (VTK cell type 12) plus named point
+// and cell data arrays, and a per-rank MultiBlockDataSet.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "instrument/memory_tracker.hpp"
+#include "svtk/data_array.hpp"
+
+namespace svtk {
+
+/// VTK_HEXAHEDRON
+inline constexpr std::uint8_t kCellTypeHex = 12;
+
+/// An unstructured grid: points, hex connectivity, and data arrays.
+///
+/// Only linear hexahedra are supported — NekRS meshes are hexahedral and the
+/// DataAdaptor tessellates each spectral element into (N)^3 hex sub-cells.
+class UnstructuredGrid {
+ public:
+  UnstructuredGrid() = default;
+
+  /// Allocate storage for `npoints` points and `ncells` hex cells.
+  UnstructuredGrid(std::size_t npoints, std::size_t ncells);
+
+  [[nodiscard]] std::size_t NumPoints() const { return npoints_; }
+  [[nodiscard]] std::size_t NumCells() const { return ncells_; }
+
+  /// Point coordinates, xyz-interleaved (3*NumPoints values).
+  [[nodiscard]] std::span<double> Points() {
+    return {points_.data(), points_.size()};
+  }
+  [[nodiscard]] std::span<const double> Points() const {
+    return {points_.data(), points_.size()};
+  }
+
+  void SetPoint(std::size_t i, double x, double y, double z) {
+    points_[3 * i + 0] = x;
+    points_[3 * i + 1] = y;
+    points_[3 * i + 2] = z;
+  }
+  [[nodiscard]] std::array<double, 3> GetPoint(std::size_t i) const {
+    return {points_[3 * i + 0], points_[3 * i + 1], points_[3 * i + 2]};
+  }
+
+  /// Hex connectivity, 8 point ids per cell (VTK node ordering).
+  [[nodiscard]] std::span<std::int64_t> Connectivity() {
+    return {connectivity_.data(), connectivity_.size()};
+  }
+  [[nodiscard]] std::span<const std::int64_t> Connectivity() const {
+    return {connectivity_.data(), connectivity_.size()};
+  }
+
+  void SetCell(std::size_t cell, const std::array<std::int64_t, 8>& nodes);
+  [[nodiscard]] std::array<std::int64_t, 8> GetCell(std::size_t cell) const;
+
+  /// Create (or replace) a point-centered array; returns a reference to it.
+  DataArray& AddPointArray(const std::string& name, int components);
+  /// Create (or replace) a cell-centered array.
+  DataArray& AddCellArray(const std::string& name, int components);
+
+  [[nodiscard]] DataArray* PointArray(const std::string& name);
+  [[nodiscard]] const DataArray* PointArray(const std::string& name) const;
+  [[nodiscard]] DataArray* CellArray(const std::string& name);
+  [[nodiscard]] const DataArray* CellArray(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> PointArrayNames() const;
+  [[nodiscard]] std::vector<std::string> CellArrayNames() const;
+
+  /// Axis-aligned bounding box {xmin,xmax,ymin,ymax,zmin,zmax}.
+  [[nodiscard]] std::array<double, 6> Bounds() const;
+
+  /// Total bytes held by points, connectivity, and all arrays.
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+ private:
+  std::size_t npoints_ = 0;
+  std::size_t ncells_ = 0;
+  instrument::TrackedBuffer<double> points_;
+  instrument::TrackedBuffer<std::int64_t> connectivity_;
+  std::map<std::string, DataArray> point_arrays_;
+  std::map<std::string, DataArray> cell_arrays_;
+};
+
+/// A collection of grid blocks; in this reproduction each rank contributes
+/// one local block and `global_block_count` records the world total.
+struct MultiBlockDataSet {
+  std::vector<std::shared_ptr<UnstructuredGrid>> blocks;
+  int global_block_count = 0;
+
+  [[nodiscard]] std::size_t MemoryBytes() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks) {
+      if (b) total += b->MemoryBytes();
+    }
+    return total;
+  }
+};
+
+}  // namespace svtk

@@ -1,0 +1,253 @@
+#include "svtk/vtu_writer.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "xmlcfg/xml.hpp"
+
+namespace svtk {
+
+namespace {
+
+constexpr char kB64Chars[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+// Encode raw payload with the VTK inline-binary uint64 size header.
+std::string EncodeBlock(const void* data, std::size_t bytes) {
+  std::vector<std::byte> block(sizeof(std::uint64_t) + bytes);
+  const std::uint64_t header = bytes;
+  std::memcpy(block.data(), &header, sizeof(header));
+  if (bytes) std::memcpy(block.data() + sizeof(header), data, bytes);
+  return Base64Encode(block.data(), block.size());
+}
+
+std::vector<std::byte> DecodeBlock(const std::string& text) {
+  std::vector<std::byte> block = Base64Decode(text);
+  if (block.size() < sizeof(std::uint64_t)) {
+    throw std::runtime_error("vtu: truncated binary block");
+  }
+  std::uint64_t header = 0;
+  std::memcpy(&header, block.data(), sizeof(header));
+  if (block.size() - sizeof(header) != header) {
+    throw std::runtime_error("vtu: binary block size mismatch");
+  }
+  block.erase(block.begin(),
+              block.begin() + static_cast<std::ptrdiff_t>(sizeof(header)));
+  return block;
+}
+
+template <typename T>
+void WriteArrayAscii(std::ostream& os, std::span<const T> values) {
+  // Full round-trip precision: ASCII checkpoints must restore exactly.
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ' ';
+    if constexpr (sizeof(T) == 1) {
+      os << static_cast<int>(values[i]);
+    } else {
+      os << values[i];
+    }
+  }
+}
+
+template <typename T>
+void WriteDataArray(std::ostream& os, const std::string& vtk_type,
+                    const std::string& name, int components,
+                    std::span<const T> values, VtuEncoding encoding) {
+  os << "      <DataArray type=\"" << vtk_type << "\" Name=\"" << name
+     << "\" NumberOfComponents=\"" << components << "\" format=\""
+     << (encoding == VtuEncoding::kAscii ? "ascii" : "binary") << "\">";
+  if (encoding == VtuEncoding::kAscii) {
+    WriteArrayAscii(os, values);
+  } else {
+    os << EncodeBlock(values.data(), values.size_bytes());
+  }
+  os << "</DataArray>\n";
+}
+
+template <typename T>
+std::vector<T> ReadDataArray(const xmlcfg::Element& element) {
+  std::vector<T> out;
+  if (element.Attr("format") == "binary") {
+    std::vector<std::byte> raw = DecodeBlock(element.text);
+    if (raw.size() % sizeof(T) != 0) {
+      throw std::runtime_error("vtu: binary array size not multiple of type");
+    }
+    out.resize(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+  } else {
+    std::istringstream in(element.text);
+    T v;
+    while (in >> v) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Base64Encode(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::string out;
+  out.reserve(((bytes + 2) / 3) * 4);
+  for (std::size_t i = 0; i < bytes; i += 3) {
+    const unsigned b0 = p[i];
+    const unsigned b1 = i + 1 < bytes ? p[i + 1] : 0;
+    const unsigned b2 = i + 2 < bytes ? p[i + 2] : 0;
+    out += kB64Chars[b0 >> 2];
+    out += kB64Chars[((b0 & 0x3) << 4) | (b1 >> 4)];
+    out += i + 1 < bytes ? kB64Chars[((b1 & 0xF) << 2) | (b2 >> 6)] : '=';
+    out += i + 2 < bytes ? kB64Chars[b2 & 0x3F] : '=';
+  }
+  return out;
+}
+
+std::vector<std::byte> Base64Decode(const std::string& text) {
+  auto value_of = [](char c) -> int {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '+') return 62;
+    if (c == '/') return 63;
+    if (c == '=') return -1;
+    throw std::runtime_error("base64: invalid character");
+  };
+  std::vector<std::byte> out;
+  out.reserve(text.size() / 4 * 3);
+  unsigned buffer = 0;
+  int bits = 0;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int v = value_of(c);
+    if (v < 0) break;  // padding
+    buffer = (buffer << 6) | static_cast<unsigned>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::byte>((buffer >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+std::size_t WriteVtu(const UnstructuredGrid& grid, const std::string& path,
+                     VtuEncoding encoding) {
+  std::ostringstream os;
+  const std::size_t np = grid.NumPoints();
+  const std::size_t nc = grid.NumCells();
+
+  os << "<?xml version=\"1.0\"?>\n"
+     << "<VTKFile type=\"UnstructuredGrid\" version=\"1.0\" "
+        "byte_order=\"LittleEndian\" header_type=\"UInt64\">\n"
+     << "  <UnstructuredGrid>\n"
+     << "    <Piece NumberOfPoints=\"" << np << "\" NumberOfCells=\"" << nc
+     << "\">\n";
+
+  os << "    <Points>\n";
+  WriteDataArray<double>(os, "Float64", "Points", 3, grid.Points(), encoding);
+  os << "    </Points>\n";
+
+  os << "    <Cells>\n";
+  WriteDataArray<std::int64_t>(os, "Int64", "connectivity", 1,
+                               grid.Connectivity(), encoding);
+  std::vector<std::int64_t> offsets(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    offsets[c] = static_cast<std::int64_t>(8 * (c + 1));
+  }
+  WriteDataArray<std::int64_t>(os, "Int64", "offsets", 1,
+                               std::span<const std::int64_t>(offsets),
+                               encoding);
+  std::vector<std::uint8_t> types(nc, kCellTypeHex);
+  WriteDataArray<std::uint8_t>(os, "UInt8", "types", 1,
+                               std::span<const std::uint8_t>(types), encoding);
+  os << "    </Cells>\n";
+
+  os << "    <PointData>\n";
+  for (const std::string& name : grid.PointArrayNames()) {
+    const DataArray* array = grid.PointArray(name);
+    WriteDataArray<double>(os, "Float64", name, array->Components(),
+                           array->Data(), encoding);
+  }
+  os << "    </PointData>\n";
+
+  os << "    <CellData>\n";
+  for (const std::string& name : grid.CellArrayNames()) {
+    const DataArray* array = grid.CellArray(name);
+    WriteDataArray<double>(os, "Float64", name, array->Components(),
+                           array->Data(), encoding);
+  }
+  os << "    </CellData>\n";
+
+  os << "    </Piece>\n"
+     << "  </UnstructuredGrid>\n"
+     << "</VTKFile>\n";
+
+  const std::string text = os.str();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("vtu: cannot open for writing: " + path);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return text.size();
+}
+
+UnstructuredGrid ReadVtu(const std::string& path) {
+  xmlcfg::Document doc = xmlcfg::ParseFile(path);
+  if (doc.root.name != "VTKFile") {
+    throw std::runtime_error("vtu: not a VTKFile: " + path);
+  }
+  const xmlcfg::Element* ug = doc.root.FindChild("UnstructuredGrid");
+  const xmlcfg::Element* piece = ug ? ug->FindChild("Piece") : nullptr;
+  if (!piece) throw std::runtime_error("vtu: missing Piece element");
+
+  const auto np = static_cast<std::size_t>(piece->AttrInt("NumberOfPoints"));
+  const auto nc = static_cast<std::size_t>(piece->AttrInt("NumberOfCells"));
+  UnstructuredGrid grid(np, nc);
+
+  const xmlcfg::Element* points = piece->FindChild("Points");
+  if (!points || points->children.empty()) {
+    throw std::runtime_error("vtu: missing Points");
+  }
+  std::vector<double> coords = ReadDataArray<double>(points->children[0]);
+  if (coords.size() != 3 * np) {
+    throw std::runtime_error("vtu: point count mismatch");
+  }
+  std::memcpy(grid.Points().data(), coords.data(),
+              coords.size() * sizeof(double));
+
+  const xmlcfg::Element* cells = piece->FindChild("Cells");
+  if (!cells) throw std::runtime_error("vtu: missing Cells");
+  for (const xmlcfg::Element& array : cells->children) {
+    if (array.Attr("Name") == "connectivity") {
+      std::vector<std::int64_t> conn = ReadDataArray<std::int64_t>(array);
+      if (conn.size() != 8 * nc) {
+        throw std::runtime_error("vtu: connectivity size mismatch");
+      }
+      std::memcpy(grid.Connectivity().data(), conn.data(),
+                  conn.size() * sizeof(std::int64_t));
+    }
+  }
+
+  auto load_arrays = [&](const xmlcfg::Element* parent, bool point_data) {
+    if (!parent) return;
+    for (const xmlcfg::Element& array : parent->children) {
+      const std::string name = array.Attr("Name");
+      const int comps =
+          static_cast<int>(array.AttrInt("NumberOfComponents", 1));
+      std::vector<double> values = ReadDataArray<double>(array);
+      DataArray& target = point_data ? grid.AddPointArray(name, comps)
+                                     : grid.AddCellArray(name, comps);
+      if (values.size() != target.Values()) {
+        throw std::runtime_error("vtu: array size mismatch for " + name);
+      }
+      std::memcpy(target.Data().data(), values.data(),
+                  values.size() * sizeof(double));
+    }
+  };
+  load_arrays(piece->FindChild("PointData"), /*point_data=*/true);
+  load_arrays(piece->FindChild("CellData"), /*point_data=*/false);
+  return grid;
+}
+
+}  // namespace svtk

@@ -1,0 +1,33 @@
+// VTK XML UnstructuredGrid (.vtu) writer and reader.
+//
+// Two encodings:
+//  * kAscii  — human-readable, used by small tests.
+//  * kBinary — VTK "inline binary": base64(uint64 byte-count || payload)
+//    with header_type="UInt64"; files are valid ParaView input and stay
+//    well-formed XML, so our own reader reuses the xmlcfg parser.
+//
+// The SENSEI CheckpointAnalysisAdaptor writes these files; their on-disk
+// size is the "Checkpointing" storage number in the Fig-2 storage-economy
+// comparison.
+#pragma once
+
+#include <string>
+
+#include "svtk/unstructured_grid.hpp"
+
+namespace svtk {
+
+enum class VtuEncoding { kAscii, kBinary };
+
+/// Write `grid` to `path` (overwrites). Returns bytes written.
+std::size_t WriteVtu(const UnstructuredGrid& grid, const std::string& path,
+                     VtuEncoding encoding = VtuEncoding::kBinary);
+
+/// Read a .vtu previously produced by WriteVtu.
+UnstructuredGrid ReadVtu(const std::string& path);
+
+/// Base64 helpers (exposed for tests).
+std::string Base64Encode(const void* data, std::size_t bytes);
+std::vector<std::byte> Base64Decode(const std::string& text);
+
+}  // namespace svtk

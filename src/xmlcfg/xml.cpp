@@ -1,0 +1,313 @@
+#include "xmlcfg/xml.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace xmlcfg {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Document Run() {
+    SkipProlog();
+    Document doc;
+    doc.root = ParseElement();
+    SkipMisc();
+    if (!AtEnd()) Fail("trailing content after root element");
+    return doc;
+  }
+
+ private:
+  [[nodiscard]] bool AtEnd() const { return pos_ >= input_.size(); }
+
+  [[nodiscard]] char Peek() const { return input_[pos_]; }
+
+  char Take() {
+    char c = input_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  [[nodiscard]] bool StartsWith(std::string_view prefix) const {
+    return input_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  void Expect(std::string_view prefix) {
+    if (!StartsWith(prefix)) {
+      Fail("expected '" + std::string(prefix) + "'");
+    }
+    for (std::size_t i = 0; i < prefix.size(); ++i) Take();
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError(message, line_);
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Take();
+    }
+  }
+
+  void SkipComment() {
+    Expect("<!--");
+    while (!AtEnd()) {
+      if (StartsWith("-->")) {
+        Expect("-->");
+        return;
+      }
+      Take();
+    }
+    Fail("unterminated comment");
+  }
+
+  // XML declaration, comments, whitespace before/after the root.
+  void SkipProlog() {
+    SkipWhitespace();
+    if (StartsWith("<?xml")) {
+      while (!AtEnd() && !StartsWith("?>")) Take();
+      if (AtEnd()) Fail("unterminated XML declaration");
+      Expect("?>");
+    }
+    SkipMisc();
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (StartsWith("<!--")) {
+        SkipComment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  std::string ParseName() {
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) name += Take();
+    if (name.empty()) Fail("expected a name");
+    return name;
+  }
+
+  std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      auto end = raw.find(';', i);
+      if (end == std::string_view::npos) Fail("unterminated entity");
+      std::string_view entity = raw.substr(i + 1, end - i - 1);
+      if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "amp") {
+        out += '&';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else {
+        Fail("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = end;
+    }
+    return out;
+  }
+
+  std::string ParseAttrValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      Fail("expected quoted attribute value");
+    }
+    const char quote = Take();
+    std::string raw;
+    while (!AtEnd() && Peek() != quote) raw += Take();
+    if (AtEnd()) Fail("unterminated attribute value");
+    Take();  // closing quote
+    return DecodeEntities(raw);
+  }
+
+  Element ParseElement() {
+    Expect("<");
+    Element element;
+    element.name = ParseName();
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) Fail("unterminated start tag");
+      if (StartsWith("/>")) {
+        Expect("/>");
+        return element;
+      }
+      if (Peek() == '>') {
+        Take();
+        ParseContent(element);
+        return element;
+      }
+      std::string key = ParseName();
+      SkipWhitespace();
+      Expect("=");
+      SkipWhitespace();
+      if (element.attributes.count(key)) {
+        Fail("duplicate attribute '" + key + "'");
+      }
+      element.attributes[key] = ParseAttrValue();
+    }
+  }
+
+  void ParseContent(Element& element) {
+    std::string text;
+    for (;;) {
+      if (AtEnd()) Fail("unterminated element <" + element.name + ">");
+      if (StartsWith("<!--")) {
+        SkipComment();
+      } else if (StartsWith("</")) {
+        Expect("</");
+        std::string closing = ParseName();
+        if (closing != element.name) {
+          Fail("mismatched closing tag </" + closing + "> for <" +
+               element.name + ">");
+        }
+        SkipWhitespace();
+        Expect(">");
+        element.text = DecodeEntities(Trim(text));
+        return;
+      } else if (Peek() == '<') {
+        element.children.push_back(ParseElement());
+      } else {
+        text += Take();
+      }
+    }
+  }
+
+  static std::string Trim(const std::string& s) {
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+      ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+      --end;
+    }
+    return s.substr(begin, end - begin);
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+std::string EncodeEntities(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void SerializeTo(const Element& element, std::ostream& os, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  os << indent << '<' << element.name;
+  for (const auto& [key, value] : element.attributes) {
+    os << ' ' << key << "=\"" << EncodeEntities(value) << '"';
+  }
+  if (element.children.empty() && element.text.empty()) {
+    os << "/>\n";
+    return;
+  }
+  os << '>';
+  if (!element.text.empty()) os << EncodeEntities(element.text);
+  if (!element.children.empty()) {
+    os << '\n';
+    for (const Element& child : element.children) {
+      SerializeTo(child, os, depth + 1);
+    }
+    os << indent;
+  }
+  os << "</" << element.name << ">\n";
+}
+
+}  // namespace
+
+std::string Element::Attr(const std::string& key,
+                          const std::string& fallback) const {
+  auto it = attributes.find(key);
+  return it == attributes.end() ? fallback : it->second;
+}
+
+long Element::AttrInt(const std::string& key, long fallback) const {
+  auto it = attributes.find(key);
+  if (it == attributes.end()) return fallback;
+  std::size_t consumed = 0;
+  long value = std::stol(it->second, &consumed);
+  if (consumed != it->second.size()) {
+    throw std::invalid_argument("attribute '" + key + "' is not an integer: " +
+                                it->second);
+  }
+  return value;
+}
+
+double Element::AttrDouble(const std::string& key, double fallback) const {
+  auto it = attributes.find(key);
+  if (it == attributes.end()) return fallback;
+  std::size_t consumed = 0;
+  double value = std::stod(it->second, &consumed);
+  if (consumed != it->second.size()) {
+    throw std::invalid_argument("attribute '" + key + "' is not a number: " +
+                                it->second);
+  }
+  return value;
+}
+
+const Element* Element::FindChild(std::string_view tag) const {
+  for (const Element& child : children) {
+    if (child.name == tag) return &child;
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::FindAll(std::string_view tag) const {
+  std::vector<const Element*> out;
+  for (const Element& child : children) {
+    if (child.name == tag) out.push_back(&child);
+  }
+  return out;
+}
+
+Document Parse(std::string_view input) { return Parser(input).Run(); }
+
+Document ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open XML file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+std::string Serialize(const Element& element) {
+  std::ostringstream os;
+  SerializeTo(element, os, 0);
+  return os.str();
+}
+
+}  // namespace xmlcfg

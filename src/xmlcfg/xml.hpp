@@ -1,0 +1,84 @@
+// Minimal non-validating XML DOM, sufficient for SENSEI-style runtime
+// configuration files:
+//
+//   <sensei>
+//     <analysis type="catalyst" frequency="100" ... />
+//   </sensei>
+//
+// Supports elements, attributes (single or double quoted), nested children,
+// text content, comments, an optional XML declaration, and the five
+// predefined entities.  Parse errors throw xmlcfg::ParseError with a line
+// number.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlcfg {
+
+/// Thrown on malformed input; message includes a 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line)
+      : std::runtime_error("XML parse error at line " + std::to_string(line) +
+                           ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] int Line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// One XML element: tag name, attributes, child elements, and the
+/// concatenated text content directly inside it.
+class Element {
+ public:
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<Element> children;
+  std::string text;
+
+  /// Attribute value or `fallback` when absent.
+  [[nodiscard]] std::string Attr(const std::string& key,
+                                 const std::string& fallback = "") const;
+
+  /// Attribute parsed as integer; `fallback` when absent. Throws
+  /// std::invalid_argument if present but not an integer.
+  [[nodiscard]] long AttrInt(const std::string& key, long fallback = 0) const;
+
+  /// Attribute parsed as double; `fallback` when absent.
+  [[nodiscard]] double AttrDouble(const std::string& key,
+                                  double fallback = 0.0) const;
+
+  [[nodiscard]] bool HasAttr(const std::string& key) const {
+    return attributes.count(key) != 0;
+  }
+
+  /// First child with the given tag name, or nullptr.
+  [[nodiscard]] const Element* FindChild(std::string_view tag) const;
+
+  /// All children with the given tag name, in document order.
+  [[nodiscard]] std::vector<const Element*> FindAll(std::string_view tag) const;
+};
+
+/// A parsed document; `root` is the single top-level element.
+struct Document {
+  Element root;
+};
+
+/// Parse an XML document from a string.
+Document Parse(std::string_view input);
+
+/// Parse the file at `path`; throws std::runtime_error if unreadable.
+Document ParseFile(const std::string& path);
+
+/// Serialize an element tree back to indented XML text (used by round-trip
+/// tests and for writing generated configurations).
+std::string Serialize(const Element& element);
+
+}  // namespace xmlcfg

@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/bridge.hpp"
+#include "sensei/checkpoint_adaptor.hpp"
+#include "core/nek_data_adaptor.hpp"
+#include "core/workflows.hpp"
+#include "mpimini/runtime.hpp"
+#include "nekrs/cases.hpp"
+
+namespace {
+
+using mpimini::Comm;
+using mpimini::Runtime;
+using nek_sensei::Bridge;
+using nek_sensei::NekDataAdaptor;
+
+std::string TempSubdir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "/core_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+nekrs::FlowConfig SmallCase() {
+  nekrs::cases::TaylorGreenOptions options;
+  options.elements = {2, 2, 2};
+  options.order = 3;
+  return nekrs::cases::TaylorGreenCase(options);
+}
+
+// ---- NekDataAdaptor ---------------------------------------------------------
+
+TEST(NekDataAdaptorTest, MeshTessellatesElements) {
+  Runtime::Run(2, [](Comm& comm) {
+    occamini::Device device(occamini::Backend::kSimGpu);
+    nekrs::FlowSolver solver(comm, device, SmallCase());
+    NekDataAdaptor adaptor;
+    adaptor.Initialize(&solver);
+
+    EXPECT_EQ(adaptor.GetNumberOfMeshes(), 1);
+    auto mesh = adaptor.GetMesh(0);
+    // 4 local elements (2x2x1 layers per rank), (3+1)^3 points each,
+    // 3^3 sub-hexes each.
+    EXPECT_EQ(mesh->NumPoints(), 4u * 64u);
+    EXPECT_EQ(mesh->NumCells(), 4u * 27u);
+    // Cached until release.
+    EXPECT_EQ(adaptor.GetMesh(0).get(), mesh.get());
+    adaptor.ReleaseData();
+    EXPECT_NE(adaptor.GetMesh(0).get(), mesh.get());
+  });
+}
+
+TEST(NekDataAdaptorTest, MetadataAdvertisesSolverArrays) {
+  Runtime::Run(1, [](Comm& comm) {
+    occamini::Device device(occamini::Backend::kSimGpu);
+    nekrs::cases::RayleighBenardOptions options;
+    options.elements = {2, 2, 2};
+    options.order = 3;
+    nekrs::FlowSolver solver(comm, device,
+                             nekrs::cases::RayleighBenardCase(options));
+    NekDataAdaptor adaptor;
+    adaptor.Initialize(&solver);
+    auto md = adaptor.GetMeshMetadata(0);
+    ASSERT_EQ(md.arrays.size(), 3u);  // velocity, pressure, temperature
+    EXPECT_EQ(md.arrays[0].name, "velocity");
+    EXPECT_EQ(md.arrays[0].components, 3);
+    EXPECT_DOUBLE_EQ(md.global_bounds[1], 3.0);  // aspect 3 in x
+  });
+}
+
+TEST(NekDataAdaptorTest, AddArrayCopiesDeviceToHostStaging) {
+  Runtime::Run(1, [](Comm& comm) {
+    occamini::Device device(occamini::Backend::kSimGpu);
+    nekrs::FlowSolver solver(comm, device, SmallCase());
+    NekDataAdaptor adaptor;
+    adaptor.Initialize(&solver);
+    auto mesh = adaptor.GetMesh(0);
+
+    const auto d2h_before = device.Transfers().d2h_count;
+    ASSERT_TRUE(adaptor.AddArray(*mesh, "velocity", svtk::Centering::kPoint));
+    // Three components staged = three device->host copies.
+    EXPECT_EQ(device.Transfers().d2h_count, d2h_before + 3);
+    EXPECT_GT(adaptor.StagingBytes(), 0u);
+
+    // Values match the Taylor-Green initial condition at the nodes.
+    const svtk::DataArray* v = mesh->PointArray("velocity");
+    ASSERT_NE(v, nullptr);
+    auto p = mesh->GetPoint(0);
+    EXPECT_NEAR(v->At(0, 0), std::sin(p[0]) * std::cos(p[1]), 1e-12);
+
+    adaptor.ReleaseData();
+    EXPECT_EQ(adaptor.StagingBytes(), 0u);
+  });
+}
+
+TEST(NekDataAdaptorTest, UnknownArrayRejected) {
+  Runtime::Run(1, [](Comm& comm) {
+    occamini::Device device(occamini::Backend::kSimGpu);
+    nekrs::FlowSolver solver(comm, device, SmallCase());  // no temperature
+    NekDataAdaptor adaptor;
+    adaptor.Initialize(&solver);
+    auto mesh = adaptor.GetMesh(0);
+    EXPECT_FALSE(adaptor.AddArray(*mesh, "enstrophy", svtk::Centering::kPoint));
+    EXPECT_FALSE(
+        adaptor.AddArray(*mesh, "temperature", svtk::Centering::kPoint));
+    EXPECT_FALSE(adaptor.AddArray(*mesh, "velocity", svtk::Centering::kCell));
+  });
+}
+
+// ---- Bridge -----------------------------------------------------------------
+
+TEST(BridgeTest, UpdateTriggersAtConfiguredFrequency) {
+  const std::string dir = TempSubdir("bridge");
+  Runtime::Run(1, [&](Comm& comm) {
+    occamini::Device device(occamini::Backend::kSimGpu);
+    nekrs::FlowSolver solver(comm, device, SmallCase());
+    Bridge bridge(solver,
+                  "<sensei><analysis type=\"checkpoint\" frequency=\"5\" "
+                  "output=\"" + dir + "\"/></sensei>");
+    for (int s = 0; s < 10; ++s) {
+      solver.Step();
+      ASSERT_TRUE(bridge.Update());
+    }
+    bridge.Finalize();
+    auto checkpoint =
+        std::dynamic_pointer_cast<sensei::CheckpointAnalysisAdaptor>(
+            bridge.Analysis().Find("checkpoint"));
+    EXPECT_EQ(checkpoint->FilesWritten(), 2u);  // steps 5 and 10
+  });
+}
+
+// ---- Workflows --------------------------------------------------------------
+
+TEST(WorkflowTest, InSituOriginalRunsWithoutSensei) {
+  nek_sensei::InSituOptions options;
+  options.flow = SmallCase();
+  options.steps = 3;
+  options.use_sensei = false;
+  auto metrics = nek_sensei::RunInSitu(2, options);
+  ASSERT_EQ(metrics.ranks.size(), 2u);
+  EXPECT_EQ(metrics.bytes_written, 0u);
+  EXPECT_EQ(metrics.images_written, 0u);
+  EXPECT_GT(metrics.MeanSimStepSeconds(), 0.0);
+  EXPECT_GT(metrics.MaxSimDevicePeakBytes(), 0u);
+}
+
+TEST(WorkflowTest, InSituCatalystWritesImagesAndUsesMoreHostMemory) {
+  const std::string dir = TempSubdir("wf_cat");
+  nek_sensei::InSituOptions original;
+  original.flow = SmallCase();
+  original.steps = 4;
+  original.use_sensei = false;
+
+  nek_sensei::InSituOptions catalyst = original;
+  catalyst.use_sensei = true;
+  catalyst.sensei_xml =
+      "<sensei><analysis type=\"catalyst\" frequency=\"2\" output=\"" + dir +
+      "\" array=\"velocity\" magnitude=\"1\" width=\"64\" height=\"48\"/>"
+      "</sensei>";
+
+  auto base = nek_sensei::RunInSitu(2, original);
+  auto rendered = nek_sensei::RunInSitu(2, catalyst);
+  EXPECT_EQ(rendered.images_written, 2u);  // steps 2 and 4
+  EXPECT_GT(rendered.bytes_written, 0u);
+  // Catalyst stages device data on the host: CPU footprint must exceed the
+  // no-SENSEI baseline (Fig 3's mechanism).
+  EXPECT_GT(rendered.MaxSimHostPeakBytes(), base.MaxSimHostPeakBytes());
+}
+
+TEST(WorkflowTest, InSituCheckpointWritesFiles) {
+  const std::string dir = TempSubdir("wf_chk");
+  nek_sensei::InSituOptions options;
+  options.flow = SmallCase();
+  options.steps = 4;
+  options.sensei_xml =
+      "<sensei><analysis type=\"checkpoint\" frequency=\"2\" output=\"" +
+      dir + "\"/></sensei>";
+  auto metrics = nek_sensei::RunInSitu(2, options);
+  EXPECT_GT(metrics.bytes_written, 0u);
+  // 2 ranks x 2 triggers VTU files on disk.
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 4);
+}
+
+class InTransitModeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(InTransitModeTest, RunsAllMeasurementPoints) {
+  const std::string mode = GetParam();
+  const std::string dir = TempSubdir("wf_it_" + mode);
+
+  nek_sensei::InTransitOptions options;
+  nekrs::cases::RayleighBenardOptions rbc;
+  rbc.elements = {2, 2, 2};
+  rbc.order = 3;
+  options.flow = nekrs::cases::RayleighBenardCase(rbc);
+  options.steps = 4;
+  options.sim_per_endpoint = 2;
+
+  if (mode == "none") {
+    options.sim_xml = "<sensei/>";
+    options.endpoint_xml = "<sensei/>";
+  } else {
+    options.sim_xml =
+        "<sensei><analysis type=\"adios\" frequency=\"2\"/></sensei>";
+    if (mode == "checkpoint") {
+      options.endpoint_xml =
+          "<sensei><analysis type=\"checkpoint\" output=\"" + dir +
+          "\"/></sensei>";
+    } else {
+      options.endpoint_xml =
+          "<sensei><analysis type=\"catalyst\" output=\"" + dir +
+          "\" width=\"48\" height=\"32\">"
+          "<render array=\"temperature\"/>"
+          "<render array=\"velocity\" magnitude=\"1\" azimuth=\"90\"/>"
+          "</analysis></sensei>";
+    }
+  }
+
+  auto metrics = nek_sensei::RunInTransit(2, options);
+  // 2 sim ranks + 1 endpoint rank reported.
+  ASSERT_EQ(metrics.ranks.size(), 3u);
+  EXPECT_TRUE(metrics.ranks[0].is_sim);
+  EXPECT_FALSE(metrics.ranks[2].is_sim);
+  EXPECT_GT(metrics.MeanSimStepSeconds(), 0.0);
+
+  if (mode == "none") {
+    EXPECT_EQ(metrics.bytes_written, 0u);
+  } else if (mode == "checkpoint") {
+    EXPECT_GT(metrics.bytes_written, 0u);
+    EXPECT_EQ(metrics.images_written, 0u);
+  } else {
+    // Two images per trigger, 2 triggers (steps 2 and 4).
+    EXPECT_EQ(metrics.images_written, 4u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, InTransitModeTest,
+                         ::testing::Values("none", "checkpoint", "catalyst"));
+
+TEST(WorkflowTest, InTransitSimMemoryIndependentOfEndpointAnalysis) {
+  // Fig 6's key claim: the sim-node memory footprint does not depend on
+  // what the endpoint does with the data.
+  nek_sensei::InTransitOptions options;
+  nekrs::cases::RayleighBenardOptions rbc;
+  rbc.elements = {2, 2, 2};
+  rbc.order = 3;
+  options.flow = nekrs::cases::RayleighBenardCase(rbc);
+  options.steps = 4;
+  options.sim_per_endpoint = 2;
+  options.sim_xml =
+      "<sensei><analysis type=\"adios\" frequency=\"2\"/></sensei>";
+
+  const std::string dir = TempSubdir("wf_mem");
+  auto none = options;
+  none.endpoint_xml = "<sensei/>";
+  auto chk = options;
+  chk.endpoint_xml = "<sensei><analysis type=\"checkpoint\" output=\"" + dir +
+                     "\"/></sensei>";
+
+  auto m_none = nek_sensei::RunInTransit(2, none);
+  auto m_chk = nek_sensei::RunInTransit(2, chk);
+  EXPECT_EQ(m_none.MaxSimHostPeakBytes(), m_chk.MaxSimHostPeakBytes());
+}
+
+
+// ---- Derived fields ---------------------------------------------------------
+
+TEST(DerivedFieldTest, TaylorGreenVorticityIsAnalytic) {
+  // u = sin x cos y, v = -cos x sin y, w = 0:
+  // vorticity = (0, 0, 2 sin x sin y).
+  Runtime::Run(2, [](Comm& comm) {
+    occamini::Device device(occamini::Backend::kSimGpu);
+    nekrs::cases::TaylorGreenOptions options;
+    options.elements = {3, 3, 2};
+    options.order = 6;
+    nekrs::FlowSolver solver(comm, device,
+                             nekrs::cases::TaylorGreenCase(options));
+    const std::size_t n = solver.VelocityX().size();
+    occamini::Array<double> wx(device, n), wy(device, n), wz(device, n);
+    solver.ComputeVorticity({wx.DevicePtr(), n}, {wy.DevicePtr(), n},
+                            {wz.DevicePtr(), n});
+    std::vector<double> x(n), y(n), z(n);
+    solver.Mesh().FillCoordinates(solver.Rule(), x, y, z);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      max_err = std::max(max_err, std::abs(wx.DevicePtr()[i]));
+      max_err = std::max(max_err, std::abs(wy.DevicePtr()[i]));
+      max_err = std::max(
+          max_err,
+          std::abs(wz.DevicePtr()[i] - 2.0 * std::sin(x[i]) * std::sin(y[i])));
+    }
+    max_err = comm.AllReduceValue(max_err, mpimini::Op::kMax);
+    EXPECT_LT(max_err, 5e-3);  // spectral accuracy at order 6
+  });
+}
+
+TEST(DerivedFieldTest, TaylorGreenQCriterionIsAnalytic) {
+  // For the 2-D TG field: Q = -0.5(ux^2 + vy^2) - uy vx
+  //   = -cos^2x cos^2y + sin^2x sin^2y.
+  Runtime::Run(1, [](Comm& comm) {
+    occamini::Device device(occamini::Backend::kSimGpu);
+    nekrs::cases::TaylorGreenOptions options;
+    options.elements = {3, 3, 2};
+    options.order = 6;
+    nekrs::FlowSolver solver(comm, device,
+                             nekrs::cases::TaylorGreenCase(options));
+    const std::size_t n = solver.VelocityX().size();
+    occamini::Array<double> q(device, n);
+    solver.ComputeQCriterion({q.DevicePtr(), n});
+    std::vector<double> x(n), y(n), z(n);
+    solver.Mesh().FillCoordinates(solver.Rule(), x, y, z);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double cx = std::cos(x[i]), cy = std::cos(y[i]);
+      const double sx = std::sin(x[i]), sy = std::sin(y[i]);
+      const double exact = -cx * cx * cy * cy + sx * sx * sy * sy;
+      max_err = std::max(max_err, std::abs(q.DevicePtr()[i] - exact));
+    }
+    EXPECT_LT(max_err, 1e-2);
+  });
+}
+
+TEST(DerivedFieldTest, AdaptorServesVorticityAndQCriterion) {
+  Runtime::Run(1, [](Comm& comm) {
+    occamini::Device device(occamini::Backend::kSimGpu);
+    nekrs::FlowSolver solver(comm, device, SmallCase());
+    NekDataAdaptor adaptor;
+    adaptor.Initialize(&solver);
+    auto mesh = adaptor.GetMesh(0);
+    EXPECT_TRUE(adaptor.AddArray(*mesh, "vorticity", svtk::Centering::kPoint));
+    EXPECT_TRUE(
+        adaptor.AddArray(*mesh, "qcriterion", svtk::Centering::kPoint));
+    EXPECT_EQ(mesh->PointArray("vorticity")->Components(), 3);
+    EXPECT_EQ(mesh->PointArray("qcriterion")->Components(), 1);
+    // Derived fields are not advertised (checkpoints stay raw-state only).
+    auto md = adaptor.GetMeshMetadata(0);
+    for (const auto& a : md.arrays) {
+      EXPECT_NE(a.name, "vorticity");
+      EXPECT_NE(a.name, "qcriterion");
+    }
+    // But can be disabled outright.
+    adaptor.SetDerivedFieldsEnabled(false);
+    adaptor.ReleaseData();
+    auto mesh2 = adaptor.GetMesh(0);
+    EXPECT_FALSE(
+        adaptor.AddArray(*mesh2, "vorticity", svtk::Centering::kPoint));
+  });
+}
+
+
+// ---- Full view-mode pipeline ------------------------------------------------
+
+TEST(ViewModesTest, SurfaceThresholdIsoAndSliceAllRender) {
+  // One in situ run exercising every Catalyst view mode through the XML
+  // configuration: plain surface, threshold, isosurface (of a derived
+  // field), and an axis-aligned slice.
+  const std::string dir = TempSubdir("views");
+  nekrs::cases::RayleighBenardOptions rbc;
+  rbc.elements = {3, 2, 2};
+  rbc.order = 4;
+  nek_sensei::InSituOptions options;
+  options.flow = nekrs::cases::RayleighBenardCase(rbc);
+  options.steps = 4;
+  options.sensei_xml =
+      "<sensei><analysis type=\"catalyst\" frequency=\"4\" output=\"" +
+      dir +
+      "\" width=\"48\" height=\"32\">"
+      "<render array=\"temperature\" name=\"surface\"/>"
+      "<render array=\"temperature\" name=\"thresh\" "
+      "threshold_min=\"0.0\"/>"
+      "<render array=\"velocity\" magnitude=\"1\" name=\"iso\" "
+      "isovalue=\"0.0\" iso_array=\"temperature\"/>"
+      "<render array=\"qcriterion\" name=\"slice\" slice_axis=\"y\" "
+      "slice_position=\"0.7\"/>"
+      "</analysis></sensei>";
+  auto metrics = nek_sensei::RunInSitu(2, options);
+  EXPECT_EQ(metrics.images_written, 4u);
+  for (const char* name : {"surface", "thresh", "iso", "slice"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/render_" + std::string(name) +
+                                        "_000004.png"))
+        << name;
+  }
+}
+
+}  // namespace

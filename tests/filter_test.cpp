@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "sem/filter.hpp"
+#include "sem/gll.hpp"
+
+namespace {
+
+using sem::GllRule;
+using sem::InvertDense;
+using sem::LegendreVandermonde;
+using sem::MakeGllRule;
+using sem::ModalFilter;
+
+TEST(LinearAlgebraTest, InvertDenseRoundTrip) {
+  // Invert a well-conditioned 4x4 and check A * A^{-1} = I.
+  const int n = 4;
+  std::vector<double> a{4, 1, 0, 2,  1, 5, 1, 0,  0, 1, 6, 1,  2, 0, 1, 7};
+  std::vector<double> inv = InvertDense(a, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < n; ++k) {
+        sum += a[static_cast<std::size_t>(i * n + k)] *
+               inv[static_cast<std::size_t>(k * n + j)];
+      }
+      EXPECT_NEAR(sum, i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(LinearAlgebraTest, InvertDenseRejectsSingular) {
+  std::vector<double> a{1, 2, 2, 4};  // rank 1
+  EXPECT_THROW(InvertDense(a, 2), std::runtime_error);
+}
+
+TEST(VandermondeTest, FirstColumnIsOnes) {
+  const GllRule rule = MakeGllRule(5);
+  auto v = LegendreVandermonde(rule);
+  const int np = rule.NumPoints();
+  for (int i = 0; i < np; ++i) {
+    EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(i * np)], 1.0);  // P_0 = 1
+    EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(i * np + 1)],
+                     rule.nodes[static_cast<std::size_t>(i)]);  // P_1 = x
+  }
+}
+
+class FilterOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterOrderTest, PreservesLowModesExactly) {
+  // The filter must leave polynomials below the attenuated band untouched.
+  const int order = GetParam();
+  const GllRule rule = MakeGllRule(order);
+  ModalFilter filter(rule, 0.3, 2);
+  const int np = rule.NumPoints();
+  const std::size_t n = static_cast<std::size_t>(np) * np * np;
+  std::vector<double> u(n);
+  // Tri-linear (degree 1 in each direction) data: far below the top modes.
+  for (int k = 0; k < np; ++k) {
+    for (int j = 0; j < np; ++j) {
+      for (int i = 0; i < np; ++i) {
+        u[static_cast<std::size_t>(i + np * (j + np * k))] =
+            1.0 + 2.0 * rule.nodes[static_cast<std::size_t>(i)] -
+            rule.nodes[static_cast<std::size_t>(j)] +
+            0.5 * rule.nodes[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  std::vector<double> original = u;
+  filter.Apply(u);
+  for (std::size_t q = 0; q < n; ++q) {
+    EXPECT_NEAR(u[q], original[q], 1e-11);
+  }
+}
+
+TEST_P(FilterOrderTest, AttenuatesTopMode) {
+  // Data equal to the highest 1-D Legendre mode must be scaled by
+  // 1 - alpha.
+  const int order = GetParam();
+  const GllRule rule = MakeGllRule(order);
+  const double alpha = 0.25;
+  ModalFilter filter(rule, alpha, 1);
+  const int np = rule.NumPoints();
+  const std::size_t n = static_cast<std::size_t>(np) * np * np;
+  std::vector<double> u(n);
+  for (int k = 0; k < np; ++k) {
+    for (int j = 0; j < np; ++j) {
+      for (int i = 0; i < np; ++i) {
+        u[static_cast<std::size_t>(i + np * (j + np * k))] =
+            sem::EvalLegendre(order, rule.nodes[static_cast<std::size_t>(i)])
+                .p;
+      }
+    }
+  }
+  std::vector<double> original = u;
+  filter.Apply(u);
+  for (std::size_t q = 0; q < n; ++q) {
+    EXPECT_NEAR(u[q], (1.0 - alpha) * original[q], 1e-10);
+  }
+}
+
+TEST_P(FilterOrderTest, IsContractive) {
+  // Discrete L2 norm must not grow (all sigma <= 1).
+  const int order = GetParam();
+  const GllRule rule = MakeGllRule(order);
+  ModalFilter filter(rule, 0.5, 2);
+  const int np = rule.NumPoints();
+  const std::size_t n = static_cast<std::size_t>(np) * np * np;
+  std::vector<double> u(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    u[q] = std::sin(0.37 * static_cast<double>(q) + 0.1);
+  }
+  // Use the quadrature-weighted norm (the filter is an orthogonal-basis
+  // attenuation under the Legendre inner product).
+  auto weighted_norm = [&](const std::vector<double>& v) {
+    double s = 0.0;
+    for (int k = 0; k < np; ++k) {
+      for (int j = 0; j < np; ++j) {
+        for (int i = 0; i < np; ++i) {
+          const double w = rule.weights[static_cast<std::size_t>(i)] *
+                           rule.weights[static_cast<std::size_t>(j)] *
+                           rule.weights[static_cast<std::size_t>(k)];
+          const double x = v[static_cast<std::size_t>(i + np * (j + np * k))];
+          s += w * x * x;
+        }
+      }
+    }
+    return s;
+  };
+  const double before = weighted_norm(u);
+  filter.Apply(u);
+  EXPECT_LE(weighted_norm(u), before * (1.0 + 1e-12));
+}
+
+TEST_P(FilterOrderTest, IdempotentOnFilteredData) {
+  // sigma values < 1 shrink repeatedly, but modes with sigma == 1 must stay
+  // fixed: applying twice equals applying the squared attenuation.
+  const int order = GetParam();
+  const GllRule rule = MakeGllRule(order);
+  const double alpha = 0.4;
+  ModalFilter filter(rule, alpha, 1);
+  const int np = rule.NumPoints();
+  const std::size_t n = static_cast<std::size_t>(np) * np * np;
+  std::vector<double> u(n), twice(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    u[q] = std::cos(0.21 * static_cast<double>(q));
+  }
+  twice = u;
+  filter.Apply(twice);
+  filter.Apply(twice);
+  // Compare against a single application with (1 - (1-(1-a))^...) — easier:
+  // verify via modal identity F(F(u)) = F2(u) where F2 uses sigma^2, i.e.
+  // alpha2 = 1 - (1-alpha)^2.
+  ModalFilter filter2(rule, 1.0 - (1.0 - alpha) * (1.0 - alpha), 1);
+  std::vector<double> squared = u;
+  filter2.Apply(squared);
+  for (std::size_t q = 0; q < n; ++q) {
+    EXPECT_NEAR(twice[q], squared[q], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, FilterOrderTest, ::testing::Values(3, 4, 6));
+
+TEST(FilterTest, MultiElementLayout) {
+  // Apply over 3 elements at once; each element filtered independently.
+  const GllRule rule = MakeGllRule(3);
+  ModalFilter filter(rule, 0.2, 1);
+  const int np = rule.NumPoints();
+  const std::size_t per_el = static_cast<std::size_t>(np) * np * np;
+  std::vector<double> u(3 * per_el, 1.0);  // constants pass through
+  filter.Apply(u);
+  for (double v : u) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(FilterTest, InvalidParametersThrow) {
+  const GllRule rule = MakeGllRule(4);
+  EXPECT_THROW(ModalFilter(rule, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(ModalFilter(rule, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(ModalFilter(rule, 0.1, 7), std::invalid_argument);
+  ModalFilter ok(rule, 0.1, 1);
+  std::vector<double> wrong(10);
+  EXPECT_THROW(ok.Apply(wrong), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "render/isosurface.hpp"
+
+namespace {
+
+using render::ExtractIsosurface;
+using render::TriangleMesh;
+
+// n^3-cell block grid on [-1,1]^3 with a radial distance field and a
+// secondary linear color field.
+svtk::UnstructuredGrid MakeRadialGrid(int n) {
+  const int np = n + 1;
+  svtk::UnstructuredGrid grid(static_cast<std::size_t>(np) * np * np,
+                              static_cast<std::size_t>(n) * n * n);
+  for (int k = 0; k < np; ++k) {
+    for (int j = 0; j < np; ++j) {
+      for (int i = 0; i < np; ++i) {
+        const std::size_t p = static_cast<std::size_t>(i + np * (j + np * k));
+        grid.SetPoint(p, -1.0 + 2.0 * i / n, -1.0 + 2.0 * j / n,
+                      -1.0 + 2.0 * k / n);
+      }
+    }
+  }
+  std::size_t c = 0;
+  auto id = [np](int i, int j, int k) {
+    return static_cast<std::int64_t>(i + np * (j + np * k));
+  };
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        grid.SetCell(c++, {id(i, j, k), id(i + 1, j, k), id(i + 1, j + 1, k),
+                           id(i, j + 1, k), id(i, j, k + 1),
+                           id(i + 1, j, k + 1), id(i + 1, j + 1, k + 1),
+                           id(i, j + 1, k + 1)});
+      }
+    }
+  }
+  svtk::DataArray& r = grid.AddPointArray("radius", 1);
+  svtk::DataArray& cx = grid.AddPointArray("xcoord", 1);
+  for (std::size_t p = 0; p < grid.NumPoints(); ++p) {
+    const auto xyz = grid.GetPoint(p);
+    r.At(p) = std::sqrt(xyz[0] * xyz[0] + xyz[1] * xyz[1] + xyz[2] * xyz[2]);
+    cx.At(p) = xyz[0];
+  }
+  return grid;
+}
+
+TEST(IsosurfaceTest, SphereVerticesLieOnSphere) {
+  svtk::UnstructuredGrid grid = MakeRadialGrid(12);
+  const double iso = 0.6;
+  TriangleMesh mesh = ExtractIsosurface(grid, "radius", iso, "radius");
+  ASSERT_GT(mesh.NumTriangles(), 100u);
+  // Every extracted vertex sits near the sphere |x| = iso (linear
+  // interpolation of a smooth field on a fine-ish grid).
+  for (const render::Vec3& p : mesh.positions) {
+    EXPECT_NEAR(render::Length(p), iso, 0.02);
+  }
+}
+
+TEST(IsosurfaceTest, SurfaceAreaApproximatesSphere) {
+  svtk::UnstructuredGrid grid = MakeRadialGrid(16);
+  const double iso = 0.7;
+  TriangleMesh mesh = ExtractIsosurface(grid, "radius", iso, "radius");
+  double area = 0.0;
+  for (std::size_t t = 0; t < mesh.NumTriangles(); ++t) {
+    const render::Vec3 a = mesh.positions[3 * t];
+    const render::Vec3 b = mesh.positions[3 * t + 1];
+    const render::Vec3 c = mesh.positions[3 * t + 2];
+    area += 0.5 * render::Length(render::Cross(b - a, c - a));
+  }
+  const double exact = 4.0 * std::numbers::pi * iso * iso;
+  EXPECT_NEAR(area, exact, 0.05 * exact);
+}
+
+TEST(IsosurfaceTest, ColorArrayInterpolatedOnSurface) {
+  svtk::UnstructuredGrid grid = MakeRadialGrid(10);
+  TriangleMesh mesh = ExtractIsosurface(grid, "radius", 0.5, "xcoord");
+  ASSERT_GT(mesh.NumTriangles(), 0u);
+  for (std::size_t v = 0; v < mesh.positions.size(); ++v) {
+    EXPECT_NEAR(mesh.scalars[v], mesh.positions[v].x, 0.02);
+  }
+}
+
+TEST(IsosurfaceTest, NormalsAreUnit) {
+  svtk::UnstructuredGrid grid = MakeRadialGrid(8);
+  TriangleMesh mesh = ExtractIsosurface(grid, "radius", 0.5, "radius");
+  for (const render::Vec3& n : mesh.normals) {
+    EXPECT_NEAR(render::Length(n), 1.0, 1e-9);
+  }
+}
+
+TEST(IsosurfaceTest, NoSurfaceOutsideRange) {
+  svtk::UnstructuredGrid grid = MakeRadialGrid(6);
+  EXPECT_EQ(ExtractIsosurface(grid, "radius", 10.0, "radius").NumTriangles(),
+            0u);
+  EXPECT_EQ(ExtractIsosurface(grid, "radius", -1.0, "radius").NumTriangles(),
+            0u);
+}
+
+TEST(IsosurfaceTest, MissingArrayThrows) {
+  svtk::UnstructuredGrid grid = MakeRadialGrid(4);
+  EXPECT_THROW(ExtractIsosurface(grid, "nope", 0.5, "radius"),
+               std::invalid_argument);
+  EXPECT_THROW(ExtractIsosurface(grid, "radius", 0.5, "nope"),
+               std::invalid_argument);
+}
+
+TEST(IsosurfaceTest, RenderedSphereCoversCenter) {
+  svtk::UnstructuredGrid grid = MakeRadialGrid(10);
+  TriangleMesh mesh = ExtractIsosurface(grid, "radius", 0.6, "radius");
+  render::Framebuffer fb(64, 64);
+  fb.Clear({0, 0, 0});
+  render::Camera camera =
+      render::FitCamera({-1, 1, -1, 1, -1, 1}, 30, 20, 1.0, 1.0);
+  auto stats = render::RasterizeTriangleMesh(mesh, "grayscale", 0.0, 1.0,
+                                             camera, fb);
+  EXPECT_GT(stats.pixels_shaded, 50u);
+  // The sphere occupies the view centre; shading must be non-background.
+  const render::Rgb center = fb.Pixel(32, 32);
+  EXPECT_GT(static_cast<int>(center.r) + center.g + center.b, 0);
+}
+
+}  // namespace

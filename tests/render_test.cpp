@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "mpimini/runtime.hpp"
+#include "render/camera.hpp"
+#include "render/colormap.hpp"
+#include "render/compositor.hpp"
+#include "render/image_io.hpp"
+#include "render/rasterizer.hpp"
+
+namespace {
+
+using render::Camera;
+using render::Colormap;
+using render::FitCamera;
+using render::Framebuffer;
+using render::GetColormap;
+using render::RenderSpec;
+using render::Rgb;
+
+svtk::UnstructuredGrid MakeCube(double lo, double hi, double scalar) {
+  svtk::UnstructuredGrid grid(8, 1);
+  int p = 0;
+  for (int k = 0; k < 2; ++k) {
+    for (int j = 0; j < 2; ++j) {
+      for (int i = 0; i < 2; ++i) {
+        grid.SetPoint(static_cast<std::size_t>(p++), i ? hi : lo,
+                      j ? hi : lo, k ? hi : lo);
+      }
+    }
+  }
+  grid.SetCell(0, {0, 1, 3, 2, 4, 5, 7, 6});
+  svtk::DataArray& s = grid.AddPointArray("f", 1);
+  for (std::size_t t = 0; t < 8; ++t) s.At(t) = scalar;
+  return grid;
+}
+
+TEST(ColormapTest, EndpointsAndMidpoints) {
+  const Colormap& gray = GetColormap("grayscale");
+  EXPECT_EQ(gray.Sample(0.0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(gray.Sample(1.0), (Rgb{255, 255, 255}));
+  EXPECT_EQ(gray.Sample(0.5), (Rgb{128, 128, 128}));
+}
+
+TEST(ColormapTest, ClampsOutOfRange) {
+  const Colormap& gray = GetColormap("grayscale");
+  EXPECT_EQ(gray.Sample(-5.0), gray.Sample(0.0));
+  EXPECT_EQ(gray.Sample(7.0), gray.Sample(1.0));
+}
+
+TEST(ColormapTest, MapUsesRange) {
+  const Colormap& gray = GetColormap("grayscale");
+  EXPECT_EQ(gray.Map(15.0, 10.0, 20.0), gray.Sample(0.5));
+  EXPECT_EQ(gray.Map(3.0, 3.0, 3.0), gray.Sample(0.5));  // degenerate
+}
+
+TEST(ColormapTest, KnownMapsExistUnknownThrows) {
+  EXPECT_NO_THROW(GetColormap("viridis"));
+  EXPECT_NO_THROW(GetColormap("coolwarm"));
+  EXPECT_NO_THROW(GetColormap("plasma"));
+  EXPECT_THROW(GetColormap("sunset"), std::invalid_argument);
+}
+
+TEST(CameraTest, LookAtProjectsTargetToCenter) {
+  Camera camera;
+  camera.position = {3.0, 2.0, 4.0};
+  camera.target = {0.5, 0.5, 0.5};
+  const render::Vec4 clip =
+      render::Transform(camera.ViewProjection(), camera.target);
+  EXPECT_GT(clip.w, 0.0);
+  EXPECT_NEAR(clip.x / clip.w, 0.0, 1e-9);
+  EXPECT_NEAR(clip.y / clip.w, 0.0, 1e-9);
+}
+
+TEST(CameraTest, FitCameraSeesWholeBox) {
+  const std::array<double, 6> bounds{0, 1, 0, 1, 0, 1};
+  Camera camera = FitCamera(bounds, 30.0, 20.0, 1.0);
+  const render::Mat4 vp = camera.ViewProjection();
+  // All 8 corners project inside clip space.
+  for (int c = 0; c < 8; ++c) {
+    const render::Vec3 corner{(c & 1) ? 1.0 : 0.0, (c & 2) ? 1.0 : 0.0,
+                              (c & 4) ? 1.0 : 0.0};
+    const render::Vec4 clip = render::Transform(vp, corner);
+    ASSERT_GT(clip.w, 0.0);
+    EXPECT_LE(std::abs(clip.x / clip.w), 1.0);
+    EXPECT_LE(std::abs(clip.y / clip.w), 1.0);
+  }
+}
+
+TEST(FramebufferTest, ClearSetsBackgroundAndFarDepth) {
+  Framebuffer fb(8, 4);
+  fb.Clear({1, 2, 3});
+  EXPECT_EQ(fb.Pixel(0, 0), (Rgb{1, 2, 3}));
+  EXPECT_EQ(fb.Pixel(7, 3), (Rgb{1, 2, 3}));
+  EXPECT_EQ(fb.Depth(4, 2), Framebuffer::kFarDepth);
+}
+
+TEST(FramebufferTest, TracksRenderMemory) {
+  instrument::MemoryTracker tracker;
+  instrument::TrackerScope scope(&tracker);
+  {
+    Framebuffer fb(100, 50);
+    EXPECT_EQ(tracker.CurrentBytes("render"),
+              100u * 50u * (3 + sizeof(float)));
+  }
+  EXPECT_EQ(tracker.CurrentBytes("render"), 0u);
+}
+
+TEST(RasterizerTest, CubeCoversCenterPixels) {
+  svtk::UnstructuredGrid grid = MakeCube(0.0, 1.0, 5.0);
+  Framebuffer fb(64, 64);
+  fb.Clear({0, 0, 0});
+  RenderSpec spec;
+  spec.array = "f";
+  spec.colormap = "grayscale";
+  spec.range_min = 0.0;
+  spec.range_max = 10.0;
+  Camera camera = FitCamera(grid.Bounds(), 40.0, 25.0, 1.0);
+  auto stats = render::RasterizeGrid(grid, spec, camera, fb);
+  EXPECT_EQ(stats.cells_drawn, 1u);
+  EXPECT_GT(stats.pixels_shaded, 100u);
+  // Center pixel shows the cube colored at scalar 5 in [0,10] => mid-gray.
+  EXPECT_EQ(fb.Pixel(32, 32), (Rgb{128, 128, 128}));
+  // Corner pixel stays background.
+  EXPECT_EQ(fb.Pixel(0, 0), (Rgb{0, 0, 0}));
+  EXPECT_LT(fb.Depth(32, 32), Framebuffer::kFarDepth);
+}
+
+TEST(RasterizerTest, NearerCubeWinsDepthTest) {
+  // Two cubes along the view axis; the nearer one must cover the center.
+  Camera camera;
+  camera.position = {0.5, 0.5, 6.0};
+  camera.target = {0.5, 0.5, 0.0};
+  camera.up = {0.0, 1.0, 0.0};
+  camera.aspect = 1.0;
+
+  Framebuffer fb(64, 64);
+  fb.Clear({0, 0, 0});
+  RenderSpec spec;
+  spec.array = "f";
+  spec.colormap = "grayscale";
+  spec.range_min = 0.0;
+  spec.range_max = 10.0;
+
+  svtk::UnstructuredGrid far_cube = MakeCube(0.0, 1.0, 0.0);    // black
+  svtk::UnstructuredGrid near_cube = MakeCube(0.25, 0.75, 10.0);  // white
+  // Shift the near cube toward the camera in z.
+  for (std::size_t i = 0; i < near_cube.NumPoints(); ++i) {
+    near_cube.Points()[3 * i + 2] += 2.0;
+  }
+  render::RasterizeGrid(far_cube, spec, camera, fb);
+  render::RasterizeGrid(near_cube, spec, camera, fb);
+  EXPECT_EQ(fb.Pixel(32, 32), (Rgb{255, 255, 255}));
+}
+
+TEST(RasterizerTest, ThresholdSkipsCells) {
+  svtk::UnstructuredGrid grid = MakeCube(0.0, 1.0, 5.0);
+  Framebuffer fb(32, 32);
+  fb.Clear({0, 0, 0});
+  RenderSpec spec;
+  spec.array = "f";
+  spec.threshold_min = 6.0;  // cell mean is 5 -> excluded
+  Camera camera = FitCamera(grid.Bounds(), 40.0, 25.0, 1.0);
+  auto stats = render::RasterizeGrid(grid, spec, camera, fb);
+  EXPECT_EQ(stats.cells_drawn, 0u);
+  EXPECT_EQ(stats.pixels_shaded, 0u);
+}
+
+TEST(RasterizerTest, CellCenteredColoring) {
+  svtk::UnstructuredGrid grid = MakeCube(0.0, 1.0, 0.0);
+  svtk::DataArray& c = grid.AddCellArray("rank", 1);
+  c.At(0) = 1.0;
+  Framebuffer fb(32, 32);
+  fb.Clear({0, 0, 0});
+  RenderSpec spec;
+  spec.array = "rank";
+  spec.centering = svtk::Centering::kCell;
+  spec.colormap = "grayscale";
+  spec.range_min = 0.0;
+  spec.range_max = 1.0;
+  Camera camera = FitCamera(grid.Bounds(), 40.0, 25.0, 1.0);
+  render::RasterizeGrid(grid, spec, camera, fb);
+  EXPECT_EQ(fb.Pixel(16, 16), (Rgb{255, 255, 255}));
+}
+
+TEST(RasterizerTest, MissingArrayThrows) {
+  svtk::UnstructuredGrid grid = MakeCube(0.0, 1.0, 0.0);
+  Framebuffer fb(16, 16);
+  RenderSpec spec;
+  spec.array = "nope";
+  Camera camera = FitCamera(grid.Bounds(), 40.0, 25.0, 1.0);
+  EXPECT_THROW(render::RasterizeGrid(grid, spec, camera, fb),
+               std::invalid_argument);
+}
+
+class CompositorRankTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompositorRankTest, NearestDepthWinsAcrossRanks) {
+  const int nranks = GetParam();
+  mpimini::Runtime::Run(nranks, [nranks](mpimini::Comm& comm) {
+    Framebuffer fb(16, 16);
+    fb.Clear({0, 0, 0});
+    // Each rank writes its id at depth (rank+1): rank 0 is nearest.
+    const auto shade = static_cast<unsigned char>(50 + comm.Rank() * 10);
+    fb.SetPixel(8, 8, {shade, shade, shade},
+                static_cast<float>(comm.Rank() + 1));
+    render::CompositeToRoot(comm, fb, 0);
+    if (comm.Rank() == 0) {
+      EXPECT_EQ(fb.Pixel(8, 8), (Rgb{50, 50, 50}));
+      EXPECT_EQ(fb.Pixel(0, 0), (Rgb{0, 0, 0}));
+    }
+    (void)nranks;
+  });
+}
+
+TEST_P(CompositorRankTest, DisjointRegionsAllSurvive) {
+  const int nranks = GetParam();
+  mpimini::Runtime::Run(nranks, [](mpimini::Comm& comm) {
+    Framebuffer fb(16, 16);
+    fb.Clear({0, 0, 0});
+    fb.SetPixel(comm.Rank(), 0, {255, 0, 0}, 1.0F);
+    render::CompositeToRoot(comm, fb, 0);
+    if (comm.Rank() == 0) {
+      for (int r = 0; r < comm.Size(); ++r) {
+        EXPECT_EQ(fb.Pixel(r, 0), (Rgb{255, 0, 0})) << "rank " << r;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CompositorRankTest,
+                         ::testing::Values(1, 2, 4));
+
+TEST(ImageIoTest, PpmRoundTrip) {
+  Framebuffer fb(20, 10);
+  fb.Clear({7, 8, 9});
+  fb.SetPixel(3, 2, {200, 100, 50}, 1.0F);
+  const std::string path = ::testing::TempDir() + "/img.ppm";
+  const std::size_t bytes = render::WritePpm(fb, path);
+  EXPECT_EQ(bytes, std::filesystem::file_size(path));
+  Framebuffer back = render::ReadPpm(path);
+  EXPECT_EQ(back.Width(), 20);
+  EXPECT_EQ(back.Height(), 10);
+  EXPECT_EQ(back.Pixel(3, 2), (Rgb{200, 100, 50}));
+  EXPECT_EQ(back.Pixel(0, 0), (Rgb{7, 8, 9}));
+}
+
+TEST(ImageIoTest, PpmSizeIsHeaderPlusPixels) {
+  Framebuffer fb(640, 480);
+  const std::string path = ::testing::TempDir() + "/size.ppm";
+  const std::size_t bytes = render::WritePpm(fb, path);
+  EXPECT_EQ(bytes, 15u + 640u * 480u * 3u);
+}
+
+
+TEST(RasterizerTest, SliceKeepsOnlyStraddlingCells) {
+  // Two unit cubes stacked in z; slice through the lower one only.
+  svtk::UnstructuredGrid lower = MakeCube(0.0, 1.0, 5.0);
+  svtk::UnstructuredGrid upper = MakeCube(0.0, 1.0, 5.0);
+  for (std::size_t i = 0; i < upper.NumPoints(); ++i) {
+    upper.Points()[3 * i + 2] += 1.5;
+  }
+  RenderSpec spec;
+  spec.array = "f";
+  spec.slice_axis = 2;
+  spec.slice_position = 0.5;  // inside the lower cube only
+  Framebuffer fb(32, 32);
+  fb.Clear({0, 0, 0});
+  Camera camera = FitCamera({0, 1, 0, 1, 0, 2.5}, 40, 25, 1.0);
+  auto s_low = render::RasterizeGrid(lower, spec, camera, fb);
+  auto s_up = render::RasterizeGrid(upper, spec, camera, fb);
+  EXPECT_EQ(s_low.cells_drawn, 1u);
+  EXPECT_EQ(s_up.cells_drawn, 0u);
+}
+
+TEST(ScalarBarTest, DrawsGradientAndTicks) {
+  Framebuffer fb(120, 90);
+  fb.Clear({0, 0, 0});
+  render::DrawScalarBar(render::GetColormap("grayscale"), 0.0, 1.0, fb);
+  const int bar_width = std::max(6, fb.Width() / 60);
+  const int x = fb.Width() - 2 * bar_width + bar_width / 2;  // inside bar
+  const int top = fb.Height() / 10;
+  const int bottom = fb.Height() - top;
+  // Top of the bar maps to hi (white), bottom to lo (black-ish).
+  EXPECT_GT(fb.Pixel(x, top + 1).r, 200);
+  EXPECT_LT(fb.Pixel(x, bottom - 2).r, 55);
+}
+
+}  // namespace

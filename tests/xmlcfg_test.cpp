@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "xmlcfg/xml.hpp"
+
+namespace {
+
+using xmlcfg::Document;
+using xmlcfg::Element;
+using xmlcfg::Parse;
+using xmlcfg::ParseError;
+
+TEST(XmlParseTest, ParsesSenseiConfig) {
+  // The exact shape of Listing 1 in the paper.
+  const char* text = R"(<sensei>
+ <analysis type="catalyst" pipeline="pythonscript" filename="analysis.py"
+ frequency="100" />
+</sensei>)";
+  Document doc = Parse(text);
+  EXPECT_EQ(doc.root.name, "sensei");
+  ASSERT_EQ(doc.root.children.size(), 1u);
+  const Element& analysis = doc.root.children[0];
+  EXPECT_EQ(analysis.name, "analysis");
+  EXPECT_EQ(analysis.Attr("type"), "catalyst");
+  EXPECT_EQ(analysis.Attr("pipeline"), "pythonscript");
+  EXPECT_EQ(analysis.AttrInt("frequency"), 100);
+}
+
+TEST(XmlParseTest, ParsesDeclarationAndComments) {
+  Document doc = Parse(
+      "<?xml version=\"1.0\"?>\n<!-- top --><root><!-- in -->"
+      "<child a='1'/></root><!-- after -->");
+  EXPECT_EQ(doc.root.name, "root");
+  ASSERT_EQ(doc.root.children.size(), 1u);
+  EXPECT_EQ(doc.root.children[0].AttrInt("a"), 1);
+}
+
+TEST(XmlParseTest, ParsesTextContentAndEntities) {
+  Document doc = Parse("<msg>a &lt;b&gt; &amp; c &quot;d&quot;</msg>");
+  EXPECT_EQ(doc.root.text, "a <b> & c \"d\"");
+}
+
+TEST(XmlParseTest, SingleAndDoubleQuotedAttributes) {
+  Document doc = Parse("<e one='1' two=\"2\"/>");
+  EXPECT_EQ(doc.root.Attr("one"), "1");
+  EXPECT_EQ(doc.root.Attr("two"), "2");
+}
+
+TEST(XmlParseTest, NestedChildrenPreserveOrder) {
+  Document doc = Parse("<a><b i='0'/><c/><b i='1'/></a>");
+  auto bs = doc.root.FindAll("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0]->AttrInt("i"), 0);
+  EXPECT_EQ(bs[1]->AttrInt("i"), 1);
+  EXPECT_NE(doc.root.FindChild("c"), nullptr);
+  EXPECT_EQ(doc.root.FindChild("zz"), nullptr);
+}
+
+TEST(XmlParseTest, AttrFallbacks) {
+  Document doc = Parse("<e x='2.5'/>");
+  EXPECT_EQ(doc.root.Attr("missing", "def"), "def");
+  EXPECT_EQ(doc.root.AttrInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(doc.root.AttrDouble("x"), 2.5);
+  EXPECT_DOUBLE_EQ(doc.root.AttrDouble("missing", 1.5), 1.5);
+}
+
+TEST(XmlParseTest, RejectsMismatchedClosingTag) {
+  EXPECT_THROW(Parse("<a><b></a></b>"), ParseError);
+}
+
+TEST(XmlParseTest, RejectsUnterminatedElement) {
+  EXPECT_THROW(Parse("<a><b/>"), ParseError);
+}
+
+TEST(XmlParseTest, RejectsDuplicateAttribute) {
+  EXPECT_THROW(Parse("<a x='1' x='2'/>"), ParseError);
+}
+
+TEST(XmlParseTest, RejectsTrailingContent) {
+  EXPECT_THROW(Parse("<a/><b/>"), ParseError);
+}
+
+TEST(XmlParseTest, RejectsUnknownEntity) {
+  EXPECT_THROW(Parse("<a>&bogus;</a>"), ParseError);
+}
+
+TEST(XmlParseTest, ReportsLineNumbers) {
+  try {
+    Parse("<a>\n<b>\n</c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.Line(), 3);
+  }
+}
+
+TEST(XmlSerializeTest, RoundTripsElementTree) {
+  Document doc = Parse(
+      "<sensei><analysis type=\"catalyst\" frequency=\"10\">"
+      "<camera phi=\"30\"/></analysis><analysis type=\"checkpoint\"/>"
+      "</sensei>");
+  const std::string text = xmlcfg::Serialize(doc.root);
+  Document again = Parse(text);
+  ASSERT_EQ(again.root.children.size(), 2u);
+  EXPECT_EQ(again.root.children[0].Attr("type"), "catalyst");
+  EXPECT_EQ(again.root.children[0].children[0].Attr("phi"), "30");
+  EXPECT_EQ(again.root.children[1].Attr("type"), "checkpoint");
+}
+
+TEST(XmlSerializeTest, EscapesSpecialCharacters) {
+  Element e;
+  e.name = "v";
+  e.attributes["a"] = "x<y&\"z\"";
+  e.text = "1 < 2";
+  Document doc = Parse(xmlcfg::Serialize(e));
+  EXPECT_EQ(doc.root.Attr("a"), "x<y&\"z\"");
+  EXPECT_EQ(doc.root.text, "1 < 2");
+}
+
+TEST(XmlFileTest, ParseFileReadsFromDisk) {
+  const std::string path = ::testing::TempDir() + "/config_test.xml";
+  {
+    std::ofstream out(path);
+    out << "<sensei><analysis type=\"stats\" frequency=\"5\"/></sensei>";
+  }
+  Document doc = xmlcfg::ParseFile(path);
+  EXPECT_EQ(doc.root.children[0].Attr("type"), "stats");
+}
+
+TEST(XmlFileTest, MissingFileThrows) {
+  EXPECT_THROW(xmlcfg::ParseFile("/nonexistent/nope.xml"), std::runtime_error);
+}
+
+}  // namespace
