@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_stabilization.cpp" "bench/CMakeFiles/ablation_stabilization.dir/ablation_stabilization.cpp.o" "gcc" "bench/CMakeFiles/ablation_stabilization.dir/ablation_stabilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nekrs/CMakeFiles/nekrs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensei/CMakeFiles/sensei.dir/DependInfo.cmake"
+  "/root/repo/build/src/adios/CMakeFiles/adios.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/render.dir/DependInfo.cmake"
+  "/root/repo/build/src/svtk/CMakeFiles/svtk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/occamini/CMakeFiles/occamini.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpimini/CMakeFiles/mpimini.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlcfg/CMakeFiles/xmlcfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stabilization.dir/ablation_stabilization.cpp.o"
+  "CMakeFiles/ablation_stabilization.dir/ablation_stabilization.cpp.o.d"
+  "ablation_stabilization"
+  "ablation_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_adios_sst.dir/micro_adios_sst.cpp.o"
+  "CMakeFiles/micro_adios_sst.dir/micro_adios_sst.cpp.o.d"
+  "micro_adios_sst"
+  "micro_adios_sst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_adios_sst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

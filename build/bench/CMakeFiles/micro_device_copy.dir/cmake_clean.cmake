@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_device_copy.dir/micro_device_copy.cpp.o"
+  "CMakeFiles/micro_device_copy.dir/micro_device_copy.cpp.o.d"
+  "micro_device_copy"
+  "micro_device_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_device_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_render.dir/micro_render.cpp.o"
+  "CMakeFiles/micro_render.dir/micro_render.cpp.o.d"
+  "micro_render"
+  "micro_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sem_ops.dir/micro_sem_ops.cpp.o"
+  "CMakeFiles/micro_sem_ops.dir/micro_sem_ops.cpp.o.d"
+  "micro_sem_ops"
+  "micro_sem_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sem_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_bed_insitu.dir/pebble_bed_insitu.cpp.o"
+  "CMakeFiles/pebble_bed_insitu.dir/pebble_bed_insitu.cpp.o.d"
+  "pebble_bed_insitu"
+  "pebble_bed_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_bed_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posthoc_analysis.dir/posthoc_analysis.cpp.o"
+  "CMakeFiles/posthoc_analysis.dir/posthoc_analysis.cpp.o.d"
+  "posthoc_analysis"
+  "posthoc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posthoc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

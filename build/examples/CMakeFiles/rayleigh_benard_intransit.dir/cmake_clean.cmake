@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rayleigh_benard_intransit.dir/rayleigh_benard_intransit.cpp.o"
+  "CMakeFiles/rayleigh_benard_intransit.dir/rayleigh_benard_intransit.cpp.o.d"
+  "rayleigh_benard_intransit"
+  "rayleigh_benard_intransit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rayleigh_benard_intransit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

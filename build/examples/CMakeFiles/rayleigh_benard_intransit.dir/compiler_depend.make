@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rayleigh_benard_intransit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("instrument")
+subdirs("xmlcfg")
+subdirs("mpimini")
+subdirs("occamini")
+subdirs("svtk")
+subdirs("sem")
+subdirs("nekrs")
+subdirs("render")
+subdirs("adios")
+subdirs("sensei")
+subdirs("core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adios/bp_file.cpp" "src/adios/CMakeFiles/adios.dir/bp_file.cpp.o" "gcc" "src/adios/CMakeFiles/adios.dir/bp_file.cpp.o.d"
+  "/root/repo/src/adios/marshal.cpp" "src/adios/CMakeFiles/adios.dir/marshal.cpp.o" "gcc" "src/adios/CMakeFiles/adios.dir/marshal.cpp.o.d"
+  "/root/repo/src/adios/sst.cpp" "src/adios/CMakeFiles/adios.dir/sst.cpp.o" "gcc" "src/adios/CMakeFiles/adios.dir/sst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpimini/CMakeFiles/mpimini.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adios.dir/bp_file.cpp.o"
+  "CMakeFiles/adios.dir/bp_file.cpp.o.d"
+  "CMakeFiles/adios.dir/marshal.cpp.o"
+  "CMakeFiles/adios.dir/marshal.cpp.o.d"
+  "CMakeFiles/adios.dir/sst.cpp.o"
+  "CMakeFiles/adios.dir/sst.cpp.o.d"
+  "libadios.a"
+  "libadios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

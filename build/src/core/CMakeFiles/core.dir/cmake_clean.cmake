@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/bridge.cpp.o"
+  "CMakeFiles/core.dir/bridge.cpp.o.d"
+  "CMakeFiles/core.dir/nek_data_adaptor.cpp.o"
+  "CMakeFiles/core.dir/nek_data_adaptor.cpp.o.d"
+  "CMakeFiles/core.dir/workflows.cpp.o"
+  "CMakeFiles/core.dir/workflows.cpp.o.d"
+  "libcore.a"
+  "libcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

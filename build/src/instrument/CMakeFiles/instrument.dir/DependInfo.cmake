@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/memory_tracker.cpp" "src/instrument/CMakeFiles/instrument.dir/memory_tracker.cpp.o" "gcc" "src/instrument/CMakeFiles/instrument.dir/memory_tracker.cpp.o.d"
+  "/root/repo/src/instrument/report.cpp" "src/instrument/CMakeFiles/instrument.dir/report.cpp.o" "gcc" "src/instrument/CMakeFiles/instrument.dir/report.cpp.o.d"
+  "/root/repo/src/instrument/timer.cpp" "src/instrument/CMakeFiles/instrument.dir/timer.cpp.o" "gcc" "src/instrument/CMakeFiles/instrument.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

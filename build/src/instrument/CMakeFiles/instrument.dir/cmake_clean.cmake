@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument.dir/memory_tracker.cpp.o"
+  "CMakeFiles/instrument.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/instrument.dir/report.cpp.o"
+  "CMakeFiles/instrument.dir/report.cpp.o.d"
+  "CMakeFiles/instrument.dir/timer.cpp.o"
+  "CMakeFiles/instrument.dir/timer.cpp.o.d"
+  "libinstrument.a"
+  "libinstrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

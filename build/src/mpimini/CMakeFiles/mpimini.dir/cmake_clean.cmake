@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpimini.dir/comm.cpp.o"
+  "CMakeFiles/mpimini.dir/comm.cpp.o.d"
+  "CMakeFiles/mpimini.dir/runtime.cpp.o"
+  "CMakeFiles/mpimini.dir/runtime.cpp.o.d"
+  "libmpimini.a"
+  "libmpimini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpimini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

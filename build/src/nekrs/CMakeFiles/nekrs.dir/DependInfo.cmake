@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nekrs/cases.cpp" "src/nekrs/CMakeFiles/nekrs.dir/cases.cpp.o" "gcc" "src/nekrs/CMakeFiles/nekrs.dir/cases.cpp.o.d"
+  "/root/repo/src/nekrs/flow_solver.cpp" "src/nekrs/CMakeFiles/nekrs.dir/flow_solver.cpp.o" "gcc" "src/nekrs/CMakeFiles/nekrs.dir/flow_solver.cpp.o.d"
+  "/root/repo/src/nekrs/helmholtz.cpp" "src/nekrs/CMakeFiles/nekrs.dir/helmholtz.cpp.o" "gcc" "src/nekrs/CMakeFiles/nekrs.dir/helmholtz.cpp.o.d"
+  "/root/repo/src/nekrs/multigrid.cpp" "src/nekrs/CMakeFiles/nekrs.dir/multigrid.cpp.o" "gcc" "src/nekrs/CMakeFiles/nekrs.dir/multigrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sem/CMakeFiles/sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/occamini/CMakeFiles/occamini.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpimini/CMakeFiles/mpimini.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

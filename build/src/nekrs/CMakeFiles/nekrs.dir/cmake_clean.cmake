@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nekrs.dir/cases.cpp.o"
+  "CMakeFiles/nekrs.dir/cases.cpp.o.d"
+  "CMakeFiles/nekrs.dir/flow_solver.cpp.o"
+  "CMakeFiles/nekrs.dir/flow_solver.cpp.o.d"
+  "CMakeFiles/nekrs.dir/helmholtz.cpp.o"
+  "CMakeFiles/nekrs.dir/helmholtz.cpp.o.d"
+  "CMakeFiles/nekrs.dir/multigrid.cpp.o"
+  "CMakeFiles/nekrs.dir/multigrid.cpp.o.d"
+  "libnekrs.a"
+  "libnekrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nekrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occamini.dir/device.cpp.o"
+  "CMakeFiles/occamini.dir/device.cpp.o.d"
+  "liboccamini.a"
+  "liboccamini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occamini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

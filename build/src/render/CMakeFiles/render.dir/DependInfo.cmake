@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/camera.cpp" "src/render/CMakeFiles/render.dir/camera.cpp.o" "gcc" "src/render/CMakeFiles/render.dir/camera.cpp.o.d"
+  "/root/repo/src/render/colormap.cpp" "src/render/CMakeFiles/render.dir/colormap.cpp.o" "gcc" "src/render/CMakeFiles/render.dir/colormap.cpp.o.d"
+  "/root/repo/src/render/compositor.cpp" "src/render/CMakeFiles/render.dir/compositor.cpp.o" "gcc" "src/render/CMakeFiles/render.dir/compositor.cpp.o.d"
+  "/root/repo/src/render/image_io.cpp" "src/render/CMakeFiles/render.dir/image_io.cpp.o" "gcc" "src/render/CMakeFiles/render.dir/image_io.cpp.o.d"
+  "/root/repo/src/render/isosurface.cpp" "src/render/CMakeFiles/render.dir/isosurface.cpp.o" "gcc" "src/render/CMakeFiles/render.dir/isosurface.cpp.o.d"
+  "/root/repo/src/render/rasterizer.cpp" "src/render/CMakeFiles/render.dir/rasterizer.cpp.o" "gcc" "src/render/CMakeFiles/render.dir/rasterizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svtk/CMakeFiles/svtk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpimini/CMakeFiles/mpimini.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlcfg/CMakeFiles/xmlcfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render.dir/camera.cpp.o"
+  "CMakeFiles/render.dir/camera.cpp.o.d"
+  "CMakeFiles/render.dir/colormap.cpp.o"
+  "CMakeFiles/render.dir/colormap.cpp.o.d"
+  "CMakeFiles/render.dir/compositor.cpp.o"
+  "CMakeFiles/render.dir/compositor.cpp.o.d"
+  "CMakeFiles/render.dir/image_io.cpp.o"
+  "CMakeFiles/render.dir/image_io.cpp.o.d"
+  "CMakeFiles/render.dir/isosurface.cpp.o"
+  "CMakeFiles/render.dir/isosurface.cpp.o.d"
+  "CMakeFiles/render.dir/rasterizer.cpp.o"
+  "CMakeFiles/render.dir/rasterizer.cpp.o.d"
+  "librender.a"
+  "librender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

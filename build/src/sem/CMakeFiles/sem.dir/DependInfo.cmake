@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sem/box_mesh.cpp" "src/sem/CMakeFiles/sem.dir/box_mesh.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/box_mesh.cpp.o.d"
+  "/root/repo/src/sem/filter.cpp" "src/sem/CMakeFiles/sem.dir/filter.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/filter.cpp.o.d"
+  "/root/repo/src/sem/gather_scatter.cpp" "src/sem/CMakeFiles/sem.dir/gather_scatter.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/gather_scatter.cpp.o.d"
+  "/root/repo/src/sem/gll.cpp" "src/sem/CMakeFiles/sem.dir/gll.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/gll.cpp.o.d"
+  "/root/repo/src/sem/operators.cpp" "src/sem/CMakeFiles/sem.dir/operators.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/operators.cpp.o.d"
+  "/root/repo/src/sem/tensor.cpp" "src/sem/CMakeFiles/sem.dir/tensor.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpimini/CMakeFiles/mpimini.dir/DependInfo.cmake"
+  "/root/repo/build/src/occamini/CMakeFiles/occamini.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

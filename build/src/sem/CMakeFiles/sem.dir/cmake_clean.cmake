@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sem.dir/box_mesh.cpp.o"
+  "CMakeFiles/sem.dir/box_mesh.cpp.o.d"
+  "CMakeFiles/sem.dir/filter.cpp.o"
+  "CMakeFiles/sem.dir/filter.cpp.o.d"
+  "CMakeFiles/sem.dir/gather_scatter.cpp.o"
+  "CMakeFiles/sem.dir/gather_scatter.cpp.o.d"
+  "CMakeFiles/sem.dir/gll.cpp.o"
+  "CMakeFiles/sem.dir/gll.cpp.o.d"
+  "CMakeFiles/sem.dir/operators.cpp.o"
+  "CMakeFiles/sem.dir/operators.cpp.o.d"
+  "CMakeFiles/sem.dir/tensor.cpp.o"
+  "CMakeFiles/sem.dir/tensor.cpp.o.d"
+  "libsem.a"
+  "libsem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensei/adios_adaptor.cpp" "src/sensei/CMakeFiles/sensei.dir/adios_adaptor.cpp.o" "gcc" "src/sensei/CMakeFiles/sensei.dir/adios_adaptor.cpp.o.d"
+  "/root/repo/src/sensei/autocorrelation_adaptor.cpp" "src/sensei/CMakeFiles/sensei.dir/autocorrelation_adaptor.cpp.o" "gcc" "src/sensei/CMakeFiles/sensei.dir/autocorrelation_adaptor.cpp.o.d"
+  "/root/repo/src/sensei/bpfile_adaptor.cpp" "src/sensei/CMakeFiles/sensei.dir/bpfile_adaptor.cpp.o" "gcc" "src/sensei/CMakeFiles/sensei.dir/bpfile_adaptor.cpp.o.d"
+  "/root/repo/src/sensei/catalyst_adaptor.cpp" "src/sensei/CMakeFiles/sensei.dir/catalyst_adaptor.cpp.o" "gcc" "src/sensei/CMakeFiles/sensei.dir/catalyst_adaptor.cpp.o.d"
+  "/root/repo/src/sensei/checkpoint_adaptor.cpp" "src/sensei/CMakeFiles/sensei.dir/checkpoint_adaptor.cpp.o" "gcc" "src/sensei/CMakeFiles/sensei.dir/checkpoint_adaptor.cpp.o.d"
+  "/root/repo/src/sensei/configurable_analysis.cpp" "src/sensei/CMakeFiles/sensei.dir/configurable_analysis.cpp.o" "gcc" "src/sensei/CMakeFiles/sensei.dir/configurable_analysis.cpp.o.d"
+  "/root/repo/src/sensei/data_adaptor.cpp" "src/sensei/CMakeFiles/sensei.dir/data_adaptor.cpp.o" "gcc" "src/sensei/CMakeFiles/sensei.dir/data_adaptor.cpp.o.d"
+  "/root/repo/src/sensei/histogram_adaptor.cpp" "src/sensei/CMakeFiles/sensei.dir/histogram_adaptor.cpp.o" "gcc" "src/sensei/CMakeFiles/sensei.dir/histogram_adaptor.cpp.o.d"
+  "/root/repo/src/sensei/intransit_data_adaptor.cpp" "src/sensei/CMakeFiles/sensei.dir/intransit_data_adaptor.cpp.o" "gcc" "src/sensei/CMakeFiles/sensei.dir/intransit_data_adaptor.cpp.o.d"
+  "/root/repo/src/sensei/stats_adaptor.cpp" "src/sensei/CMakeFiles/sensei.dir/stats_adaptor.cpp.o" "gcc" "src/sensei/CMakeFiles/sensei.dir/stats_adaptor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svtk/CMakeFiles/svtk.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/render.dir/DependInfo.cmake"
+  "/root/repo/build/src/adios/CMakeFiles/adios.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlcfg/CMakeFiles/xmlcfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpimini/CMakeFiles/mpimini.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensei.dir/adios_adaptor.cpp.o"
+  "CMakeFiles/sensei.dir/adios_adaptor.cpp.o.d"
+  "CMakeFiles/sensei.dir/autocorrelation_adaptor.cpp.o"
+  "CMakeFiles/sensei.dir/autocorrelation_adaptor.cpp.o.d"
+  "CMakeFiles/sensei.dir/bpfile_adaptor.cpp.o"
+  "CMakeFiles/sensei.dir/bpfile_adaptor.cpp.o.d"
+  "CMakeFiles/sensei.dir/catalyst_adaptor.cpp.o"
+  "CMakeFiles/sensei.dir/catalyst_adaptor.cpp.o.d"
+  "CMakeFiles/sensei.dir/checkpoint_adaptor.cpp.o"
+  "CMakeFiles/sensei.dir/checkpoint_adaptor.cpp.o.d"
+  "CMakeFiles/sensei.dir/configurable_analysis.cpp.o"
+  "CMakeFiles/sensei.dir/configurable_analysis.cpp.o.d"
+  "CMakeFiles/sensei.dir/data_adaptor.cpp.o"
+  "CMakeFiles/sensei.dir/data_adaptor.cpp.o.d"
+  "CMakeFiles/sensei.dir/histogram_adaptor.cpp.o"
+  "CMakeFiles/sensei.dir/histogram_adaptor.cpp.o.d"
+  "CMakeFiles/sensei.dir/intransit_data_adaptor.cpp.o"
+  "CMakeFiles/sensei.dir/intransit_data_adaptor.cpp.o.d"
+  "CMakeFiles/sensei.dir/stats_adaptor.cpp.o"
+  "CMakeFiles/sensei.dir/stats_adaptor.cpp.o.d"
+  "libsensei.a"
+  "libsensei.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensei.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svtk/data_array.cpp" "src/svtk/CMakeFiles/svtk.dir/data_array.cpp.o" "gcc" "src/svtk/CMakeFiles/svtk.dir/data_array.cpp.o.d"
+  "/root/repo/src/svtk/serialize.cpp" "src/svtk/CMakeFiles/svtk.dir/serialize.cpp.o" "gcc" "src/svtk/CMakeFiles/svtk.dir/serialize.cpp.o.d"
+  "/root/repo/src/svtk/unstructured_grid.cpp" "src/svtk/CMakeFiles/svtk.dir/unstructured_grid.cpp.o" "gcc" "src/svtk/CMakeFiles/svtk.dir/unstructured_grid.cpp.o.d"
+  "/root/repo/src/svtk/vtu_writer.cpp" "src/svtk/CMakeFiles/svtk.dir/vtu_writer.cpp.o" "gcc" "src/svtk/CMakeFiles/svtk.dir/vtu_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlcfg/CMakeFiles/xmlcfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

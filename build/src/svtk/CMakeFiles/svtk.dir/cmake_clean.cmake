@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtk.dir/data_array.cpp.o"
+  "CMakeFiles/svtk.dir/data_array.cpp.o.d"
+  "CMakeFiles/svtk.dir/serialize.cpp.o"
+  "CMakeFiles/svtk.dir/serialize.cpp.o.d"
+  "CMakeFiles/svtk.dir/unstructured_grid.cpp.o"
+  "CMakeFiles/svtk.dir/unstructured_grid.cpp.o.d"
+  "CMakeFiles/svtk.dir/vtu_writer.cpp.o"
+  "CMakeFiles/svtk.dir/vtu_writer.cpp.o.d"
+  "libsvtk.a"
+  "libsvtk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

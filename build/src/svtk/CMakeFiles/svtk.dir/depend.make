@@ -1,0 +1,2 @@
+# Empty dependencies file for svtk.
+# This may be replaced when dependencies are built.

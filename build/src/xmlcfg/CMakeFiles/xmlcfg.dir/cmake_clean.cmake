@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlcfg.dir/xml.cpp.o"
+  "CMakeFiles/xmlcfg.dir/xml.cpp.o.d"
+  "libxmlcfg.a"
+  "libxmlcfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlcfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xmlcfg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isosurface_test.dir/isosurface_test.cpp.o"
+  "CMakeFiles/isosurface_test.dir/isosurface_test.cpp.o.d"
+  "isosurface_test"
+  "isosurface_test.pdb"
+  "isosurface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isosurface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpimini_test.dir/mpimini_test.cpp.o"
+  "CMakeFiles/mpimini_test.dir/mpimini_test.cpp.o.d"
+  "mpimini_test"
+  "mpimini_test.pdb"
+  "mpimini_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpimini_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

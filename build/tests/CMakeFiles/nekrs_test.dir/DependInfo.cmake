@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nekrs_test.cpp" "tests/CMakeFiles/nekrs_test.dir/nekrs_test.cpp.o" "gcc" "tests/CMakeFiles/nekrs_test.dir/nekrs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nekrs/CMakeFiles/nekrs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/occamini/CMakeFiles/occamini.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpimini/CMakeFiles/mpimini.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nekrs_test.dir/nekrs_test.cpp.o"
+  "CMakeFiles/nekrs_test.dir/nekrs_test.cpp.o.d"
+  "nekrs_test"
+  "nekrs_test.pdb"
+  "nekrs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nekrs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occamini_test.dir/occamini_test.cpp.o"
+  "CMakeFiles/occamini_test.dir/occamini_test.cpp.o.d"
+  "occamini_test"
+  "occamini_test.pdb"
+  "occamini_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occamini_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensei_test.dir/sensei_test.cpp.o"
+  "CMakeFiles/sensei_test.dir/sensei_test.cpp.o.d"
+  "sensei_test"
+  "sensei_test.pdb"
+  "sensei_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensei_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

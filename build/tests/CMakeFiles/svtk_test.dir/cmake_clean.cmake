@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtk_test.dir/svtk_test.cpp.o"
+  "CMakeFiles/svtk_test.dir/svtk_test.cpp.o.d"
+  "svtk_test"
+  "svtk_test.pdb"
+  "svtk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

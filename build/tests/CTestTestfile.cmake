@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/instrument_test[1]_include.cmake")
+include("/root/repo/build/tests/xmlcfg_test[1]_include.cmake")
+include("/root/repo/build/tests/mpimini_test[1]_include.cmake")
+include("/root/repo/build/tests/occamini_test[1]_include.cmake")
+include("/root/repo/build/tests/svtk_test[1]_include.cmake")
+include("/root/repo/build/tests/sem_test[1]_include.cmake")
+include("/root/repo/build/tests/filter_test[1]_include.cmake")
+include("/root/repo/build/tests/nekrs_test[1]_include.cmake")
+include("/root/repo/build/tests/adios_test[1]_include.cmake")
+include("/root/repo/build/tests/render_test[1]_include.cmake")
+include("/root/repo/build/tests/isosurface_test[1]_include.cmake")
+include("/root/repo/build/tests/sensei_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
