@@ -16,7 +16,8 @@ adios::StepPayload MakePayload(std::size_t bytes) {
   adios::StepPayload payload;
   payload.step = 1;
   payload.writer_rank = 0;
-  payload.variables["mesh"] = std::vector<std::byte>(bytes, std::byte{0x5A});
+  payload.variables["mesh"] = core::Buffer::TakeVector(
+      "", std::vector<std::byte>(bytes, std::byte{0x5A}));
   return payload;
 }
 

@@ -11,27 +11,34 @@ BpFileWriter::BpFileWriter(const std::string& path)
 
 void BpFileWriter::BeginStep(int step) {
   if (step_open_) throw std::runtime_error("adios: step already open");
-  staged_ = StepPayload{};
+  staged_ = StepChain{};
   staged_.step = step;
   step_open_ = true;
 }
 
 void BpFileWriter::Put(const std::string& name,
                        std::span<const std::byte> data) {
+  PutChain(name, core::BufferChain(
+                     core::BufferView(core::Buffer::CopyOf("marshal", data))));
+}
+
+void BpFileWriter::PutChain(const std::string& name, core::BufferChain chain) {
   if (!step_open_) throw std::runtime_error("adios: Put outside a step");
-  staged_.variables[name].assign(data.begin(), data.end());
+  staged_.variables[name] = std::move(chain);
 }
 
 void BpFileWriter::EndStep() {
   if (!step_open_) throw std::runtime_error("adios: EndStep outside a step");
-  const std::vector<std::byte> buffer = MarshalStep(staged_);
-  const std::uint64_t length = buffer.size();
+  const core::BufferChain chain = MarshalChain(staged_);
+  const std::uint64_t length = chain.TotalBytes();
   out_.write(reinterpret_cast<const char*>(&length), sizeof(length));
-  out_.write(reinterpret_cast<const char*>(buffer.data()),
-             static_cast<std::streamsize>(buffer.size()));
+  for (const core::BufferView& segment : chain.Segments()) {
+    out_.write(reinterpret_cast<const char*>(segment.data()),
+               static_cast<std::streamsize>(segment.size()));
+  }
   if (!out_) throw std::runtime_error("adios: write failed: " + path_);
-  bytes_written_ += sizeof(length) + buffer.size();
-  staged_ = StepPayload{};
+  bytes_written_ += sizeof(length) + length;
+  staged_ = StepChain{};
   step_open_ = false;
 }
 
@@ -55,7 +62,10 @@ std::optional<StepPayload> BpFileReader::NextStep() {
   in_.read(reinterpret_cast<char*>(buffer.data()),
            static_cast<std::streamsize>(length));
   if (!in_) throw std::runtime_error("adios: truncated step in " + path_);
-  return UnmarshalStep(buffer);
+  // Adopt the freshly read bytes and slice them zero-copy: the variables
+  // share the step buffer instead of each owning a copy.
+  return UnmarshalShared(
+      core::Buffer::TakeVector("marshal", std::move(buffer)));
 }
 
 }  // namespace adios

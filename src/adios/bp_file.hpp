@@ -20,7 +20,11 @@ class BpFileWriter {
 
   void BeginStep(int step);
   void Put(const std::string& name, std::span<const std::byte> data);
-  /// Appends the marshaled step, prefixed by its byte length.
+  /// Zero-copy Put of a scatter-gather chain; segments are streamed to the
+  /// file at EndStep without ever being flattened in memory.
+  void PutChain(const std::string& name, core::BufferChain chain);
+  /// Appends the marshaled step, prefixed by its byte length.  Segments are
+  /// written in wire order directly from the staged chains (no pack copy).
   void EndStep();
   void Close();
 
@@ -29,7 +33,7 @@ class BpFileWriter {
  private:
   std::ofstream out_;
   std::string path_;
-  StepPayload staged_;
+  StepChain staged_;
   bool step_open_ = false;
   std::size_t bytes_written_ = 0;
 };

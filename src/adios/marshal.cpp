@@ -27,64 +27,116 @@ T Read(std::span<const std::byte> buf, std::size_t& pos) {
   return v;
 }
 
-}  // namespace
+/// Byte range of one variable inside a packed step buffer.
+struct VarRecord {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+};
 
-std::vector<std::byte> MarshalStep(const StepPayload& payload) {
-  std::vector<std::byte> buf;
-  std::size_t reserve = 32;
-  for (const auto& [name, data] : payload.variables) {
-    reserve += 16 + name.size() + data.size();
-  }
-  buf.reserve(reserve);
+struct ParsedStep {
+  int step = -1;
+  int writer_rank = -1;
+  std::vector<VarRecord> vars;
+};
 
-  Append(buf, kBpMagic);
-  Append(buf, static_cast<std::int64_t>(payload.step));
-  Append(buf, static_cast<std::int64_t>(payload.writer_rank));
-  Append(buf, static_cast<std::uint64_t>(payload.variables.size()));
-  for (const auto& [name, data] : payload.variables) {
-    Append(buf, static_cast<std::uint64_t>(name.size()));
-    const std::size_t old = buf.size();
-    buf.resize(old + name.size());
-    std::memcpy(buf.data() + old, name.data(), name.size());
-    Append(buf, static_cast<std::uint64_t>(data.size()));
-    const std::size_t data_at = buf.size();
-    buf.resize(data_at + data.size());
-    if (!data.empty()) {
-      std::memcpy(buf.data() + data_at, data.data(), data.size());
-    }
-  }
-  return buf;
-}
-
-StepPayload UnmarshalStep(std::span<const std::byte> buffer) {
+// Single bounds-checked parse shared by both unmarshal flavors: every
+// length is validated against the remaining bytes before any read, so a
+// truncated or corrupt buffer throws instead of reading out of bounds.
+ParsedStep ParseStep(std::span<const std::byte> buffer) {
   std::size_t pos = 0;
   if (Read<std::uint64_t>(buffer, pos) != kBpMagic) {
     throw std::runtime_error("adios: bad BP magic");
   }
-  StepPayload payload;
-  payload.step = static_cast<int>(Read<std::int64_t>(buffer, pos));
-  payload.writer_rank = static_cast<int>(Read<std::int64_t>(buffer, pos));
+  ParsedStep parsed;
+  parsed.step = static_cast<int>(Read<std::int64_t>(buffer, pos));
+  parsed.writer_rank = static_cast<int>(Read<std::int64_t>(buffer, pos));
   const auto count = Read<std::uint64_t>(buffer, pos);
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto name_len = Read<std::uint64_t>(buffer, pos);
-    if (pos + name_len > buffer.size()) {
+    if (name_len > buffer.size() - pos) {
       throw std::runtime_error("adios: marshal name underrun");
     }
-    std::string name(reinterpret_cast<const char*>(buffer.data() + pos),
-                     name_len);
+    VarRecord record;
+    record.name.assign(reinterpret_cast<const char*>(buffer.data() + pos),
+                       name_len);
     pos += name_len;
     const auto data_len = Read<std::uint64_t>(buffer, pos);
-    if (pos + data_len > buffer.size()) {
+    if (data_len > buffer.size() - pos) {
       throw std::runtime_error("adios: marshal data underrun");
     }
-    std::vector<std::byte> data(buffer.begin() + static_cast<std::ptrdiff_t>(pos),
-                                buffer.begin() +
-                                    static_cast<std::ptrdiff_t>(pos + data_len));
+    record.offset = pos;
+    record.size = data_len;
     pos += data_len;
-    payload.variables[name] = std::move(data);
+    parsed.vars.push_back(std::move(record));
   }
   if (pos != buffer.size()) {
     throw std::runtime_error("adios: marshal trailing bytes");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+core::BufferChain MarshalChain(const StepChain& staged) {
+  core::BufferChain chain;
+  std::vector<std::byte> header;
+
+  auto flush_header = [&] {
+    if (header.empty()) return;
+    chain.Append(core::Buffer::TakeVector("marshal", std::move(header)));
+    header = {};
+  };
+
+  Append(header, kBpMagic);
+  Append(header, static_cast<std::int64_t>(staged.step));
+  Append(header, static_cast<std::int64_t>(staged.writer_rank));
+  Append(header, static_cast<std::uint64_t>(staged.variables.size()));
+  for (const auto& [name, data] : staged.variables) {
+    Append(header, static_cast<std::uint64_t>(name.size()));
+    const std::size_t old = header.size();
+    header.resize(old + name.size());
+    std::memcpy(header.data() + old, name.data(), name.size());
+    Append(header, static_cast<std::uint64_t>(data.TotalBytes()));
+    flush_header();
+    chain.Append(data);
+  }
+  flush_header();
+  return chain;
+}
+
+std::vector<std::byte> MarshalStep(const StepPayload& payload) {
+  StepChain staged;
+  staged.step = payload.step;
+  staged.writer_rank = payload.writer_rank;
+  for (const auto& [name, data] : payload.variables) {
+    staged.variables[name] = core::BufferChain(core::BufferView(data));
+  }
+  const core::BufferChain chain = MarshalChain(staged);
+  std::vector<std::byte> out(chain.TotalBytes());
+  chain.PackInto(out);
+  return out;
+}
+
+StepPayload UnmarshalStep(std::span<const std::byte> buffer) {
+  const ParsedStep parsed = ParseStep(buffer);
+  StepPayload payload;
+  payload.step = parsed.step;
+  payload.writer_rank = parsed.writer_rank;
+  for (const VarRecord& record : parsed.vars) {
+    payload.variables[record.name] = core::Buffer::CopyOf(
+        "marshal", buffer.subspan(record.offset, record.size));
+  }
+  return payload;
+}
+
+StepPayload UnmarshalShared(const core::Buffer& packed) {
+  const ParsedStep parsed = ParseStep(packed.bytes());
+  StepPayload payload;
+  payload.step = parsed.step;
+  payload.writer_rank = parsed.writer_rank;
+  for (const VarRecord& record : parsed.vars) {
+    payload.variables[record.name] = packed.Slice(record.offset, record.size);
   }
   return payload;
 }

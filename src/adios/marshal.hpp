@@ -1,6 +1,14 @@
 // BP-style variable marshaling: named byte blobs packed per step into a
 // single contiguous buffer (the "data marshaling option" the paper
 // configures ADIOS2's SST engine with).
+//
+// The marshal step is scatter-gather over data-plane views: MarshalChain
+// emits small header segments interleaved with zero-copy views of the
+// variables, and the one contiguous pack happens only at the transport
+// boundary (mpimini::Comm::SendGather / BufferChain::Pack).  The value
+// semantics MarshalStep/UnmarshalStep wrappers keep the old copying API for
+// file engines and tests; UnmarshalShared slices the packed buffer without
+// copying for the streaming (SST) receive path.
 #pragma once
 
 #include <cstdint>
@@ -9,13 +17,18 @@
 #include <string>
 #include <vector>
 
+#include "core/buffer.hpp"
+
 namespace adios {
 
-/// One step's worth of named variables from one writer.
+/// One step's worth of named variables from one writer.  Variables are
+/// ref-counted data-plane buffers: after UnmarshalShared they are slices of
+/// the received transport buffer (no copy); after UnmarshalStep they own
+/// fresh storage.
 struct StepPayload {
   int step = -1;
   int writer_rank = -1;
-  std::map<std::string, std::vector<std::byte>> variables;
+  std::map<std::string, core::Buffer> variables;
 
   [[nodiscard]] std::size_t TotalBytes() const {
     std::size_t total = 0;
@@ -24,11 +37,36 @@ struct StepPayload {
   }
 };
 
-/// Pack a payload into a single BP-like buffer:
-/// magic, step, writer_rank, count, then per variable (name, size, bytes).
+/// Writer-side staging for one step: each variable is a scatter-gather
+/// chain (e.g. svtk::SerializeChain output) that is never flattened before
+/// the wire.
+struct StepChain {
+  int step = -1;
+  int writer_rank = -1;
+  std::map<std::string, core::BufferChain> variables;
+
+  [[nodiscard]] std::size_t TotalBytes() const {
+    std::size_t total = 0;
+    for (const auto& [name, chain] : variables) total += chain.TotalBytes();
+    return total;
+  }
+};
+
+/// Marshal a staged step into a scatter-gather chain:
+/// magic, step, writer_rank, count, then per variable (name, size, bytes),
+/// where the variable bytes are zero-copy views.
+core::BufferChain MarshalChain(const StepChain& staged);
+
+/// Pack a payload into a single BP-like buffer (value-semantics wrapper:
+/// performs the one pack copy).
 std::vector<std::byte> MarshalStep(const StepPayload& payload);
 
-/// Inverse of MarshalStep; throws std::runtime_error on malformed input.
+/// Inverse of MarshalStep; variables own fresh storage (one copy each).
+/// Throws std::runtime_error on malformed input; never reads out of bounds.
 StepPayload UnmarshalStep(std::span<const std::byte> buffer);
+
+/// Zero-copy inverse: variables are slices sharing `packed`'s block, valid
+/// for as long as any slice is held.  Same validation as UnmarshalStep.
+StepPayload UnmarshalShared(const core::Buffer& packed);
 
 }  // namespace adios

@@ -47,38 +47,47 @@ void SstWriter::BeginStep(int step) {
   if (closed_) throw std::runtime_error("adios: BeginStep after Close");
   if (step_open_) throw std::runtime_error("adios: step already open");
   DrainAcks(params_.queue_limit - 1);
-  staged_ = StepPayload{};
+  staged_ = StepChain{};
   staged_.step = step;
   staged_.writer_rank = world_.Rank();
   step_open_ = true;
 }
 
 void SstWriter::Put(const std::string& name, std::span<const std::byte> data) {
+  // Value-semantics wrapper: one counted copy into an owned "marshal"
+  // buffer, which tracks/releases its bytes automatically.
+  PutBuffer(name, core::Buffer::CopyOf("marshal", data));
+}
+
+void SstWriter::PutBuffer(const std::string& name, core::Buffer data) {
+  PutChain(name, core::BufferChain(core::BufferView(std::move(data))));
+}
+
+void SstWriter::PutChain(const std::string& name, core::BufferChain chain) {
   if (!step_open_) throw std::runtime_error("adios: Put outside a step");
-  auto& slot = staged_.variables[name];
-  TrackMarshal(static_cast<std::ptrdiff_t>(data.size()) -
-               static_cast<std::ptrdiff_t>(slot.size()));
-  slot.assign(data.begin(), data.end());
+  staged_.variables[name] = std::move(chain);
 }
 
 void SstWriter::EndStep() {
   if (!step_open_) throw std::runtime_error("adios: EndStep outside a step");
-  std::vector<std::byte> buffer = MarshalStep(staged_);
-  TrackMarshal(static_cast<std::ptrdiff_t>(buffer.size()));
+  // One message chain: 1-byte kind + marshaled step, packed exactly once
+  // inside SendGather (the transport-boundary copy).
+  core::BufferChain message;
+  message.Append(core::Buffer::TakeVector(
+      "", std::vector<std::byte>{kKindData}));
+  message.Append(MarshalChain(staged_));
+  const std::size_t payload_bytes = message.TotalBytes() - 1;
+  world_.SendGather(reader_, kTagSstMsg, message);
 
-  std::vector<std::byte> message(1 + buffer.size());
-  message[0] = kKindData;
-  std::memcpy(message.data() + 1, buffer.data(), buffer.size());
-  world_.SendBytes(reader_, kTagSstMsg, message.data(), message.size());
-
-  // The staged variables are released, but the packed buffer stays
-  // attributed to this writer until the reader acks (SST staging queue).
-  TrackMarshal(-static_cast<std::ptrdiff_t>(staged_.TotalBytes()));
+  // Staged variables release as staged_ is reset, but the packed in-flight
+  // bytes stay attributed to this writer until the reader acks (SST staging
+  // queue) — the mailbox buffer itself is untracked, so account it here.
+  TrackMarshal(static_cast<std::ptrdiff_t>(payload_bytes));
   ++stats_.steps;
-  stats_.payload_bytes += buffer.size();
-  staged_ = StepPayload{};
+  stats_.payload_bytes += payload_bytes;
+  staged_ = StepChain{};
   step_open_ = false;
-  in_flight_.push_back(buffer.size());
+  in_flight_.push_back(payload_bytes);
 }
 
 void SstWriter::Close() {
@@ -103,19 +112,20 @@ std::optional<SstReader::Step> SstReader::NextStep() {
   bool any = false;
   for (std::size_t w = 0; w < writers_.size(); ++w) {
     if (!open_[w]) continue;
-    mpimini::Message message = world_.RecvBytes(writers_[w], kTagSstMsg);
-    if (message.payload.empty()) {
+    core::Buffer message = world_.RecvBuffer(writers_[w], kTagSstMsg);
+    if (message.empty()) {
       throw std::runtime_error("adios: empty SST message");
     }
-    if (message.payload[0] == kKindEos) {
+    if (message[0] == kKindEos) {
       open_[w] = false;
       ++stats_.control_messages;
       continue;
     }
-    StepPayload payload = UnmarshalStep(
-        std::span<const std::byte>(message.payload.data() + 1,
-                                   message.payload.size() - 1));
-    stats_.payload_bytes += message.payload.size() - 1;
+    // Zero-copy unmarshal: the payload variables are slices of the received
+    // transport buffer, which stays alive as long as any slice is held.
+    StepPayload payload =
+        UnmarshalShared(message.Slice(1, message.size() - 1));
+    stats_.payload_bytes += message.size() - 1;
     // Ack immediately: the writer's staging slot is free once the payload
     // is on the endpoint.
     world_.SendValue<std::int32_t>(writers_[w], kTagSstAck,

@@ -47,7 +47,14 @@ class SstWriter {
   /// Stage a named variable for the current step (copies the bytes into the
   /// marshal buffer; tracked under category "marshal").
   void Put(const std::string& name, std::span<const std::byte> data);
-  /// Marshal and ship the staged step to the reader.
+  /// Zero-copy Put: stage a view of an owned data-plane buffer.  No bytes
+  /// move until EndStep's transport pack.
+  void PutBuffer(const std::string& name, core::Buffer data);
+  /// Zero-copy Put of a scatter-gather chain (e.g. svtk::SerializeChain
+  /// output); the segments ride to the wire without being flattened here.
+  void PutChain(const std::string& name, core::BufferChain chain);
+  /// Marshal and ship the staged step to the reader: the staged chains are
+  /// packed exactly once, into the outgoing transport buffer.
   void EndStep();
   /// Send end-of-stream and drain outstanding acks.
   void Close();
@@ -68,7 +75,7 @@ class SstWriter {
   std::deque<std::size_t> in_flight_;
   bool step_open_ = false;
   bool closed_ = false;
-  StepPayload staged_;
+  StepChain staged_;
 };
 
 /// Endpoint-side SST: receives streams from a fixed set of writer ranks.

@@ -1,0 +1,217 @@
+#include "core/buffer.hpp"
+
+#include <cstring>
+
+#include "instrument/memory_tracker.hpp"
+
+namespace core {
+
+namespace {
+thread_local BufferStats g_stats;
+}  // namespace
+
+BufferStats& LocalBufferStats() { return g_stats; }
+
+void ResetLocalBufferStats() { g_stats = {}; }
+
+void CountCopy(std::size_t bytes) {
+  if (bytes >= kFullFieldBytes) {
+    ++g_stats.full_copies;
+  } else {
+    ++g_stats.small_copies;
+  }
+  g_stats.copied_bytes += bytes;
+}
+
+void CountAdoption() { ++g_stats.adoptions; }
+
+void CountMove() { ++g_stats.moves; }
+
+void CountDeviceStage() { ++g_stats.device_stages; }
+
+namespace detail {
+
+// One ref-counted byte block.  Either owns its storage (possibly reported to
+// the allocating rank's MemoryTracker) or wraps external storage guarded by
+// a keepalive handle.  Tracked bytes are released in the destructor, which
+// must therefore run on the allocating rank's thread unless DetachTracking
+// ran first (mpimini detaches on send).
+struct Block {
+  Block(std::string cat, std::size_t bytes)
+      : category(std::move(cat)),
+        owned(new std::byte[bytes]()),
+        data(owned.get()),
+        size(bytes) {
+    if (!category.empty()) {
+      tracker = instrument::CurrentTracker();
+      if (tracker) tracker->Allocate(category, size);
+    }
+  }
+
+  Block(std::string cat, std::vector<std::byte>&& taken)
+      : category(std::move(cat)),
+        vector_storage(std::move(taken)),
+        data(vector_storage.data()),
+        size(vector_storage.size()) {
+    if (!category.empty()) {
+      tracker = instrument::CurrentTracker();
+      if (tracker) tracker->Allocate(category, size);
+    }
+  }
+
+  Block(std::shared_ptr<const void> keep, const std::byte* external,
+        std::size_t bytes)
+      : keepalive(std::move(keep)),
+        data(const_cast<std::byte*>(external)),
+        size(bytes) {}
+
+  ~Block() { Detach(); }
+
+  void Detach() {
+    if (tracker) {
+      tracker->Release(category, size);
+      tracker = nullptr;
+    }
+  }
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  std::string category;
+  std::unique_ptr<std::byte[]> owned;
+  std::vector<std::byte> vector_storage;
+  std::shared_ptr<const void> keepalive;
+  std::byte* data = nullptr;
+  std::size_t size = 0;
+  instrument::MemoryTracker* tracker = nullptr;
+};
+
+}  // namespace detail
+
+Buffer::Buffer(std::string category, std::size_t bytes)
+    : block_(std::make_shared<detail::Block>(std::move(category), bytes)),
+      offset_(0),
+      size_(bytes) {
+  ++g_stats.allocations;
+  g_stats.allocated_bytes += bytes;
+}
+
+Buffer Buffer::CopyOf(std::string category, std::span<const std::byte> src) {
+  Buffer out(std::move(category), src.size());
+  if (!src.empty()) std::memcpy(out.data(), src.data(), src.size());
+  CountCopy(src.size());
+  return out;
+}
+
+Buffer Buffer::Adopt(std::shared_ptr<const void> keepalive,
+                     const std::byte* data, std::size_t bytes) {
+  Buffer out;
+  out.block_ = std::make_shared<detail::Block>(std::move(keepalive), data,
+                                               bytes);
+  out.offset_ = 0;
+  out.size_ = bytes;
+  CountAdoption();
+  return out;
+}
+
+Buffer Buffer::TakeVector(std::string category,
+                          std::vector<std::byte>&& bytes) {
+  Buffer out;
+  const std::size_t n = bytes.size();
+  out.block_ = std::make_shared<detail::Block>(std::move(category),
+                                               std::move(bytes));
+  out.offset_ = 0;
+  out.size_ = n;
+  ++g_stats.allocations;  // storage enters the plane, even if recycled
+  CountMove();
+  return out;
+}
+
+std::byte* Buffer::data() {
+  return block_ ? block_->data + offset_ : nullptr;
+}
+
+const std::byte* Buffer::data() const {
+  return block_ ? block_->data + offset_ : nullptr;
+}
+
+Buffer Buffer::Slice(std::size_t offset, std::size_t bytes) const {
+  if (offset + bytes > size_) {
+    throw std::out_of_range("core::Buffer::Slice out of range");
+  }
+  Buffer out;
+  out.block_ = block_;
+  out.offset_ = offset_ + offset;
+  out.size_ = bytes;
+  CountAdoption();
+  return out;
+}
+
+void Buffer::CopyIn(std::span<const std::byte> src, std::size_t offset) {
+  if (offset + src.size() > size_) {
+    throw std::out_of_range("core::Buffer::CopyIn out of range");
+  }
+  if (!src.empty()) std::memcpy(data() + offset, src.data(), src.size());
+  CountCopy(src.size());
+}
+
+Buffer Buffer::Clone(std::string category) const {
+  return CopyOf(std::move(category), bytes());
+}
+
+void Buffer::DetachTracking() {
+  if (block_) block_->Detach();
+}
+
+const std::string& Buffer::Category() const {
+  static const std::string kEmpty;
+  return block_ ? block_->category : kEmpty;
+}
+
+long Buffer::UseCount() const { return block_ ? block_.use_count() : 0; }
+
+void Buffer::CheckTyped(std::size_t alignment, std::size_t element) const {
+  if (size_ % element != 0) {
+    throw std::runtime_error("core::Buffer: size not a whole element count");
+  }
+  if (reinterpret_cast<std::uintptr_t>(data()) % alignment != 0) {
+    throw std::runtime_error("core::Buffer: misaligned typed view");
+  }
+}
+
+void BufferChain::Append(BufferView segment) {
+  total_bytes_ += segment.size();
+  if (!segment.empty()) segments_.push_back(std::move(segment));
+}
+
+void BufferChain::Append(BufferChain chain) {
+  for (BufferView& segment : chain.segments_) Append(std::move(segment));
+}
+
+std::span<const std::byte> BufferChain::ContiguousBytes() const {
+  if (segments_.empty()) return {};
+  if (segments_.size() > 1) {
+    throw std::runtime_error("core::BufferChain: not contiguous");
+  }
+  return segments_.front().bytes();
+}
+
+Buffer BufferChain::Pack(std::string category) const {
+  Buffer out(std::move(category), total_bytes_);
+  PackInto(out.bytes());
+  return out;
+}
+
+void BufferChain::PackInto(std::span<std::byte> dst) const {
+  if (dst.size() != total_bytes_) {
+    throw std::runtime_error("core::BufferChain: pack size mismatch");
+  }
+  std::size_t at = 0;
+  for (const BufferView& segment : segments_) {
+    std::memcpy(dst.data() + at, segment.data(), segment.size());
+    at += segment.size();
+  }
+  CountCopy(total_bytes_);
+}
+
+}  // namespace core

@@ -1,0 +1,237 @@
+// core::Buffer — the unified zero-copy data plane.
+//
+// Every layer boundary in the reproduction used to re-copy field data:
+// occamini staged device fields into a private host vector, svtk::DataArray
+// copied the staging bytes again, adios::MarshalStep packed them a third
+// time, and mpimini::Comm::SendBytes memcpy'd the packed buffer into the
+// destination mailbox.  The paper's overhead figures (Figs 2/3/5) are
+// dominated by exactly this class of staging copy, so the data plane now
+// shares one ref-counted byte buffer across all four layers:
+//
+//   occamini::Memory::ToHost        -> lands the D2H copy in a Buffer
+//   svtk::DataArray (adopt ctor)    -> wraps the staged buffer, no copy
+//   adios::MarshalChain             -> scatter-gather views, no pack
+//   mpimini::Comm::SendGather       -> ONE contiguous pack at the wire
+//   mpimini::Comm::RecvBuffer       -> moves ownership out of the mailbox
+//
+// Buffers carry a memory-tracker category so the per-rank high-water-mark
+// attribution (Fig 3/6) keeps working, and every bulk copy that still
+// happens is counted in per-rank BufferStats so tests can assert the
+// copy-count invariants (<= 2 full-field copies per step on the in situ
+// Catalyst and in transit SST paths; the seed performed >= 4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace core {
+
+/// Host copies of at least this many bytes count as "full-field" copies;
+/// smaller ones (collective scalars, control messages, format headers) are
+/// tallied separately so the data-plane invariants are not polluted by
+/// 8-byte traffic.
+inline constexpr std::size_t kFullFieldBytes = 4096;
+
+/// Per-rank (per-thread) data-plane statistics, TransferStats-style.
+struct BufferStats {
+  std::uint64_t allocations = 0;   ///< buffers allocated through the plane
+  std::size_t allocated_bytes = 0;
+  std::uint64_t full_copies = 0;   ///< bulk host copies >= kFullFieldBytes
+  std::uint64_t small_copies = 0;  ///< control-sized host copies
+  std::size_t copied_bytes = 0;    ///< bytes moved by host copies (all sizes)
+  std::uint64_t adoptions = 0;     ///< zero-copy wraps / slices across layers
+  std::uint64_t moves = 0;         ///< zero-copy ownership transfers (send/recv)
+  std::uint64_t device_stages = 0; ///< mandatory D2H landings (VTK is host-only)
+};
+
+/// Statistics of the calling rank thread (mirrors instrument::CurrentTracker
+/// threading: one accumulator per rank thread, plus one for the main thread).
+[[nodiscard]] BufferStats& LocalBufferStats();
+void ResetLocalBufferStats();
+
+/// Record a bulk host copy performed by a data-plane wrapper.
+void CountCopy(std::size_t bytes);
+/// Record a zero-copy adoption (wrap or slice).
+void CountAdoption();
+/// Record a zero-copy ownership transfer.
+void CountMove();
+/// Record a device->host staging landing.
+void CountDeviceStage();
+
+namespace detail {
+struct Block;
+}  // namespace detail
+
+/// Shared handle onto a window of a ref-counted byte block.
+///
+/// Copying a Buffer shares the block (no bytes move); moving transfers the
+/// handle.  Deep copies only happen through the explicit, counted entry
+/// points (CopyOf / Clone / CopyIn).  Blocks allocated with a non-empty
+/// category report their bytes to the rank's MemoryTracker for the lifetime
+/// of the block (see DetachTracking for cross-rank handoff).
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// Allocate `bytes` zero-initialized bytes, tracked under `category`
+  /// (empty category => untracked, e.g. transport mailbox storage).
+  Buffer(std::string category, std::size_t bytes);
+
+  /// Allocate and fill from `src` (counted as one copy).
+  [[nodiscard]] static Buffer CopyOf(std::string category,
+                                     std::span<const std::byte> src);
+
+  /// Wrap external storage without copying; `keepalive` guards the lifetime.
+  [[nodiscard]] static Buffer Adopt(std::shared_ptr<const void> keepalive,
+                                    const std::byte* data, std::size_t bytes);
+
+  /// Take ownership of a vector's storage without copying.
+  [[nodiscard]] static Buffer TakeVector(std::string category,
+                                         std::vector<std::byte>&& bytes);
+
+  // -- container-style access (mailbox payload compatibility) --------------
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::byte* data();
+  [[nodiscard]] const std::byte* data() const;
+  [[nodiscard]] std::byte& operator[](std::size_t i) { return data()[i]; }
+  [[nodiscard]] const std::byte& operator[](std::size_t i) const {
+    return data()[i];
+  }
+
+  [[nodiscard]] std::span<std::byte> bytes() {
+    return {data(), size_};
+  }
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {data(), size_};
+  }
+  operator std::span<const std::byte>() const { return bytes(); }  // NOLINT
+
+  /// Typed view; throws if the window is misaligned or not a whole number
+  /// of elements.
+  template <typename T>
+  [[nodiscard]] std::span<T> As() {
+    CheckTyped(alignof(T), sizeof(T));
+    return {reinterpret_cast<T*>(data()), size_ / sizeof(T)};
+  }
+  template <typename T>
+  [[nodiscard]] std::span<const T> As() const {
+    CheckTyped(alignof(T), sizeof(T));
+    return {reinterpret_cast<const T*>(data()), size_ / sizeof(T)};
+  }
+
+  // -- zero-copy operations -------------------------------------------------
+  /// Share a sub-window [offset, offset+bytes) of this buffer (counted as an
+  /// adoption; no bytes move).
+  [[nodiscard]] Buffer Slice(std::size_t offset, std::size_t bytes) const;
+
+  // -- counted deep copies --------------------------------------------------
+  /// Copy `src` into this buffer at `offset` (counted).
+  void CopyIn(std::span<const std::byte> src, std::size_t offset = 0);
+  /// Freshly allocated deep copy (counted).
+  [[nodiscard]] Buffer Clone(std::string category) const;
+
+  /// Stop attributing this block's bytes to the allocating rank's
+  /// MemoryTracker.  Required before handing an owned buffer to another
+  /// rank's thread: trackers are per-rank and not thread-safe, so the bytes
+  /// must leave the sender's books on the sender's thread.
+  void DetachTracking();
+
+  /// Tracker category the block was allocated under ("" if untracked
+  /// or adopted).
+  [[nodiscard]] const std::string& Category() const;
+
+  /// Number of Buffer handles sharing the block (0 for a null buffer).
+  [[nodiscard]] long UseCount() const;
+
+ private:
+  void CheckTyped(std::size_t alignment, std::size_t element) const;
+
+  std::shared_ptr<detail::Block> block_;
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Byte-wise content equality (ownership and category are not compared).
+inline bool operator==(const Buffer& a, const Buffer& b) {
+  const auto sa = a.bytes();
+  const auto sb = b.bytes();
+  return sa.size() == sb.size() &&
+         (sa.empty() || std::memcmp(sa.data(), sb.data(), sa.size()) == 0);
+}
+
+inline bool operator==(const Buffer& a, std::span<const std::byte> b) {
+  const auto sa = a.bytes();
+  return sa.size() == b.size() &&
+         (sa.empty() || std::memcmp(sa.data(), b.data(), sa.size()) == 0);
+}
+
+/// Read-only shared view of a buffer window: the unit handed across layer
+/// boundaries in scatter-gather lists.  Keeps the underlying block alive.
+class BufferView {
+ public:
+  BufferView() = default;
+  BufferView(Buffer buffer)  // NOLINT: deliberate implicit wrap
+      : buffer_(std::move(buffer)) {}
+  BufferView(const Buffer& buffer, std::size_t offset, std::size_t bytes)
+      : buffer_(buffer.Slice(offset, bytes)) {}
+
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] bool empty() const { return buffer_.empty(); }
+  [[nodiscard]] const std::byte* data() const { return buffer_.data(); }
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return buffer_.bytes();
+  }
+  operator std::span<const std::byte>() const { return bytes(); }  // NOLINT
+
+  template <typename T>
+  [[nodiscard]] std::span<const T> As() const {
+    return buffer_.As<T>();
+  }
+
+ private:
+  Buffer buffer_;
+};
+
+/// Scatter-gather list: a logical contiguous byte stream assembled from
+/// segment views.  Layers append views instead of packing; the single
+/// contiguous pack happens once, at the transport boundary (Pack /
+/// mpimini::Comm::SendGather).
+class BufferChain {
+ public:
+  BufferChain() = default;
+
+  /// A chain holding one contiguous segment.
+  explicit BufferChain(BufferView segment) { Append(std::move(segment)); }
+
+  void Append(BufferView segment);
+  void Append(BufferChain chain);
+
+  [[nodiscard]] const std::vector<BufferView>& Segments() const {
+    return segments_;
+  }
+  [[nodiscard]] std::size_t TotalBytes() const { return total_bytes_; }
+  [[nodiscard]] bool Empty() const { return total_bytes_ == 0; }
+
+  /// True when the chain is zero or one segment, i.e. already contiguous.
+  [[nodiscard]] bool Contiguous() const { return segments_.size() <= 1; }
+  /// The single segment's bytes; throws if the chain has > 1 segment.
+  [[nodiscard]] std::span<const std::byte> ContiguousBytes() const;
+
+  /// THE transport-boundary gather: one counted copy into a fresh buffer.
+  [[nodiscard]] Buffer Pack(std::string category) const;
+  /// Gather into caller storage (dst.size() must equal TotalBytes; counted).
+  void PackInto(std::span<std::byte> dst) const;
+
+ private:
+  std::vector<BufferView> segments_;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace core

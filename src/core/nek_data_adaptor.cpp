@@ -82,13 +82,35 @@ std::shared_ptr<svtk::UnstructuredGrid> NekDataAdaptor::GetMesh(int) {
   return mesh_;
 }
 
-void NekDataAdaptor::Stage(occamini::Array<double>& field,
-                           instrument::TrackedBuffer<double>& staging) {
-  if (staging.size() != field.size()) {
-    staging = instrument::TrackedBuffer<double>("staging", field.size());
-  }
-  // The device -> host copy the paper calls out: VTK is host-only.
-  field.CopyToHost({staging.data(), staging.size()});
+core::Buffer NekDataAdaptor::Stage(const occamini::Array<double>& field) {
+  // The device -> host copy the paper calls out: VTK is host-only.  The
+  // buffer is adopted downstream, never re-copied; keep a shared handle so
+  // StagingBytes() reflects it until ReleaseData.
+  core::Buffer host = field.StageToHost("staging");
+  staged_.push_back(host);
+  return host;
+}
+
+core::Buffer NekDataAdaptor::StageVector3(const occamini::Array<double>& x,
+                                          const occamini::Array<double>& y,
+                                          const occamini::Array<double>& z) {
+  // Interleave on the device so the host sees VTK tuple layout directly:
+  // one kernel plus one D2H replaces three D2H copies and a host-side
+  // gather loop.
+  const std::size_t n = x.size();
+  occamini::Array<double> packed(solver_->Device(), 3 * n, "device");
+  solver_->Device().Launch("pack_vector3", [&] {
+    const double* xs = x.DevicePtr();
+    const double* ys = y.DevicePtr();
+    const double* zs = z.DevicePtr();
+    double* out = packed.DevicePtr();
+    for (std::size_t i = 0; i < n; ++i) {
+      out[3 * i + 0] = xs[i];
+      out[3 * i + 1] = ys[i];
+      out[3 * i + 2] = zs[i];
+    }
+  });
+  return Stage(packed);
 }
 
 bool NekDataAdaptor::AddArray(svtk::UnstructuredGrid& mesh,
@@ -99,54 +121,35 @@ bool NekDataAdaptor::AddArray(svtk::UnstructuredGrid& mesh,
   const std::size_t n = mesh.NumPoints();
 
   if (name == "velocity") {
-    Stage(solver_->VelocityX(), stage_u_);
-    Stage(solver_->VelocityY(), stage_v_);
-    Stage(solver_->VelocityZ(), stage_w_);
-    svtk::DataArray& array = mesh.AddPointArray("velocity", 3);
-    for (std::size_t i = 0; i < n; ++i) {
-      array.At(i, 0) = stage_u_[i];
-      array.At(i, 1) = stage_v_[i];
-      array.At(i, 2) = stage_w_[i];
-    }
+    mesh.AdoptPointArray("velocity", 3,
+                         StageVector3(solver_->VelocityX(),
+                                      solver_->VelocityY(),
+                                      solver_->VelocityZ()));
     return true;
   }
   if (name == "pressure") {
-    Stage(solver_->Pressure(), stage_p_);
-    svtk::DataArray& array = mesh.AddPointArray("pressure", 1);
-    std::memcpy(array.Data().data(), stage_p_.data(), n * sizeof(double));
+    mesh.AdoptPointArray("pressure", 1, Stage(solver_->Pressure()));
     return true;
   }
   if (name == "temperature" && solver_->Config().solve_temperature) {
-    Stage(solver_->Temperature(), stage_t_);
-    svtk::DataArray& array = mesh.AddPointArray("temperature", 1);
-    std::memcpy(array.Data().data(), stage_t_.data(), n * sizeof(double));
+    mesh.AdoptPointArray("temperature", 1, Stage(solver_->Temperature()));
     return true;
   }
   if (name == "vorticity" && derived_) {
     // Derived on the device (as a NekRS post-processing kernel would be),
-    // then staged to the host like any other field.
+    // then packed and staged to the host like any other vector field.
     occamini::Array<double> wx(solver_->Device(), n, "device");
     occamini::Array<double> wy(solver_->Device(), n, "device");
     occamini::Array<double> wz(solver_->Device(), n, "device");
     solver_->ComputeVorticity({wx.DevicePtr(), n}, {wy.DevicePtr(), n},
                               {wz.DevicePtr(), n});
-    Stage(wx, stage_u_);
-    Stage(wy, stage_v_);
-    Stage(wz, stage_w_);
-    svtk::DataArray& array = mesh.AddPointArray("vorticity", 3);
-    for (std::size_t i = 0; i < n; ++i) {
-      array.At(i, 0) = stage_u_[i];
-      array.At(i, 1) = stage_v_[i];
-      array.At(i, 2) = stage_w_[i];
-    }
+    mesh.AdoptPointArray("vorticity", 3, StageVector3(wx, wy, wz));
     return true;
   }
   if (name == "qcriterion" && derived_) {
     occamini::Array<double> q(solver_->Device(), n, "device");
     solver_->ComputeQCriterion({q.DevicePtr(), n});
-    Stage(q, stage_p_);
-    svtk::DataArray& array = mesh.AddPointArray("qcriterion", 1);
-    std::memcpy(array.Data().data(), stage_p_.data(), n * sizeof(double));
+    mesh.AdoptPointArray("qcriterion", 1, Stage(q));
     return true;
   }
   return false;
@@ -154,18 +157,16 @@ bool NekDataAdaptor::AddArray(svtk::UnstructuredGrid& mesh,
 
 void NekDataAdaptor::ReleaseData() {
   // Drop the VTK objects and staging buffers: per-trigger churn, exactly
-  // what the Catalyst configuration pays for in Fig 3.
+  // what the Catalyst configuration pays for in Fig 3.  Buffers are
+  // ref-counted, so bytes are freed once the last adopter lets go too.
   mesh_.reset();
-  stage_u_ = {};
-  stage_v_ = {};
-  stage_w_ = {};
-  stage_p_ = {};
-  stage_t_ = {};
+  staged_.clear();
 }
 
 std::size_t NekDataAdaptor::StagingBytes() const {
-  return stage_u_.Bytes() + stage_v_.Bytes() + stage_w_.Bytes() +
-         stage_p_.Bytes() + stage_t_.Bytes();
+  std::size_t total = 0;
+  for (const core::Buffer& b : staged_) total += b.size();
+  return total;
 }
 
 }  // namespace nek_sensei

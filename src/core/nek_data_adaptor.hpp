@@ -4,14 +4,20 @@
 // Data path, exactly as §3.2 describes: solver fields live in (simulated)
 // GPU device memory; because the VTK data model has no device support, each
 // requested array is copied device -> host into a staging buffer (tracked
-// under "staging", metered by occamini) and then laid into a VTK-model
-// DataArray.  The spectral element mesh is exposed as an unstructured hex
-// grid with each element tessellated into order^3 linear sub-cells.
+// under "staging", metered by occamini).  That single device -> host copy is
+// the only one: the staging buffer is a ref-counted data-plane Buffer that
+// the VTK DataArray adopts outright, so no host-side bytes are re-copied.
+// Vector fields (velocity, vorticity) are interleaved on the device by a
+// pack kernel before the one D2H transfer.  The spectral element mesh is
+// exposed as an unstructured hex grid with each element tessellated into
+// order^3 linear sub-cells.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "core/buffer.hpp"
 #include "nekrs/flow_solver.hpp"
 #include "sensei/data_adaptor.hpp"
 
@@ -40,15 +46,21 @@ class NekDataAdaptor final : public sensei::DataAdaptor {
   void SetDerivedFieldsEnabled(bool enabled) { derived_ = enabled; }
 
  private:
-  /// Copy one device field into a host staging buffer.
-  void Stage(occamini::Array<double>& field,
-             instrument::TrackedBuffer<double>& staging);
+  /// Stage one device field to the host: the single mandatory copy of the
+  /// Catalyst path.  The returned buffer is also remembered in `staged_`
+  /// (shared, not copied) so StagingBytes() can report it until ReleaseData.
+  core::Buffer Stage(const occamini::Array<double>& field);
+
+  /// Interleave 3 scalar device fields into (x,y,z) tuples on the device
+  /// (kernel "pack_vector3"), then stage the packed result with one D2H.
+  core::Buffer StageVector3(const occamini::Array<double>& x,
+                            const occamini::Array<double>& y,
+                            const occamini::Array<double>& z);
 
   nekrs::FlowSolver* solver_ = nullptr;
   bool derived_ = true;
   std::shared_ptr<svtk::UnstructuredGrid> mesh_;  // cached until ReleaseData
-  instrument::TrackedBuffer<double> stage_u_, stage_v_, stage_w_, stage_p_,
-      stage_t_;
+  std::vector<core::Buffer> staged_;  // shared views of adopted staging
 };
 
 }  // namespace nek_sensei

@@ -55,13 +55,41 @@ void Comm::SendBytes(int dest, int tag, const void* data, std::size_t bytes) {
   Message m;
   m.source = rank_;
   m.tag = tag;
-  m.payload.resize(bytes);
-  if (bytes) std::memcpy(m.payload.data(), data, bytes);
+  // Mailbox buffers are untracked (empty category): the bytes will be freed
+  // on the receiving rank's thread, and memory trackers are per-rank.
+  m.payload = core::Buffer::CopyOf(
+      "", std::span<const std::byte>(static_cast<const std::byte*>(data),
+                                     bytes));
   {
     std::lock_guard<std::mutex> lock(state_->mutex);
     state_->boxes[static_cast<std::size_t>(dest)].push_back(std::move(m));
   }
   state_->cv.notify_all();
+}
+
+void Comm::SendBuffer(int dest, int tag, core::Buffer buffer) {
+  if (!state_) throw std::runtime_error("mpimini: send on invalid comm");
+  if (dest < 0 || dest >= state_->size) {
+    throw std::runtime_error("mpimini: send to invalid rank " +
+                             std::to_string(dest));
+  }
+  buffer.DetachTracking();
+  core::CountMove();
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload = std::move(buffer);
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->boxes[static_cast<std::size_t>(dest)].push_back(std::move(m));
+  }
+  state_->cv.notify_all();
+}
+
+void Comm::SendGather(int dest, int tag, const core::BufferChain& chain) {
+  // The one contiguous pack of the zero-copy data plane happens here, at
+  // the transport boundary.  Packed untracked: see SendBytes.
+  SendBuffer(dest, tag, chain.Pack(""));
 }
 
 Message Comm::RecvBytes(int source, int tag) {
@@ -79,6 +107,12 @@ Message Comm::RecvBytes(int source, int tag) {
   Message m = std::move(*it);
   box.erase(it);
   return m;
+}
+
+core::Buffer Comm::RecvBuffer(int source, int tag) {
+  Message m = RecvBytes(source, tag);
+  core::CountMove();
+  return std::move(m.payload);
 }
 
 std::size_t Comm::Probe(int source, int tag) {
@@ -118,12 +152,11 @@ void Comm::Barrier() {
                   [&] { return state_->barrier_generation != generation; });
 }
 
-std::vector<std::vector<std::byte>> Comm::GatherBytes(
-    std::span<const std::byte> mine, int root) {
+std::vector<core::Buffer> Comm::GatherBytes(std::span<const std::byte> mine,
+                                            int root) {
   if (Rank() == root) {
-    std::vector<std::vector<std::byte>> all(
-        static_cast<std::size_t>(Size()));
-    all[static_cast<std::size_t>(root)].assign(mine.begin(), mine.end());
+    std::vector<core::Buffer> all(static_cast<std::size_t>(Size()));
+    all[static_cast<std::size_t>(root)] = core::Buffer::CopyOf("", mine);
     for (int src = 0; src < Size(); ++src) {
       if (src == root) continue;
       Message m = RecvBytes(src, detail::kTagGather);
@@ -153,8 +186,11 @@ std::vector<std::vector<std::byte>> Comm::AllToAllBytes(
   }
   for (int src = 0; src < Size(); ++src) {
     if (src == rank_) continue;
-    incoming[static_cast<std::size_t>(src)] =
-        RecvBytes(src, detail::kTagAllToAll).payload;
+    const Message m = RecvBytes(src, detail::kTagAllToAll);
+    if (!m.payload.empty()) {
+      incoming[static_cast<std::size_t>(src)].assign(
+          m.payload.data(), m.payload.data() + m.payload.size());
+    }
   }
   return incoming;
 }

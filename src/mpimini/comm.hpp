@@ -26,6 +26,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/buffer.hpp"
+
 namespace mpimini {
 
 /// Matches any source rank in Recv/Probe.
@@ -36,9 +38,11 @@ inline constexpr int kAnyTag = -1;
 /// Reduction operator for Reduce/AllReduce.
 enum class Op { kSum, kMin, kMax, kProd };
 
-/// A received message: payload bytes plus envelope.
+/// A received message: payload bytes plus envelope.  The payload is a
+/// data-plane buffer that moved through the mailbox by ownership transfer —
+/// receiving it never copies.
 struct Message {
-  std::vector<std::byte> payload;
+  core::Buffer payload;
   int source = kAnySource;
   int tag = kAnyTag;
 };
@@ -66,9 +70,23 @@ class Comm {
   /// Buffered sends cannot deadlock; ordering per (source,dest,tag) is FIFO.
   void SendBytes(int dest, int tag, const void* data, std::size_t bytes);
 
+  /// Zero-copy send: moves an owned data-plane buffer into the destination
+  /// mailbox.  Tracking is detached first (the bytes leave this rank's
+  /// books; trackers are per-rank and the block may now be freed by the
+  /// receiving rank's thread).
+  void SendBuffer(int dest, int tag, core::Buffer buffer);
+
+  /// Scatter-gather send: packs the chain's segments into one contiguous
+  /// mailbox buffer — THE single transport-boundary copy of the zero-copy
+  /// data plane.
+  void SendGather(int dest, int tag, const core::BufferChain& chain);
+
   /// Blocking receive of a message matching (source, tag); either may be the
-  /// kAny* wildcard. Returns payload + envelope.
+  /// kAny* wildcard. Returns payload + envelope (ownership moves; no copy).
   Message RecvBytes(int source = kAnySource, int tag = kAnyTag);
+
+  /// Blocking receive returning just the payload buffer (zero-copy).
+  core::Buffer RecvBuffer(int source = kAnySource, int tag = kAnyTag);
 
   /// Blocks until a matching message is available; returns its byte count
   /// without consuming it.
@@ -138,9 +156,10 @@ class Comm {
   template <typename T>
   std::vector<T> Gather(std::span<const T> mine, int root);
 
-  /// Gather variable-size byte blobs to `root` (rank order).
-  std::vector<std::vector<std::byte>> GatherBytes(
-      std::span<const std::byte> mine, int root);
+  /// Gather variable-size byte blobs to `root` (rank order, zero-copy for
+  /// remote contributions). Non-root ranks receive an empty vector.
+  std::vector<core::Buffer> GatherBytes(std::span<const std::byte> mine,
+                                        int root);
 
   /// Variable-size all-to-all: element d of `outgoing` is delivered to rank
   /// d; returns the blobs received, indexed by source rank. Every rank must
@@ -178,6 +197,7 @@ inline constexpr int kTagGather = -4;
 inline constexpr int kTagAllGather = -5;
 inline constexpr int kTagSplit = -6;
 inline constexpr int kTagAllToAll = -7;
+inline constexpr int kTagAllReduce = -8;
 
 template <typename T>
 void ApplyOp(Op op, std::span<T> acc, std::span<const T> in) {
@@ -231,10 +251,40 @@ void Comm::Reduce(std::span<T> inout, Op op, int root) {
   }
 }
 
+// AllReduce is its own collective on a dedicated tag, not Reduce+Bcast
+// composed: composing the two interleaves kTagReduce/kTagBcast traffic of
+// back-to-back collectives and doubles the number of mailbox round trips on
+// the scalar hot path (flow-solver residual norms call AllReduceValue every
+// iteration).  Root accumulates from every rank and sends the result back.
 template <typename T>
 void Comm::AllReduce(std::span<T> inout, Op op) {
-  Reduce(inout, op, /*root=*/0);
-  Bcast(inout, /*root=*/0);
+  constexpr int kRoot = 0;
+  if (Rank() == kRoot) {
+    for (int src = 0; src < Size(); ++src) {
+      if (src == kRoot) continue;
+      Message m = RecvBytes(src, detail::kTagAllReduce);
+      if (m.payload.size() != inout.size_bytes()) {
+        throw std::runtime_error("mpimini::AllReduce: length mismatch");
+      }
+      std::vector<T> in(inout.size());
+      std::memcpy(in.data(), m.payload.data(), m.payload.size());
+      detail::ApplyOp<T>(op, inout,
+                         std::span<const T>(in.data(), in.size()));
+    }
+    for (int dest = 0; dest < Size(); ++dest) {
+      if (dest == kRoot) continue;
+      Send<T>(dest, detail::kTagAllReduce,
+              std::span<const T>(inout.data(), inout.size()));
+    }
+  } else {
+    Send<T>(kRoot, detail::kTagAllReduce,
+            std::span<const T>(inout.data(), inout.size()));
+    Message m = RecvBytes(kRoot, detail::kTagAllReduce);
+    if (m.payload.size() != inout.size_bytes()) {
+      throw std::runtime_error("mpimini::AllReduce: length mismatch");
+    }
+    std::memcpy(inout.data(), m.payload.data(), m.payload.size());
+  }
 }
 
 template <typename T>

@@ -91,6 +91,14 @@ void Memory::CopyFrom(const void* host, std::size_t bytes,
   t.h2d_seconds += timer.Elapsed();
 }
 
+core::Buffer Memory::ToHost(const std::string& category) const {
+  if (!block_) throw std::runtime_error("occamini: null memory");
+  core::Buffer host(category, block_->storage.Bytes());
+  CopyTo(host.data(), host.size());
+  core::CountDeviceStage();
+  return host;
+}
+
 void Memory::CopyTo(void* host, std::size_t bytes, std::size_t offset) const {
   if (!block_) throw std::runtime_error("occamini: null memory");
   if (offset + bytes > block_->storage.Bytes()) {

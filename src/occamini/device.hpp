@@ -23,6 +23,7 @@
 #include <span>
 #include <string>
 
+#include "core/buffer.hpp"
 #include "instrument/memory_tracker.hpp"
 
 namespace occamini {
@@ -86,6 +87,12 @@ class Memory {
   /// Copy device -> host.
   void CopyTo(void* host, std::size_t bytes, std::size_t offset = 0) const;
 
+  /// Stage the whole allocation device -> host, landing directly in a
+  /// data-plane Buffer tracked under `category`.  This is the one mandatory
+  /// copy of the Catalyst path (VTK is host-only); downstream layers adopt
+  /// the returned buffer instead of re-copying it.
+  [[nodiscard]] core::Buffer ToHost(const std::string& category) const;
+
   /// Raw device pointer, for use inside kernels only (host code must go
   /// through CopyFrom/CopyTo, as with a real GPU).
   [[nodiscard]] std::byte* DevicePtr();
@@ -116,6 +123,12 @@ class Array {
     memory_.CopyTo(host.data(), host.size_bytes(), element_offset * sizeof(T));
   }
 
+  /// Stage the whole array into a fresh host Buffer (zero-copy handoff to
+  /// the rest of the data plane).
+  [[nodiscard]] core::Buffer StageToHost(const std::string& category) const {
+    return memory_.ToHost(category);
+  }
+
   /// Device-side typed pointer (kernels only).
   T* DevicePtr() { return reinterpret_cast<T*>(memory_.DevicePtr()); }
   const T* DevicePtr() const {
@@ -123,6 +136,7 @@ class Array {
   }
 
   [[nodiscard]] Memory& Raw() { return memory_; }
+  [[nodiscard]] const Memory& Raw() const { return memory_; }
 
  private:
   Memory memory_;

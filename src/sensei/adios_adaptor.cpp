@@ -29,8 +29,10 @@ bool AdiosAnalysisAdaptor::Execute(DataAdaptor& data) {
   }
 
   writer_.BeginStep(data.GetDataTimeStep());
-  const std::vector<std::byte> block = svtk::Serialize(*mesh);
-  writer_.Put("mesh", block);
+  // Zero-copy staging: the serialized grid is a scatter-gather chain of
+  // views into the mesh's own buffers; the single contiguous copy happens
+  // at the transport pack inside EndStep.
+  writer_.PutChain("mesh", svtk::SerializeChain(*mesh));
   const double time = data.GetDataTime();
   writer_.Put("time", std::as_bytes(std::span<const double>(&time, 1)));
   writer_.EndStep();

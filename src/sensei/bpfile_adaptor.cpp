@@ -36,7 +36,7 @@ bool BpFileAnalysisAdaptor::Execute(DataAdaptor& data) {
         FilePath(data.GetCommunicator().Rank()));
   }
   writer_->BeginStep(data.GetDataTimeStep());
-  writer_->Put("mesh", svtk::Serialize(*mesh));
+  writer_->PutChain("mesh", svtk::SerializeChain(*mesh));
   const double time = data.GetDataTime();
   writer_->Put("time", std::as_bytes(std::span<const double>(&time, 1)));
   writer_->EndStep();

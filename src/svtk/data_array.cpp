@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace svtk {
 
@@ -9,7 +10,23 @@ DataArray::DataArray(std::string name, std::size_t tuples, int components)
     : name_(std::move(name)),
       tuples_(tuples),
       components_(components),
-      storage_("vtk", tuples * static_cast<std::size_t>(components)) {}
+      storage_("vtk",
+               tuples * static_cast<std::size_t>(components) * sizeof(double)),
+      values_(storage_.As<double>().data()) {}
+
+DataArray::DataArray(std::string name, std::size_t tuples, int components,
+                     core::Buffer storage)
+    : name_(std::move(name)),
+      tuples_(tuples),
+      components_(components),
+      storage_(std::move(storage)) {
+  if (storage_.size() != Values() * sizeof(double)) {
+    throw std::invalid_argument("svtk: adopted buffer size mismatch for " +
+                                name_);
+  }
+  values_ = storage_.As<double>().data();
+  core::CountAdoption();
+}
 
 double DataArray::Magnitude(std::size_t tuple) const {
   double sum = 0.0;

@@ -1,16 +1,20 @@
 // svtk: the slice of the VTK data model that SENSEI relays.
 //
 // VTK is host-only (the paper calls out "VTK data model's current lack of
-// GPU device memory support"), so every svtk array lives in host memory and
-// its bytes are tracked under the "vtk" category — this is the allocation
-// that produces the Catalyst-vs-Checkpointing memory gap in Fig 3.
+// GPU device memory support"), so every svtk array lives in host memory.
+// Self-allocated arrays are tracked under the "vtk" category — the
+// allocation that produces the Catalyst-vs-Checkpointing memory gap in
+// Fig 3.  Arrays can also *adopt* an existing data-plane buffer (e.g. the
+// occamini D2H staging buffer) without copying, which is how the zero-copy
+// Catalyst path avoids the second per-field host copy the seed performed.
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <string>
 
-#include "instrument/memory_tracker.hpp"
+#include "core/buffer.hpp"
 
 namespace svtk {
 
@@ -23,7 +27,20 @@ class DataArray {
  public:
   DataArray() = default;
 
+  /// Allocate `tuples * components` doubles under the "vtk" category.
   DataArray(std::string name, std::size_t tuples, int components);
+
+  /// Adopt external storage: wraps `storage` (which must hold exactly
+  /// `tuples * components` doubles, tuple-interleaved) without copying.
+  /// The buffer keeps its original tracker category, so staged bytes stay
+  /// attributed to the layer that produced them.
+  DataArray(std::string name, std::size_t tuples, int components,
+            core::Buffer storage);
+
+  DataArray(DataArray&&) noexcept = default;
+  DataArray& operator=(DataArray&&) noexcept = default;
+  DataArray(const DataArray&) = delete;
+  DataArray& operator=(const DataArray&) = delete;
 
   [[nodiscard]] const std::string& Name() const { return name_; }
   [[nodiscard]] std::size_t Tuples() const { return tuples_; }
@@ -32,20 +49,22 @@ class DataArray {
     return tuples_ * static_cast<std::size_t>(components_);
   }
 
-  [[nodiscard]] std::span<double> Data() {
-    return {storage_.data(), storage_.size()};
-  }
+  [[nodiscard]] std::span<double> Data() { return {values_, Values()}; }
   [[nodiscard]] std::span<const double> Data() const {
-    return {storage_.data(), storage_.size()};
+    return {values_, Values()};
   }
 
+  /// The underlying data-plane buffer (shared, zero-copy): serialization
+  /// builds scatter-gather views over it instead of packing.
+  [[nodiscard]] const core::Buffer& Storage() const { return storage_; }
+
   double& At(std::size_t tuple, int component = 0) {
-    return storage_[tuple * static_cast<std::size_t>(components_) +
-                    static_cast<std::size_t>(component)];
+    return values_[tuple * static_cast<std::size_t>(components_) +
+                   static_cast<std::size_t>(component)];
   }
   double At(std::size_t tuple, int component = 0) const {
-    return storage_[tuple * static_cast<std::size_t>(components_) +
-                    static_cast<std::size_t>(component)];
+    return values_[tuple * static_cast<std::size_t>(components_) +
+                   static_cast<std::size_t>(component)];
   }
 
   /// Tuple-wise Euclidean magnitude (used for |velocity| coloring).
@@ -53,9 +72,13 @@ class DataArray {
 
   /// Min/max over all values (component-agnostic for scalars; magnitude for
   /// vectors when `by_magnitude`).
+  /// Closed value interval.  Defaults to the empty (inverted, infinite)
+  /// interval — the identity for min/max accumulation, so an empty array's
+  /// range never clamps a cross-rank AllReduce'd color range.
   struct Range {
-    double min = 0.0;
-    double max = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    [[nodiscard]] bool Empty() const { return min > max; }
   };
   [[nodiscard]] Range ValueRange(bool by_magnitude = false) const;
 
@@ -63,7 +86,8 @@ class DataArray {
   std::string name_;
   std::size_t tuples_ = 0;
   int components_ = 1;
-  instrument::TrackedBuffer<double> storage_;
+  core::Buffer storage_;
+  double* values_ = nullptr;  // cached typed pointer into storage_
 };
 
 }  // namespace svtk

@@ -48,28 +48,50 @@ void ByteReader::Raw(void* out, std::size_t bytes) {
   pos_ += bytes;
 }
 
-std::vector<std::byte> Serialize(const UnstructuredGrid& grid) {
-  ByteWriter w;
-  w.U64(kMagic);
-  w.U64(grid.NumPoints());
-  w.U64(grid.NumCells());
-  w.Span<double>(grid.Points());
-  w.Span<std::int64_t>(grid.Connectivity());
+core::BufferChain SerializeChain(const UnstructuredGrid& grid) {
+  core::BufferChain chain;
+  ByteWriter header;
+
+  // Flush the accumulated header bytes as one owned segment (zero-copy
+  // vector takeover), then append a zero-copy view of bulk storage.
+  auto flush_header = [&] {
+    if (header.Buffer().empty()) return;
+    chain.Append(core::Buffer::TakeVector("serialize", header.Take()));
+  };
+  auto append_bulk = [&](const core::Buffer& storage, std::size_t values) {
+    header.U64(values);
+    flush_header();
+    chain.Append(core::BufferView(storage));
+  };
+
+  header.U64(kMagic);
+  header.U64(grid.NumPoints());
+  header.U64(grid.NumCells());
+  append_bulk(grid.PointsStorage(), grid.Points().size());
+  append_bulk(grid.ConnectivityStorage(), grid.Connectivity().size());
 
   auto write_arrays = [&](const std::vector<std::string>& names,
                           bool point_data) {
-    w.U64(names.size());
+    header.U64(names.size());
     for (const std::string& name : names) {
       const DataArray* array = point_data ? grid.PointArray(name)
                                           : grid.CellArray(name);
-      w.Str(name);
-      w.I32(array->Components());
-      w.Span<double>(array->Data());
+      header.Str(name);
+      header.I32(array->Components());
+      append_bulk(array->Storage(), array->Values());
     }
   };
   write_arrays(grid.PointArrayNames(), /*point_data=*/true);
   write_arrays(grid.CellArrayNames(), /*point_data=*/false);
-  return w.Take();
+  flush_header();
+  return chain;
+}
+
+std::vector<std::byte> Serialize(const UnstructuredGrid& grid) {
+  const core::BufferChain chain = SerializeChain(grid);
+  std::vector<std::byte> out(chain.TotalBytes());
+  chain.PackInto(out);
+  return out;
 }
 
 UnstructuredGrid Deserialize(std::span<const std::byte> bytes) {

@@ -10,11 +10,21 @@
 #include <span>
 #include <vector>
 
+#include "core/buffer.hpp"
 #include "svtk/unstructured_grid.hpp"
 
 namespace svtk {
 
+/// Scatter-gather serialization: small owned header segments interleaved
+/// with zero-copy views into the grid's own storage (points, connectivity,
+/// array values).  No bulk byte is copied here — the single contiguous pack
+/// happens at the transport boundary (BufferChain::Pack / Comm::SendGather).
+/// The views share the grid's buffers, so they stay valid independently of
+/// the grid's lifetime.
+core::BufferChain SerializeChain(const UnstructuredGrid& grid);
+
 /// Serialize a grid (points, connectivity, all arrays) into a byte buffer.
+/// Value-semantics wrapper over SerializeChain (performs the one pack copy).
 std::vector<std::byte> Serialize(const UnstructuredGrid& grid);
 
 /// Inverse of Serialize. Throws std::runtime_error on malformed input.

@@ -8,17 +8,23 @@ namespace svtk {
 UnstructuredGrid::UnstructuredGrid(std::size_t npoints, std::size_t ncells)
     : npoints_(npoints),
       ncells_(ncells),
-      points_("vtk", npoints * 3),
-      connectivity_("vtk", ncells * 8) {}
+      points_("vtk", npoints * 3 * sizeof(double)),
+      connectivity_("vtk", ncells * 8 * sizeof(std::int64_t)),
+      points_ptr_(points_.As<double>().data()),
+      connectivity_ptr_(connectivity_.As<std::int64_t>().data()) {}
 
 void UnstructuredGrid::SetCell(std::size_t cell,
                                const std::array<std::int64_t, 8>& nodes) {
-  for (std::size_t k = 0; k < 8; ++k) connectivity_[8 * cell + k] = nodes[k];
+  for (std::size_t k = 0; k < 8; ++k) {
+    connectivity_ptr_[8 * cell + k] = nodes[k];
+  }
 }
 
 std::array<std::int64_t, 8> UnstructuredGrid::GetCell(std::size_t cell) const {
   std::array<std::int64_t, 8> nodes;
-  for (std::size_t k = 0; k < 8; ++k) nodes[k] = connectivity_[8 * cell + k];
+  for (std::size_t k = 0; k < 8; ++k) {
+    nodes[k] = connectivity_ptr_[8 * cell + k];
+  }
   return nodes;
 }
 
@@ -31,6 +37,21 @@ DataArray& UnstructuredGrid::AddPointArray(const std::string& name,
 DataArray& UnstructuredGrid::AddCellArray(const std::string& name,
                                           int components) {
   cell_arrays_[name] = DataArray(name, ncells_, components);
+  return cell_arrays_[name];
+}
+
+DataArray& UnstructuredGrid::AdoptPointArray(const std::string& name,
+                                             int components,
+                                             core::Buffer storage) {
+  point_arrays_[name] =
+      DataArray(name, npoints_, components, std::move(storage));
+  return point_arrays_[name];
+}
+
+DataArray& UnstructuredGrid::AdoptCellArray(const std::string& name,
+                                            int components,
+                                            core::Buffer storage) {
+  cell_arrays_[name] = DataArray(name, ncells_, components, std::move(storage));
   return cell_arrays_[name];
 }
 
@@ -75,7 +96,7 @@ std::array<double, 6> UnstructuredGrid::Bounds() const {
   b = {inf, -inf, inf, -inf, inf, -inf};
   for (std::size_t i = 0; i < npoints_; ++i) {
     for (int d = 0; d < 3; ++d) {
-      const double v = points_[3 * i + static_cast<std::size_t>(d)];
+      const double v = points_ptr_[3 * i + static_cast<std::size_t>(d)];
       b[static_cast<std::size_t>(2 * d)] =
           std::min(b[static_cast<std::size_t>(2 * d)], v);
       b[static_cast<std::size_t>(2 * d + 1)] =
@@ -86,7 +107,7 @@ std::array<double, 6> UnstructuredGrid::Bounds() const {
 }
 
 std::size_t UnstructuredGrid::MemoryBytes() const {
-  std::size_t total = points_.Bytes() + connectivity_.Bytes();
+  std::size_t total = points_.size() + connectivity_.size();
   for (const auto& [name, array] : point_arrays_) {
     total += array.Values() * sizeof(double);
   }

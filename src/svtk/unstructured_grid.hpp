@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "instrument/memory_tracker.hpp"
+#include "core/buffer.hpp"
 #include "svtk/data_array.hpp"
 
 namespace svtk {
@@ -29,32 +29,43 @@ class UnstructuredGrid {
   /// Allocate storage for `npoints` points and `ncells` hex cells.
   UnstructuredGrid(std::size_t npoints, std::size_t ncells);
 
+  UnstructuredGrid(UnstructuredGrid&&) noexcept = default;
+  UnstructuredGrid& operator=(UnstructuredGrid&&) noexcept = default;
+  UnstructuredGrid(const UnstructuredGrid&) = delete;
+  UnstructuredGrid& operator=(const UnstructuredGrid&) = delete;
+
   [[nodiscard]] std::size_t NumPoints() const { return npoints_; }
   [[nodiscard]] std::size_t NumCells() const { return ncells_; }
 
   /// Point coordinates, xyz-interleaved (3*NumPoints values).
-  [[nodiscard]] std::span<double> Points() {
-    return {points_.data(), points_.size()};
-  }
+  [[nodiscard]] std::span<double> Points() { return {points_ptr_, 3 * npoints_}; }
   [[nodiscard]] std::span<const double> Points() const {
-    return {points_.data(), points_.size()};
+    return {points_ptr_, 3 * npoints_};
   }
 
   void SetPoint(std::size_t i, double x, double y, double z) {
-    points_[3 * i + 0] = x;
-    points_[3 * i + 1] = y;
-    points_[3 * i + 2] = z;
+    points_ptr_[3 * i + 0] = x;
+    points_ptr_[3 * i + 1] = y;
+    points_ptr_[3 * i + 2] = z;
   }
   [[nodiscard]] std::array<double, 3> GetPoint(std::size_t i) const {
-    return {points_[3 * i + 0], points_[3 * i + 1], points_[3 * i + 2]};
+    return {points_ptr_[3 * i + 0], points_ptr_[3 * i + 1],
+            points_ptr_[3 * i + 2]};
   }
 
   /// Hex connectivity, 8 point ids per cell (VTK node ordering).
   [[nodiscard]] std::span<std::int64_t> Connectivity() {
-    return {connectivity_.data(), connectivity_.size()};
+    return {connectivity_ptr_, 8 * ncells_};
   }
   [[nodiscard]] std::span<const std::int64_t> Connectivity() const {
-    return {connectivity_.data(), connectivity_.size()};
+    return {connectivity_ptr_, 8 * ncells_};
+  }
+
+  /// Underlying data-plane buffers (shared, zero-copy) for scatter-gather
+  /// serialization.
+  [[nodiscard]] const core::Buffer& PointsStorage() const { return points_; }
+  [[nodiscard]] const core::Buffer& ConnectivityStorage() const {
+    return connectivity_;
   }
 
   void SetCell(std::size_t cell, const std::array<std::int64_t, 8>& nodes);
@@ -64,6 +75,15 @@ class UnstructuredGrid {
   DataArray& AddPointArray(const std::string& name, int components);
   /// Create (or replace) a cell-centered array.
   DataArray& AddCellArray(const std::string& name, int components);
+
+  /// Create (or replace) a point-centered array that adopts `storage`
+  /// (tuple-interleaved doubles, NumPoints tuples) without copying — the
+  /// zero-copy landing for staged device fields.
+  DataArray& AdoptPointArray(const std::string& name, int components,
+                             core::Buffer storage);
+  /// Cell-centered counterpart of AdoptPointArray.
+  DataArray& AdoptCellArray(const std::string& name, int components,
+                            core::Buffer storage);
 
   [[nodiscard]] DataArray* PointArray(const std::string& name);
   [[nodiscard]] const DataArray* PointArray(const std::string& name) const;
@@ -82,8 +102,10 @@ class UnstructuredGrid {
  private:
   std::size_t npoints_ = 0;
   std::size_t ncells_ = 0;
-  instrument::TrackedBuffer<double> points_;
-  instrument::TrackedBuffer<std::int64_t> connectivity_;
+  core::Buffer points_;
+  core::Buffer connectivity_;
+  double* points_ptr_ = nullptr;            // cached typed view of points_
+  std::int64_t* connectivity_ptr_ = nullptr;  // cached view of connectivity_
   std::map<std::string, DataArray> point_arrays_;
   std::map<std::string, DataArray> cell_arrays_;
 };

@@ -26,12 +26,16 @@ std::vector<std::byte> Bytes(const std::string& s) {
   return out;
 }
 
+core::Buffer Buf(const std::string& s) {
+  return core::Buffer::TakeVector("", Bytes(s));
+}
+
 TEST(MarshalTest, RoundTripsVariables) {
   StepPayload payload;
   payload.step = 42;
   payload.writer_rank = 3;
-  payload.variables["mesh"] = Bytes("geometry-bytes");
-  payload.variables["time"] = Bytes("12345678");
+  payload.variables["mesh"] = Buf("geometry-bytes");
+  payload.variables["time"] = Buf("12345678");
   payload.variables["empty"] = {};
 
   auto buffer = MarshalStep(payload);
@@ -46,7 +50,7 @@ TEST(MarshalTest, RoundTripsVariables) {
 
 TEST(MarshalTest, RejectsCorruptMagic) {
   StepPayload payload;
-  payload.variables["x"] = Bytes("abc");
+  payload.variables["x"] = Buf("abc");
   auto buffer = MarshalStep(payload);
   buffer[0] = std::byte{0xEE};
   EXPECT_THROW(UnmarshalStep(buffer), std::runtime_error);
@@ -54,7 +58,7 @@ TEST(MarshalTest, RejectsCorruptMagic) {
 
 TEST(MarshalTest, RejectsTruncation) {
   StepPayload payload;
-  payload.variables["x"] = Bytes("abcdefgh");
+  payload.variables["x"] = Buf("abcdefgh");
   auto buffer = MarshalStep(payload);
   buffer.resize(buffer.size() - 4);
   EXPECT_THROW(UnmarshalStep(buffer), std::runtime_error);
@@ -62,10 +66,81 @@ TEST(MarshalTest, RejectsTruncation) {
 
 TEST(MarshalTest, RejectsTrailingBytes) {
   StepPayload payload;
-  payload.variables["x"] = Bytes("abc");
+  payload.variables["x"] = Buf("abc");
   auto buffer = MarshalStep(payload);
   buffer.resize(buffer.size() + 3);
   EXPECT_THROW(UnmarshalStep(buffer), std::runtime_error);
+}
+
+// Wire layout: u64 magic, i64 step, i64 writer_rank, u64 count, then per
+// variable u64 name_len, name, u64 data_len, data.  The corruption tests
+// below overwrite a length field with a value far past the buffer end; the
+// parser must throw instead of reading out of bounds.
+TEST(MarshalTest, RejectsOversizedNameLength) {
+  StepPayload payload;
+  payload.variables["x"] = Buf("abc");
+  auto buffer = MarshalStep(payload);
+  const std::uint64_t huge = ~std::uint64_t{0};
+  std::memcpy(buffer.data() + 32, &huge, sizeof(huge));  // name_len field
+  EXPECT_THROW(UnmarshalStep(buffer), std::runtime_error);
+}
+
+TEST(MarshalTest, RejectsOversizedDataLength) {
+  StepPayload payload;
+  payload.variables["x"] = Buf("abc");
+  auto buffer = MarshalStep(payload);
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(buffer.data() + 41, &huge, sizeof(huge));  // data_len of "x"
+  EXPECT_THROW(UnmarshalStep(buffer), std::runtime_error);
+}
+
+TEST(MarshalTest, RejectsDataLengthJustPastEnd) {
+  StepPayload payload;
+  payload.variables["x"] = Buf("abc");
+  auto buffer = MarshalStep(payload);
+  const std::uint64_t off_by_one = 4;  // actual data is 3 bytes
+  std::memcpy(buffer.data() + 41, &off_by_one, sizeof(off_by_one));
+  EXPECT_THROW(UnmarshalStep(buffer), std::runtime_error);
+}
+
+TEST(MarshalTest, ZeroByteVariablesRoundTrip) {
+  StepPayload payload;
+  payload.step = 7;
+  payload.variables["a"] = {};
+  payload.variables["b"] = {};
+  auto buffer = MarshalStep(payload);
+  StepPayload back = UnmarshalStep(buffer);
+  ASSERT_EQ(back.variables.size(), 2u);
+  EXPECT_TRUE(back.variables.at("a").empty());
+  EXPECT_TRUE(back.variables.at("b").empty());
+  EXPECT_EQ(back.TotalBytes(), 0u);
+}
+
+TEST(MarshalTest, UnmarshalSharedSlicesWithoutCopy) {
+  StepPayload payload;
+  payload.step = 9;
+  payload.variables["mesh"] = Buf("geometry-bytes");
+  core::Buffer packed = core::Buffer::TakeVector("", MarshalStep(payload));
+  const std::byte* lo = packed.data();
+  const std::byte* hi = packed.data() + packed.size();
+
+  StepPayload back = adios::UnmarshalShared(packed);
+  const core::Buffer& mesh = back.variables.at("mesh");
+  EXPECT_EQ(mesh, payload.variables.at("mesh"));
+  // Zero-copy: the variable's bytes live inside the packed buffer, and the
+  // packed block is shared (kept alive) by the slice.
+  EXPECT_GE(mesh.data(), lo);
+  EXPECT_LE(mesh.data() + mesh.size(), hi);
+  EXPECT_GT(packed.UseCount(), 1);
+}
+
+TEST(MarshalTest, UnmarshalSharedValidatesLikeUnmarshalStep) {
+  StepPayload payload;
+  payload.variables["x"] = Buf("abc");
+  auto bytes = MarshalStep(payload);
+  bytes[0] = std::byte{0xEE};
+  core::Buffer packed = core::Buffer::TakeVector("", std::move(bytes));
+  EXPECT_THROW(adios::UnmarshalShared(packed), std::runtime_error);
 }
 
 TEST(SstTest, OneWriterOneReaderStreamsSteps) {
@@ -211,6 +286,42 @@ TEST(SstTest, QueueLimitBoundsStagingMemory) {
       EXPECT_EQ(env->memory.CurrentBytes("marshal"), 0u);
     } else {
       SstReader reader(comm, {0});
+      while (reader.NextStep()) {
+      }
+    }
+  });
+}
+
+TEST(SstTest, ZeroCopyPutChainPacksFieldExactlyOnce) {
+  // The in transit data-plane invariant: a staged full-size field crosses
+  // the writer with exactly ONE bulk copy — the transport-boundary pack in
+  // SendGather.  The seed path copied it >= 4 times (serialize, Put,
+  // marshal, mailbox send).
+  Runtime::Run(2, [](Comm& comm) {
+    constexpr std::size_t kField = std::size_t{1} << 16;
+    if (comm.Rank() == 0) {
+      core::Buffer field("", kField);
+      field.bytes()[kField - 1] = std::byte{0x3C};
+      SstWriter writer(comm, 1);
+      writer.BeginStep(0);
+      core::ResetLocalBufferStats();
+      writer.PutChain("field", core::BufferChain(core::BufferView(field)));
+      EXPECT_EQ(core::LocalBufferStats().full_copies, 0u);  // staging is free
+      writer.EndStep();
+      EXPECT_EQ(core::LocalBufferStats().full_copies, 1u);  // the one pack
+      writer.Close();
+    } else {
+      SstReader reader(comm, {0});
+      core::ResetLocalBufferStats();
+      auto step = reader.NextStep();
+      ASSERT_TRUE(step.has_value());
+      const core::Buffer& field = step->payloads.at(0).variables.at("field");
+      ASSERT_EQ(field.size(), kField);
+      EXPECT_EQ(field[kField - 1], std::byte{0x3C});
+      // Reader side is fully zero-copy: the variable is a slice of the
+      // received transport buffer.
+      EXPECT_EQ(core::LocalBufferStats().full_copies, 0u);
+      EXPECT_GE(core::LocalBufferStats().adoptions, 1u);
       while (reader.NextStep()) {
       }
     }

@@ -261,6 +261,88 @@ TEST_P(CollectiveTest, BackToBackCollectivesDoNotMix) {
   });
 }
 
+TEST_P(CollectiveTest, AllReduceVectorsAgreeOnAllRanks) {
+  const int nranks = GetParam();
+  Runtime::Run(nranks, [](Comm& comm) {
+    std::vector<int> v{comm.Rank(), comm.Rank() * 2, 1};
+    comm.AllReduce(std::span<int>(v.data(), v.size()), Op::kSum);
+    const int n = comm.Size();
+    EXPECT_EQ(v[0], n * (n - 1) / 2);
+    EXPECT_EQ(v[1], n * (n - 1));
+    EXPECT_EQ(v[2], n);
+  });
+}
+
+// Regression for the AllReduce satellite: AllReduce runs on its own internal
+// tag, so interleaving it tightly with Barriers and other collectives must
+// never mismatch messages, even when ranks run far ahead of each other.
+TEST_P(CollectiveTest, AllReduceAndBarrierSequencesStayMatched) {
+  const int nranks = GetParam();
+  Runtime::Run(nranks, [](Comm& comm) {
+    for (int round = 0; round < 25; ++round) {
+      const int sum =
+          comm.AllReduceValue(comm.Rank() + round, Op::kSum);
+      const int n = comm.Size();
+      EXPECT_EQ(sum, n * (n - 1) / 2 + round * n);
+      comm.Barrier();
+      const int mx = comm.AllReduceValue(comm.Rank(), Op::kMax);
+      EXPECT_EQ(mx, n - 1);
+      const int mn = comm.AllReduceValue(comm.Rank() - round, Op::kMin);
+      EXPECT_EQ(mn, -round);
+      comm.Barrier();
+    }
+  });
+}
+
+TEST(PointToPointTest, SendBufferMovesOwnershipWithoutCopy) {
+  Runtime::Run(2, [](Comm& comm) {
+    if (comm.Rank() == 0) {
+      core::Buffer big("", 1 << 16);
+      big.bytes()[123] = std::byte{0x7F};
+      const std::byte* raw = big.data();
+      core::ResetLocalBufferStats();
+      comm.SendBuffer(1, 9, std::move(big));
+      // The block moved into the mailbox: no bytes copied on the send side.
+      EXPECT_EQ(core::LocalBufferStats().full_copies, 0u);
+      EXPECT_GE(core::LocalBufferStats().moves, 1u);
+      comm.SendValue<std::uintptr_t>(1, 10,
+                                     reinterpret_cast<std::uintptr_t>(raw));
+    } else {
+      core::ResetLocalBufferStats();
+      core::Buffer got = comm.RecvBuffer(0, 9);
+      EXPECT_EQ(core::LocalBufferStats().full_copies, 0u);
+      ASSERT_EQ(got.size(), std::size_t{1} << 16);
+      EXPECT_EQ(got[123], std::byte{0x7F});
+      // Same block end to end: the receiver sees the sender's allocation.
+      const auto raw = comm.RecvValue<std::uintptr_t>(0, 10);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(got.data()), raw);
+    }
+  });
+}
+
+TEST(PointToPointTest, SendGatherPacksChainOnce) {
+  Runtime::Run(2, [](Comm& comm) {
+    if (comm.Rank() == 0) {
+      core::Buffer a("", 4096);
+      core::Buffer b("", 4096);
+      a.bytes()[0] = std::byte{1};
+      b.bytes()[4095] = std::byte{2};
+      core::BufferChain chain;
+      chain.Append(core::BufferView(a));
+      chain.Append(core::BufferView(b));
+      core::ResetLocalBufferStats();
+      comm.SendGather(1, 9, chain);
+      // Exactly one full-field copy: the transport-boundary pack.
+      EXPECT_EQ(core::LocalBufferStats().full_copies, 1u);
+    } else {
+      core::Buffer got = comm.RecvBuffer(0, 9);
+      ASSERT_EQ(got.size(), 8192u);
+      EXPECT_EQ(got[0], std::byte{1});
+      EXPECT_EQ(got[8191], std::byte{2});
+    }
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest,
                          ::testing::Values(1, 2, 3, 5, 8));
 

@@ -145,6 +145,31 @@ TEST(ArrayTest, TypedCopies) {
   EXPECT_EQ(back, host);
 }
 
+TEST(ArrayTest, StageToHostLandsInTrackedBuffer) {
+  Device device(Backend::kSimGpu);
+  Array<double> array(device, 1024);
+  std::vector<double> host(1024);
+  for (std::size_t i = 0; i < host.size(); ++i) {
+    host[i] = static_cast<double>(i);
+  }
+  array.CopyFromHost(host);
+
+  instrument::MemoryTracker tracker;
+  instrument::TrackerScope scope(&tracker);
+  core::ResetLocalBufferStats();
+  const auto d2h_before = device.Transfers().d2h_count;
+  core::Buffer staged = array.StageToHost("staging");
+
+  // One D2H transfer; the host landing is a device stage, not a host copy.
+  EXPECT_EQ(device.Transfers().d2h_count, d2h_before + 1);
+  EXPECT_EQ(core::LocalBufferStats().device_stages, 1u);
+  EXPECT_EQ(core::LocalBufferStats().full_copies, 0u);
+  EXPECT_EQ(tracker.CurrentBytes("staging"), 1024 * sizeof(double));
+  auto values = staged.As<double>();
+  ASSERT_EQ(values.size(), 1024u);
+  EXPECT_DOUBLE_EQ(values[1023], 1023.0);
+}
+
 TEST(ArrayTest, ElementOffsetCopies) {
   Device device(Backend::kSerial);
   Array<int> array(device, 10);

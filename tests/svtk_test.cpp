@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/buffer.hpp"
+#include "instrument/memory_tracker.hpp"
 #include "svtk/data_array.hpp"
 #include "svtk/serialize.hpp"
 #include "svtk/unstructured_grid.hpp"
@@ -63,6 +65,64 @@ TEST(DataArrayTest, MagnitudeAndRange) {
   auto flat = array.ValueRange(false);
   EXPECT_DOUBLE_EQ(flat.min, 0.0);
   EXPECT_DOUBLE_EQ(flat.max, 4.0);
+}
+
+TEST(DataArrayTest, ValueRangeOfEmptyArrayIsEmptyInterval) {
+  DataArray scalar("s", 0, 1);
+  auto r = scalar.ValueRange(false);
+  // No values: the range must come back inverted/empty, not garbage, and
+  // must not read out of bounds.
+  EXPECT_GT(r.min, r.max);
+  DataArray vec("v", 0, 3);
+  auto m = vec.ValueRange(true);
+  EXPECT_GT(m.min, m.max);
+}
+
+TEST(DataArrayTest, MagnitudeAndRangeOfSingleTupleVector) {
+  DataArray vec("v", 1, 3);
+  vec.At(0, 0) = 2.0;
+  vec.At(0, 1) = 3.0;
+  vec.At(0, 2) = 6.0;
+  EXPECT_DOUBLE_EQ(vec.Magnitude(0), 7.0);
+  auto mag = vec.ValueRange(true);
+  EXPECT_DOUBLE_EQ(mag.min, 7.0);
+  EXPECT_DOUBLE_EQ(mag.max, 7.0);
+  auto flat = vec.ValueRange(false);
+  EXPECT_DOUBLE_EQ(flat.min, 2.0);
+  EXPECT_DOUBLE_EQ(flat.max, 6.0);
+}
+
+TEST(DataArrayTest, AdoptsExternalStorageWithoutCopy) {
+  core::Buffer storage("", 6 * sizeof(double));
+  {
+    auto values = storage.As<double>();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = static_cast<double>(i);
+    }
+  }
+  const std::byte* raw = storage.data();
+  DataArray array("adopted", 2, 3, std::move(storage));
+  EXPECT_EQ(array.Tuples(), 2u);
+  EXPECT_EQ(array.Components(), 3);
+  // Same bytes, same address: adopted, not copied.
+  EXPECT_EQ(reinterpret_cast<const std::byte*>(array.Data().data()), raw);
+  EXPECT_DOUBLE_EQ(array.At(1, 2), 5.0);
+}
+
+TEST(DataArrayTest, AdoptRejectsSizeMismatch) {
+  core::Buffer storage("", 5 * sizeof(double));
+  EXPECT_THROW(DataArray("bad", 2, 3, std::move(storage)),
+               std::invalid_argument);
+}
+
+TEST(UnstructuredGridTest, AdoptPointArrayCountsAdoption) {
+  UnstructuredGrid grid(8, 1);
+  core::ResetLocalBufferStats();
+  core::Buffer storage("", 8 * sizeof(double));
+  grid.AdoptPointArray("p", 1, std::move(storage));
+  EXPECT_GE(core::LocalBufferStats().adoptions, 1u);
+  EXPECT_EQ(core::LocalBufferStats().full_copies, 0u);
+  EXPECT_NE(grid.PointArray("p"), nullptr);
 }
 
 TEST(DataArrayTest, TracksMemory) {
