@@ -6,14 +6,86 @@
 // the same trigger cadence relationship, the same 4:1 in transit ratio.
 #pragma once
 
+#include <cstdio>
 #include <filesystem>
+#include <iostream>
 #include <string>
 
 #include "core/workflows.hpp"
 #include "instrument/report.hpp"
+#include "instrument/telemetry.hpp"
 #include "nekrs/cases.hpp"
 
 namespace bench {
+
+/// `--trace <out.json>` flag shared by the figure binaries: enables the
+/// tracer for every run and designates where the headline run's Chrome
+/// trace lands (the per-run aggregate goes to a sibling telemetry.json).
+struct TraceArgs {
+  bool enabled = false;
+  std::string trace_path;
+
+  /// telemetry.json next to the requested trace file.
+  [[nodiscard]] std::string SummaryPath() const {
+    const std::filesystem::path p(trace_path);
+    return (p.parent_path() / "telemetry.json").string();
+  }
+};
+
+inline TraceArgs ParseTraceArgs(int argc, char** argv) {
+  TraceArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --trace needs a file argument\n";
+        std::exit(2);
+      }
+      args.enabled = true;
+      args.trace_path = argv[++i];
+    }
+  }
+  return args;
+}
+
+/// Telemetry configuration for one bench run: trace + summary under `dir`,
+/// unless this is the designated headline run, which writes to the --trace
+/// destination instead.
+inline instrument::TelemetryConfig RunTelemetry(const TraceArgs& args,
+                                                const std::string& dir,
+                                                bool headline) {
+  instrument::TelemetryConfig config;
+  if (!args.enabled) return config;
+  config.enabled = true;
+  config.trace_path = headline ? args.trace_path : dir + "/trace.json";
+  config.summary_path =
+      headline ? args.SummaryPath() : dir + "/telemetry.json";
+  return config;
+}
+
+/// "Where did the time go" cell: the share of traced time spent inside the
+/// solver vs the in situ/in transit pipeline ("-" when tracing is off).
+inline std::string BreakdownCell(const instrument::TelemetrySummary& t) {
+  const double solver = t.SpanTotalSeconds("solver.step");
+  const double insitu = t.SpanTotalSeconds("bridge.update");
+  const double total = solver + insitu;
+  if (t.Empty() || total <= 0.0) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "solver %.0f%% / insitu %.0f%%",
+                100.0 * solver / total, 100.0 * insitu / total);
+  return buf;
+}
+
+/// WriteCsv wrapper that reports failures (satellite: CSV loss must never
+/// be silent). Returns false on failure so main() can exit nonzero.
+inline bool WriteCsvOrWarn(const instrument::Table& table,
+                           const std::string& path) {
+  if (!table.WriteCsv(path)) {
+    std::cerr << "error: failed to write CSV " << path << "\n";
+    return false;
+  }
+  return true;
+}
 
 /// Scaled-down stand-ins for the paper's 280/560/1120-rank runs.
 inline constexpr int kInSituRankCounts[] = {2, 4, 8};

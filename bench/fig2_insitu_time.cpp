@@ -15,16 +15,19 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::TraceArgs trace = bench::ParseTraceArgs(argc, argv);
   const std::string out_root = bench::MakeOutputDir("fig2");
   constexpr int kSteps = 30;
   constexpr int kFrequency = 10;
+  const int last_ranks =
+      bench::kInSituRankCounts[std::size(bench::kInSituRankCounts) - 1];
 
   instrument::Table time_table(
       "Figure 2: in situ time-to-solution (pb146 stand-in, 30 steps, "
       "trigger every 10)");
   time_table.SetHeader({"ranks", "config", "total_busy_s", "wall_s",
-                        "per_step_ms", "storage", "images"});
+                        "per_step_ms", "storage", "images", "breakdown"});
 
   instrument::Table storage_table(
       "Section 4.1: storage economy per run (Catalyst vs Checkpointing)");
@@ -49,6 +52,10 @@ int main() {
       } else {
         options.sensei_xml = bench::InSituCatalystXml(out, kFrequency);
       }
+      // The Catalyst run at the largest rank count is the headline trace:
+      // with --trace, its Chrome trace lands at the requested path.
+      const bool headline = config == "catalyst" && ranks == last_ranks;
+      options.telemetry = bench::RunTelemetry(trace, out, headline);
 
       const auto metrics = nek_sensei::RunInSitu(ranks, options);
       time_table.AddRow(
@@ -57,7 +64,14 @@ int main() {
            instrument::FormatSeconds(metrics.wall_seconds),
            instrument::FormatSeconds(metrics.MeanSimStepSeconds() * 1e3),
            instrument::FormatBytes(metrics.bytes_written),
-           std::to_string(metrics.images_written)});
+           std::to_string(metrics.images_written),
+           bench::BreakdownCell(metrics.telemetry)});
+      if (headline && trace.enabled) {
+        instrument::TelemetryTable(
+            metrics.telemetry,
+            "Telemetry: catalyst @ " + std::to_string(ranks) + " ranks")
+            .Print(std::cout);
+      }
       if (config == "checkpointing") checkpoint_bytes = metrics.bytes_written;
       if (config == "catalyst") catalyst_bytes = metrics.bytes_written;
     }
@@ -119,9 +133,16 @@ int main() {
   }
   scaling_table.Print(std::cout);
 
-  time_table.WriteCsv(out_root + "/fig2_time.csv");
-  storage_table.WriteCsv(out_root + "/fig2_storage.csv");
-  scaling_table.WriteCsv(out_root + "/fig2_storage_scaling.csv");
+  bool ok = bench::WriteCsvOrWarn(time_table, out_root + "/fig2_time.csv");
+  ok = bench::WriteCsvOrWarn(storage_table, out_root + "/fig2_storage.csv") &&
+       ok;
+  ok = bench::WriteCsvOrWarn(scaling_table,
+                             out_root + "/fig2_storage_scaling.csv") &&
+       ok;
   std::cout << "CSV written under " << out_root << "\n";
-  return 0;
+  if (trace.enabled) {
+    std::cout << "Chrome trace written to " << trace.trace_path
+              << " (aggregate: " << trace.SummaryPath() << ")\n";
+  }
+  return ok ? 0 : 1;
 }

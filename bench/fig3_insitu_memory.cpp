@@ -94,7 +94,7 @@ int main() {
   }
 
   table.Print(std::cout);
-  table.WriteCsv(out_root + "/fig3_memory.csv");
+  const bool ok = bench::WriteCsvOrWarn(table, out_root + "/fig3_memory.csv");
   std::cout << "CSV written under " << out_root << "\n";
-  return 0;
+  return ok ? 0 : 1;
 }

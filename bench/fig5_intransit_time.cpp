@@ -14,16 +14,19 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::TraceArgs trace = bench::ParseTraceArgs(argc, argv);
   const std::string out_root = bench::MakeOutputDir("fig5");
   constexpr int kSteps = 30;
   constexpr int kFrequency = 10;
+  const int last_ranks =
+      bench::kInTransitSimRanks[std::size(bench::kInTransitSimRanks) - 1];
 
   instrument::Table table(
       "Figure 5: in transit mean time per timestep on sim ranks (RBC weak "
       "scaling, 4:1 sim:endpoint)");
   table.SetHeader({"sim_ranks", "endpoint_ranks", "mode", "per_step_ms",
-                   "stream_bytes", "images"});
+                   "stream_bytes", "images", "breakdown"});
 
   for (int sim_ranks : bench::kInTransitSimRanks) {
     for (const std::string mode : {"no-transport", "checkpointing",
@@ -48,6 +51,11 @@ int main() {
                                    : bench::EndpointCatalystXml(out);
       }
 
+      // Headline trace: the full pipeline (Catalyst endpoint) at the
+      // largest sim-rank count.
+      const bool headline = mode == "catalyst" && sim_ranks == last_ranks;
+      options.telemetry = bench::RunTelemetry(trace, out, headline);
+
       const auto metrics = nek_sensei::RunInTransit(sim_ranks, options);
       const int endpoint_ranks =
           static_cast<int>(metrics.ranks.size()) - sim_ranks;
@@ -55,12 +63,24 @@ int main() {
           {std::to_string(sim_ranks), std::to_string(endpoint_ranks), mode,
            instrument::FormatSeconds(metrics.MeanSimStepSeconds() * 1e3),
            instrument::FormatBytes(metrics.bytes_written),
-           std::to_string(metrics.images_written)});
+           std::to_string(metrics.images_written),
+           bench::BreakdownCell(metrics.telemetry)});
+      if (headline && trace.enabled) {
+        instrument::TelemetryTable(metrics.telemetry,
+                                   "Telemetry: catalyst endpoint @ " +
+                                       std::to_string(sim_ranks) +
+                                       " sim ranks")
+            .Print(std::cout);
+      }
     }
   }
 
   table.Print(std::cout);
-  table.WriteCsv(out_root + "/fig5_time.csv");
+  const bool ok = bench::WriteCsvOrWarn(table, out_root + "/fig5_time.csv");
   std::cout << "CSV written under " << out_root << "\n";
-  return 0;
+  if (trace.enabled) {
+    std::cout << "Chrome trace written to " << trace.trace_path
+              << " (aggregate: " << trace.SummaryPath() << ")\n";
+  }
+  return ok ? 0 : 1;
 }

@@ -65,7 +65,7 @@ int main() {
     }
   }
   table.Print(std::cout);
-  table.WriteCsv(out_root + "/fig6_memory.csv");
+  bool ok = bench::WriteCsvOrWarn(table, out_root + "/fig6_memory.csv");
 
   // Independence of the visualizer count (§4.2's highlighted property):
   // fixed sim ranks, varying endpoints — sim memory must not change.
@@ -80,7 +80,7 @@ int main() {
                   instrument::FormatBytes(metrics.MaxSimHostPeakBytes())});
   }
   indep.Print(std::cout);
-  indep.WriteCsv(out_root + "/fig6_independence.csv");
+  ok = bench::WriteCsvOrWarn(indep, out_root + "/fig6_independence.csv") && ok;
   std::cout << "CSV written under " << out_root << "\n";
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -5,10 +5,12 @@
 // what happens in situ: a stats reduction every 5 steps and one rendered
 // image every 10 steps.
 //
-//   $ ./quickstart [output_dir]
+//   $ ./quickstart [output_dir] [--trace trace.json]
 //
 // Produces quickstart_out/render_speed_*.png plus a stats log, and prints
-// the run metrics the paper's figures are built from.
+// the run metrics the paper's figures are built from.  With --trace, also
+// writes a Chrome-trace JSON (open in Perfetto / chrome://tracing) and a
+// telemetry.json aggregate next to it.
 
 #include <cstdio>
 #include <filesystem>
@@ -18,7 +20,20 @@
 #include "nekrs/cases.hpp"
 
 int main(int argc, char** argv) {
-  const std::string out = argc > 1 ? argv[1] : "quickstart_out";
+  std::string out = "quickstart_out";
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --trace needs a file argument\n";
+        return 2;
+      }
+      trace_path = argv[++i];
+    } else {
+      out = arg;
+    }
+  }
   std::filesystem::create_directories(out);
 
   // 1. A small flow problem (see nekrs/cases.hpp for the catalogue).
@@ -42,7 +57,18 @@ int main(int argc, char** argv) {
       "  </analysis>"
       "</sensei>";
 
-  // 3. Run on 2 ranks (threads standing in for MPI processes).
+  // 3. Optional tracing: one Chrome-trace track per rank, nested
+  //    solver/bridge/analysis spans (could equally come from a
+  //    <telemetry trace="..."/> element in the XML above).
+  if (!trace_path.empty()) {
+    options.telemetry.enabled = true;
+    options.telemetry.trace_path = trace_path;
+    options.telemetry.summary_path =
+        (std::filesystem::path(trace_path).parent_path() / "telemetry.json")
+            .string();
+  }
+
+  // 4. Run on 2 ranks (threads standing in for MPI processes).
   const auto metrics = nek_sensei::RunInSitu(2, options);
 
   std::cout << "quickstart: " << metrics.steps << " steps on "
@@ -56,5 +82,8 @@ int main(int argc, char** argv) {
             << "  peak device memory per rank: "
             << metrics.MaxSimDevicePeakBytes() << " B\n"
             << "outputs in " << out << "/\n";
+  if (!trace_path.empty()) {
+    std::cout << "trace written to " << trace_path << "\n";
+  }
   return 0;
 }

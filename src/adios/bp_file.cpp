@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "instrument/tracer.hpp"
+
 namespace adios {
 
 BpFileWriter::BpFileWriter(const std::string& path)
@@ -29,6 +31,7 @@ void BpFileWriter::PutChain(const std::string& name, core::BufferChain chain) {
 
 void BpFileWriter::EndStep() {
   if (!step_open_) throw std::runtime_error("adios: EndStep outside a step");
+  instrument::Span span("bpfile.write");
   const core::BufferChain chain = MarshalChain(staged_);
   const std::uint64_t length = chain.TotalBytes();
   out_.write(reinterpret_cast<const char*>(&length), sizeof(length));

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "instrument/tracer.hpp"
+
 namespace adios {
 
 namespace {
@@ -72,12 +74,17 @@ void SstWriter::EndStep() {
   if (!step_open_) throw std::runtime_error("adios: EndStep outside a step");
   // One message chain: 1-byte kind + marshaled step, packed exactly once
   // inside SendGather (the transport-boundary copy).
+  instrument::Span marshal_span("adios.marshal");
   core::BufferChain message;
   message.Append(core::Buffer::TakeVector(
       "", std::vector<std::byte>{kKindData}));
   message.Append(MarshalChain(staged_));
+  marshal_span.End();
   const std::size_t payload_bytes = message.TotalBytes() - 1;
-  world_.SendGather(reader_, kTagSstMsg, message);
+  {
+    instrument::Span send_span("sst.send");
+    world_.SendGather(reader_, kTagSstMsg, message);
+  }
 
   // Staged variables release as staged_ is reset, but the packed in-flight
   // bytes stay attributed to this writer until the reader acks (SST staging
@@ -108,6 +115,7 @@ SstReader::SstReader(mpimini::Comm world, std::vector<int> writer_world_ranks,
       params_(params) {}
 
 std::optional<SstReader::Step> SstReader::NextStep() {
+  instrument::Span recv_span("sst.recv");
   Step out;
   bool any = false;
   for (std::size_t w = 0; w < writers_.size(); ++w) {

@@ -1,5 +1,9 @@
 #include "core/bridge.hpp"
 
+#include <cstdio>
+
+#include "instrument/tracer.hpp"
+
 namespace nek_sensei {
 
 Bridge::Bridge(
@@ -12,6 +16,7 @@ Bridge::Bridge(
 }
 
 bool Bridge::Update() {
+  instrument::Span span("bridge.update");
   data_.SetPipelineTime(solver_.StepNumber(), solver_.Time());
   return analysis_.Execute(data_);
 }
@@ -20,6 +25,12 @@ void Bridge::Finalize() {
   if (finalized_) return;
   analysis_.Finalize();
   finalized_ = true;
+  // End-of-run telemetry digest: one line per traced rank (span totals,
+  // drops if the ring wrapped, counter totals), so trace truncation can
+  // never pass silently.
+  if (const instrument::Tracer* tracer = instrument::CurrentTracer()) {
+    std::fprintf(stderr, "%s\n", tracer->SummaryLine().c_str());
+  }
 }
 
 }  // namespace nek_sensei

@@ -1,10 +1,13 @@
 #include "core/workflows.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <mutex>
+#include <optional>
 
 #include "adios/sst.hpp"
 #include "core/bridge.hpp"
+#include "core/buffer.hpp"
 #include "mpimini/runtime.hpp"
 #include "sensei/adios_adaptor.hpp"
 #include "sensei/catalyst_adaptor.hpp"
@@ -65,6 +68,80 @@ bool XmlHasAdios(const std::string& xml) {
   return false;
 }
 
+// Explicit options win; otherwise honor the XML's <telemetry> element.
+instrument::TelemetryConfig ResolveTelemetry(
+    const instrument::TelemetryConfig& explicit_config,
+    const std::string& sensei_xml) {
+  if (explicit_config.enabled) return explicit_config;
+  return sensei::ParseTelemetryConfig(xmlcfg::Parse(sensei_xml).root);
+}
+
+mpimini::RunSettings MakeRunSettings(
+    const instrument::TelemetryConfig& config) {
+  mpimini::RunSettings settings;
+  settings.trace = config.enabled;
+  settings.tracer = config.TracerOptions();
+  return settings;
+}
+
+// Sample the cumulative pipeline counters into the rank's tracer.  Called
+// at step boundaries so consecutive samples attribute each step's deltas
+// (DESIGN.md: counter-delta attribution).  No-op when tracing is off.
+void SampleStepCounters(const occamini::Device* device,
+                        const sensei::ConfigurableAnalysis* analysis,
+                        const sensei::CatalystAnalysisAdaptor* catalyst,
+                        const adios::SstStats* sst) {
+  instrument::Tracer* tracer = instrument::CurrentTracer();
+  if (tracer == nullptr) return;
+  const core::BufferStats& buffers = core::LocalBufferStats();
+  tracer->SampleCounter("buffer.full_copies",
+                        static_cast<double>(buffers.full_copies));
+  tracer->SampleCounter("buffer.small_copies",
+                        static_cast<double>(buffers.small_copies));
+  tracer->SampleCounter("buffer.copied_bytes",
+                        static_cast<double>(buffers.copied_bytes));
+  tracer->SampleCounter("buffer.adoptions",
+                        static_cast<double>(buffers.adoptions));
+  tracer->SampleCounter("buffer.moves", static_cast<double>(buffers.moves));
+  if (device != nullptr) {
+    tracer->SampleCounter("d2h.bytes",
+                          static_cast<double>(device->Transfers().d2h_bytes));
+  }
+  if (analysis != nullptr) {
+    tracer->SampleCounter("storage.bytes_written",
+                          static_cast<double>(analysis->TotalBytesWritten()));
+  }
+  if (catalyst != nullptr) {
+    tracer->SampleCounter("catalyst.images",
+                          static_cast<double>(catalyst->ImagesWritten()));
+  }
+  if (sst != nullptr) {
+    tracer->SampleCounter("sst.bytes",
+                          static_cast<double>(sst->payload_bytes));
+  }
+}
+
+// Merge the run's tracers into the metrics and write the configured trace /
+// summary files.  Export failures are reported, never silent.
+void ExportTelemetry(const instrument::TelemetryConfig& config,
+                     const mpimini::RunResult& run,
+                     WorkflowMetrics& metrics) {
+  if (!config.enabled) return;
+  const std::vector<const instrument::Tracer*> tracers = run.TracerPointers();
+  metrics.telemetry = instrument::Summarize(tracers);
+  if (!config.trace_path.empty() &&
+      !instrument::WriteChromeTrace(config.trace_path, tracers)) {
+    std::fprintf(stderr, "warning: failed to write trace file %s\n",
+                 config.trace_path.c_str());
+  }
+  if (!config.summary_path.empty() &&
+      !instrument::WriteTelemetryJson(config.summary_path,
+                                      metrics.telemetry)) {
+    std::fprintf(stderr, "warning: failed to write telemetry summary %s\n",
+                 config.summary_path.c_str());
+  }
+}
+
 }  // namespace
 
 double WorkflowMetrics::MeanSimStepSeconds() const {
@@ -113,38 +190,52 @@ std::size_t WorkflowMetrics::MaxSimDevicePeakBytes() const {
 WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
   SharedMetrics shared;
   shared.metrics.steps = options.steps;
+  const instrument::TelemetryConfig telemetry =
+      ResolveTelemetry(options.telemetry, options.sensei_xml);
 
-  mpimini::RunResult run = mpimini::Runtime::Run(nranks, [&](mpimini::Comm&
-                                                                 comm) {
+  mpimini::RunResult run = mpimini::Runtime::Run(
+      nranks, MakeRunSettings(telemetry), [&](mpimini::Comm& comm) {
     occamini::Device device(options.backend, options.transfer);
     nekrs::FlowSolver solver(comm, device, options.flow);
     std::optional<Bridge> bridge;
     if (options.use_sensei) bridge.emplace(solver, options.sensei_xml);
+    std::shared_ptr<sensei::CatalystAnalysisAdaptor> catalyst;
+    if (bridge) {
+      catalyst =
+          std::dynamic_pointer_cast<sensei::CatalystAnalysisAdaptor>(
+              bridge->Analysis().Find("catalyst"));
+    }
+    const sensei::ConfigurableAnalysis* analysis =
+        bridge ? &bridge->Analysis() : nullptr;
 
     mpimini::RankEnv* env = mpimini::CurrentEnv();
     const double busy0 = env ? env->busy.Seconds() : 0.0;
+    std::optional<instrument::ScopedTimer> loop_timer;
+    if (env) loop_timer.emplace(env->timings, "step_loop");
+    SampleStepCounters(&device, analysis, catalyst.get(), nullptr);
     for (int s = 0; s < options.steps; ++s) {
       solver.Step();
       if (bridge) bridge->Update();
+      SampleStepCounters(&device, analysis, catalyst.get(), nullptr);
     }
-    if (bridge) bridge->Finalize();
+    // Stop before teardown: Finalize (stream flushes, file closes) must not
+    // count toward the per-step figures.
     const double step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
+    if (loop_timer) loop_timer->Stop();
+    if (bridge) bridge->Finalize();
 
     std::size_t bytes = 0;
     std::size_t images = 0;
     if (bridge) {
       bytes = bridge->Analysis().TotalBytesWritten();
-      if (auto catalyst = std::dynamic_pointer_cast<
-              sensei::CatalystAnalysisAdaptor>(
-              bridge->Analysis().Find("catalyst"))) {
-        images = catalyst->ImagesWritten();
-      }
+      if (catalyst) images = catalyst->ImagesWritten();
     }
     CollectReports(comm, MakeReport(comm, /*is_sim=*/true, step_busy), bytes,
                    images, shared);
   });
 
   shared.metrics.wall_seconds = run.wall_seconds;
+  ExportTelemetry(telemetry, run, shared.metrics);
   return shared.metrics;
 }
 
@@ -156,10 +247,11 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
 
   SharedMetrics shared;
   shared.metrics.steps = options.steps;
+  const instrument::TelemetryConfig telemetry =
+      ResolveTelemetry(options.telemetry, options.sim_xml);
 
-  mpimini::RunResult run = mpimini::Runtime::Run(world_ranks, [&](
-                                                                 mpimini::Comm&
-                                                                     world) {
+  mpimini::RunResult run = mpimini::Runtime::Run(
+      world_ranks, MakeRunSettings(telemetry), [&](mpimini::Comm& world) {
     const bool is_sim = world.Rank() < sim_ranks;
     mpimini::Comm group = world.Split(is_sim ? 0 : 1, world.Rank());
     mpimini::RankEnv* env = mpimini::CurrentEnv();
@@ -189,13 +281,24 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
                           });
                     });
 
+      auto adios =
+          std::dynamic_pointer_cast<sensei::AdiosAnalysisAdaptor>(
+              bridge.Analysis().Find("adios"));
+
       const double busy0 = env ? env->busy.Seconds() : 0.0;
+      std::optional<instrument::ScopedTimer> loop_timer;
+      if (env) loop_timer.emplace(env->timings, "step_loop");
+      SampleStepCounters(&device, &bridge.Analysis(), nullptr,
+                         adios ? &adios->TransportStats() : nullptr);
       for (int s = 0; s < options.steps; ++s) {
         solver.Step();
         bridge.Update();
+        SampleStepCounters(&device, &bridge.Analysis(), nullptr,
+                           adios ? &adios->TransportStats() : nullptr);
       }
-      bridge.Finalize();
       step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
+      if (loop_timer) loop_timer->Stop();
+      bridge.Finalize();
       bytes = bridge.Analysis().TotalBytesWritten();
     } else if (streaming) {
       // Endpoint rank: receive steps and run the endpoint analyses.
@@ -210,12 +313,17 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
       analysis.Initialize(xmlcfg::Parse(options.endpoint_xml).root);
 
       const double busy0 = env ? env->busy.Seconds() : 0.0;
+      std::optional<instrument::ScopedTimer> loop_timer;
+      if (env) loop_timer.emplace(env->timings, "step_loop");
+      SampleStepCounters(nullptr, &analysis, nullptr, &reader.Stats());
       while (auto step = reader.NextStep()) {
         data.SetStep(step->step, 0.0, step->payloads);
         analysis.Execute(data);
+        SampleStepCounters(nullptr, &analysis, nullptr, &reader.Stats());
       }
-      analysis.Finalize();
       step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
+      if (loop_timer) loop_timer->Stop();
+      analysis.Finalize();
       bytes = analysis.TotalBytesWritten();
       if (auto catalyst =
               std::dynamic_pointer_cast<sensei::CatalystAnalysisAdaptor>(
@@ -229,6 +337,7 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
   });
 
   shared.metrics.wall_seconds = run.wall_seconds;
+  ExportTelemetry(telemetry, run, shared.metrics);
   return shared.metrics;
 }
 

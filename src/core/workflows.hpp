@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "instrument/telemetry.hpp"
 #include "nekrs/flow_solver.hpp"
 #include "occamini/device.hpp"
 
@@ -33,6 +34,8 @@ struct WorkflowMetrics {
   double wall_seconds = 0.0;
   std::size_t bytes_written = 0;   ///< storage written by all analyses
   std::size_t images_written = 0;  ///< rendered frames (catalyst)
+  /// Cross-rank span/counter aggregate; Empty() unless telemetry was on.
+  instrument::TelemetrySummary telemetry;
 
   /// Mean over simulation ranks of (step-loop busy seconds / steps): the
   /// "mean time per timestep on the simulation nodes" of Fig 5.
@@ -55,6 +58,10 @@ struct InSituOptions {
   bool use_sensei = true;
   occamini::Backend backend = occamini::Backend::kSimGpu;
   occamini::TransferModel transfer;
+  /// Tracing opt-in.  When left disabled here, the sensei XML's
+  /// <telemetry .../> element (if any) is honored instead, so tracing can
+  /// be switched on without recompiling — like every other pipeline knob.
+  instrument::TelemetryConfig telemetry;
 };
 
 /// Run the in situ workflow on `nranks` rank threads. Collective-free
@@ -74,6 +81,8 @@ struct InTransitOptions {
   int sst_queue_limit = 1;
   occamini::Backend backend = occamini::Backend::kSimGpu;
   occamini::TransferModel transfer;
+  /// Tracing opt-in; falls back to the sim-side XML's <telemetry .../>.
+  instrument::TelemetryConfig telemetry;
 };
 
 /// Run the in transit workflow with `sim_ranks` simulation ranks plus

@@ -52,9 +52,9 @@ void Table::Print(std::ostream& os) const {
   os << '\n';
 }
 
-void Table::WriteCsv(const std::string& path) const {
+bool Table::WriteCsv(const std::string& path) const {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open CSV for writing: " + path);
+  if (!out) return false;
   auto write_row = [&](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i) out << ',';
@@ -64,6 +64,8 @@ void Table::WriteCsv(const std::string& path) const {
   };
   write_row(header_);
   for (const auto& row : rows_) write_row(row);
+  out.flush();
+  return static_cast<bool>(out);
 }
 
 std::string FormatSeconds(double seconds) {

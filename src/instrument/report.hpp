@@ -39,8 +39,10 @@ class Table {
   void Print(std::ostream& os) const;
 
   /// Write header + rows as RFC-4180-ish CSV (quotes cells containing
-  /// commas or quotes).
-  void WriteCsv(const std::string& path) const;
+  /// commas or quotes).  Returns false if the path cannot be opened or any
+  /// write fails — callers (the figure binaries) must check it so CSV loss
+  /// is never silent.
+  [[nodiscard]] bool WriteCsv(const std::string& path) const;
 
  private:
   std::string title_;

@@ -1,0 +1,232 @@
+#include "instrument/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "instrument/timer.hpp"
+
+namespace instrument {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+/// Earliest timestamp across all recorded data, so exported traces start
+/// near t=0 instead of at steady_clock's epoch offset.
+std::int64_t BaseTimestamp(const std::vector<const Tracer*>& tracers) {
+  std::int64_t base = std::numeric_limits<std::int64_t>::max();
+  for (const Tracer* tracer : tracers) {
+    if (tracer == nullptr) continue;
+    for (const Tracer::SpanRecord& s : tracer->Spans()) {
+      base = std::min(base, s.start_ns);
+    }
+    for (const Tracer::EventRecord& e : tracer->Events()) {
+      base = std::min(base, e.ts_ns);
+    }
+    for (const Tracer::CounterSample& c : tracer->CounterSamples()) {
+      base = std::min(base, c.ts_ns);
+    }
+  }
+  return base == std::numeric_limits<std::int64_t>::max() ? 0 : base;
+}
+
+std::string Micros(std::int64_t ns, std::int64_t base) {
+  return JsonNumber(static_cast<double>(ns - base) * 1e-3);
+}
+
+}  // namespace
+
+double TelemetrySummary::SpanTotalSeconds(const std::string& name) const {
+  auto it = spans.find(name);
+  return it == spans.end() ? 0.0 : it->second.total_seconds;
+}
+
+std::uint64_t TelemetrySummary::SpanCount(const std::string& name) const {
+  auto it = spans.find(name);
+  return it == spans.end() ? 0 : it->second.count;
+}
+
+double TelemetrySummary::Counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0.0 : it->second;
+}
+
+TelemetrySummary Summarize(const std::vector<const Tracer*>& tracers) {
+  TelemetrySummary summary;
+  std::map<std::string, RunningStats> stats;
+  std::map<std::string, std::vector<double>> durations;
+  for (const Tracer* tracer : tracers) {
+    if (tracer == nullptr) continue;
+    ++summary.ranks;
+    summary.total_spans += tracer->TotalSpans();
+    summary.dropped_spans += tracer->DroppedSpans();
+    summary.skipped_waits += tracer->SkippedWaits();
+    summary.skipped_wait_seconds += tracer->SkippedWaitSeconds();
+    // Per-rank moments first, merged across ranks below — exercises the
+    // same Merge path a sharded (multi-process) collector would use.
+    std::map<std::string, RunningStats> rank_stats;
+    for (const Tracer::SpanRecord& span : tracer->Spans()) {
+      const double seconds = static_cast<double>(span.duration_ns) * 1e-9;
+      const std::string name(span.Name());
+      rank_stats[name].Add(seconds);
+      durations[name].push_back(seconds);
+    }
+    for (const auto& [name, rs] : rank_stats) stats[name].Merge(rs);
+    for (const auto& [name, value] : tracer->CounterTotals()) {
+      summary.counters[name] += value;
+    }
+  }
+  for (auto& [name, rs] : stats) {
+    SpanAggregate agg;
+    agg.count = rs.Count();
+    agg.mean_seconds = rs.Mean();
+    agg.max_seconds = rs.Max();
+    agg.total_seconds = rs.Mean() * static_cast<double>(rs.Count());
+    std::vector<double>& pool = durations[name];
+    std::sort(pool.begin(), pool.end());
+    agg.p50_seconds = Percentile(pool, 0.50);
+    agg.p95_seconds = Percentile(pool, 0.95);
+    summary.spans[name] = agg;
+  }
+  return summary;
+}
+
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<const Tracer*>& tracers) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const std::int64_t base = BaseTimestamp(tracers);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << event;
+  };
+  for (const Tracer* tracer : tracers) {
+    if (tracer == nullptr) continue;
+    const std::string tid = std::to_string(tracer->Rank());
+    emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" + tid +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " + tid +
+         "\"}}");
+    for (const Tracer::SpanRecord& span : tracer->Spans()) {
+      emit("{\"ph\":\"X\",\"pid\":0,\"tid\":" + tid + ",\"name\":\"" +
+           JsonEscape(span.Name()) + "\",\"ts\":" + Micros(span.start_ns, base) +
+           ",\"dur\":" +
+           JsonNumber(static_cast<double>(span.duration_ns) * 1e-3) + "}");
+    }
+    for (const Tracer::EventRecord& event : tracer->Events()) {
+      emit("{\"ph\":\"i\",\"pid\":0,\"tid\":" + tid + ",\"name\":\"" +
+           JsonEscape(event.Name()) + "\",\"ts\":" + Micros(event.ts_ns, base) +
+           ",\"s\":\"t\"}");
+    }
+    // Chrome counter tracks are keyed by (pid, name): prefix the rank so
+    // each rank gets its own track.
+    for (const Tracer::CounterSample& sample : tracer->CounterSamples()) {
+      emit("{\"ph\":\"C\",\"pid\":0,\"tid\":" + tid + ",\"name\":\"rank" +
+           tid + "/" + JsonEscape(sample.Name()) +
+           "\",\"ts\":" + Micros(sample.ts_ns, base) +
+           ",\"args\":{\"value\":" + JsonNumber(sample.value) + "}}");
+    }
+  }
+  out << "\n]}\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool WriteTelemetryJson(const std::string& path,
+                        const TelemetrySummary& summary) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  out << "  \"ranks\": " << summary.ranks << ",\n";
+  out << "  \"total_spans\": " << summary.total_spans << ",\n";
+  out << "  \"dropped_spans\": " << summary.dropped_spans << ",\n";
+  out << "  \"skipped_waits\": " << summary.skipped_waits << ",\n";
+  out << "  \"skipped_wait_seconds\": "
+      << JsonNumber(summary.skipped_wait_seconds) << ",\n";
+  out << "  \"spans\": {";
+  bool first = true;
+  for (const auto& [name, agg] : summary.spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << JsonEscape(name) << "\": {\"count\": " << agg.count
+        << ", \"total_seconds\": " << JsonNumber(agg.total_seconds)
+        << ", \"mean_seconds\": " << JsonNumber(agg.mean_seconds)
+        << ", \"p50_seconds\": " << JsonNumber(agg.p50_seconds)
+        << ", \"p95_seconds\": " << JsonNumber(agg.p95_seconds)
+        << ", \"max_seconds\": " << JsonNumber(agg.max_seconds) << "}";
+  }
+  out << "\n  },\n";
+  out << "  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : summary.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << JsonEscape(name) << "\": " << JsonNumber(value);
+  }
+  out << "\n  }\n";
+  out << "}\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+Table TelemetryTable(const TelemetrySummary& summary,
+                     const std::string& title) {
+  Table table(title);
+  table.SetHeader(
+      {"span", "count", "total_s", "mean_s", "p50_s", "p95_s", "max_s"});
+  std::vector<std::pair<std::string, SpanAggregate>> rows(
+      summary.spans.begin(), summary.spans.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_seconds > b.second.total_seconds;
+  });
+  for (const auto& [name, agg] : rows) {
+    table.AddRow({name, std::to_string(agg.count),
+                  FormatSeconds(agg.total_seconds),
+                  FormatSeconds(agg.mean_seconds),
+                  FormatSeconds(agg.p50_seconds),
+                  FormatSeconds(agg.p95_seconds),
+                  FormatSeconds(agg.max_seconds)});
+  }
+  return table;
+}
+
+}  // namespace instrument

@@ -1,0 +1,89 @@
+// Run-level telemetry: merge per-rank Tracers into one report.
+//
+// Two exporters, both fed from the same tracer set:
+//   WriteChromeTrace  -> Chrome trace-event JSON (one merged timeline,
+//                        rank = tid, loadable in Perfetto / about:tracing)
+//   WriteTelemetryJson-> machine-readable aggregate (per-span-name
+//                        count/mean/p50/p95/max plus counter totals)
+// TelemetryTable renders the same aggregate through instrument::Table so
+// figure binaries print a "where did the time go" breakdown.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "instrument/report.hpp"
+#include "instrument/tracer.hpp"
+
+namespace instrument {
+
+/// Opt-in telemetry surface, parsed from the sensei XML `<telemetry>`
+/// element or filled from a `--trace` command-line flag.  Default state is
+/// fully disabled: no tracer is installed and every Span degenerates to a
+/// thread-local null read.
+struct TelemetryConfig {
+  bool enabled = false;
+  std::string trace_path;    ///< Chrome trace JSON ("" = don't write)
+  std::string summary_path;  ///< telemetry.json ("" = don't write)
+  std::size_t span_capacity = 1 << 16;
+  double wait_min_seconds = 100e-6;
+
+  [[nodiscard]] Tracer::Options TracerOptions() const {
+    Tracer::Options options;
+    options.span_capacity = span_capacity;
+    options.wait_min_ns = static_cast<std::int64_t>(wait_min_seconds * 1e9);
+    return options;
+  }
+};
+
+/// Cross-rank aggregate for one span name.
+struct SpanAggregate {
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Everything the run-level report needs, merged across ranks.
+struct TelemetrySummary {
+  int ranks = 0;
+  std::uint64_t total_spans = 0;    ///< recorded spans across all ranks
+  std::uint64_t dropped_spans = 0;  ///< lost to ring wrap (0 = full trace)
+  std::uint64_t skipped_waits = 0;  ///< sub-threshold comm waits (tallied)
+  double skipped_wait_seconds = 0.0;
+  std::map<std::string, SpanAggregate> spans;
+  std::map<std::string, double> counters;  ///< summed across ranks
+
+  [[nodiscard]] bool Empty() const { return total_spans == 0 && spans.empty(); }
+
+  /// Total seconds attributed to `name` (0 if the span never fired).
+  [[nodiscard]] double SpanTotalSeconds(const std::string& name) const;
+  /// Count for `name` (0 if the span never fired).
+  [[nodiscard]] std::uint64_t SpanCount(const std::string& name) const;
+  /// A counter total (0 if never sampled).
+  [[nodiscard]] double Counter(const std::string& name) const;
+};
+
+/// Merge per-rank tracers (RunningStats::Merge for the moments, pooled
+/// durations for exact nearest-rank percentiles).  Null entries are skipped.
+[[nodiscard]] TelemetrySummary Summarize(
+    const std::vector<const Tracer*>& tracers);
+
+/// Write Chrome trace-event JSON.  Returns false (and leaves a best-effort
+/// partial file) if the path cannot be opened or a write fails.
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<const Tracer*>& tracers);
+
+/// Write the aggregate as telemetry.json.  Returns false on I/O failure.
+bool WriteTelemetryJson(const std::string& path,
+                        const TelemetrySummary& summary);
+
+/// Render the aggregate as a Table (rows sorted by total time, descending).
+[[nodiscard]] Table TelemetryTable(const TelemetrySummary& summary,
+                                   const std::string& title);
+
+}  // namespace instrument

@@ -2,6 +2,7 @@
 
 #include <ctime>
 
+#include <algorithm>
 #include <cmath>
 
 namespace instrument {
@@ -13,5 +14,33 @@ double BusyClock::ThreadCpuSeconds() {
 }
 
 double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const std::uint64_t n = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(n);
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: smallest index i with (i + 1) / N >= q.
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t index =
+      rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  index = std::min(index, sorted.size() - 1);
+  return sorted[index];
+}
 
 }  // namespace instrument

@@ -125,7 +125,15 @@ class ScopedTimer {
  public:
   ScopedTimer(TimingRegistry& registry, std::string name)
       : registry_(registry), name_(std::move(name)) {}
-  ~ScopedTimer() { registry_.Accumulate(name_, timer_.Elapsed()); }
+  ~ScopedTimer() { Stop(); }
+
+  /// Close the timed section now (idempotent); lets callers exclude
+  /// teardown that happens later in the same scope.
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    registry_.Accumulate(name_, timer_.Elapsed());
+  }
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -134,6 +142,7 @@ class ScopedTimer {
   TimingRegistry& registry_;
   std::string name_;
   WallTimer timer_;
+  bool stopped_ = false;
 };
 
 /// Running univariate statistics (Welford).
@@ -157,6 +166,10 @@ class RunningStats {
   }
   [[nodiscard]] double StdDev() const;
 
+  /// Fold another accumulator into this one (Chan et al. parallel update),
+  /// as if every sample of `other` had been Add()ed here.
+  void Merge(const RunningStats& other);
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -164,5 +177,9 @@ class RunningStats {
   double min_ = 0.0;
   double max_ = 0.0;
 };
+
+/// Nearest-rank percentile of a **sorted** ascending sample
+/// (q in [0, 1]; q=0.5 is the median).  Returns 0 for an empty sample.
+[[nodiscard]] double Percentile(const std::vector<double>& sorted, double q);
 
 }  // namespace instrument

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "instrument/tracer.hpp"
 #include "mpimini/comm_state.hpp"
 #include "mpimini/runtime.hpp"
 
@@ -12,10 +13,14 @@ namespace detail {
 
 namespace {
 
-// Pause the calling rank's busy clock for the duration of a condition wait.
+// Pause the calling rank's busy clock for the duration of a condition wait,
+// and record the wait as a threshold-mode span (sub-100us waits are only
+// tallied — see instrument::Tracer::Options::wait_min_ns — so per-iteration
+// collectives don't flood the span ring).
 class IdleScope {
  public:
-  IdleScope() : env_(CurrentEnv()) {
+  explicit IdleScope(std::string_view name)
+      : env_(CurrentEnv()), span_(name, instrument::Span::Mode::kThreshold) {
     if (env_) env_->busy.Pause();
   }
   ~IdleScope() {
@@ -26,6 +31,7 @@ class IdleScope {
 
  private:
   RankEnv* env_;
+  instrument::Span span_;
 };
 
 bool Matches(const Message& m, int source, int tag) {
@@ -98,7 +104,7 @@ Message Comm::RecvBytes(int source, int tag) {
   auto& box = state_->boxes[static_cast<std::size_t>(rank_)];
   auto it = detail::FindMatch(box, source, tag);
   if (it == box.end()) {
-    detail::IdleScope idle;
+    detail::IdleScope idle("comm.recv.wait");
     state_->cv.wait(lock, [&] {
       it = detail::FindMatch(box, source, tag);
       return it != box.end();
@@ -121,7 +127,7 @@ std::size_t Comm::Probe(int source, int tag) {
   auto& box = state_->boxes[static_cast<std::size_t>(rank_)];
   auto it = detail::FindMatch(box, source, tag);
   if (it == box.end()) {
-    detail::IdleScope idle;
+    detail::IdleScope idle("comm.probe.wait");
     state_->cv.wait(lock, [&] {
       it = detail::FindMatch(box, source, tag);
       return it != box.end();
@@ -147,7 +153,7 @@ void Comm::Barrier() {
     state_->cv.notify_all();
     return;
   }
-  detail::IdleScope idle;
+  detail::IdleScope idle("comm.barrier.wait");
   state_->cv.wait(lock,
                   [&] { return state_->barrier_generation != generation; });
 }
@@ -219,7 +225,7 @@ Comm Comm::Split(int color, int key) {
     op.ready = true;
     state_->cv.notify_all();
   } else {
-    detail::IdleScope idle;
+    detail::IdleScope idle("comm.split.wait");
     state_->cv.wait(lock, [&] { return op.ready; });
   }
 

@@ -43,7 +43,19 @@ std::size_t RunResult::TotalPeakBytes() const {
   return total;
 }
 
+std::vector<const instrument::Tracer*> RunResult::TracerPointers() const {
+  std::vector<const instrument::Tracer*> out;
+  out.reserve(tracers.size());
+  for (const auto& t : tracers) out.push_back(t.get());
+  return out;
+}
+
 RunResult Runtime::Run(int nranks, const std::function<void(Comm&)>& body) {
+  return Run(nranks, RunSettings{}, body);
+}
+
+RunResult Runtime::Run(int nranks, const RunSettings& settings,
+                       const std::function<void(Comm&)>& body) {
   if (nranks < 1) throw std::invalid_argument("mpimini: nranks must be >= 1");
 
   // Build the world communicator via a size-preserving Split of a fresh
@@ -60,6 +72,12 @@ RunResult Runtime::Run(int nranks, const std::function<void(Comm&)>& body) {
   for (int r = 0; r < nranks; ++r) {
     auto env = std::make_unique<RankEnv>();
     env->rank = r;
+    if (settings.trace) {
+      // Allocated on the launching thread, deliberately outside any rank's
+      // MemoryTracker: trace storage must not pollute the paper's per-rank
+      // memory figures.
+      env->tracer = std::make_shared<instrument::Tracer>(r, settings.tracer);
+    }
     envs.push_back(std::move(env));
   }
 
@@ -73,6 +91,7 @@ RunResult Runtime::Run(int nranks, const std::function<void(Comm&)>& body) {
       RankEnv* env = envs[static_cast<std::size_t>(r)].get();
       EnvScope env_scope(env);
       instrument::TrackerScope tracker_scope(&env->memory);
+      instrument::TracerScope tracer_scope(env->tracer.get());
       Comm comm = WorldMaker(world_state, r);
       env->busy.Resume();
       try {
@@ -103,6 +122,9 @@ RunResult Runtime::Run(int nranks, const std::function<void(Comm&)>& body) {
     }
     m.timings = env.timings;
     result.ranks.push_back(std::move(m));
+    if (env.tracer) {
+      result.tracers.push_back(envs[static_cast<std::size_t>(r)]->tracer);
+    }
   }
   return result;
 }

@@ -6,11 +6,13 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "instrument/memory_tracker.hpp"
 #include "instrument/timer.hpp"
+#include "instrument/tracer.hpp"
 #include "mpimini/comm.hpp"
 
 namespace mpimini {
@@ -24,6 +26,11 @@ struct RankEnv {
   instrument::BusyClock busy;
   instrument::MemoryTracker memory;
   instrument::TimingRegistry timings;
+  /// Span/counter recorder, allocated only when the run opted into tracing
+  /// (RunSettings::trace); rank code reaches it via instrument::CurrentTracer.
+  /// shared_ptr so RunResult can keep the recordings alive after the envs
+  /// are gone.
+  std::shared_ptr<instrument::Tracer> tracer;
 };
 
 /// The calling thread's RankEnv, or nullptr outside a rank.
@@ -42,6 +49,8 @@ struct RankMetrics {
 struct RunResult {
   double wall_seconds = 0.0;
   std::vector<RankMetrics> ranks;
+  /// Per-rank trace recordings; empty unless RunSettings::trace was set.
+  std::vector<std::shared_ptr<instrument::Tracer>> tracers;
 
   /// Mean of per-rank busy seconds.
   [[nodiscard]] double MeanBusySeconds() const;
@@ -50,6 +59,17 @@ struct RunResult {
   /// Sum of per-rank peak tracked bytes (aggregate footprint, as the paper's
   /// "aggregate memory high water mark across all MPI ranks").
   [[nodiscard]] std::size_t TotalPeakBytes() const;
+  /// Non-owning view of the tracers, as the telemetry exporters take it.
+  [[nodiscard]] std::vector<const instrument::Tracer*> TracerPointers() const;
+};
+
+/// Per-run knobs beyond the rank count.
+struct RunSettings {
+  /// Allocate and install an instrument::Tracer per rank thread.  Off by
+  /// default: untraced runs keep the pre-tracer hot path (every Span
+  /// degenerates to one thread-local null read).
+  bool trace = false;
+  instrument::Tracer::Options tracer;
 };
 
 /// Launches message-passing programs.
@@ -59,6 +79,10 @@ class Runtime {
   /// communicator. Blocks until every rank returns. If any rank throws, the
   /// remaining ranks are still joined and the first exception is rethrown.
   static RunResult Run(int nranks, const std::function<void(Comm&)>& body);
+
+  /// As above, honoring per-run settings (tracing).
+  static RunResult Run(int nranks, const RunSettings& settings,
+                       const std::function<void(Comm&)>& body);
 };
 
 }  // namespace mpimini

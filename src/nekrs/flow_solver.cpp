@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "instrument/tracer.hpp"
+
 namespace nekrs {
 
 namespace {
@@ -196,8 +198,14 @@ void FlowSolver::ComputeExplicitTerms() {
 }
 
 void FlowSolver::Step() {
+  // Span taxonomy (see DESIGN.md): solver.step wraps the whole update;
+  // the explicit/advective stage, the implicit velocity solves, and the
+  // pressure projection each get a child span so telemetry can attribute
+  // nearly all of a step's wall time to a named stage.
+  instrument::Span step_span("solver.step");
   const bool first = (step_ == 0) || first_order_next_;
   first_order_next_ = false;
+  instrument::Span advection_span("solver.advection");
 
   // CFL-adaptive timestep (NekRS targetCFL): nudge dt toward the target,
   // limited to +-25 % per step. Collective (CflNumber reduces).
@@ -237,6 +245,8 @@ void FlowSolver::Step() {
   // Pressure gradient at step n, shared by all three momentum equations.
   device_.Launch("gradp",
                  [&] { ops_.Gradient(Dev(pr_), Dev(gx_), Dev(gy_), Dev(gz_)); });
+  advection_span.End();
+  instrument::Span helmholtz_span("solver.helmholtz");
 
   struct Momentum {
     occamini::Array<double>* field;
@@ -296,8 +306,11 @@ void FlowSolver::Step() {
     });
   }
 
+  helmholtz_span.End();
+
   // Pressure projection: A phi = -b0 B div(u*), then u -= grad(phi)/b0.
   {
+    instrument::Span pressure_span("solver.pressure");
     auto div = Dev(gx_);
     auto rhs = Dev(rhs_);
     device_.Launch("divergence",
@@ -347,6 +360,7 @@ void FlowSolver::Step() {
   }
 
   if (config_.solve_temperature) {
+    instrument::Span temperature_span("solver.temperature");
     auto field = Dev(temp_);
     auto prev = Dev(temp1_);
     auto nc = Dev(nt_);
@@ -378,6 +392,7 @@ void FlowSolver::Step() {
   // NekRS-style stabilization: attenuate the top Legendre modes of every
   // prognostic field, then restore C0 continuity by averaging shared nodes.
   if (filter_) {
+    instrument::Span filter_span("solver.filter");
     // Filtering + averaging perturbs Dirichlet nodes; hold their (possibly
     // inhomogeneous) boundary values fixed through the filter.
     auto us = Dev(u_);

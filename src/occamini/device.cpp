@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "instrument/timer.hpp"
+#include "instrument/tracer.hpp"
 
 namespace occamini {
 
@@ -80,6 +81,7 @@ void Memory::CopyFrom(const void* host, std::size_t bytes,
   if (offset + bytes > block_->storage.Bytes()) {
     throw std::out_of_range("occamini: h2d copy out of range");
   }
+  instrument::Span span("h2d.copy");
   instrument::WallTimer timer;
   std::memcpy(block_->storage.data() + offset, host, bytes);
   if (block_->device->backend_ == Backend::kSimGpu) {
@@ -104,6 +106,7 @@ void Memory::CopyTo(void* host, std::size_t bytes, std::size_t offset) const {
   if (offset + bytes > block_->storage.Bytes()) {
     throw std::out_of_range("occamini: d2h copy out of range");
   }
+  instrument::Span span("d2h.copy");
   instrument::WallTimer timer;
   std::memcpy(host, block_->storage.data() + offset, bytes);
   if (block_->device->backend_ == Backend::kSimGpu) {

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "instrument/tracer.hpp"
+
 namespace sensei {
 
 CatalystAnalysisAdaptor::CatalystAnalysisAdaptor(CatalystOptions options)
@@ -68,22 +70,30 @@ bool CatalystAnalysisAdaptor::Execute(DataAdaptor& data) {
 
     render::Framebuffer fb(options_.width, options_.height);
     fb.Clear(spec.background);
-    if (view.isovalue) {
-      const render::TriangleMesh surface = render::ExtractIsosurface(
-          *mesh, iso_array, *view.isovalue, view.array,
-          view.color_by_magnitude);
-      last_stats_ = render::RasterizeTriangleMesh(
-          surface, view.colormap, spec.range_min, spec.range_max, camera, fb);
-    } else {
-      last_stats_ = render::RasterizeGrid(*mesh, spec, camera, fb);
+    {
+      instrument::Span render_span("catalyst.render");
+      if (view.isovalue) {
+        const render::TriangleMesh surface = render::ExtractIsosurface(
+            *mesh, iso_array, *view.isovalue, view.array,
+            view.color_by_magnitude);
+        last_stats_ = render::RasterizeTriangleMesh(
+            surface, view.colormap, spec.range_min, spec.range_max, camera,
+            fb);
+      } else {
+        last_stats_ = render::RasterizeGrid(*mesh, spec, camera, fb);
+      }
     }
-    render::CompositeToRoot(comm, fb, /*root=*/0);
+    {
+      instrument::Span composite_span("catalyst.composite");
+      render::CompositeToRoot(comm, fb, /*root=*/0);
+    }
 
     if (comm.Rank() == 0 && options_.scalar_bar) {
       render::DrawScalarBar(render::GetColormap(view.colormap),
                             spec.range_min, spec.range_max, fb);
     }
     if (comm.Rank() == 0) {
+      instrument::Span write_span("catalyst.write");
       char name[512];
       std::snprintf(name, sizeof(name), "%s/%s_%s_%06d.%s",
                     options_.output_dir.c_str(), options_.prefix.c_str(),

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "instrument/tracer.hpp"
+
 namespace sensei {
 
 std::string CheckpointAnalysisAdaptor::FilePath(int step, int rank) const {
@@ -35,6 +37,7 @@ bool CheckpointAnalysisAdaptor::Execute(DataAdaptor& data) {
 
   const std::string path = FilePath(data.GetDataTimeStep(),
                                     data.GetCommunicator().Rank());
+  instrument::Span write_span("checkpoint.write");
   bytes_written_ += svtk::WriteVtu(*mesh, path, options_.encoding);
   ++files_written_;
   return true;

@@ -178,8 +178,30 @@ void ConfigurableAnalysis::Initialize(const xmlcfg::Element& root) {
       throw std::invalid_argument("sensei: frequency must be >= 1");
     }
     entry.adaptor = factory->second(*analysis, comm_);
+    entry.span_name = "analysis." + type;
     entries_.push_back(std::move(entry));
   }
+}
+
+instrument::TelemetryConfig ParseTelemetryConfig(const xmlcfg::Element& root) {
+  instrument::TelemetryConfig config;
+  if (root.name != "sensei") {
+    throw std::invalid_argument("sensei: configuration root must be <sensei>");
+  }
+  const xmlcfg::Element* telemetry = root.FindChild("telemetry");
+  if (telemetry == nullptr) return config;
+  config.enabled = telemetry->AttrInt("enabled", 1) != 0;
+  config.trace_path = telemetry->Attr("trace");
+  config.summary_path = telemetry->Attr("summary");
+  const long capacity = telemetry->AttrInt(
+      "capacity", static_cast<long>(config.span_capacity));
+  if (capacity < 1) {
+    throw std::invalid_argument("sensei: telemetry capacity must be >= 1");
+  }
+  config.span_capacity = static_cast<std::size_t>(capacity);
+  config.wait_min_seconds =
+      telemetry->AttrDouble("wait_min_seconds", config.wait_min_seconds);
+  return config;
 }
 
 void ConfigurableAnalysis::InitializeFromFile(const std::string& path) {
@@ -191,10 +213,14 @@ bool ConfigurableAnalysis::Execute(DataAdaptor& data) {
   bool ran = false;
   for (Entry& entry : entries_) {
     if (data.GetDataTimeStep() % entry.frequency != 0) continue;
+    instrument::Span span(entry.span_name);
     ok = entry.adaptor->Execute(data) && ok;
     ran = true;
   }
-  if (ran) data.ReleaseData();
+  if (ran) {
+    instrument::Span span("analysis.release");
+    data.ReleaseData();
+  }
   return ok;
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "instrument/telemetry.hpp"
 #include "sensei/data_adaptor.hpp"
 #include "xmlcfg/xml.hpp"
 
@@ -57,6 +58,9 @@ class ConfigurableAnalysis {
     std::string type;
     int frequency = 1;
     std::shared_ptr<AnalysisAdaptor> adaptor;
+    /// Precomputed "analysis.<type>" span name (spans borrow the string, so
+    /// it must live as long as recording can happen — it lives here).
+    std::string span_name;
   };
   [[nodiscard]] const std::vector<Entry>& Analyses() const { return entries_; }
 
@@ -75,5 +79,12 @@ class ConfigurableAnalysis {
 
 /// Helper shared by factories: split a comma-separated attribute.
 std::vector<std::string> SplitList(const std::string& csv);
+
+/// Parse the optional <telemetry trace="..." summary="..." capacity="..."/>
+/// child of a <sensei> root into a TelemetryConfig.  Presence of the element
+/// enables telemetry; absence returns the all-disabled default, so existing
+/// configurations are unaffected.
+[[nodiscard]] instrument::TelemetryConfig ParseTelemetryConfig(
+    const xmlcfg::Element& root);
 
 }  // namespace sensei

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "core/bridge.hpp"
 #include "sensei/catalyst_adaptor.hpp"
@@ -311,6 +313,151 @@ TEST(WorkflowTest, InTransitSimMemoryIndependentOfEndpointAnalysis) {
   EXPECT_EQ(m_none.MaxSimHostPeakBytes(), m_chk.MaxSimHostPeakBytes());
 }
 
+
+// ---- Telemetry --------------------------------------------------------------
+
+TEST(WorkflowTelemetryTest, CatalystRunAttributesStepTimeToChildSpans) {
+  const std::string dir = TempSubdir("wf_tel");
+  nek_sensei::InSituOptions options;
+  options.flow = SmallCase();
+  options.steps = 4;
+  options.sensei_xml =
+      "<sensei><analysis type=\"catalyst\" frequency=\"1\" output=\"" + dir +
+      "\" array=\"velocity\" magnitude=\"1\" width=\"48\" height=\"32\"/>"
+      "</sensei>";
+  options.telemetry.enabled = true;
+  options.telemetry.trace_path = dir + "/trace.json";
+  options.telemetry.summary_path = dir + "/telemetry.json";
+
+  const auto metrics = nek_sensei::RunInSitu(2, options);
+  const auto& t = metrics.telemetry;
+  ASSERT_FALSE(t.Empty());
+  EXPECT_EQ(t.ranks, 2);
+  EXPECT_EQ(t.dropped_spans, 0u);
+  // Every step on every rank produced exactly one solver and bridge span.
+  EXPECT_EQ(t.SpanCount("solver.step"), 8u);
+  EXPECT_EQ(t.SpanCount("bridge.update"), 8u);
+  EXPECT_EQ(t.SpanCount("analysis.catalyst"), 8u);
+  EXPECT_GT(t.SpanCount("catalyst.render"), 0u);
+
+  // Attribution: the named child spans must account for >= 90% of each
+  // parent's time (the telemetry report's core promise).
+  const double solver_children = t.SpanTotalSeconds("solver.advection") +
+                                 t.SpanTotalSeconds("solver.helmholtz") +
+                                 t.SpanTotalSeconds("solver.pressure") +
+                                 t.SpanTotalSeconds("solver.temperature") +
+                                 t.SpanTotalSeconds("solver.filter");
+  EXPECT_GE(solver_children, 0.9 * t.SpanTotalSeconds("solver.step"));
+  const double bridge_children = t.SpanTotalSeconds("analysis.catalyst") +
+                                 t.SpanTotalSeconds("analysis.release");
+  EXPECT_GE(bridge_children, 0.9 * t.SpanTotalSeconds("bridge.update"));
+
+  // Both export files were written: a Perfetto-loadable trace with one
+  // track per rank, and the machine-readable aggregate.
+  std::ifstream trace(dir + "/trace.json");
+  ASSERT_TRUE(trace.good());
+  std::stringstream ss;
+  ss << trace.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"solver.step\""), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/telemetry.json"));
+}
+
+TEST(WorkflowTelemetryTest, XmlTelemetryElementEnablesTracing) {
+  // Tracing is a pipeline knob like any other: switched on from the sensei
+  // XML without touching the options struct.
+  const std::string dir = TempSubdir("wf_tel_xml");
+  nek_sensei::InSituOptions options;
+  options.flow = SmallCase();
+  options.steps = 2;
+  options.sensei_xml =
+      "<sensei><telemetry summary=\"" + dir + "/telemetry.json\"/>"
+      "<analysis type=\"checkpoint\" frequency=\"2\" output=\"" + dir +
+      "\"/></sensei>";
+  const auto metrics = nek_sensei::RunInSitu(1, options);
+  ASSERT_FALSE(metrics.telemetry.Empty());
+  EXPECT_EQ(metrics.telemetry.SpanCount("solver.step"), 2u);
+  EXPECT_GT(metrics.telemetry.SpanCount("checkpoint.write"), 0u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/telemetry.json"));
+}
+
+TEST(WorkflowTelemetryTest, DisabledTracingRecordsNothing) {
+  // The zero-overhead contract: without the opt-in, no tracer is installed
+  // and no span storage is populated anywhere in the pipeline.
+  const std::string dir = TempSubdir("wf_tel_off");
+  nek_sensei::InSituOptions options;
+  options.flow = SmallCase();
+  options.steps = 2;
+  options.sensei_xml =
+      "<sensei><analysis type=\"catalyst\" frequency=\"1\" output=\"" + dir +
+      "\" array=\"velocity\" magnitude=\"1\" width=\"48\" height=\"32\"/>"
+      "</sensei>";
+  const auto metrics = nek_sensei::RunInSitu(1, options);
+  EXPECT_TRUE(metrics.telemetry.Empty());
+  EXPECT_EQ(metrics.telemetry.total_spans, 0u);
+  EXPECT_TRUE(metrics.telemetry.spans.empty());
+  EXPECT_TRUE(metrics.telemetry.counters.empty());
+}
+
+TEST(WorkflowTelemetryTest, CountersReportZeroCopyCatalystInvariant) {
+  // Cross-check the tracer's counters against the data plane's zero-copy
+  // invariant (PR 1): an in situ Catalyst pipeline performs no full-field
+  // host copies — fields are staged D2H once and adopted.  Single rank:
+  // multi-rank compositing additionally ships framebuffers to root, a
+  // separate (bounded, fixed-size) cost outside this invariant.
+  const std::string dir = TempSubdir("wf_tel_copies");
+  nek_sensei::InSituOptions options;
+  options.flow = SmallCase();
+  options.steps = 4;
+  options.sensei_xml =
+      "<sensei><analysis type=\"catalyst\" frequency=\"2\" output=\"" + dir +
+      "\" array=\"velocity\" magnitude=\"1\" width=\"48\" height=\"32\"/>"
+      "</sensei>";
+  options.telemetry.enabled = true;
+  const auto metrics = nek_sensei::RunInSitu(1, options);
+  const auto& t = metrics.telemetry;
+  ASSERT_FALSE(t.Empty());
+  EXPECT_DOUBLE_EQ(t.Counter("buffer.full_copies"), 0.0);
+  EXPECT_GT(t.Counter("buffer.adoptions"), 0.0);
+  EXPECT_GT(t.Counter("d2h.bytes"), 0.0);
+  // Counter totals agree with the independently-gathered run metrics.
+  EXPECT_DOUBLE_EQ(t.Counter("catalyst.images"),
+                   static_cast<double>(metrics.images_written));
+  EXPECT_DOUBLE_EQ(t.Counter("storage.bytes_written"),
+                   static_cast<double>(metrics.bytes_written));
+}
+
+TEST(WorkflowTelemetryTest, InTransitSstWriterPacksExactlyOnePerTrigger) {
+  // The streaming side of the same invariant: marshalling a step for SST
+  // costs exactly one full-field copy per sim rank per trigger (the gather
+  // pack), visible both as spans and as the copy counter.
+  nek_sensei::InTransitOptions options;
+  nekrs::cases::RayleighBenardOptions rbc;
+  rbc.elements = {2, 2, 2};
+  rbc.order = 3;
+  options.flow = nekrs::cases::RayleighBenardCase(rbc);
+  options.steps = 4;
+  options.sim_per_endpoint = 2;
+  options.sim_xml =
+      "<sensei><analysis type=\"adios\" frequency=\"2\"/></sensei>";
+  options.endpoint_xml = "<sensei/>";  // endpoint adopts, never copies
+  options.telemetry.enabled = true;
+
+  const auto metrics = nek_sensei::RunInTransit(2, options);
+  const auto& t = metrics.telemetry;
+  ASSERT_FALSE(t.Empty());
+  // 2 triggers (steps 2 and 4) x 2 sim ranks.
+  EXPECT_EQ(t.SpanCount("adios.marshal"), 4u);
+  EXPECT_EQ(t.SpanCount("sst.send"), 4u);
+  // The endpoint gathers both writers per NextStep: one recv span per
+  // trigger plus the final end-of-stream probe.
+  EXPECT_GE(t.SpanCount("sst.recv"), 2u);
+  EXPECT_DOUBLE_EQ(t.Counter("buffer.full_copies"), 4.0);
+  EXPECT_GT(t.Counter("sst.bytes"), 0.0);
+}
 
 // ---- Derived fields ---------------------------------------------------------
 

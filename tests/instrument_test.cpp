@@ -104,6 +104,72 @@ TEST(RunningStatsTest, ComputesMomentsAndExtremes) {
   EXPECT_NEAR(stats.StdDev(), 2.13809, 1e-4);
 }
 
+TEST(RunningStatsTest, MergeMatchesSingleAccumulator) {
+  // Merging per-rank accumulators must give the same moments as feeding
+  // every sample into one accumulator (the property Summarize relies on).
+  const std::vector<double> a = {2.0, 4.0, 4.0, 4.0};
+  const std::vector<double> b = {5.0, 5.0, 7.0, 9.0, 11.0};
+  RunningStats left, right, all;
+  for (double x : a) {
+    left.Add(x);
+    all.Add(x);
+  }
+  for (double x : b) {
+    right.Add(x);
+    all.Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), all.Count());
+  EXPECT_DOUBLE_EQ(left.Mean(), all.Mean());
+  EXPECT_NEAR(left.Variance(), all.Variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), all.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySidesIsIdentity) {
+  RunningStats filled;
+  for (double x : {1.0, 3.0}) filled.Add(x);
+  RunningStats empty;
+  RunningStats copy = filled;
+  copy.Merge(empty);
+  EXPECT_EQ(copy.Count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.Mean(), 2.0);
+  empty.Merge(filled);
+  EXPECT_EQ(empty.Count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.Max(), 3.0);
+}
+
+TEST(PercentileTest, NearestRankEdgeCases) {
+  EXPECT_DOUBLE_EQ(instrument::Percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(instrument::Percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(instrument::Percentile({7.0}, 1.0), 7.0);
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0,
+                                      6.0, 7.0, 8.0, 9.0, 10.0};
+  EXPECT_DOUBLE_EQ(instrument::Percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(instrument::Percentile(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(instrument::Percentile(sorted, 0.95), 10.0);
+  EXPECT_DOUBLE_EQ(instrument::Percentile(sorted, 1.0), 10.0);
+  // Out-of-range q is clamped rather than indexing out of bounds.
+  EXPECT_DOUBLE_EQ(instrument::Percentile(sorted, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(instrument::Percentile(sorted, 1.5), 10.0);
+}
+
+TEST(ScopedTimerTest, StopExcludesLaterWork) {
+  TimingRegistry registry;
+  {
+    instrument::ScopedTimer timer(registry, "loop");
+    timer.Stop();
+    const double at_stop = registry.Total("loop");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    timer.Stop();  // idempotent: destruction must not re-accumulate
+    EXPECT_DOUBLE_EQ(registry.Total("loop"), at_stop);
+  }
+  EXPECT_EQ(registry.Entries().at("loop").count, 1u);
+  EXPECT_LT(registry.Total("loop"), 0.010);
+}
+
 TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
   MemoryTracker tracker;
   tracker.Allocate("field", 1000);
@@ -180,7 +246,7 @@ TEST(TableTest, WritesCsvWithEscaping) {
   table.SetHeader({"name", "value"});
   table.AddRow({"a,b", "say \"hi\""});
   const std::string path = ::testing::TempDir() + "/table_test.csv";
-  table.WriteCsv(path);
+  EXPECT_TRUE(table.WriteCsv(path));
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
@@ -189,14 +255,36 @@ TEST(TableTest, WritesCsvWithEscaping) {
   EXPECT_EQ(line, "\"a,b\",\"say \"\"hi\"\"\"");
 }
 
+TEST(TableTest, WriteCsvReportsUnwritablePath) {
+  Table table("csv");
+  table.SetHeader({"a"});
+  table.AddRow({"1"});
+  EXPECT_FALSE(
+      table.WriteCsv("/nonexistent-nsm-dir/definitely/not/here.csv"));
+}
+
 TEST(FormatTest, FormatBytesPicksHumanUnits) {
   EXPECT_EQ(instrument::FormatBytes(512), "512.0 B");
   EXPECT_EQ(instrument::FormatBytes(6815744), "6.5 MB");
   EXPECT_EQ(instrument::FormatBytes(20401094656ULL), "19.0 GB");
 }
 
+TEST(FormatTest, FormatBytesUnitBoundaries) {
+  EXPECT_EQ(instrument::FormatBytes(0), "0.0 B");
+  EXPECT_EQ(instrument::FormatBytes(1023), "1023.0 B");
+  EXPECT_EQ(instrument::FormatBytes(1024), "1.0 KB");  // exactly 1 KB flips
+  EXPECT_EQ(instrument::FormatBytes(1024 * 1024), "1.0 MB");
+  EXPECT_EQ(instrument::FormatBytes(1024 * 1024 - 1), "1024.0 KB");
+}
+
 TEST(FormatTest, FormatSecondsFourDecimals) {
   EXPECT_EQ(instrument::FormatSeconds(1.23456), "1.2346");
+}
+
+TEST(FormatTest, FormatSecondsSubMillisecond) {
+  EXPECT_EQ(instrument::FormatSeconds(0.00042), "0.0004");
+  EXPECT_EQ(instrument::FormatSeconds(0.0), "0.0000");
+  EXPECT_EQ(instrument::FormatSeconds(4.2e-7), "0.0000");  // below resolution
 }
 
 }  // namespace
