@@ -7,23 +7,35 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
 
 #include "core/workflows.hpp"
+#include "instrument/bench_compare.hpp"
 #include "instrument/report.hpp"
 #include "instrument/telemetry.hpp"
 #include "nekrs/cases.hpp"
 
 namespace bench {
 
-/// `--trace <out.json>` flag shared by the figure binaries: enables the
-/// tracer for every run and designates where the headline run's Chrome
-/// trace lands (the per-run aggregate goes to a sibling telemetry.json).
-struct TraceArgs {
-  bool enabled = false;
+/// Command-line surface shared by every figure binary:
+///   --trace <out.json>   span tracing for every run; the headline run's
+///                        Chrome trace lands at the given path (aggregate:
+///                        sibling telemetry.json)
+///   --heartbeat <steps>  rank-0 progress line every N steps of every run
+///   --metrics-out <path> rank-aggregated run-health metrics.json from the
+///                        headline run
+///   --bench-out <path>   canonical BENCH_*.json for bench/compare_runs
+///   --smoke              CI-sized sweep (fewer rank counts / steps)
+struct BenchArgs {
+  bool trace = false;
   std::string trace_path;
+  int heartbeat_steps = 0;
+  std::string metrics_path;
+  std::string bench_path;
+  bool smoke = false;
 
   /// telemetry.json next to the requested trace file.
   [[nodiscard]] std::string SummaryPath() const {
@@ -32,17 +44,57 @@ struct TraceArgs {
   }
 };
 
-inline TraceArgs ParseTraceArgs(int argc, char** argv) {
-  TraceArgs args;
+inline void PrintBenchUsage(const char* binary) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --trace <out.json>    enable span tracing; the headline run's\n"
+      "                        Chrome trace lands here (cross-rank\n"
+      "                        aggregate: sibling telemetry.json)\n"
+      "  --heartbeat <steps>   print a rank-0 progress heartbeat (step\n"
+      "                        rate, ETA, memory, SST queue) every N steps\n"
+      "  --metrics-out <path>  write the headline run's rank-aggregated\n"
+      "                        run-health metrics.json (min/mean/max/p95 +\n"
+      "                        imbalance per metric)\n"
+      "  --bench-out <path>    write canonical BENCH_*.json for the\n"
+      "                        bench/compare_runs regression gate\n"
+      "  --smoke               CI-sized sweep (fewer rank counts / steps)\n"
+      "  --help                show this help\n",
+      binary);
+}
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  auto value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "error: " << flag << " needs an argument\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") {
-      if (i + 1 >= argc) {
-        std::cerr << "error: --trace needs a file argument\n";
+      args.trace = true;
+      args.trace_path = value(i, "--trace");
+    } else if (arg == "--heartbeat") {
+      args.heartbeat_steps = std::atoi(value(i, "--heartbeat").c_str());
+      if (args.heartbeat_steps < 1) {
+        std::cerr << "error: --heartbeat needs a positive step count\n";
         std::exit(2);
       }
-      args.enabled = true;
-      args.trace_path = argv[++i];
+    } else if (arg == "--metrics-out") {
+      args.metrics_path = value(i, "--metrics-out");
+    } else if (arg == "--bench-out") {
+      args.bench_path = value(i, "--bench-out");
+    } else if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintBenchUsage(argv[0]);
+      std::exit(0);
+    } else {
+      std::cerr << "error: unknown option '" << arg << "' (--help lists "
+                << "the supported flags)\n";
+      std::exit(2);
     }
   }
   return args;
@@ -50,17 +102,39 @@ inline TraceArgs ParseTraceArgs(int argc, char** argv) {
 
 /// Telemetry configuration for one bench run: trace + summary under `dir`,
 /// unless this is the designated headline run, which writes to the --trace
-/// destination instead.
-inline instrument::TelemetryConfig RunTelemetry(const TraceArgs& args,
+/// destination instead.  The heartbeat applies to every run; the
+/// rank-aggregated metrics.json is emitted from the headline run only (one
+/// file per bench invocation).
+inline instrument::TelemetryConfig RunTelemetry(const BenchArgs& args,
                                                 const std::string& dir,
                                                 bool headline) {
   instrument::TelemetryConfig config;
-  if (!args.enabled) return config;
-  config.enabled = true;
-  config.trace_path = headline ? args.trace_path : dir + "/trace.json";
-  config.summary_path =
-      headline ? args.SummaryPath() : dir + "/telemetry.json";
+  if (args.trace) {
+    config.enabled = true;
+    config.trace_path = headline ? args.trace_path : dir + "/trace.json";
+    config.summary_path =
+        headline ? args.SummaryPath() : dir + "/telemetry.json";
+  }
+  config.heartbeat_steps = args.heartbeat_steps;
+  if (headline && !args.metrics_path.empty()) {
+    config.metrics = true;
+    config.metrics_path = args.metrics_path;
+  }
   return config;
+}
+
+/// Write the canonical BENCH_*.json when --bench-out was given.  Returns
+/// false (after warning) on I/O failure so main() can exit nonzero.
+inline bool WriteBenchReportOrWarn(const BenchArgs& args,
+                                   const instrument::BenchReport& report) {
+  if (args.bench_path.empty()) return true;
+  if (!instrument::WriteBenchJson(args.bench_path, report)) {
+    std::cerr << "error: failed to write bench report " << args.bench_path
+              << "\n";
+    return false;
+  }
+  std::cout << "Bench report written to " << args.bench_path << "\n";
+  return true;
 }
 
 /// "Where did the time go" cell: the share of traced time spent inside the
@@ -91,6 +165,16 @@ inline bool WriteCsvOrWarn(const instrument::Table& table,
 inline constexpr int kInSituRankCounts[] = {2, 4, 8};
 /// Weak-scaling sim-rank counts for the in transit case.
 inline constexpr int kInTransitSimRanks[] = {2, 4, 8};
+/// CI smoke sweep: the two smallest rank counts.
+inline constexpr int kSmokeRankCounts[] = {2, 4};
+
+/// The rank counts a run sweeps: full sweep, or the smoke subset.
+inline std::vector<int> SweepRankCounts(const BenchArgs& args) {
+  if (args.smoke) {
+    return {std::begin(kSmokeRankCounts), std::end(kSmokeRankCounts)};
+  }
+  return {std::begin(kInSituRankCounts), std::end(kInSituRankCounts)};
+}
 
 /// Fresh output directory under the system temp dir.
 inline std::string MakeOutputDir(const std::string& tag) {

@@ -16,12 +16,16 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const bench::TraceArgs trace = bench::ParseTraceArgs(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   const std::string out_root = bench::MakeOutputDir("fig2");
-  constexpr int kSteps = 30;
+  const std::vector<int> rank_counts = bench::SweepRankCounts(args);
+  const int kSteps = args.smoke ? 12 : 30;
   constexpr int kFrequency = 10;
-  const int last_ranks =
-      bench::kInSituRankCounts[std::size(bench::kInSituRankCounts) - 1];
+  const int last_ranks = rank_counts.back();
+
+  instrument::BenchReport bench_report;
+  bench_report.bench = "fig2";
+  bench_report.config = args.smoke ? "smoke" : "full";
 
   instrument::Table time_table(
       "Figure 2: in situ time-to-solution (pb146 stand-in, 30 steps, "
@@ -34,7 +38,7 @@ int main(int argc, char** argv) {
   storage_table.SetHeader(
       {"ranks", "checkpoint_bytes", "catalyst_bytes", "ratio"});
 
-  for (int ranks : bench::kInSituRankCounts) {
+  for (int ranks : rank_counts) {
     std::size_t checkpoint_bytes = 0;
     std::size_t catalyst_bytes = 0;
     for (const std::string config : {"original", "checkpointing", "catalyst"}) {
@@ -55,9 +59,18 @@ int main(int argc, char** argv) {
       // The Catalyst run at the largest rank count is the headline trace:
       // with --trace, its Chrome trace lands at the requested path.
       const bool headline = config == "catalyst" && ranks == last_ranks;
-      options.telemetry = bench::RunTelemetry(trace, out, headline);
+      options.telemetry = bench::RunTelemetry(args, out, headline);
 
       const auto metrics = nek_sensei::RunInSitu(ranks, options);
+      const std::string key = "fig2." + config + ".r" + std::to_string(ranks);
+      bench_report.metrics[key + ".total_busy_seconds"] =
+          metrics.TotalSimBusySeconds();
+      bench_report.metrics[key + ".per_step_seconds"] =
+          metrics.MeanSimStepSeconds();
+      bench_report.metrics[key + ".bytes_written"] =
+          static_cast<double>(metrics.bytes_written);
+      bench_report.metrics[key + ".images"] =
+          static_cast<double>(metrics.images_written);
       time_table.AddRow(
           {std::to_string(ranks), config,
            instrument::FormatSeconds(metrics.TotalSimBusySeconds()),
@@ -66,7 +79,7 @@ int main(int argc, char** argv) {
            instrument::FormatBytes(metrics.bytes_written),
            std::to_string(metrics.images_written),
            bench::BreakdownCell(metrics.telemetry)});
-      if (headline && trace.enabled) {
+      if (headline && args.trace) {
         instrument::TelemetryTable(
             metrics.telemetry,
             "Telemetry: catalyst @ " + std::to_string(ranks) + " ranks")
@@ -99,9 +112,10 @@ int main(int argc, char** argv) {
       "Section 4.1: storage ratio vs grid resolution (2 ranks, 1 trigger)");
   scaling_table.SetHeader({"gridpoints", "checkpoint_per_trigger",
                            "catalyst_per_trigger", "ratio"});
-  for (const std::array<int, 3> elements :
-       {std::array<int, 3>{2, 2, 2}, std::array<int, 3>{4, 4, 4},
-        std::array<int, 3>{6, 6, 6}, std::array<int, 3>{8, 8, 8}}) {
+  std::vector<std::array<int, 3>> resolutions = {
+      {2, 2, 2}, {4, 4, 4}, {6, 6, 6}, {8, 8, 8}};
+  if (args.smoke) resolutions.resize(2);
+  for (const std::array<int, 3> elements : resolutions) {
     nekrs::cases::PebbleBedOptions pb;
     pb.elements = elements;
     pb.order = 4;
@@ -139,10 +153,11 @@ int main(int argc, char** argv) {
   ok = bench::WriteCsvOrWarn(scaling_table,
                              out_root + "/fig2_storage_scaling.csv") &&
        ok;
+  ok = bench::WriteBenchReportOrWarn(args, bench_report) && ok;
   std::cout << "CSV written under " << out_root << "\n";
-  if (trace.enabled) {
-    std::cout << "Chrome trace written to " << trace.trace_path
-              << " (aggregate: " << trace.SummaryPath() << ")\n";
+  if (args.trace) {
+    std::cout << "Chrome trace written to " << args.trace_path
+              << " (aggregate: " << args.SummaryPath() << ")\n";
   }
   return ok ? 0 : 1;
 }

@@ -45,17 +45,20 @@ std::string CatalystXml(const std::string& out, int frequency) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   const std::string out_root = bench::MakeOutputDir("fig3");
+  const std::vector<int> rank_counts = bench::SweepRankCounts(args);
   constexpr int kSteps = 8;
   constexpr int kFrequency = 4;
+  const int last_ranks = rank_counts.back();
 
   instrument::Table table(
       "Figure 3: in situ CPU memory high-water (pb146 stand-in)");
   table.SetHeader({"ranks", "config", "max_rank_host", "aggregate_host",
                    "catalyst_vs_checkpoint"});
 
-  for (int ranks : bench::kInSituRankCounts) {
+  for (int ranks : rank_counts) {
     std::size_t checkpoint_total = 0;
     for (const std::string config : {"original", "checkpointing", "catalyst"}) {
       const std::string out =
@@ -72,6 +75,8 @@ int main() {
       } else {
         options.sensei_xml = CatalystXml(out, kFrequency);
       }
+      const bool headline = config == "catalyst" && ranks == last_ranks;
+      options.telemetry = bench::RunTelemetry(args, out, headline);
       const auto metrics = nek_sensei::RunInSitu(ranks, options);
 
       std::string delta = "-";

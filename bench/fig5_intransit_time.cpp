@@ -15,12 +15,16 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const bench::TraceArgs trace = bench::ParseTraceArgs(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   const std::string out_root = bench::MakeOutputDir("fig5");
-  constexpr int kSteps = 30;
+  const std::vector<int> rank_counts = bench::SweepRankCounts(args);
+  const int kSteps = args.smoke ? 12 : 30;
   constexpr int kFrequency = 10;
-  const int last_ranks =
-      bench::kInTransitSimRanks[std::size(bench::kInTransitSimRanks) - 1];
+  const int last_ranks = rank_counts.back();
+
+  instrument::BenchReport bench_report;
+  bench_report.bench = "fig5";
+  bench_report.config = args.smoke ? "smoke" : "full";
 
   instrument::Table table(
       "Figure 5: in transit mean time per timestep on sim ranks (RBC weak "
@@ -28,7 +32,7 @@ int main(int argc, char** argv) {
   table.SetHeader({"sim_ranks", "endpoint_ranks", "mode", "per_step_ms",
                    "stream_bytes", "images", "breakdown"});
 
-  for (int sim_ranks : bench::kInTransitSimRanks) {
+  for (int sim_ranks : rank_counts) {
     for (const std::string mode : {"no-transport", "checkpointing",
                                    "catalyst"}) {
       const std::string out =
@@ -54,18 +58,26 @@ int main(int argc, char** argv) {
       // Headline trace: the full pipeline (Catalyst endpoint) at the
       // largest sim-rank count.
       const bool headline = mode == "catalyst" && sim_ranks == last_ranks;
-      options.telemetry = bench::RunTelemetry(trace, out, headline);
+      options.telemetry = bench::RunTelemetry(args, out, headline);
 
       const auto metrics = nek_sensei::RunInTransit(sim_ranks, options);
       const int endpoint_ranks =
           static_cast<int>(metrics.ranks.size()) - sim_ranks;
+      const std::string key =
+          "fig5." + mode + ".r" + std::to_string(sim_ranks);
+      bench_report.metrics[key + ".per_step_seconds"] =
+          metrics.MeanSimStepSeconds();
+      bench_report.metrics[key + ".stream_bytes"] =
+          static_cast<double>(metrics.bytes_written);
+      bench_report.metrics[key + ".images"] =
+          static_cast<double>(metrics.images_written);
       table.AddRow(
           {std::to_string(sim_ranks), std::to_string(endpoint_ranks), mode,
            instrument::FormatSeconds(metrics.MeanSimStepSeconds() * 1e3),
            instrument::FormatBytes(metrics.bytes_written),
            std::to_string(metrics.images_written),
            bench::BreakdownCell(metrics.telemetry)});
-      if (headline && trace.enabled) {
+      if (headline && args.trace) {
         instrument::TelemetryTable(metrics.telemetry,
                                    "Telemetry: catalyst endpoint @ " +
                                        std::to_string(sim_ranks) +
@@ -76,11 +88,12 @@ int main(int argc, char** argv) {
   }
 
   table.Print(std::cout);
-  const bool ok = bench::WriteCsvOrWarn(table, out_root + "/fig5_time.csv");
+  bool ok = bench::WriteCsvOrWarn(table, out_root + "/fig5_time.csv");
+  ok = bench::WriteBenchReportOrWarn(args, bench_report) && ok;
   std::cout << "CSV written under " << out_root << "\n";
-  if (trace.enabled) {
-    std::cout << "Chrome trace written to " << trace.trace_path
-              << " (aggregate: " << trace.SummaryPath() << ")\n";
+  if (args.trace) {
+    std::cout << "Chrome trace written to " << args.trace_path
+              << " (aggregate: " << args.SummaryPath() << ")\n";
   }
   return ok ? 0 : 1;
 }

@@ -14,10 +14,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   const std::string out_root = bench::MakeOutputDir("fig6");
+  const std::vector<int> rank_counts = bench::SweepRankCounts(args);
   constexpr int kSteps = 12;
   constexpr int kFrequency = 6;
+  const int last_ranks = rank_counts.back();
 
   instrument::Table table(
       "Figure 6: in transit sim-rank CPU memory high-water (RBC weak "
@@ -25,7 +28,7 @@ int main() {
   table.SetHeader({"sim_ranks", "mode", "max_sim_host", "mean_sim_host"});
 
   auto run_mode = [&](int sim_ranks, const std::string& mode,
-                      int sim_per_endpoint) {
+                      int sim_per_endpoint, bool headline) {
     const std::string out = out_root + "/" + mode + "_" +
                             std::to_string(sim_ranks) + "_r" +
                             std::to_string(sim_per_endpoint);
@@ -43,13 +46,16 @@ int main() {
                                  ? bench::EndpointCheckpointXml(out)
                                  : bench::EndpointCatalystXml(out);
     }
+    options.telemetry = bench::RunTelemetry(args, out, headline);
     return nek_sensei::RunInTransit(sim_ranks, options);
   };
 
-  for (int sim_ranks : bench::kInTransitSimRanks) {
+  for (int sim_ranks : rank_counts) {
     for (const std::string mode : {"no-transport", "checkpointing",
                                    "catalyst"}) {
-      const auto metrics = run_mode(sim_ranks, mode, 4);
+      const auto metrics = run_mode(
+          sim_ranks, mode, 4,
+          /*headline=*/mode == "catalyst" && sim_ranks == last_ranks);
       double mean = 0.0;
       int count = 0;
       for (const auto& r : metrics.ranks) {
@@ -74,7 +80,7 @@ int main() {
       "ranks, catalyst endpoint)");
   indep.SetHeader({"sim_ranks", "endpoint_ranks", "max_sim_host"});
   for (int ratio : {4, 2, 1}) {  // 1, 2, 4 endpoint ranks
-    const auto metrics = run_mode(4, "catalyst", ratio);
+    const auto metrics = run_mode(4, "catalyst", ratio, /*headline=*/false);
     const int endpoint_ranks = static_cast<int>(metrics.ranks.size()) - 4;
     indep.AddRow({"4", std::to_string(endpoint_ranks),
                   instrument::FormatBytes(metrics.MaxSimHostPeakBytes())});

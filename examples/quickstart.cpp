@@ -6,13 +6,18 @@
 // image every 10 steps.
 //
 //   $ ./quickstart [output_dir] [--trace trace.json]
+//                  [--heartbeat <steps>] [--metrics-out metrics.json]
 //
 // Produces quickstart_out/render_speed_*.png plus a stats log, and prints
 // the run metrics the paper's figures are built from.  With --trace, also
 // writes a Chrome-trace JSON (open in Perfetto / chrome://tracing) and a
-// telemetry.json aggregate next to it.
+// telemetry.json aggregate next to it.  With --heartbeat N, rank 0 prints
+// a progress line (step rate, ETA, memory) every N steps; with
+// --metrics-out, the run writes one rank-aggregated run-health
+// metrics.json (min/mean/max/p95 + imbalance per metric).
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 
@@ -22,6 +27,8 @@
 int main(int argc, char** argv) {
   std::string out = "quickstart_out";
   std::string trace_path;
+  std::string metrics_path;
+  int heartbeat_steps = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") {
@@ -30,6 +37,32 @@ int main(int argc, char** argv) {
         return 2;
       }
       trace_path = argv[++i];
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --metrics-out needs a file argument\n";
+        return 2;
+      }
+      metrics_path = argv[++i];
+    } else if (arg == "--heartbeat") {
+      if (i + 1 >= argc || (heartbeat_steps = std::atoi(argv[i + 1])) < 1) {
+        std::cerr << "error: --heartbeat needs a positive step count\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [output_dir] [options]\n"
+          "  --trace <out.json>    enable span tracing; Chrome trace lands\n"
+          "                        here (cross-rank aggregate: sibling\n"
+          "                        telemetry.json)\n"
+          "  --heartbeat <steps>   print a rank-0 progress heartbeat (step\n"
+          "                        rate, ETA, memory) every N steps\n"
+          "  --metrics-out <path>  write the run's rank-aggregated\n"
+          "                        run-health metrics.json (min/mean/max/\n"
+          "                        p95 + imbalance per metric)\n"
+          "  --help                show this help\n",
+          argv[0]);
+      return 0;
     } else {
       out = arg;
     }
@@ -67,6 +100,13 @@ int main(int argc, char** argv) {
         (std::filesystem::path(trace_path).parent_path() / "telemetry.json")
             .string();
   }
+  // Metrics plane (could equally come from <telemetry metrics="..."
+  // heartbeat="N"/> in the XML): rank-aggregated run health + progress.
+  options.telemetry.heartbeat_steps = heartbeat_steps;
+  if (!metrics_path.empty()) {
+    options.telemetry.metrics = true;
+    options.telemetry.metrics_path = metrics_path;
+  }
 
   // 4. Run on 2 ranks (threads standing in for MPI processes).
   const auto metrics = nek_sensei::RunInSitu(2, options);
@@ -84,6 +124,9 @@ int main(int argc, char** argv) {
             << "outputs in " << out << "/\n";
   if (!trace_path.empty()) {
     std::cout << "trace written to " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::cout << "run-health metrics written to " << metrics_path << "\n";
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "instrument/metrics.hpp"
 #include "instrument/tracer.hpp"
 
 namespace adios {
@@ -37,17 +38,37 @@ SstWriter::SstWriter(mpimini::Comm world, int reader_world_rank,
 }
 
 void SstWriter::DrainAcks(int target_in_flight) {
+  // Stall time is the writer-side cost of backpressure: the reader has not
+  // freed a staging slot yet, so the sim rank sits in this loop.  Timed
+  // only when the metrics plane is installed.
+  instrument::MetricsRegistry* metrics = instrument::CurrentMetrics();
+  const bool will_block = static_cast<int>(in_flight_.size()) > target_in_flight;
+  const std::int64_t begin_ns =
+      (metrics != nullptr && will_block) ? instrument::Tracer::NowNs() : 0;
   while (static_cast<int>(in_flight_.size()) > target_in_flight) {
     world_.RecvValue<std::int32_t>(reader_, kTagSstAck);
     ++stats_.control_messages;
     TrackMarshal(-static_cast<std::ptrdiff_t>(in_flight_.front()));
     in_flight_.pop_front();
   }
+  if (metrics != nullptr && will_block) {
+    metrics->Add("sst.stall_seconds",
+                 static_cast<double>(instrument::Tracer::NowNs() - begin_ns) *
+                     1e-9);
+  }
 }
 
 void SstWriter::BeginStep(int step) {
   if (closed_) throw std::runtime_error("adios: BeginStep after Close");
   if (step_open_) throw std::runtime_error("adios: step already open");
+  if (auto* metrics = instrument::CurrentMetrics()) {
+    // A full staging queue means this BeginStep must block until the reader
+    // acks — SST's "block" flow-control decision (vs dropping the step).
+    if (static_cast<int>(in_flight_.size()) >= params_.queue_limit) {
+      metrics->Add("sst.block_decisions", 1.0);
+    }
+    metrics->Set("sst.queue_depth", static_cast<double>(in_flight_.size()));
+  }
   DrainAcks(params_.queue_limit - 1);
   staged_ = StepChain{};
   staged_.step = step;
@@ -95,6 +116,12 @@ void SstWriter::EndStep() {
   staged_ = StepChain{};
   step_open_ = false;
   in_flight_.push_back(payload_bytes);
+  if (auto* metrics = instrument::CurrentMetrics()) {
+    metrics->Set("sst.queue_depth", static_cast<double>(in_flight_.size()));
+    metrics->SetTotal("sst.payload_bytes",
+                      static_cast<double>(stats_.payload_bytes));
+    metrics->SetTotal("sst.steps", static_cast<double>(stats_.steps));
+  }
 }
 
 void SstWriter::Close() {

@@ -61,6 +61,13 @@ class SstWriter {
 
   [[nodiscard]] const SstStats& Stats() const { return stats_; }
 
+  /// Steps shipped but not yet acked — the live staging-queue occupancy
+  /// (the heartbeat prints this next to queue_limit).
+  [[nodiscard]] int QueueDepth() const {
+    return static_cast<int>(in_flight_.size());
+  }
+  [[nodiscard]] int QueueLimit() const { return params_.queue_limit; }
+
  private:
   void DrainAcks(int required_credits);
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "instrument/metrics.hpp"
 #include "instrument/tracer.hpp"
 
 namespace nek_sensei {
@@ -17,8 +18,20 @@ Bridge::Bridge(
 
 bool Bridge::Update() {
   instrument::Span span("bridge.update");
+  instrument::MetricsRegistry* metrics = instrument::CurrentMetrics();
+  const std::int64_t begin_ns =
+      metrics != nullptr ? instrument::Tracer::NowNs() : 0;
   data_.SetPipelineTime(solver_.StepNumber(), solver_.Time());
-  return analysis_.Execute(data_);
+  const bool ok = analysis_.Execute(data_);
+  if (metrics != nullptr) {
+    // bridge.update_seconds / solver.step_seconds is the bridge-level
+    // in-situ share: the fraction of the run spent inside SENSEI.
+    metrics->Add("bridge.update_seconds",
+                 static_cast<double>(instrument::Tracer::NowNs() - begin_ns) *
+                     1e-9);
+    metrics->Add("bridge.updates", 1.0);
+  }
+  return ok;
 }
 
 void Bridge::Finalize() {
@@ -30,6 +43,10 @@ void Bridge::Finalize() {
   // never pass silently.
   if (const instrument::Tracer* tracer = instrument::CurrentTracer()) {
     std::fprintf(stderr, "%s\n", tracer->SummaryLine().c_str());
+    // Flush before the mpimini runtime tears the rank threads down: an
+    // unflushed stdio buffer can lose the digest of a rank whose thread
+    // exits last (observed with per-rank summaries interleaving at exit).
+    std::fflush(stderr);
   }
 }
 

@@ -8,6 +8,8 @@
 #include "adios/sst.hpp"
 #include "core/bridge.hpp"
 #include "core/buffer.hpp"
+#include "instrument/report.hpp"
+#include "mpimini/metrics_reduce.hpp"
 #include "mpimini/runtime.hpp"
 #include "sensei/adios_adaptor.hpp"
 #include "sensei/catalyst_adaptor.hpp"
@@ -72,7 +74,9 @@ bool XmlHasAdios(const std::string& xml) {
 instrument::TelemetryConfig ResolveTelemetry(
     const instrument::TelemetryConfig& explicit_config,
     const std::string& sensei_xml) {
-  if (explicit_config.enabled) return explicit_config;
+  if (explicit_config.enabled || explicit_config.MetricsEnabled()) {
+    return explicit_config;
+  }
   return sensei::ParseTelemetryConfig(xmlcfg::Parse(sensei_xml).root);
 }
 
@@ -81,7 +85,109 @@ mpimini::RunSettings MakeRunSettings(
   mpimini::RunSettings settings;
   settings.trace = config.enabled;
   settings.tracer = config.TracerOptions();
+  settings.metrics = config.MetricsEnabled();
   return settings;
+}
+
+// Rank-0 progress line, every `heartbeat_steps` steps.  Collective on the
+// stepping communicator when enabled (two small Reduces), so every rank of
+// that communicator must Tick at the same step; a zero interval makes Tick
+// a no-op and the run collective-free, as before.
+class Heartbeat {
+ public:
+  Heartbeat(mpimini::Comm& comm, int interval_steps, int total_steps)
+      : comm_(comm),
+        interval_(interval_steps),
+        total_(total_steps),
+        start_ns_(instrument::Tracer::NowNs()) {}
+
+  /// `queue_depth`/`queue_limit` describe the SST staging queue (pass
+  /// -1/-1 when the workflow has no transport, e.g. in situ).
+  void Tick(int step_index, int queue_depth, int queue_limit) {
+    if (interval_ <= 0) return;
+    const int done = step_index + 1;
+    if (done % interval_ != 0 && done != total_) return;
+
+    mpimini::RankEnv* env = mpimini::CurrentEnv();
+    const double mem =
+        env ? static_cast<double>(env->memory.HostPeakBytes()) : 0.0;
+    double insitu_seconds = 0.0;
+    if (const instrument::MetricsRegistry* m = instrument::CurrentMetrics()) {
+      insitu_seconds = m->Counter("bridge.update_seconds");
+    }
+    std::array<double, 2> sums{mem, insitu_seconds};
+    std::array<double, 2> maxs{mem, static_cast<double>(queue_depth)};
+    comm_.Reduce(std::span<double>(sums), mpimini::Op::kSum, 0);
+    comm_.Reduce(std::span<double>(maxs), mpimini::Op::kMax, 0);
+    if (comm_.Rank() != 0) return;
+
+    const double elapsed =
+        static_cast<double>(instrument::Tracer::NowNs() - start_ns_) * 1e-9;
+    const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+    const double ranks = static_cast<double>(comm_.Size());
+    std::string line;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "[heartbeat] step %d/%d (%d%%) | %.2f steps/s | eta %.1fs",
+                  done, total_, total_ > 0 ? 100 * done / total_ : 0, rate,
+                  eta);
+    line = buf;
+    line += " | mem mean " + instrument::FormatBytes(static_cast<std::size_t>(
+                                 sums[0] / ranks)) +
+            " max " +
+            instrument::FormatBytes(static_cast<std::size_t>(maxs[0]));
+    if (elapsed > 0.0 && insitu_seconds >= 0.0 &&
+        instrument::CurrentMetrics() != nullptr) {
+      std::snprintf(buf, sizeof(buf), " | insitu %.0f%%",
+                    100.0 * sums[1] / ranks / elapsed);
+      line += buf;
+    }
+    if (queue_limit > 0) {
+      std::snprintf(buf, sizeof(buf), " | sst queue %d/%d",
+                    static_cast<int>(maxs[1]), queue_limit);
+      line += buf;
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+    std::fflush(stderr);
+  }
+
+ private:
+  mpimini::Comm& comm_;
+  int interval_;
+  int total_;
+  std::int64_t start_ns_;
+};
+
+// Reduce every rank's metric snapshot onto world rank 0 and stash the
+// rank-aggregated report.  Collective when the metrics plane is on: every
+// world rank must call this (a disabled plane makes it a no-op everywhere,
+// so the collective order stays identical across ranks).
+void CollectRunHealth(mpimini::Comm& world,
+                      const instrument::TelemetryConfig& config,
+                      SharedMetrics& shared) {
+  if (!config.MetricsEnabled()) return;
+  instrument::MetricsSnapshot mine;
+  if (const instrument::MetricsRegistry* reg = instrument::CurrentMetrics()) {
+    mine = reg->Snapshot();
+  }
+  instrument::MetricsReport report = mpimini::ReduceMetrics(world, mine, 0);
+  if (world.Rank() == 0) {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    shared.metrics.metrics_report = std::move(report);
+  }
+}
+
+// Print the per-rank tracer digest on ranks that do not run a Bridge
+// (in-transit endpoints); Bridge::Finalize does this for sim ranks.  The
+// flush matters: these threads exit right after, and unflushed stdio from
+// a finishing rank thread is lost on some libc builds.
+void PrintEndpointSummary() {
+  if (const instrument::Tracer* tracer = instrument::CurrentTracer()) {
+    std::fprintf(stderr, "%s\n", tracer->SummaryLine().c_str());
+    std::fflush(stderr);
+  }
 }
 
 // Sample the cumulative pipeline counters into the rank's tracer.  Called
@@ -91,6 +197,29 @@ void SampleStepCounters(const occamini::Device* device,
                         const sensei::ConfigurableAnalysis* analysis,
                         const sensei::CatalystAnalysisAdaptor* catalyst,
                         const adios::SstStats* sst) {
+  // Metrics-plane feeds: memory watermarks as gauges, cumulative pipeline
+  // counters via SetTotal (idempotent for repeated step-boundary samples).
+  if (auto* metrics = instrument::CurrentMetrics()) {
+    if (mpimini::RankEnv* env = mpimini::CurrentEnv()) {
+      metrics->Set("memory.host_bytes",
+                   static_cast<double>(env->memory.HostCurrentBytes()));
+      metrics->Set("memory.host_hwm_bytes",
+                   static_cast<double>(env->memory.HostPeakBytes()));
+    }
+    const core::BufferStats& buffers = core::LocalBufferStats();
+    metrics->SetTotal("buffer.full_copies",
+                      static_cast<double>(buffers.full_copies));
+    metrics->SetTotal("buffer.copied_bytes",
+                      static_cast<double>(buffers.copied_bytes));
+    if (device != nullptr) {
+      metrics->SetTotal("d2h.bytes",
+                        static_cast<double>(device->Transfers().d2h_bytes));
+    }
+    if (analysis != nullptr) {
+      metrics->SetTotal("storage.bytes_written",
+                        static_cast<double>(analysis->TotalBytesWritten()));
+    }
+  }
   instrument::Tracer* tracer = instrument::CurrentTracer();
   if (tracer == nullptr) return;
   const core::BufferStats& buffers = core::LocalBufferStats();
@@ -139,6 +268,18 @@ void ExportTelemetry(const instrument::TelemetryConfig& config,
                                       metrics.telemetry)) {
     std::fprintf(stderr, "warning: failed to write telemetry summary %s\n",
                  config.summary_path.c_str());
+  }
+}
+
+// Write the single rank-aggregated metrics.json (the reduction already ran
+// inside the rank body via CollectRunHealth).
+void ExportRunHealth(const instrument::TelemetryConfig& config,
+                     const WorkflowMetrics& metrics) {
+  if (!config.MetricsEnabled() || config.metrics_path.empty()) return;
+  if (!instrument::WriteMetricsJson(config.metrics_path,
+                                    metrics.metrics_report)) {
+    std::fprintf(stderr, "warning: failed to write metrics file %s\n",
+                 config.metrics_path.c_str());
   }
 }
 
@@ -212,11 +353,13 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
     const double busy0 = env ? env->busy.Seconds() : 0.0;
     std::optional<instrument::ScopedTimer> loop_timer;
     if (env) loop_timer.emplace(env->timings, "step_loop");
+    Heartbeat heartbeat(comm, telemetry.heartbeat_steps, options.steps);
     SampleStepCounters(&device, analysis, catalyst.get(), nullptr);
     for (int s = 0; s < options.steps; ++s) {
       solver.Step();
       if (bridge) bridge->Update();
       SampleStepCounters(&device, analysis, catalyst.get(), nullptr);
+      heartbeat.Tick(s, /*queue_depth=*/-1, /*queue_limit=*/-1);
     }
     // Stop before teardown: Finalize (stream flushes, file closes) must not
     // count toward the per-step figures.
@@ -232,10 +375,12 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
     }
     CollectReports(comm, MakeReport(comm, /*is_sim=*/true, step_busy), bytes,
                    images, shared);
+    CollectRunHealth(comm, telemetry, shared);
   });
 
   shared.metrics.wall_seconds = run.wall_seconds;
   ExportTelemetry(telemetry, run, shared.metrics);
+  ExportRunHealth(telemetry, shared.metrics);
   return shared.metrics;
 }
 
@@ -288,6 +433,9 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
       const double busy0 = env ? env->busy.Seconds() : 0.0;
       std::optional<instrument::ScopedTimer> loop_timer;
       if (env) loop_timer.emplace(env->timings, "step_loop");
+      // Heartbeat runs on the sim group: endpoint ranks sit in their
+      // receive loop and cannot join step-boundary collectives.
+      Heartbeat heartbeat(group, telemetry.heartbeat_steps, options.steps);
       SampleStepCounters(&device, &bridge.Analysis(), nullptr,
                          adios ? &adios->TransportStats() : nullptr);
       for (int s = 0; s < options.steps; ++s) {
@@ -295,6 +443,8 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
         bridge.Update();
         SampleStepCounters(&device, &bridge.Analysis(), nullptr,
                            adios ? &adios->TransportStats() : nullptr);
+        heartbeat.Tick(s, adios ? adios->QueueDepth() : -1,
+                       adios ? adios->QueueLimit() : -1);
       }
       step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
       if (loop_timer) loop_timer->Stop();
@@ -324,6 +474,7 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
       step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
       if (loop_timer) loop_timer->Stop();
       analysis.Finalize();
+      PrintEndpointSummary();
       bytes = analysis.TotalBytesWritten();
       if (auto catalyst =
               std::dynamic_pointer_cast<sensei::CatalystAnalysisAdaptor>(
@@ -334,10 +485,12 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
 
     CollectReports(world, MakeReport(world, is_sim, step_busy), bytes, images,
                    shared);
+    CollectRunHealth(world, telemetry, shared);
   });
 
   shared.metrics.wall_seconds = run.wall_seconds;
   ExportTelemetry(telemetry, run, shared.metrics);
+  ExportRunHealth(telemetry, shared.metrics);
   return shared.metrics;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "instrument/metrics.hpp"
 #include "instrument/telemetry.hpp"
 #include "nekrs/flow_solver.hpp"
 #include "occamini/device.hpp"
@@ -36,6 +37,9 @@ struct WorkflowMetrics {
   std::size_t images_written = 0;  ///< rendered frames (catalyst)
   /// Cross-rank span/counter aggregate; Empty() unless telemetry was on.
   instrument::TelemetrySummary telemetry;
+  /// Rank-aggregated run-health report (min/mean/max/p95 + imbalance per
+  /// metric); Empty() unless the metrics plane was on.
+  instrument::MetricsReport metrics_report;
 
   /// Mean over simulation ranks of (step-loop busy seconds / steps): the
   /// "mean time per timestep on the simulation nodes" of Fig 5.

@@ -1,0 +1,204 @@
+#include "instrument/bench_compare.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "instrument/report.hpp"
+
+namespace instrument {
+
+namespace {
+
+// Minimal parser for the exact JSON shape WriteBenchJson emits: an object
+// with string values for "bench"/"config" and one flat string->number
+// object under "metrics".  Anything else is rejected (nullopt), which is
+// the right failure mode for a CI gate reading its own artifacts.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<BenchReport> Parse() {
+    BenchReport report;
+    if (!Expect('{')) return std::nullopt;
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Peek() == '}') {
+        ++at_;
+        break;
+      }
+      if (!first && !Expect(',')) return std::nullopt;
+      first = false;
+      std::string key;
+      if (!ParseString(key)) return std::nullopt;
+      if (!Expect(':')) return std::nullopt;
+      if (key == "bench" || key == "config") {
+        std::string value;
+        if (!ParseString(value)) return std::nullopt;
+        (key == "bench" ? report.bench : report.config) = std::move(value);
+      } else if (key == "metrics") {
+        if (!ParseMetrics(report.metrics)) return std::nullopt;
+      } else {
+        return std::nullopt;  // unknown key: not one of our files
+      }
+    }
+    SkipSpace();
+    if (at_ != text_.size()) return std::nullopt;
+    return report;
+  }
+
+ private:
+  void SkipSpace() {
+    while (at_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at_]))) {
+      ++at_;
+    }
+  }
+
+  char Peek() {
+    return at_ < text_.size() ? text_[at_] : '\0';
+  }
+
+  bool Expect(char c) {
+    SkipSpace();
+    if (Peek() != c) return false;
+    ++at_;
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Expect('"')) return false;
+    out.clear();
+    while (at_ < text_.size() && text_[at_] != '"') {
+      char c = text_[at_++];
+      if (c == '\\' && at_ < text_.size()) {
+        const char esc = text_[at_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: c = esc; break;  // \" and \\ (and tolerated others)
+        }
+      }
+      out += c;
+    }
+    if (at_ >= text_.size()) return false;
+    ++at_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(double& out) {
+    SkipSpace();
+    const char* begin = text_.c_str() + at_;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    at_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  bool ParseMetrics(std::map<std::string, double>& out) {
+    if (!Expect('{')) return false;
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Peek() == '}') {
+        ++at_;
+        return true;
+      }
+      if (!first && !Expect(',')) return false;
+      first = false;
+      std::string name;
+      double value = 0.0;
+      if (!ParseString(name) || !Expect(':') || !ParseNumber(value)) {
+        return false;
+      }
+      out[std::move(name)] = value;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+bool WriteBenchJson(const std::string& path, const BenchReport& report) {
+  AtomicFile file(path);
+  if (!file.Ok()) return false;
+  std::ostream& out = file.Stream();
+  out << "{\n  \"bench\": \"" << JsonEscape(report.bench) << "\",\n";
+  out << "  \"config\": \"" << JsonEscape(report.config) << "\",\n";
+  out << "  \"metrics\": {";
+  bool first = true;
+  for (const auto& [name, value] : report.metrics) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << JsonEscape(name) << "\": " << JsonNumber(value);
+  }
+  out << "\n  }\n}\n";
+  return file.Commit();
+}
+
+std::optional<BenchReport> ReadBenchJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  return Parser(text).Parse();
+}
+
+bool IsTimeMetric(const std::string& name) {
+  return name.find("seconds") != std::string::npos ||
+         name.find("_ms") != std::string::npos;
+}
+
+int CompareResult::Regressions() const {
+  int n = 0;
+  for (const CompareRow& row : rows) {
+    if (row.regressed || row.missing) ++n;
+  }
+  return n;
+}
+
+CompareResult CompareBenchReports(const BenchReport& current,
+                                  const BenchReport& baseline,
+                                  const CompareOptions& options) {
+  CompareResult result;
+  if (current.config != baseline.config || current.bench != baseline.bench) {
+    result.config_mismatch = true;
+    result.ok = false;
+  }
+  for (const auto& [name, base_value] : baseline.metrics) {
+    CompareRow row;
+    row.name = name;
+    row.baseline = base_value;
+    row.threshold =
+        IsTimeMetric(name) ? options.time_threshold : options.counter_threshold;
+    auto it = current.metrics.find(name);
+    if (it == current.metrics.end()) {
+      row.missing = true;
+      result.ok = false;
+    } else {
+      row.current = it->second;
+      row.ratio = base_value != 0.0 ? row.current / base_value : 0.0;
+      // Small absolute epsilon so a zero baseline tolerates an exact zero
+      // and counter rounding (doubles carrying integers) never trips.
+      const double limit = base_value * (1.0 + row.threshold) + 1e-9;
+      row.regressed = row.current > limit;
+      if (row.regressed) result.ok = false;
+    }
+    result.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, value] : current.metrics) {
+    (void)value;
+    if (baseline.metrics.find(name) == baseline.metrics.end()) {
+      result.added.push_back(name);
+    }
+  }
+  return result;
+}
+
+}  // namespace instrument

@@ -1,0 +1,75 @@
+// Canonical benchmark baselines (BENCH_*.json) and the perf-regression
+// gate that compares a fresh run against a committed baseline.
+//
+// The figure benches emit a flat BenchReport — one scalar per (metric,
+// configuration, rank count) — and CI runs `bench/compare_runs` against the
+// baselines committed in bench/baselines/.  Nothing can regress the Fig 2/5
+// numbers or the zero-copy counters unnoticed anymore: the gate fails when
+// a metric exceeds its baseline beyond the noise threshold.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace instrument {
+
+/// One bench run's canonical scalar metrics.  All metrics are
+/// lower-is-better (times, copy counts, byte counts).
+struct BenchReport {
+  std::string bench;   ///< "fig2", "fig5", ...
+  std::string config;  ///< "full" or "smoke" (CI runs smoke)
+  std::map<std::string, double> metrics;
+};
+
+/// Write as BENCH_<name>.json — atomically (temp + rename).
+bool WriteBenchJson(const std::string& path, const BenchReport& report);
+
+/// Parse a file previously written by WriteBenchJson.  Returns nullopt if
+/// the file cannot be read or is not a valid bench report.
+std::optional<BenchReport> ReadBenchJson(const std::string& path);
+
+struct CompareOptions {
+  /// Relative headroom for timing metrics (names containing "seconds" or
+  /// "_ms"): current may exceed baseline by this fraction before the gate
+  /// fails.  20% injected regressions fail at the 0.10 default.
+  double time_threshold = 0.10;
+  /// Relative headroom for everything else (copy counters, byte counts):
+  /// 0.0 = any increase beyond rounding noise fails, because the data-plane
+  /// counters are deterministic.
+  double counter_threshold = 0.0;
+};
+
+/// Verdict for one metric.
+struct CompareRow {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;       ///< current / baseline (0 when baseline is 0)
+  double threshold = 0.0;   ///< the headroom this metric was judged against
+  bool regressed = false;
+  bool missing = false;     ///< in the baseline but absent from the run
+};
+
+struct CompareResult {
+  std::vector<CompareRow> rows;      ///< every baseline metric, name order
+  std::vector<std::string> added;    ///< metrics only the current run has
+  bool config_mismatch = false;      ///< smoke vs full — not comparable
+  bool ok = true;                    ///< no regression, nothing missing
+
+  [[nodiscard]] int Regressions() const;
+};
+
+/// Compare `current` against `baseline`.  A metric regresses when
+/// current > baseline * (1 + threshold) (+ a small absolute epsilon so 0
+/// baselines tolerate exact zeros).  Missing metrics and a smoke/full
+/// config mismatch also fail the gate.
+[[nodiscard]] CompareResult CompareBenchReports(const BenchReport& current,
+                                                const BenchReport& baseline,
+                                                const CompareOptions& options);
+
+/// True if `name` is judged with the timing threshold.
+[[nodiscard]] bool IsTimeMetric(const std::string& name);
+
+}  // namespace instrument

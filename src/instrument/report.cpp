@@ -23,6 +23,66 @@ std::string CsvEscape(const std::string& cell) {
 
 }  // namespace
 
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), temp_path_(path_ + ".tmp"), out_(temp_path_) {}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) {
+    out_.close();
+    std::remove(temp_path_.c_str());
+  }
+}
+
+bool AtomicFile::Commit() {
+  if (committed_) return true;
+  out_.flush();
+  const bool wrote_ok = static_cast<bool>(out_);
+  out_.close();
+  if (!wrote_ok || std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(temp_path_.c_str());
+    return false;
+  }
+  committed_ = true;
+  return true;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
 void Table::Print(std::ostream& os) const {
   std::vector<std::size_t> widths(header_.size(), 0);
   auto widen = [&](const std::vector<std::string>& row) {
@@ -53,8 +113,9 @@ void Table::Print(std::ostream& os) const {
 }
 
 bool Table::WriteCsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
+  AtomicFile file(path);
+  if (!file.Ok()) return false;
+  std::ostream& out = file.Stream();
   auto write_row = [&](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i) out << ',';
@@ -64,8 +125,7 @@ bool Table::WriteCsv(const std::string& path) const {
   };
   write_row(header_);
   for (const auto& row : rows_) write_row(row);
-  out.flush();
-  return static_cast<bool>(out);
+  return file.Commit();
 }
 
 std::string FormatSeconds(double seconds) {

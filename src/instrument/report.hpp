@@ -5,11 +5,49 @@
 #pragma once
 
 #include <cstddef>
+#include <fstream>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace instrument {
+
+/// Atomic file writer: streams into `path + ".tmp"` and renames onto `path`
+/// on Commit().  A run killed mid-write (or a failed write) never leaves a
+/// truncated telemetry.json / metrics.json / CSV that downstream tooling
+/// half-parses — the destination either keeps its previous content or gets
+/// the complete new one.  Destruction without Commit() removes the temp
+/// file.
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path);
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// The output stream (write the whole payload here before Commit).
+  [[nodiscard]] std::ostream& Stream() { return out_; }
+  /// False if the temp file could not be opened or a write failed.
+  [[nodiscard]] bool Ok() const { return static_cast<bool>(out_); }
+
+  /// Flush, close, and rename the temp file onto the destination.  Returns
+  /// false (and removes the temp file) if any write or the rename failed.
+  bool Commit();
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+std::string JsonEscape(std::string_view text);
+
+/// Shortest round-trippable JSON number rendering ("%.9g").
+std::string JsonNumber(double value);
 
 /// A simple column-aligned table with a title, headers, and string cells.
 ///
@@ -39,9 +77,9 @@ class Table {
   void Print(std::ostream& os) const;
 
   /// Write header + rows as RFC-4180-ish CSV (quotes cells containing
-  /// commas or quotes).  Returns false if the path cannot be opened or any
-  /// write fails — callers (the figure binaries) must check it so CSV loss
-  /// is never silent.
+  /// commas or quotes), atomically (temp file + rename).  Returns false if
+  /// the path cannot be opened or any write fails — callers (the figure
+  /// binaries) must check it so CSV loss is never silent.
   [[nodiscard]] bool WriteCsv(const std::string& path) const;
 
  private:

@@ -5,48 +5,12 @@
 #include <fstream>
 #include <limits>
 
+#include "instrument/report.hpp"
 #include "instrument/timer.hpp"
 
 namespace instrument {
 
 namespace {
-
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string JsonNumber(double value) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.9g", value);
-  return buf;
-}
 
 /// Earliest timestamp across all recorded data, so exported traces start
 /// near t=0 instead of at steady_clock's epoch offset.
@@ -99,6 +63,15 @@ TelemetrySummary Summarize(const std::vector<const Tracer*>& tracers) {
     summary.dropped_spans += tracer->DroppedSpans();
     summary.skipped_waits += tracer->SkippedWaits();
     summary.skipped_wait_seconds += tracer->SkippedWaitSeconds();
+    summary.wait_min_seconds =
+        static_cast<double>(tracer->Opts().wait_min_ns) * 1e-9;
+    RankDigest digest;
+    digest.rank = tracer->Rank();
+    digest.total_spans = tracer->TotalSpans();
+    digest.dropped_spans = tracer->DroppedSpans();
+    digest.skipped_waits = tracer->SkippedWaits();
+    digest.skipped_wait_seconds = tracer->SkippedWaitSeconds();
+    summary.per_rank.push_back(digest);
     // Per-rank moments first, merged across ranks below — exercises the
     // same Merge path a sharded (multi-process) collector would use.
     std::map<std::string, RunningStats> rank_stats;
@@ -130,8 +103,9 @@ TelemetrySummary Summarize(const std::vector<const Tracer*>& tracers) {
 
 bool WriteChromeTrace(const std::string& path,
                       const std::vector<const Tracer*>& tracers) {
-  std::ofstream out(path);
-  if (!out) return false;
+  AtomicFile file(path);
+  if (!file.Ok()) return false;
+  std::ostream& out = file.Stream();
   const std::int64_t base = BaseTimestamp(tracers);
   out << "{\"traceEvents\":[";
   bool first = true;
@@ -167,14 +141,14 @@ bool WriteChromeTrace(const std::string& path,
     }
   }
   out << "\n]}\n";
-  out.flush();
-  return static_cast<bool>(out);
+  return file.Commit();
 }
 
 bool WriteTelemetryJson(const std::string& path,
                         const TelemetrySummary& summary) {
-  std::ofstream out(path);
-  if (!out) return false;
+  AtomicFile file(path);
+  if (!file.Ok()) return false;
+  std::ostream& out = file.Stream();
   out << "{\n";
   out << "  \"ranks\": " << summary.ranks << ",\n";
   out << "  \"total_spans\": " << summary.total_spans << ",\n";
@@ -182,6 +156,20 @@ bool WriteTelemetryJson(const std::string& path,
   out << "  \"skipped_waits\": " << summary.skipped_waits << ",\n";
   out << "  \"skipped_wait_seconds\": "
       << JsonNumber(summary.skipped_wait_seconds) << ",\n";
+  out << "  \"wait_min_seconds\": " << JsonNumber(summary.wait_min_seconds)
+      << ",\n";
+  out << "  \"per_rank\": [";
+  bool first_rank = true;
+  for (const RankDigest& d : summary.per_rank) {
+    if (!first_rank) out << ",";
+    first_rank = false;
+    out << "\n    {\"rank\": " << d.rank << ", \"total_spans\": "
+        << d.total_spans << ", \"dropped_spans\": " << d.dropped_spans
+        << ", \"skipped_waits\": " << d.skipped_waits
+        << ", \"skipped_wait_seconds\": "
+        << JsonNumber(d.skipped_wait_seconds) << "}";
+  }
+  out << "\n  ],\n";
   out << "  \"spans\": {";
   bool first = true;
   for (const auto& [name, agg] : summary.spans) {
@@ -204,8 +192,7 @@ bool WriteTelemetryJson(const std::string& path,
   }
   out << "\n  }\n";
   out << "}\n";
-  out.flush();
-  return static_cast<bool>(out);
+  return file.Commit();
 }
 
 Table TelemetryTable(const TelemetrySummary& summary,

@@ -30,6 +30,19 @@ struct TelemetryConfig {
   std::size_t span_capacity = 1 << 16;
   double wait_min_seconds = 100e-6;
 
+  // -- metrics plane (independent of span tracing) ---------------------------
+  bool metrics = false;        ///< install a MetricsRegistry per rank
+  std::string metrics_path;    ///< rank-aggregated metrics.json ("" = skip)
+  int heartbeat_steps = 0;     ///< rank-0 progress line every N steps (0=off)
+
+  /// The metrics plane is active when metrics.json output was requested or
+  /// the heartbeat needs live samples.  Like tracing, inactive means no
+  /// registry is installed and every Metric call is a thread-local null
+  /// read — zero allocations on rank threads.
+  [[nodiscard]] bool MetricsEnabled() const {
+    return metrics || heartbeat_steps > 0;
+  }
+
   [[nodiscard]] Tracer::Options TracerOptions() const {
     Tracer::Options options;
     options.span_capacity = span_capacity;
@@ -48,6 +61,17 @@ struct SpanAggregate {
   double max_seconds = 0.0;
 };
 
+/// Per-rank health digest: ring pressure and comm-wait tallies stay
+/// attributable after the cross-rank merge (a single rank wrapping its
+/// ring is invisible in the totals but obvious here).
+struct RankDigest {
+  int rank = 0;
+  std::uint64_t total_spans = 0;
+  std::uint64_t dropped_spans = 0;
+  std::uint64_t skipped_waits = 0;
+  double skipped_wait_seconds = 0.0;
+};
+
 /// Everything the run-level report needs, merged across ranks.
 struct TelemetrySummary {
   int ranks = 0;
@@ -55,6 +79,8 @@ struct TelemetrySummary {
   std::uint64_t dropped_spans = 0;  ///< lost to ring wrap (0 = full trace)
   std::uint64_t skipped_waits = 0;  ///< sub-threshold comm waits (tallied)
   double skipped_wait_seconds = 0.0;
+  double wait_min_seconds = 0.0;    ///< the threshold those tallies used
+  std::vector<RankDigest> per_rank;
   std::map<std::string, SpanAggregate> spans;
   std::map<std::string, double> counters;  ///< summed across ranks
 

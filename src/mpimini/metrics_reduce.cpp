@@ -1,0 +1,24 @@
+#include "mpimini/metrics_reduce.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mpimini {
+
+instrument::MetricsReport ReduceMetrics(Comm& comm,
+                                        const instrument::MetricsSnapshot& mine,
+                                        int root) {
+  const std::vector<std::byte> blob = mine.Serialize();
+  std::vector<core::Buffer> blobs =
+      comm.GatherBytes(std::span<const std::byte>(blob), root);
+  if (comm.Rank() != root) return {};
+  std::vector<instrument::MetricsSnapshot> snapshots;
+  snapshots.reserve(blobs.size());
+  for (const core::Buffer& b : blobs) {
+    snapshots.push_back(instrument::MetricsSnapshot::Deserialize(
+        std::span<const std::byte>(b.data(), b.size())));
+  }
+  return instrument::ReduceSnapshots(snapshots);
+}
+
+}  // namespace mpimini

@@ -1,0 +1,23 @@
+// Cross-rank metrics reduction over mpimini: the missing aggregation half
+// of the observability stack.
+//
+// Each rank's MetricsRegistry is strictly per-rank (no locks, no sharing);
+// this collective gathers every rank's snapshot to `root` and reduces them
+// into one MetricsReport (min/mean/max/p95 + imbalance per metric, counter
+// sums, gauge watermarks, merged histograms) — so a run emits a single
+// rank-aggregated metrics.json instead of N per-rank files.
+#pragma once
+
+#include "instrument/metrics.hpp"
+#include "mpimini/comm.hpp"
+
+namespace mpimini {
+
+/// Collective: every rank of `comm` must call it with its own snapshot (an
+/// empty snapshot is fine).  Returns the reduced report on `root`; other
+/// ranks receive an empty report.
+instrument::MetricsReport ReduceMetrics(Comm& comm,
+                                        const instrument::MetricsSnapshot& mine,
+                                        int root = 0);
+
+}  // namespace mpimini

@@ -78,6 +78,11 @@ RunResult Runtime::Run(int nranks, const RunSettings& settings,
       // memory figures.
       env->tracer = std::make_shared<instrument::Tracer>(r, settings.tracer);
     }
+    if (settings.metrics) {
+      // Same rationale as the tracer: allocated outside rank threads so
+      // the metric plane never shows up in per-rank memory figures.
+      env->metrics = std::make_shared<instrument::MetricsRegistry>();
+    }
     envs.push_back(std::move(env));
   }
 
@@ -92,6 +97,7 @@ RunResult Runtime::Run(int nranks, const RunSettings& settings,
       EnvScope env_scope(env);
       instrument::TrackerScope tracker_scope(&env->memory);
       instrument::TracerScope tracer_scope(env->tracer.get());
+      instrument::MetricsScope metrics_scope(env->metrics.get());
       Comm comm = WorldMaker(world_state, r);
       env->busy.Resume();
       try {
@@ -124,6 +130,9 @@ RunResult Runtime::Run(int nranks, const RunSettings& settings,
     result.ranks.push_back(std::move(m));
     if (env.tracer) {
       result.tracers.push_back(envs[static_cast<std::size_t>(r)]->tracer);
+    }
+    if (env.metrics) {
+      result.metrics.push_back(envs[static_cast<std::size_t>(r)]->metrics);
     }
   }
   return result;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "instrument/memory_tracker.hpp"
+#include "instrument/metrics.hpp"
 #include "instrument/timer.hpp"
 #include "instrument/tracer.hpp"
 #include "mpimini/comm.hpp"
@@ -31,6 +32,10 @@ struct RankEnv {
   /// shared_ptr so RunResult can keep the recordings alive after the envs
   /// are gone.
   std::shared_ptr<instrument::Tracer> tracer;
+  /// Typed gauge/counter/histogram registry, allocated only when the run
+  /// opted into the metrics plane (RunSettings::metrics); rank code reaches
+  /// it via instrument::CurrentMetrics.
+  std::shared_ptr<instrument::MetricsRegistry> metrics;
 };
 
 /// The calling thread's RankEnv, or nullptr outside a rank.
@@ -51,6 +56,8 @@ struct RunResult {
   std::vector<RankMetrics> ranks;
   /// Per-rank trace recordings; empty unless RunSettings::trace was set.
   std::vector<std::shared_ptr<instrument::Tracer>> tracers;
+  /// Per-rank metric registries; empty unless RunSettings::metrics was set.
+  std::vector<std::shared_ptr<instrument::MetricsRegistry>> metrics;
 
   /// Mean of per-rank busy seconds.
   [[nodiscard]] double MeanBusySeconds() const;
@@ -70,6 +77,11 @@ struct RunSettings {
   /// degenerates to one thread-local null read).
   bool trace = false;
   instrument::Tracer::Options tracer;
+  /// Allocate and install an instrument::MetricsRegistry per rank thread.
+  /// Off by default for the same reason as `trace`: a disabled metrics
+  /// plane costs rank threads exactly one thread-local null read per
+  /// Metric call and allocates nothing.
+  bool metrics = false;
 };
 
 /// Launches message-passing programs.

@@ -37,6 +37,10 @@ class AdiosAnalysisAdaptor final : public AnalysisAdaptor {
     return writer_.Stats();
   }
 
+  /// Live staging-queue occupancy / limit (heartbeat display).
+  [[nodiscard]] int QueueDepth() const { return writer_.QueueDepth(); }
+  [[nodiscard]] int QueueLimit() const { return writer_.QueueLimit(); }
+
  private:
   AdiosOptions options_;
   adios::SstWriter writer_;

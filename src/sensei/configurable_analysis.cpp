@@ -201,6 +201,15 @@ instrument::TelemetryConfig ParseTelemetryConfig(const xmlcfg::Element& root) {
   config.span_capacity = static_cast<std::size_t>(capacity);
   config.wait_min_seconds =
       telemetry->AttrDouble("wait_min_seconds", config.wait_min_seconds);
+  // Metrics plane: metrics="path" requests the rank-aggregated
+  // metrics.json; heartbeat="N" the rank-0 progress line every N steps.
+  config.metrics_path = telemetry->Attr("metrics");
+  config.metrics = !config.metrics_path.empty();
+  const long heartbeat = telemetry->AttrInt("heartbeat", 0);
+  if (heartbeat < 0) {
+    throw std::invalid_argument("sensei: telemetry heartbeat must be >= 0");
+  }
+  config.heartbeat_steps = static_cast<int>(heartbeat);
   return config;
 }
 

@@ -430,6 +430,92 @@ TEST(WorkflowTelemetryTest, CountersReportZeroCopyCatalystInvariant) {
                    static_cast<double>(metrics.bytes_written));
 }
 
+// ---- Metrics plane ----------------------------------------------------------
+
+TEST(WorkflowMetricsTest, InSituPlaneProducesAggregatedReportAndJson) {
+  // The run-health plane works without tracing: it installs a per-rank
+  // registry, reduces across ranks at run end, and writes one aggregated
+  // metrics.json (min/mean/max/p95 + imbalance per metric).
+  const std::string dir = TempSubdir("wf_metrics");
+  nek_sensei::InSituOptions options;
+  options.flow = SmallCase();
+  options.steps = 4;
+  options.sensei_xml =
+      "<sensei><analysis type=\"catalyst\" frequency=\"2\" output=\"" + dir +
+      "\" array=\"velocity\" magnitude=\"1\" width=\"48\" height=\"32\"/>"
+      "</sensei>";
+  options.telemetry.metrics = true;
+  options.telemetry.metrics_path = dir + "/metrics.json";
+
+  const auto metrics = nek_sensei::RunInSitu(2, options);
+  EXPECT_TRUE(metrics.telemetry.Empty());  // no tracer was installed
+
+  const auto& report = metrics.metrics_report;
+  ASSERT_FALSE(report.Empty());
+  EXPECT_EQ(report.ranks, 2);
+  const auto& step = report.counters.at("solver.step_seconds");
+  EXPECT_EQ(step.ranks, 2);
+  EXPECT_GT(step.min, 0.0);
+  EXPECT_GE(step.max, step.mean);
+  EXPECT_GE(step.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(report.CounterSum("solver.steps"), 8.0);
+  EXPECT_DOUBLE_EQ(report.CounterSum("bridge.updates"), 8.0);
+  ASSERT_NE(report.Gauge("memory.host_hwm_bytes"), nullptr);
+  EXPECT_GT(report.Gauge("memory.host_hwm_bytes")->high_watermark, 0.0);
+  EXPECT_GT(report.histograms.at("solver.step_seconds").count, 0u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/metrics.json"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/metrics.json.tmp"));
+}
+
+TEST(WorkflowMetricsTest, XmlTelemetryAttributesEnablePlaneAndHeartbeat) {
+  const std::string dir = TempSubdir("wf_metrics_xml");
+  nek_sensei::InSituOptions options;
+  options.flow = SmallCase();
+  options.steps = 4;
+  options.sensei_xml =
+      "<sensei><telemetry metrics=\"" + dir + "/metrics.json\""
+      " heartbeat=\"2\"/>"
+      "<analysis type=\"checkpoint\" frequency=\"2\" output=\"" + dir +
+      "\"/></sensei>";
+  const auto metrics = nek_sensei::RunInSitu(2, options);
+  ASSERT_FALSE(metrics.metrics_report.Empty());
+  EXPECT_DOUBLE_EQ(metrics.metrics_report.CounterSum("solver.steps"), 8.0);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/metrics.json"));
+}
+
+TEST(WorkflowMetricsTest, InTransitPlaneCapturesSstBackpressure) {
+  // In transit the plane additionally watches the SST staging queue: depth
+  // watermarks plus the block-decision counter that exposes backpressure.
+  nek_sensei::InTransitOptions options;
+  options.flow = SmallCase();
+  options.steps = 4;
+  options.sim_per_endpoint = 2;
+  options.sim_xml =
+      "<sensei><analysis type=\"adios\" frequency=\"1\"/></sensei>";
+  options.endpoint_xml = "<sensei/>";
+  options.telemetry.metrics = true;
+
+  const auto metrics = nek_sensei::RunInTransit(2, options);
+  const auto& report = metrics.metrics_report;
+  ASSERT_FALSE(report.Empty());
+  EXPECT_EQ(report.ranks, 3);  // 2 sim + 1 endpoint
+  EXPECT_DOUBLE_EQ(report.CounterSum("solver.steps"), 8.0);
+  const instrument::MetricStat* queue = report.Gauge("sst.queue_depth");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_GE(queue->high_watermark, 1.0);
+  EXPECT_GT(report.CounterSum("sst.steps"), 0.0);
+  EXPECT_GT(report.CounterSum("sst.payload_bytes"), 0.0);
+}
+
+TEST(WorkflowMetricsTest, DisabledPlaneLeavesReportEmpty) {
+  nek_sensei::InSituOptions options;
+  options.flow = SmallCase();
+  options.steps = 2;
+  options.sensei_xml = "<sensei/>";
+  const auto metrics = nek_sensei::RunInSitu(2, options);
+  EXPECT_TRUE(metrics.metrics_report.Empty());
+}
+
 TEST(WorkflowTelemetryTest, InTransitSstWriterPacksExactlyOnePerTrigger) {
   // The streaming side of the same invariant: marshalling a step for SST
   // costs exactly one full-field copy per sim rank per trigger (the gather
