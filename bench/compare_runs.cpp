@@ -1,7 +1,10 @@
 // Perf-regression gate: compare a fresh BENCH_*.json against a committed
 // baseline (bench/baselines/).  Exit 0 when nothing regressed; exit 1 on a
 // regression, a metric missing from the current run, or a smoke/full
-// configuration mismatch; exit 2 on usage / unreadable input.
+// configuration mismatch; exit 2 on usage errors or a missing report file
+// (e.g. a baseline not yet committed); exit 3 when a report file exists but
+// cannot be parsed (truncated write, bad merge) — CI treats 2 as "baseline
+// needs to be added" and 3 as "artifact corruption, investigate".
 //
 //   $ bench/compare_runs --baseline bench/baselines/BENCH_fig2.json \
 //                        --current BENCH_fig2.json [--time-threshold 0.10] \
@@ -73,33 +76,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto baseline = instrument::ReadBenchJson(baseline_path);
-  if (!baseline) {
-    std::fprintf(stderr, "error: cannot read bench report %s\n",
-                 baseline_path.c_str());
-    return 2;
-  }
-  const auto current = instrument::ReadBenchJson(current_path);
-  if (!current) {
-    std::fprintf(stderr, "error: cannot read bench report %s\n",
-                 current_path.c_str());
-    return 2;
-  }
+  auto read_report = [](const std::string& path) {
+    instrument::BenchReadStatus status = instrument::BenchReadStatus::kOk;
+    auto report = instrument::ReadBenchJson(path, status);
+    if (status == instrument::BenchReadStatus::kMissingFile) {
+      std::fprintf(stderr, "error: bench report %s does not exist\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    if (status == instrument::BenchReadStatus::kUnparseable) {
+      std::fprintf(stderr,
+                   "error: bench report %s exists but is not parseable "
+                   "(truncated or corrupt)\n",
+                   path.c_str());
+      std::exit(3);
+    }
+    return *report;
+  };
+  const auto baseline = read_report(baseline_path);
+  const auto current = read_report(current_path);
 
   const instrument::CompareResult result =
-      instrument::CompareBenchReports(*current, *baseline, options);
+      instrument::CompareBenchReports(current, baseline, options);
 
   if (result.config_mismatch) {
     std::fprintf(stderr,
                  "FAIL: reports not comparable (baseline %s/%s vs current "
                  "%s/%s)\n",
-                 baseline->bench.c_str(), baseline->config.c_str(),
-                 current->bench.c_str(), current->config.c_str());
+                 baseline.bench.c_str(), baseline.config.c_str(),
+                 current.bench.c_str(), current.config.c_str());
     return 1;
   }
 
-  instrument::Table table("compare_runs: " + current->bench + " (" +
-                          current->config + ") vs " + baseline_path);
+  instrument::Table table("compare_runs: " + current.bench + " (" +
+                          current.config + ") vs " + baseline_path);
   table.SetHeader(
       {"metric", "baseline", "current", "ratio", "threshold", "verdict"});
   for (const instrument::CompareRow& row : result.rows) {

@@ -59,6 +59,7 @@ void SstWriter::DrainAcks(int target_in_flight) {
 }
 
 void SstWriter::BeginStep(int step) {
+  owner_.Check("adios::SstWriter::BeginStep");
   if (closed_) throw std::runtime_error("adios: BeginStep after Close");
   if (step_open_) throw std::runtime_error("adios: step already open");
   if (auto* metrics = instrument::CurrentMetrics()) {
@@ -87,11 +88,13 @@ void SstWriter::PutBuffer(const std::string& name, core::Buffer data) {
 }
 
 void SstWriter::PutChain(const std::string& name, core::BufferChain chain) {
+  owner_.Check("adios::SstWriter::PutChain");
   if (!step_open_) throw std::runtime_error("adios: Put outside a step");
   staged_.variables[name] = std::move(chain);
 }
 
 void SstWriter::EndStep() {
+  owner_.Check("adios::SstWriter::EndStep");
   if (!step_open_) throw std::runtime_error("adios: EndStep outside a step");
   // One message chain: 1-byte kind + marshaled step, packed exactly once
   // inside SendGather (the transport-boundary copy).
@@ -125,6 +128,7 @@ void SstWriter::EndStep() {
 }
 
 void SstWriter::Close() {
+  owner_.Check("adios::SstWriter::Close");
   if (closed_) return;
   if (step_open_) throw std::runtime_error("adios: Close with open step");
   const std::byte eos = kKindEos;

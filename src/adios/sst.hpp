@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "adios/marshal.hpp"
+#include "core/thread_annotations.hpp"
 #include "instrument/memory_tracker.hpp"
 #include "mpimini/comm.hpp"
 
@@ -38,6 +39,11 @@ struct SstStats {
 
 /// Simulation-side SST endpoint: one per sim rank, streaming to a fixed
 /// endpoint (reader) rank of the same world communicator.
+///
+/// Owned by its sim rank's thread: the staging queue (in_flight_) and
+/// staged step are lock-free by the single-owner contract, machine-checked
+/// under NSM_THREAD_CHECKS.  Cross-rank flow control happens through
+/// mpimini messages, never through shared mutation of this object.
 class SstWriter {
  public:
   SstWriter(mpimini::Comm world, int reader_world_rank, SstParams params = {});
@@ -83,6 +89,8 @@ class SstWriter {
   bool step_open_ = false;
   bool closed_ = false;
   StepChain staged_;
+  /// Single-owner audit (no-op unless NSM_THREAD_CHECKS).
+  core::ThreadOwnershipChecker owner_;
 };
 
 /// Endpoint-side SST: receives streams from a fixed set of writer ranks.

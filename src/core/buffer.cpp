@@ -2,12 +2,64 @@
 
 #include <cstring>
 
+#if defined(NSM_BUFFER_SENTINEL)
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#endif
+
 #include "instrument/memory_tracker.hpp"
 
 namespace core {
 
 namespace {
 thread_local BufferStats g_stats;
+
+#if defined(NSM_BUFFER_SENTINEL)
+
+// Sentinel parameters.  32-byte canaries keep the data window 16-byte
+// aligned (operator new[] alignment is preserved modulo the canary size).
+constexpr std::size_t kCanaryBytes = 32;
+constexpr std::byte kCanaryByte{0xCB};
+constexpr std::byte kPoisonByte{0xDD};
+
+[[noreturn]] void SentinelAbort(const char* violation, const char* what) {
+  std::fprintf(stderr, "[buffer-sentinel] %s: %s\n", violation, what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Registry of externally-adopted data pointers: adopting the same live
+// storage twice means two keepalives both think they guard it — almost
+// always a lifetime bug about to happen.
+std::mutex& AdoptMutex() {
+  static std::mutex m;
+  return m;
+}
+std::set<const std::byte*>& AdoptedPointers() {
+  static std::set<const std::byte*> s;
+  return s;
+}
+
+void RegisterAdopt(const std::byte* data) {
+  if (data == nullptr) return;
+  std::lock_guard<std::mutex> lock(AdoptMutex());
+  if (!AdoptedPointers().insert(data).second) {
+    SentinelAbort("double-adopt",
+                  "core::Buffer::Adopt of storage that is already adopted "
+                  "by a live buffer");
+  }
+}
+
+void UnregisterAdopt(const std::byte* data) {
+  if (data == nullptr) return;
+  std::lock_guard<std::mutex> lock(AdoptMutex());
+  AdoptedPointers().erase(data);
+}
+
+#endif  // NSM_BUFFER_SENTINEL
 }  // namespace
 
 BufferStats& LocalBufferStats() { return g_stats; }
@@ -39,9 +91,20 @@ namespace detail {
 struct Block {
   Block(std::string cat, std::size_t bytes)
       : category(std::move(cat)),
+#if defined(NSM_BUFFER_SENTINEL)
+        // Owned allocations grow guard canaries on both sides of the data
+        // window; `data` points past the front canary.
+        owned(new std::byte[bytes + 2 * kCanaryBytes]()),
+        data(owned.get() + kCanaryBytes),
+#else
         owned(new std::byte[bytes]()),
         data(owned.get()),
+#endif
         size(bytes) {
+#if defined(NSM_BUFFER_SENTINEL)
+    std::memset(owned.get(), static_cast<int>(kCanaryByte), kCanaryBytes);
+    std::memset(data + size, static_cast<int>(kCanaryByte), kCanaryBytes);
+#endif
     if (!category.empty()) {
       tracker = instrument::CurrentTracker();
       if (tracker) tracker->Allocate(category, size);
@@ -63,9 +126,40 @@ struct Block {
         std::size_t bytes)
       : keepalive(std::move(keep)),
         data(const_cast<std::byte*>(external)),
-        size(bytes) {}
+        size(bytes) {
+#if defined(NSM_BUFFER_SENTINEL)
+    RegisterAdopt(data);
+    adopted = data;
+#endif
+  }
 
-  ~Block() { Detach(); }
+  ~Block() {
+#if defined(NSM_BUFFER_SENTINEL)
+    if (audit_handles.load(std::memory_order_relaxed) != 0) {
+      SentinelAbort("refcount-overflow",
+                    "core::Buffer block destroyed while handles still "
+                    "reference it");
+    }
+    if (owned) {
+      const std::byte* front = owned.get();
+      const std::byte* back = data + size;
+      for (std::size_t i = 0; i < kCanaryBytes; ++i) {
+        if (front[i] != kCanaryByte || back[i] != kCanaryByte) {
+          SentinelAbort("canary-stomp",
+                        "core::Buffer guard bytes overwritten (out-of-window "
+                        "write on an owned block)");
+        }
+      }
+    }
+    // Poison released owned storage so a stale pointer reads 0xDD garbage
+    // loudly instead of yesterday's field data plausibly.
+    if (size > 0 && (owned || !vector_storage.empty())) {
+      std::memset(data, static_cast<int>(kPoisonByte), size);
+    }
+    UnregisterAdopt(adopted);
+#endif
+    Detach();
+  }
 
   void Detach() {
     if (tracker) {
@@ -84,9 +178,100 @@ struct Block {
   std::byte* data = nullptr;
   std::size_t size = 0;
   instrument::MemoryTracker* tracker = nullptr;
+#if defined(NSM_BUFFER_SENTINEL)
+  /// Shadow handle count maintained by Buffer's audited special members;
+  /// must agree with the shared_ptr count (0 by the time the block dies).
+  std::atomic<long> audit_handles{0};
+  const std::byte* adopted = nullptr;
+#endif
 };
 
 }  // namespace detail
+
+#if defined(NSM_BUFFER_SENTINEL)
+
+void Buffer::SentinelAttach() {
+  if (block_) block_->audit_handles.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Buffer::SentinelDetach() {
+  if (block_ &&
+      block_->audit_handles.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    SentinelAbort("refcount-underflow",
+                  "core::Buffer handle released more times than it was "
+                  "attached");
+  }
+}
+
+void Buffer::SentinelCheckUsable(const char* what) const {
+  if (sentinel_state_ == detail::kHandleLive) return;
+  if (sentinel_state_ == detail::kHandleMoved) {
+    SentinelAbort("release-after-move", what);
+  }
+  SentinelAbort("refcount-underflow", what);
+}
+
+Buffer::Buffer(const Buffer& other)
+    // Check *before* the member copy: on a destroyed source the shared_ptr
+    // member is already gone and must not be touched.
+    : block_((other.SentinelCheckUsable(
+                  "core::Buffer copied from an invalid handle"),
+              other.block_)),
+      offset_(other.offset_),
+      size_(other.size_) {
+  SentinelAttach();
+}
+
+Buffer& Buffer::operator=(const Buffer& other) {
+  other.SentinelCheckUsable("core::Buffer copy-assigned from an invalid "
+                            "handle");
+  if (this != &other) {
+    SentinelDetach();
+    block_ = other.block_;
+    offset_ = other.offset_;
+    size_ = other.size_;
+    sentinel_state_ = detail::kHandleLive;
+    SentinelAttach();
+  }
+  return *this;
+}
+
+Buffer::Buffer(Buffer&& other) noexcept
+    : block_(std::move(other.block_)),
+      offset_(other.offset_),
+      size_(other.size_) {
+  // Handle count transfers with the block: no attach/detach.
+  other.offset_ = 0;
+  other.size_ = 0;
+  other.sentinel_state_ = detail::kHandleMoved;
+}
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    SentinelDetach();
+    block_ = std::move(other.block_);
+    offset_ = other.offset_;
+    size_ = other.size_;
+    sentinel_state_ = detail::kHandleLive;
+    other.offset_ = 0;
+    other.size_ = 0;
+    other.sentinel_state_ = detail::kHandleMoved;
+  }
+  return *this;
+}
+
+Buffer::~Buffer() {
+  // The brand is inspected before any member is destroyed: a double-destroy
+  // aborts here, while the shared_ptr control block is still intact.
+  if (sentinel_state_ == detail::kHandleDead) {
+    SentinelAbort("refcount-underflow",
+                  "core::Buffer handle destroyed twice");
+  }
+  SentinelDetach();
+  sentinel_state_ = detail::kHandleDead;
+}
+
+#endif  // NSM_BUFFER_SENTINEL
 
 Buffer::Buffer(std::string category, std::size_t bytes)
     : block_(std::make_shared<detail::Block>(std::move(category), bytes)),
@@ -94,6 +279,9 @@ Buffer::Buffer(std::string category, std::size_t bytes)
       size_(bytes) {
   ++g_stats.allocations;
   g_stats.allocated_bytes += bytes;
+#if defined(NSM_BUFFER_SENTINEL)
+  SentinelAttach();
+#endif
 }
 
 Buffer Buffer::CopyOf(std::string category, std::span<const std::byte> src) {
@@ -110,6 +298,9 @@ Buffer Buffer::Adopt(std::shared_ptr<const void> keepalive,
                                                bytes);
   out.offset_ = 0;
   out.size_ = bytes;
+#if defined(NSM_BUFFER_SENTINEL)
+  out.SentinelAttach();
+#endif
   CountAdoption();
   return out;
 }
@@ -122,6 +313,9 @@ Buffer Buffer::TakeVector(std::string category,
                                                std::move(bytes));
   out.offset_ = 0;
   out.size_ = n;
+#if defined(NSM_BUFFER_SENTINEL)
+  out.SentinelAttach();
+#endif
   ++g_stats.allocations;  // storage enters the plane, even if recycled
   CountMove();
   return out;
@@ -143,6 +337,9 @@ Buffer Buffer::Slice(std::size_t offset, std::size_t bytes) const {
   out.block_ = block_;
   out.offset_ = offset_ + offset;
   out.size_ = bytes;
+#if defined(NSM_BUFFER_SENTINEL)
+  out.SentinelAttach();
+#endif
   CountAdoption();
   return out;
 }
@@ -160,6 +357,12 @@ Buffer Buffer::Clone(std::string category) const {
 }
 
 void Buffer::DetachTracking() {
+#if defined(NSM_BUFFER_SENTINEL)
+  // Detaching through a handle whose ownership already left (moved-from) is
+  // the classic release-after-move: the caller thinks it still holds the
+  // bytes it just sent to another rank.
+  SentinelCheckUsable("core::Buffer::DetachTracking on an invalid handle");
+#endif
   if (block_) block_->Detach();
 }
 

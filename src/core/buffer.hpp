@@ -66,7 +66,25 @@ void CountDeviceStage();
 
 namespace detail {
 struct Block;
+#if defined(NSM_BUFFER_SENTINEL)
+// Handle-state brands.  Deliberately high-entropy values: stack reuse or a
+// wild write is vanishingly unlikely to reproduce one by accident.
+inline constexpr std::uint32_t kHandleLive = 0xB1FFE41Fu;
+inline constexpr std::uint32_t kHandleMoved = 0x3D0C3D0Cu;
+inline constexpr std::uint32_t kHandleDead = 0xDEADC0DEu;
+#endif
 }  // namespace detail
+
+/// True when the debug sentinel (guard canaries, poison-on-release, handle
+/// state audits) was compiled in (-DNSM_BUFFER_SENTINEL=ON).  Bench
+/// baselines must only be regenerated from builds where this is false.
+[[nodiscard]] constexpr bool BufferSentinelEnabled() {
+#if defined(NSM_BUFFER_SENTINEL)
+  return true;
+#else
+  return false;
+#endif
+}
 
 /// Shared handle onto a window of a ref-counted byte block.
 ///
@@ -78,6 +96,18 @@ struct Block;
 class Buffer {
  public:
   Buffer() = default;
+
+#if defined(NSM_BUFFER_SENTINEL)
+  // Sentinel builds audit every handle transition: copies/moves maintain a
+  // shadow handle count on the block, moved-from and destroyed handles are
+  // branded so misuse aborts with a report instead of corrupting silently.
+  // Default builds keep the implicit (zero-overhead) special members.
+  Buffer(const Buffer& other);
+  Buffer& operator=(const Buffer& other);
+  Buffer(Buffer&& other) noexcept;
+  Buffer& operator=(Buffer&& other) noexcept;
+  ~Buffer();
+#endif
 
   /// Allocate `bytes` zero-initialized bytes, tracked under `category`
   /// (empty category => untracked, e.g. transport mailbox storage).
@@ -153,9 +183,21 @@ class Buffer {
  private:
   void CheckTyped(std::size_t alignment, std::size_t element) const;
 
+#if defined(NSM_BUFFER_SENTINEL)
+  void SentinelAttach();
+  void SentinelDetach();
+  void SentinelCheckUsable(const char* what) const;
+#endif
+
   std::shared_ptr<detail::Block> block_;
   std::size_t offset_ = 0;
   std::size_t size_ = 0;
+#if defined(NSM_BUFFER_SENTINEL)
+  /// Handle-state brand (live / moved-from / destroyed), checked before any
+  /// member is touched so a double-destroy is caught *before* the shared_ptr
+  /// underflows the real refcount.
+  std::uint32_t sentinel_state_ = detail::kHandleLive;
+#endif
 };
 
 /// Byte-wise content equality (ownership and category are not compared).

@@ -1,0 +1,206 @@
+// Concurrency-correctness primitives: Clang thread-safety annotations and
+// the lock/ownership vocabulary the rest of the repo is written in.
+//
+// The reproduction runs its "MPI ranks" as threads of one process sharing a
+// zero-copy core::Buffer data plane, so the shapes that corrupt the paper's
+// Fig 2/5 timings and Fig 3/6 memory curves are exactly shared-memory
+// shapes: an unguarded mailbox access, a per-rank registry mutated from the
+// wrong thread, a tracked buffer freed on a foreign rank.  Two complementary
+// machine checks cover them:
+//
+//  1. **Static** (this header's macro layer): Clang's `-Wthread-safety`
+//     analysis over NSM_GUARDED_BY / NSM_REQUIRES / NSM_ACQUIRE /
+//     NSM_RELEASE annotations.  Mutex-protected state (the mpimini mailbox,
+//     workflow collection slots) uses the annotated core::Mutex /
+//     core::MutexLock / core::CondVar below so every access is proven to
+//     hold the right lock at compile time.  The macros expand to nothing on
+//     non-Clang compilers, so GCC builds are byte-identical.
+//
+//  2. **Dynamic** (ThreadOwnershipChecker): the per-rank structures
+//     (Tracer, MetricsRegistry, MemoryTracker, SstWriter) are lock-free *by
+//     contract* — exactly one rank thread may touch them.  No static
+//     analysis can prove a single-owner contract, so under NSM_THREAD_CHECKS
+//     every mutating entry point asserts the calling thread is the owning
+//     thread and aborts with a report on violation.  Off by default: the
+//     checker compiles to an empty struct and inline no-ops.
+//
+// See DESIGN.md §6 "Correctness tooling" for the discipline and how to run
+// each checking lane locally.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(NSM_THREAD_CHECKS)
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#endif
+
+// ---- annotation macros -----------------------------------------------------
+// Clang-only: GCC (and anything else) sees empty expansions.  Guarded on the
+// attribute itself, not just __clang__, so future compilers that grow the
+// analysis pick it up for free.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define NSM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef NSM_THREAD_ANNOTATION
+#define NSM_THREAD_ANNOTATION(x)
+#endif
+
+/// A type that is a lockable capability ("mutex" by convention).
+#define NSM_CAPABILITY(x) NSM_THREAD_ANNOTATION(capability(x))
+/// An RAII type that acquires a capability in its constructor and releases
+/// it in its destructor.
+#define NSM_SCOPED_CAPABILITY NSM_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding the named capability.
+#define NSM_GUARDED_BY(x) NSM_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose pointee is guarded by the named capability.
+#define NSM_PT_GUARDED_BY(x) NSM_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function that acquires the capability and holds it on return.
+#define NSM_ACQUIRE(...) NSM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function that releases a held capability.
+#define NSM_RELEASE(...) NSM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function that tries to acquire; the bool argument is the success value.
+#define NSM_TRY_ACQUIRE(...) \
+  NSM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function callable only while the caller holds the capability.
+#define NSM_REQUIRES(...) \
+  NSM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function callable only while the caller does NOT hold the capability
+/// (deadlock prevention for self-locking entry points).
+#define NSM_EXCLUDES(...) NSM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returning a reference to the named capability.
+#define NSM_RETURN_CAPABILITY(x) NSM_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: disable the analysis for one function (used only where the
+/// locking pattern is correct but outside the analysis' vocabulary).
+#define NSM_NO_THREAD_SAFETY_ANALYSIS \
+  NSM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace core {
+
+/// std::mutex with the capability annotation the Clang analysis needs.
+/// Lowercase lock/unlock keep it a BasicLockable, so it composes with
+/// std::condition_variable_any (see CondVar).
+class NSM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NSM_ACQUIRE() { mutex_.lock(); }
+  void unlock() NSM_RELEASE() { mutex_.unlock(); }
+  bool try_lock() NSM_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock of a core::Mutex (the std::lock_guard of the annotated
+/// world).  The analysis sees the acquisition in the constructor and the
+/// release in the destructor.
+class NSM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) NSM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() NSM_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable over core::Mutex.  Wait() REQUIRES the mutex, which
+/// is exactly the contract std::condition_variable has but the analysis
+/// cannot see through std types.  Callers write explicit
+/// `while (!condition) cv.Wait(mutex);` loops instead of predicate
+/// overloads: the predicate stays in the enclosing (capability-holding)
+/// function body, so guarded reads inside it are analyzed, where a lambda
+/// would be opaque to the analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex`, wait for a notification, reacquire.
+  void Wait(Mutex& mutex) NSM_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+// ---- dynamic single-owner checking ----------------------------------------
+
+#if defined(NSM_THREAD_CHECKS)
+
+/// Checks the single-owner contract of per-rank structures at run time.
+///
+/// The owner is bound lazily by the first mutating call (per-rank objects
+/// are constructed on the launching thread, then handed to their rank
+/// thread before first use — binding at construction would pin the wrong
+/// thread).  A mutating call from any other thread aborts with a report.
+/// Reset() releases the binding for explicit ownership handoff (e.g. a
+/// registry cleared between benchmark configurations).
+class ThreadOwnershipChecker {
+ public:
+  /// Assert the calling thread owns the structure; binds on first call.
+  /// `what` names the violated structure/entry point in the report.
+  void Check(const char* what) const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (owner_ == std::thread::id{}) {
+      owner_ = self;
+      return;
+    }
+    if (owner_ != self) {
+      std::fprintf(stderr,
+                   "[thread-checks] single-owner violation: %s mutated from "
+                   "a thread that does not own it\n",
+                   what);
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+
+  /// Release the owner binding (legitimate ownership handoff).
+  void Reset() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    owner_ = std::thread::id{};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::thread::id owner_;
+};
+
+#else  // !NSM_THREAD_CHECKS
+
+/// No-op stand-in: default builds carry no state and no code for the
+/// ownership checks (asserted by the zero-overhead test).
+class ThreadOwnershipChecker {
+ public:
+  void Check(const char* /*what*/) const {}
+  void Reset() const {}
+};
+
+#endif  // NSM_THREAD_CHECKS
+
+/// True when the dynamic single-owner checks were compiled in.
+[[nodiscard]] constexpr bool ThreadChecksEnabled() {
+#if defined(NSM_THREAD_CHECKS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace core

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <mutex>
 #include <optional>
 
 #include "adios/sst.hpp"
 #include "core/bridge.hpp"
 #include "core/buffer.hpp"
+#include "core/thread_annotations.hpp"
 #include "instrument/report.hpp"
 #include "mpimini/metrics_reduce.hpp"
 #include "mpimini/runtime.hpp"
@@ -20,10 +20,12 @@ namespace nek_sensei {
 
 namespace {
 
-// Shared collection slot filled by world rank 0 inside the run.
+// Shared collection slot filled by world rank 0 inside the run (and read by
+// the launching thread after the rank threads join — which still takes the
+// lock, so the thread-safety analysis can prove every access).
 struct SharedMetrics {
-  std::mutex mutex;
-  WorkflowMetrics metrics;
+  core::Mutex mutex;
+  WorkflowMetrics metrics NSM_GUARDED_BY(mutex);
 };
 
 // Gather per-rank reports and analysis byte counts onto world rank 0.
@@ -37,7 +39,7 @@ void CollectReports(mpimini::Comm& world, const RankReport& mine,
   std::array<std::size_t, 2> io{bytes, images};
   world.Reduce(std::span<std::size_t>(io), mpimini::Op::kSum, 0);
   if (world.Rank() == 0) {
-    std::lock_guard<std::mutex> lock(shared.mutex);
+    core::MutexLock lock(shared.mutex);
     shared.metrics.ranks = std::move(reports);
     shared.metrics.bytes_written = io[0];
     shared.metrics.images_written = io[1];
@@ -174,7 +176,7 @@ void CollectRunHealth(mpimini::Comm& world,
   }
   instrument::MetricsReport report = mpimini::ReduceMetrics(world, mine, 0);
   if (world.Rank() == 0) {
-    std::lock_guard<std::mutex> lock(shared.mutex);
+    core::MutexLock lock(shared.mutex);
     shared.metrics.metrics_report = std::move(report);
   }
 }
@@ -330,7 +332,10 @@ std::size_t WorkflowMetrics::MaxSimDevicePeakBytes() const {
 
 WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
   SharedMetrics shared;
-  shared.metrics.steps = options.steps;
+  {
+    core::MutexLock lock(shared.mutex);
+    shared.metrics.steps = options.steps;
+  }
   const instrument::TelemetryConfig telemetry =
       ResolveTelemetry(options.telemetry, options.sensei_xml);
 
@@ -378,6 +383,9 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
     CollectRunHealth(comm, telemetry, shared);
   });
 
+  // Rank threads are joined, but the analysis (rightly) still wants the
+  // lock for these accesses.
+  core::MutexLock lock(shared.mutex);
   shared.metrics.wall_seconds = run.wall_seconds;
   ExportTelemetry(telemetry, run, shared.metrics);
   ExportRunHealth(telemetry, shared.metrics);
@@ -391,7 +399,10 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
   const bool streaming = XmlHasAdios(options.sim_xml);
 
   SharedMetrics shared;
-  shared.metrics.steps = options.steps;
+  {
+    core::MutexLock lock(shared.mutex);
+    shared.metrics.steps = options.steps;
+  }
   const instrument::TelemetryConfig telemetry =
       ResolveTelemetry(options.telemetry, options.sim_xml);
 
@@ -488,6 +499,9 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
     CollectRunHealth(world, telemetry, shared);
   });
 
+  // Rank threads are joined, but the analysis (rightly) still wants the
+  // lock for these accesses.
+  core::MutexLock lock(shared.mutex);
   shared.metrics.wall_seconds = run.wall_seconds;
   ExportTelemetry(telemetry, run, shared.metrics);
   ExportRunHealth(telemetry, shared.metrics);

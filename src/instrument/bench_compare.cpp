@@ -142,12 +142,23 @@ bool WriteBenchJson(const std::string& path, const BenchReport& report) {
 }
 
 std::optional<BenchReport> ReadBenchJson(const std::string& path) {
+  BenchReadStatus status = BenchReadStatus::kOk;
+  return ReadBenchJson(path, status);
+}
+
+std::optional<BenchReport> ReadBenchJson(const std::string& path,
+                                         BenchReadStatus& status) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) {
+    status = BenchReadStatus::kMissingFile;
+    return std::nullopt;
+  }
   std::stringstream ss;
   ss << in.rdbuf();
   const std::string text = ss.str();
-  return Parser(text).Parse();
+  std::optional<BenchReport> report = Parser(text).Parse();
+  status = report ? BenchReadStatus::kOk : BenchReadStatus::kUnparseable;
+  return report;
 }
 
 bool IsTimeMetric(const std::string& name) {

@@ -30,6 +30,19 @@ bool WriteBenchJson(const std::string& path, const BenchReport& report);
 /// the file cannot be read or is not a valid bench report.
 std::optional<BenchReport> ReadBenchJson(const std::string& path);
 
+/// Why ReadBenchJson returned nullopt.  A missing baseline (new bench, not
+/// yet committed) and a corrupt one (truncated write, bad merge) are
+/// different failures and the CI gate reports them distinctly.
+enum class BenchReadStatus {
+  kOk,          ///< parsed successfully
+  kMissingFile, ///< the file does not exist / cannot be opened
+  kUnparseable, ///< the file opened but is not a valid bench report
+};
+
+/// ReadBenchJson variant that reports *why* a read failed via `status`.
+std::optional<BenchReport> ReadBenchJson(const std::string& path,
+                                         BenchReadStatus& status);
+
 struct CompareOptions {
   /// Relative headroom for timing metrics (names containing "seconds" or
   /// "_ms"): current may exceed baseline by this fraction before the gate

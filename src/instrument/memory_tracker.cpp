@@ -9,6 +9,7 @@ thread_local MemoryTracker* g_current_tracker = nullptr;
 }  // namespace
 
 void MemoryTracker::Allocate(const std::string& category, std::size_t bytes) {
+  owner_.Check("instrument::MemoryTracker::Allocate");
   Cat& cat = categories_[category];
   cat.current += bytes;
   cat.peak = std::max(cat.peak, cat.current);
@@ -21,6 +22,9 @@ void MemoryTracker::Allocate(const std::string& category, std::size_t bytes) {
 }
 
 void MemoryTracker::Release(const std::string& category, std::size_t bytes) {
+  // Cross-rank buffer handoff detaches tracking *before* the bytes change
+  // threads (Comm::SendBuffer), so Release is single-owner like Allocate.
+  owner_.Check("instrument::MemoryTracker::Release");
   Cat& cat = categories_[category];
   cat.current = bytes > cat.current ? 0 : cat.current - bytes;
   current_ = bytes > current_ ? 0 : current_ - bytes;
@@ -46,6 +50,9 @@ std::map<std::string, std::size_t> MemoryTracker::ByCategory() const {
 }
 
 void MemoryTracker::Reset() {
+  // Reset is an ownership handoff point (benches reuse trackers across
+  // configurations): release the owner binding with the counters.
+  owner_.Reset();
   categories_.clear();
   current_ = 0;
   peak_ = 0;

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
+
 namespace instrument {
 
 /// Tracks current and peak bytes for one rank, broken down by category.
@@ -21,6 +23,9 @@ namespace instrument {
 /// Categories are free-form labels ("field", "device", "staging",
 /// "marshal", "checkpoint", ...) so reports can attribute the high-water
 /// mark to subsystems.
+///
+/// Not thread-safe by design: each rank thread owns its tracker.  The
+/// single-owner contract is machine-checked under NSM_THREAD_CHECKS.
 class MemoryTracker {
  public:
   /// Record an allocation of `bytes` under `category`.
@@ -60,6 +65,8 @@ class MemoryTracker {
   std::size_t peak_ = 0;
   std::size_t host_current_ = 0;
   std::size_t host_peak_ = 0;
+  /// Single-owner audit (no-op unless NSM_THREAD_CHECKS).
+  core::ThreadOwnershipChecker owner_;
 };
 
 /// The category treated as device (GPU) memory by the host counters.

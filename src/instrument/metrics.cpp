@@ -195,6 +195,7 @@ MetricsSnapshot MetricsSnapshot::Deserialize(std::span<const std::byte> bytes) {
 // -- MetricsRegistry ---------------------------------------------------------
 
 void MetricsRegistry::Set(std::string_view name, double value) {
+  owner_.Check("instrument::MetricsRegistry::Set");
   auto [it, inserted] = gauges_.try_emplace(std::string(name));
   GaugeData& g = it->second;
   g.last = value;
@@ -205,15 +206,18 @@ void MetricsRegistry::Set(std::string_view name, double value) {
 }
 
 void MetricsRegistry::Add(std::string_view name, double delta) {
+  owner_.Check("instrument::MetricsRegistry::Add");
   counters_[std::string(name)] += delta;
 }
 
 void MetricsRegistry::SetTotal(std::string_view name, double total) {
+  owner_.Check("instrument::MetricsRegistry::SetTotal");
   double& value = counters_[std::string(name)];
   value = std::max(value, total);
 }
 
 void MetricsRegistry::Observe(std::string_view name, double value) {
+  owner_.Check("instrument::MetricsRegistry::Observe");
   auto it = histograms_.find(std::string(name));
   if (it == histograms_.end()) {
     it = histograms_
@@ -225,6 +229,7 @@ void MetricsRegistry::Observe(std::string_view name, double value) {
 
 void MetricsRegistry::DefineHistogram(std::string_view name,
                                       std::vector<double> edges) {
+  owner_.Check("instrument::MetricsRegistry::DefineHistogram");
   histograms_.insert_or_assign(std::string(name),
                                HistogramData(std::move(edges)));
 }
@@ -252,6 +257,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Clear() {
+  // Clearing is an explicit ownership handoff point (benches reuse a
+  // registry across configurations): release the owner binding too.
+  owner_.Reset();
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -23,6 +23,8 @@
 #include <string_view>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
+
 namespace instrument {
 
 /// Fixed-bucket histogram.  Boundary semantics (tested): `edges` are the
@@ -79,7 +81,8 @@ struct MetricsSnapshot {
 };
 
 /// Typed per-rank metrics recorder.  Not thread-safe by design: each rank
-/// thread owns its registry (mirrors Tracer / MemoryTracker).
+/// thread owns its registry (mirrors Tracer / MemoryTracker).  The
+/// single-owner contract is machine-checked under NSM_THREAD_CHECKS.
 class MetricsRegistry {
  public:
   /// Record a gauge sample: keeps the latest value and the low/high
@@ -129,6 +132,8 @@ class MetricsRegistry {
   std::map<std::string, double> counters_;
   std::map<std::string, GaugeData> gauges_;
   std::map<std::string, HistogramData> histograms_;
+  /// Single-owner audit (no-op unless NSM_THREAD_CHECKS).
+  core::ThreadOwnershipChecker owner_;
 };
 
 /// Cross-rank statistics for one scalar metric.  For counters the per-rank

@@ -39,6 +39,7 @@ std::int64_t Tracer::NowNs() {
 }
 
 void Tracer::Instant(std::string_view name) {
+  owner_.Check("instrument::Tracer::Instant");
   if (events_.size() >= options_.event_capacity) {
     ++dropped_events_;
     return;
@@ -50,6 +51,7 @@ void Tracer::Instant(std::string_view name) {
 }
 
 void Tracer::SampleCounter(std::string_view name, double value) {
+  owner_.Check("instrument::Tracer::SampleCounter");
   counters_[std::string(name)] = value;
   if (samples_.size() >= options_.event_capacity) {
     ++dropped_events_;
@@ -63,10 +65,12 @@ void Tracer::SampleCounter(std::string_view name, double value) {
 }
 
 void Tracer::AddCounter(std::string_view name, double delta) {
+  owner_.Check("instrument::Tracer::AddCounter");
   counters_[std::string(name)] += delta;
 }
 
 std::uint16_t Tracer::OpenSpan() {
+  owner_.Check("instrument::Tracer::OpenSpan");
   const std::uint32_t depth = depth_++;
   return static_cast<std::uint16_t>(std::min<std::uint32_t>(depth, 0xffff));
 }
@@ -133,6 +137,9 @@ std::string Tracer::SummaryLine() const {
 }
 
 void Tracer::Clear() {
+  // Clearing is an explicit ownership handoff point (benches reuse a tracer
+  // across configurations): release the owner binding with the data.
+  owner_.Reset();
   head_ = 0;
   total_ = 0;
   dropped_ = 0;

@@ -21,10 +21,14 @@
 #include <string_view>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
+
 namespace instrument {
 
 /// Low-overhead per-rank trace recorder.  Not thread-safe by design: each
 /// rank thread owns its tracer (mirrors MemoryTracker / BufferStats).
+/// The single-owner contract is machine-checked under NSM_THREAD_CHECKS:
+/// every mutating entry point asserts it runs on the owning thread.
 class Tracer {
  public:
   struct Options {
@@ -143,6 +147,11 @@ class Tracer {
   std::map<std::string, double> counters_;
   std::uint64_t skipped_waits_ = 0;
   std::int64_t skipped_wait_ns_ = 0;
+  /// Single-owner audit (no-op unless NSM_THREAD_CHECKS): the ring and
+  /// counter bookkeeping are lock-free because exactly one rank thread may
+  /// mutate them; this makes the contract abort-on-violation instead of a
+  /// silent race.
+  core::ThreadOwnershipChecker owner_;
 };
 
 /// The tracer installed for the calling thread (rank), or nullptr.

@@ -1,8 +1,8 @@
 #include "mpimini/comm.hpp"
 
 #include <algorithm>
-#include <atomic>
 
+#include "core/thread_annotations.hpp"
 #include "instrument/tracer.hpp"
 #include "mpimini/comm_state.hpp"
 #include "mpimini/runtime.hpp"
@@ -67,10 +67,10 @@ void Comm::SendBytes(int dest, int tag, const void* data, std::size_t bytes) {
       "", std::span<const std::byte>(static_cast<const std::byte*>(data),
                                      bytes));
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    core::MutexLock lock(state_->mutex);
     state_->boxes[static_cast<std::size_t>(dest)].push_back(std::move(m));
   }
-  state_->cv.notify_all();
+  state_->cv.NotifyAll();
 }
 
 void Comm::SendBuffer(int dest, int tag, core::Buffer buffer) {
@@ -86,10 +86,10 @@ void Comm::SendBuffer(int dest, int tag, core::Buffer buffer) {
   m.tag = tag;
   m.payload = std::move(buffer);
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    core::MutexLock lock(state_->mutex);
     state_->boxes[static_cast<std::size_t>(dest)].push_back(std::move(m));
   }
-  state_->cv.notify_all();
+  state_->cv.NotifyAll();
 }
 
 void Comm::SendGather(int dest, int tag, const core::BufferChain& chain) {
@@ -100,15 +100,18 @@ void Comm::SendGather(int dest, int tag, const core::BufferChain& chain) {
 
 Message Comm::RecvBytes(int source, int tag) {
   if (!state_) throw std::runtime_error("mpimini: recv on invalid comm");
-  std::unique_lock<std::mutex> lock(state_->mutex);
+  core::MutexLock lock(state_->mutex);
   auto& box = state_->boxes[static_cast<std::size_t>(rank_)];
   auto it = detail::FindMatch(box, source, tag);
   if (it == box.end()) {
     detail::IdleScope idle("comm.recv.wait");
-    state_->cv.wait(lock, [&] {
+    // Explicit wait loop (not a predicate lambda): the match condition
+    // reads guarded state, which the analysis can only follow in the
+    // capability-holding function body.
+    while (it == box.end()) {
+      state_->cv.Wait(state_->mutex);
       it = detail::FindMatch(box, source, tag);
-      return it != box.end();
-    });
+    }
   }
   Message m = std::move(*it);
   box.erase(it);
@@ -123,39 +126,40 @@ core::Buffer Comm::RecvBuffer(int source, int tag) {
 
 std::size_t Comm::Probe(int source, int tag) {
   if (!state_) throw std::runtime_error("mpimini: probe on invalid comm");
-  std::unique_lock<std::mutex> lock(state_->mutex);
+  core::MutexLock lock(state_->mutex);
   auto& box = state_->boxes[static_cast<std::size_t>(rank_)];
   auto it = detail::FindMatch(box, source, tag);
   if (it == box.end()) {
     detail::IdleScope idle("comm.probe.wait");
-    state_->cv.wait(lock, [&] {
+    while (it == box.end()) {
+      state_->cv.Wait(state_->mutex);
       it = detail::FindMatch(box, source, tag);
-      return it != box.end();
-    });
+    }
   }
   return it->payload.size();
 }
 
 bool Comm::HasMessage(int source, int tag) {
   if (!state_) throw std::runtime_error("mpimini: probe on invalid comm");
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  core::MutexLock lock(state_->mutex);
   auto& box = state_->boxes[static_cast<std::size_t>(rank_)];
   return detail::FindMatch(box, source, tag) != box.end();
 }
 
 void Comm::Barrier() {
   if (!state_) throw std::runtime_error("mpimini: barrier on invalid comm");
-  std::unique_lock<std::mutex> lock(state_->mutex);
+  core::MutexLock lock(state_->mutex);
   const std::uint64_t generation = state_->barrier_generation;
   if (++state_->barrier_count == state_->size) {
     state_->barrier_count = 0;
     ++state_->barrier_generation;
-    state_->cv.notify_all();
+    state_->cv.NotifyAll();
     return;
   }
   detail::IdleScope idle("comm.barrier.wait");
-  state_->cv.wait(lock,
-                  [&] { return state_->barrier_generation != generation; });
+  while (state_->barrier_generation == generation) {
+    state_->cv.Wait(state_->mutex);
+  }
 }
 
 std::vector<core::Buffer> Comm::GatherBytes(std::span<const std::byte> mine,
@@ -203,7 +207,7 @@ std::vector<std::vector<std::byte>> Comm::AllToAllBytes(
 
 Comm Comm::Split(int color, int key) {
   if (!state_) throw std::runtime_error("mpimini: split on invalid comm");
-  std::unique_lock<std::mutex> lock(state_->mutex);
+  core::MutexLock lock(state_->mutex);
   const std::uint64_t seq = state_->split_seq[static_cast<std::size_t>(rank_)]++;
   detail::CommState::SplitOp& op = state_->splits[seq];
   op.entries[rank_] = {color, key};
@@ -223,10 +227,12 @@ Comm Comm::Split(int color, int key) {
       }
     }
     op.ready = true;
-    state_->cv.notify_all();
+    state_->cv.NotifyAll();
   } else {
     detail::IdleScope idle("comm.split.wait");
-    state_->cv.wait(lock, [&] { return op.ready; });
+    while (!op.ready) {
+      state_->cv.Wait(state_->mutex);
+    }
   }
 
   Comm child;

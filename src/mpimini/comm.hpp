@@ -13,15 +13,11 @@
 // per-node quantity the paper's figures plot.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <vector>

@@ -1,21 +1,24 @@
 // Internal: shared communicator state. Included only by mpimini .cpp files.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <utility>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "mpimini/comm.hpp"
 
 namespace mpimini::detail {
 
 // Shared state of one communicator: one mailbox per destination rank plus a
-// central barrier and split rendezvous, all guarded by a single mutex (ranks
-// are threads on one core; a finer-grained design would buy nothing here).
+// central barrier and split rendezvous, all guarded by a single annotated
+// mutex (ranks are threads on one core; a finer-grained design would buy
+// nothing here).  Every field below the mutex is NSM_GUARDED_BY it, so the
+// Clang thread-safety analysis proves each access in comm.cpp holds the
+// lock — the mailbox is the highest-traffic shared structure in the system.
 struct CommState {
   explicit CommState(int n)
       : size(n),
@@ -32,15 +35,15 @@ struct CommState {
   };
 
   const int size;
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::vector<std::deque<Message>> boxes;
+  core::Mutex mutex;
+  core::CondVar cv;
+  std::vector<std::deque<Message>> boxes NSM_GUARDED_BY(mutex);
 
-  int barrier_count = 0;
-  std::uint64_t barrier_generation = 0;
+  int barrier_count NSM_GUARDED_BY(mutex) = 0;
+  std::uint64_t barrier_generation NSM_GUARDED_BY(mutex) = 0;
 
-  std::vector<std::uint64_t> split_seq;
-  std::map<std::uint64_t, SplitOp> splits;
+  std::vector<std::uint64_t> split_seq NSM_GUARDED_BY(mutex);
+  std::map<std::uint64_t, SplitOp> splits NSM_GUARDED_BY(mutex);
 };
 
 }  // namespace mpimini::detail

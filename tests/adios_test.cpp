@@ -223,6 +223,53 @@ TEST(SstTest, QueueLimitBoundsInFlightSteps) {
   });
 }
 
+TEST(SstTest, QueueDepthWatermarkExactUnderConcurrentFeeders) {
+  // Two writer ranks feed one reader concurrently; the reader is held back
+  // (tag-7 rendezvous) until both writers have filled their staging queues.
+  // Pins the sst.queue_depth gauge watermark: it must reach queue_limit
+  // exactly and never exceed it, per writer, with no cross-rank bleed.
+  constexpr int kQueueLimit = 2;
+  constexpr int kSteps = 5;
+  constexpr int kReaderRank = 2;
+  constexpr int kGoTag = 7;
+  mpimini::RunSettings settings;
+  settings.metrics = true;
+  auto result = Runtime::Run(3, settings, [&](Comm& comm) {
+    if (comm.Rank() != kReaderRank) {
+      SstWriter writer(comm, kReaderRank, {.queue_limit = kQueueLimit});
+      for (int s = 0; s < kSteps; ++s) {
+        writer.BeginStep(s);
+        writer.Put("v", Bytes(std::string(1000, 'x')));
+        writer.EndStep();
+        // Release the reader only once the staging queue is full: the
+        // watermark deterministically hits the limit before any ack.
+        if (s == kQueueLimit - 1) {
+          comm.SendValue<std::int32_t>(kReaderRank, kGoTag, 1);
+        }
+      }
+      writer.Close();
+    } else {
+      comm.RecvValue<std::int32_t>(0, kGoTag);
+      comm.RecvValue<std::int32_t>(1, kGoTag);
+      SstReader reader(comm, {0, 1});
+      int steps = 0;
+      while (reader.NextStep()) ++steps;
+      EXPECT_EQ(steps, kSteps);
+    }
+  });
+  ASSERT_EQ(result.metrics.size(), 3u);
+  for (int w = 0; w < 2; ++w) {
+    const auto& registry = *result.metrics[static_cast<std::size_t>(w)];
+    const auto* depth = registry.Gauge("sst.queue_depth");
+    ASSERT_NE(depth, nullptr) << "writer " << w;
+    EXPECT_EQ(depth->high, static_cast<double>(kQueueLimit)) << "writer " << w;
+    EXPECT_EQ(registry.Counter("sst.steps"), static_cast<double>(kSteps))
+        << "writer " << w;
+  }
+  // The reader never stages: its registry must not grow a queue gauge.
+  EXPECT_EQ(result.metrics[kReaderRank]->Gauge("sst.queue_depth"), nullptr);
+}
+
 TEST(SstTest, WriterMisuseThrows) {
   Runtime::Run(2, [](Comm& comm) {
     if (comm.Rank() == 0) {

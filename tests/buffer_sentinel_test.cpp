@@ -1,0 +1,96 @@
+// Buffer sentinel coverage: one death test per violation class when the
+// sentinel is compiled in (-DNSM_BUFFER_SENTINEL=ON), and the
+// zero-overhead-when-off guarantees for default builds.  The file compiles
+// in both configurations; CI runs it in both.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "core/buffer.hpp"
+
+namespace {
+
+using core::Buffer;
+
+#if defined(NSM_BUFFER_SENTINEL)
+
+TEST(BufferSentinelTest, Enabled) { EXPECT_TRUE(core::BufferSentinelEnabled()); }
+
+// Writing past the data window of an owned block stomps the back guard
+// canary; the block's destructor detects it and aborts with a report.
+TEST(BufferSentinelDeathTest, CanaryStompAborts) {
+  EXPECT_DEATH(
+      {
+        Buffer b("", 64);
+        *(b.data() + b.size()) = std::byte{0x5A};
+      },
+      "canary-stomp");
+}
+
+// Adopting storage that a live buffer already adopted means two keepalives
+// both believe they guard the same bytes.
+TEST(BufferSentinelDeathTest, DoubleAdoptAborts) {
+  auto storage = std::make_shared<std::vector<std::byte>>(64);
+  Buffer first = Buffer::Adopt(storage, storage->data(), storage->size());
+  EXPECT_DEATH(Buffer::Adopt(storage, storage->data(), storage->size()),
+               "double-adopt");
+}
+
+// Detaching tracking through a handle whose ownership already moved away:
+// the caller thinks it still holds bytes it handed to another rank.
+TEST(BufferSentinelDeathTest, ReleaseAfterMoveAborts) {
+  Buffer b("", 64);
+  Buffer taken = std::move(b);
+  EXPECT_DEATH(b.DetachTracking(), "release-after-move");
+}
+
+// Destroying the same handle twice would underflow the block's refcount;
+// the handle-state brand catches it before the shared_ptr is touched.
+TEST(BufferSentinelDeathTest, RefcountUnderflowAborts) {
+  alignas(Buffer) unsigned char raw[sizeof(Buffer)];
+  auto* b = new (raw) Buffer("", 64);
+  b->~Buffer();
+  EXPECT_DEATH(b->~Buffer(), "refcount-underflow");
+}
+
+// The sentinel must audit, never distort: data-plane statistics count the
+// same operations as a default build (bench invariants compare against
+// non-sentinel baselines, so the *counting* must not drift either).
+TEST(BufferSentinelTest, StatsCountingUnchanged) {
+  core::ResetLocalBufferStats();
+  std::vector<std::byte> src(8192, std::byte{0x11});
+  Buffer copy = Buffer::CopyOf("", src);
+  Buffer shared = copy;
+  Buffer sliced = copy.Slice(16, 256);
+  const core::BufferStats& stats = core::LocalBufferStats();
+  EXPECT_EQ(stats.allocations, 1u);
+  EXPECT_EQ(stats.full_copies, 1u);
+  EXPECT_EQ(stats.small_copies, 0u);
+  EXPECT_EQ(stats.adoptions, 1u);  // the slice; plain copies never count
+  core::ResetLocalBufferStats();
+}
+
+#else  // !NSM_BUFFER_SENTINEL
+
+TEST(BufferSentinelTest, Disabled) {
+  EXPECT_FALSE(core::BufferSentinelEnabled());
+}
+
+// Zero overhead when off: no extra state in the handle (the brand and audit
+// helpers compile away entirely).
+static_assert(sizeof(Buffer) ==
+                  sizeof(std::shared_ptr<void>) + 2 * sizeof(std::size_t),
+              "default-build Buffer must carry no sentinel state");
+
+TEST(BufferSentinelTest, HandleHasNoSentinelState) {
+  EXPECT_EQ(sizeof(Buffer),
+            sizeof(std::shared_ptr<void>) + 2 * sizeof(std::size_t));
+}
+
+#endif  // NSM_BUFFER_SENTINEL
+
+}  // namespace

@@ -438,4 +438,27 @@ TEST(BenchCompareTest, BenchJsonRoundTripIsAtomic) {
   std::filesystem::remove_all(dir);
 }
 
+// A missing baseline (new bench, nothing committed yet) and a corrupt one
+// (truncated write) are different failures; the CI gate (compare_runs)
+// exits 2 vs 3 on them, driven by this status.
+TEST(BenchCompareTest, ReadStatusDistinguishesMissingFromUnparseable) {
+  const std::string dir = TempDir("nsm_bench_status_test");
+  instrument::BenchReadStatus status = instrument::BenchReadStatus::kOk;
+
+  EXPECT_FALSE(
+      instrument::ReadBenchJson(dir + "/absent.json", status).has_value());
+  EXPECT_EQ(status, instrument::BenchReadStatus::kMissingFile);
+
+  std::ofstream(dir + "/garbage.json") << "{ truncated";
+  EXPECT_FALSE(
+      instrument::ReadBenchJson(dir + "/garbage.json", status).has_value());
+  EXPECT_EQ(status, instrument::BenchReadStatus::kUnparseable);
+
+  const std::string good = dir + "/BENCH_fig5.json";
+  ASSERT_TRUE(instrument::WriteBenchJson(good, GateBaseline()));
+  EXPECT_TRUE(instrument::ReadBenchJson(good, status).has_value());
+  EXPECT_EQ(status, instrument::BenchReadStatus::kOk);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace

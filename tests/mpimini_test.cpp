@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 
+#include "instrument/tracer.hpp"
 #include "mpimini/comm.hpp"
 #include "mpimini/runtime.hpp"
 
@@ -464,6 +465,30 @@ TEST(StressTest, LargeMessageIntegrity) {
       EXPECT_DOUBLE_EQ(data[kCount / 2], (kCount / 2) * 0.5);
     }
   });
+}
+
+TEST(StressTest, TracerRingDropCountersIsolatedAcrossConcurrentFeeders) {
+  // Eight rank threads concurrently hammer their own per-rank tracer rings.
+  // The rings are lock-free single-owner structures; this pins that the
+  // drop bookkeeping stays exact per rank with no cross-thread bleed.
+  constexpr std::size_t kRing = 8;
+  constexpr int kSpans = 100;
+  mpimini::RunSettings settings;
+  settings.trace = true;
+  settings.tracer.span_capacity = kRing;
+  auto result = Runtime::Run(8, settings, [](Comm& comm) {
+    for (int s = 0; s < kSpans + comm.Rank(); ++s) {
+      instrument::Span span("solver.step");
+    }
+  });
+  ASSERT_EQ(result.tracers.size(), 8u);
+  for (int r = 0; r < 8; ++r) {
+    const auto& tracer = *result.tracers[static_cast<std::size_t>(r)];
+    const auto expected = static_cast<std::uint64_t>(kSpans + r);
+    EXPECT_EQ(tracer.TotalSpans(), expected) << "rank " << r;
+    EXPECT_EQ(tracer.DroppedSpans(), expected - kRing) << "rank " << r;
+    EXPECT_EQ(tracer.RetainedSpans(), kRing) << "rank " << r;
+  }
 }
 
 TEST(StressTest, NestedSplitsFormConsistentSubgroups) {

@@ -331,4 +331,31 @@ TEST(TelemetryConfigTest, TranslatesToTracerOptions) {
   EXPECT_EQ(options.wait_min_ns, 1'000'000);
 }
 
+#if defined(NSM_THREAD_CHECKS)
+
+// The tracer is single-owner by contract; under NSM_THREAD_CHECKS a mutation
+// from a second thread must abort with a report instead of racing the ring.
+TEST(TracerDeathTest, CrossThreadMutationAborts) {
+  instrument::Tracer tracer(0);
+  tracer.Instant("bind.owner");  // binds the owning thread
+  EXPECT_DEATH(
+      {
+        std::thread intruder([&] { tracer.Instant("foreign.write"); });
+        intruder.join();
+      },
+      "single-owner violation");
+}
+
+// Clear() is the documented handoff point: after it, a new thread may own.
+TEST(TracerThreadChecksTest, ClearHandsOffOwnership) {
+  instrument::Tracer tracer(0);
+  tracer.Instant("first.owner");
+  tracer.Clear();
+  std::thread successor([&] { tracer.Instant("second.owner"); });
+  successor.join();
+  EXPECT_EQ(tracer.Events().size(), 1u);
+}
+
+#endif  // NSM_THREAD_CHECKS
+
 }  // namespace

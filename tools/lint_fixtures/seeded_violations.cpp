@@ -1,0 +1,34 @@
+// Seeded lint fixture: one deliberate violation per rule.  Never compiled —
+// the nsm_lint_fixture ctest runs the linter over this file and requires a
+// nonzero exit with every rule represented.
+#include <mutex>
+#include <mutex>   // include-hygiene: duplicate include
+#include <thread>  // include-hygiene: <thread> without std::thread usage
+#include <fstream>
+
+#include "core/thread_annotations.hpp"
+#include "mpimini/comm.hpp"
+
+void RawNewViolation() {
+  int* leak = new int[16];  // raw-new: allocation outside core/buffer.cpp
+  delete[] leak;            // raw-new: matching raw delete
+}
+
+void CollectiveUnderLockViolation(core::Mutex& mutex, mpimini::Comm& comm) {
+  core::MutexLock lock(mutex);
+  comm.Barrier();  // collective-under-lock: peer ranks deadlock on `mutex`
+}
+
+void BadSpanName() {
+  instrument::Span span("BadName.NoCaps");  // span-name: uppercase
+  instrument::Span flat("nodots");          // span-name: missing layer prefix
+}
+
+void BadMetricName(instrument::MetricsRegistry* metrics) {
+  metrics->Set("sst queue depth", 1.0);  // metric-name: spaces, no dots
+}
+
+void UnsafeJsonWrite() {
+  std::ofstream out("metrics.json");  // json-atomic-write: not AtomicFile
+  out << "{}";
+}

@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Repo linter: concurrency and artifact-hygiene rules the compilers can't see.
+
+Rules (see DESIGN.md §6 "Correctness tooling"):
+
+  raw-new               All data-plane storage goes through core::Buffer;
+                        `new` / `delete` expressions are allowed only in
+                        src/core/buffer.cpp (the single allocation site).
+  collective-under-lock Blocking mpimini calls (collectives, receives,
+                        probes) while a lock guard is live deadlock as soon
+                        as a peer rank needs the same mutex to make
+                        progress.  src/mpimini/comm.cpp is exempt: waiting
+                        on the mailbox condition variable under the mailbox
+                        mutex is the one legitimate instance of the shape.
+  span-name             Span / instant-event names are the dotted lowercase
+                        `layer.phase` taxonomy (DESIGN.md §5a).
+  metric-name           Metric names follow the same `plane.metric` form
+                        (DESIGN.md §5b).
+  json-atomic-write     JSON artifacts are written via instrument::AtomicFile
+                        (temp + rename), never a plain std::ofstream — a
+                        killed run must not leave a truncated file.
+  include-hygiene       No duplicate includes; concurrency headers
+                        (<mutex>, <thread>, ...) only where their types are
+                        actually used.
+
+Usage: nsm_lint.py [paths...]    (default: the repository's src/ tree)
+Exit:  0 clean, 1 findings, 2 usage error.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+NAME_PATTERN = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+# Call sites whose first argument names a span or event on the trace
+# timeline.
+SPAN_CALL = re.compile(
+    r"\b(?:Span|IdleScope)\s*(?:[a-z_][a-z0-9_]*\s*)?\(\s*\"([^\"]*)\""
+    r"|\b(?:Instant)\s*\(\s*\"([^\"]*)\"")
+
+# Call sites whose first argument names a metric or counter.
+METRIC_CALL = re.compile(
+    r"\b(?:SampleCounter|AddCounter|Set|Add|SetTotal|Observe|"
+    r"DefineHistogram)\s*\(\s*\"([^\"]*)\"")
+
+# A `new` that allocates (excludes `= delete`-style declarations, which the
+# DELETE_EXPR pattern also skips by requiring an operand).
+NEW_EXPR = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:][\w:]*|\[)")
+DELETE_EXPR = re.compile(r"\bdelete\b\s*(?:\[\s*\]\s*)?(?=[A-Za-z_(*])")
+
+LOCK_GUARD = re.compile(
+    r"\b(?:core::MutexLock|std::lock_guard|std::unique_lock|"
+    r"std::scoped_lock)\b(?!\s*[;>)])")
+
+BLOCKING_CALL = re.compile(
+    r"[.>](?:Barrier|Bcast|Reduce|AllReduce|AllReduceValue|Gather|"
+    r"GatherBytes|AllGather|AllToAllBytes|Split|RecvBytes|RecvBuffer|"
+    r"Recv|RecvValue|Probe)\s*[(<]")
+
+# Headers that should only appear where their vocabulary is used.
+HEADER_USE = {
+    "mutex": re.compile(
+        r"std::(?:mutex|lock_guard|unique_lock|scoped_lock|timed_mutex|"
+        r"recursive_mutex|call_once|once_flag)"),
+    "condition_variable": re.compile(r"std::condition_variable"),
+    "atomic": re.compile(r"std::(?:atomic|memory_order)"),
+    "thread": re.compile(r"std::(?:thread|this_thread)"),
+    "deque": re.compile(r"std::deque"),
+}
+
+# Files exempt from one rule each, with the reason inline where they are
+# consulted.
+RAW_NEW_ALLOWED = {"src/core/buffer.cpp"}
+COLLECTIVE_UNDER_LOCK_ALLOWED = {"src/mpimini/comm.cpp"}
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Return text with comments removed and literal contents blanked,
+    preserving line structure so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; keep line structure
+                state = "code"
+                out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def lint_names(rel, raw_lines, findings):
+    for lineno, line in enumerate(raw_lines, 1):
+        stripped = line.lstrip()
+        if stripped.startswith("//") or stripped.startswith("*"):
+            continue
+        for match in SPAN_CALL.finditer(line):
+            name = match.group(1) or match.group(2)
+            if name and not NAME_PATTERN.match(name):
+                findings.append(Finding(
+                    rel, lineno, "span-name",
+                    f'"{name}" does not match the dotted lowercase '
+                    f"layer.phase taxonomy (DESIGN.md §5a)"))
+        for match in METRIC_CALL.finditer(line):
+            name = match.group(1)
+            if name and not NAME_PATTERN.match(name):
+                findings.append(Finding(
+                    rel, lineno, "metric-name",
+                    f'"{name}" does not match the dotted lowercase '
+                    f"plane.metric taxonomy (DESIGN.md §5b)"))
+
+
+def lint_code(rel, code_lines, raw_lines, findings):
+    allow_raw_new = rel in RAW_NEW_ALLOWED
+    allow_lock_call = rel in COLLECTIVE_UNDER_LOCK_ALLOWED
+
+    depth = 0
+    lock_depths = []  # brace depth at which each live guard was declared
+    includes_seen = {}
+    joined = "\n".join(code_lines)
+
+    for lineno, line in enumerate(code_lines, 1):
+        inc = re.match(r'\s*#\s*include\s*[<"]([^>"]+)[>"]', line)
+        if inc:
+            header = inc.group(1)
+            if header in includes_seen:
+                findings.append(Finding(
+                    rel, lineno, "include-hygiene",
+                    f"duplicate include of <{header}> "
+                    f"(first at line {includes_seen[header]})"))
+            else:
+                includes_seen[header] = lineno
+            use = HEADER_USE.get(header)
+            if use and not use.search(joined):
+                findings.append(Finding(
+                    rel, lineno, "include-hygiene",
+                    f"<{header}> included but none of its types are used"))
+
+        if not allow_raw_new:
+            if NEW_EXPR.search(line):
+                findings.append(Finding(
+                    rel, lineno, "raw-new",
+                    "raw `new`: allocate through core::Buffer / standard "
+                    "containers (only src/core/buffer.cpp may)"))
+            if DELETE_EXPR.search(line):
+                findings.append(Finding(
+                    rel, lineno, "raw-new",
+                    "raw `delete`: ownership belongs to core::Buffer / "
+                    "smart pointers (only src/core/buffer.cpp may)"))
+
+        # The .json literal lives in the (blanked) string, so match it on the
+        # raw line with any trailing line comment cut off.
+        if "ofstream" in line:
+            raw = raw_lines[lineno - 1].split("//")[0]
+            if re.search(r"json", raw, re.IGNORECASE):
+                findings.append(Finding(
+                    rel, lineno, "json-atomic-write",
+                    "JSON artifacts must go through instrument::AtomicFile "
+                    "(temp + rename), not a plain ofstream"))
+
+        # Brace-scope lock tracking: a guard dies when its scope closes.
+        if LOCK_GUARD.search(line):
+            lock_depths.append(depth)
+        elif lock_depths and BLOCKING_CALL.search(line) and not allow_lock_call:
+            findings.append(Finding(
+                rel, lineno, "collective-under-lock",
+                "blocking mpimini call while a lock guard is live: a peer "
+                "rank needing the mutex deadlocks the collective"))
+        for c in line:
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth = max(0, depth - 1)
+                while lock_depths and lock_depths[-1] >= depth:
+                    lock_depths.pop()
+
+
+def lint_file(path, findings):
+    rel = str(path.relative_to(REPO_ROOT)) if path.is_relative_to(
+        REPO_ROOT) else str(path)
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments_and_strings(raw).splitlines()
+    lint_names(rel, raw_lines, findings)
+    lint_code(rel, code_lines, raw_lines, findings)
+
+
+def collect(paths):
+    files = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.cpp")) + sorted(p.rglob("*.hpp")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"nsm_lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv):
+    targets = [pathlib.Path(a) for a in argv[1:]]
+    if not targets:
+        targets = [REPO_ROOT / "src"]
+    findings = []
+    files = collect(targets)
+    for f in files:
+        lint_file(f, findings)
+    for finding in findings:
+        print(finding)
+    print(f"nsm_lint: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
