@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "core/workflows.hpp"
@@ -29,6 +30,9 @@ namespace bench {
 ///                        headline run
 ///   --bench-out <path>   canonical BENCH_*.json for bench/compare_runs
 ///   --smoke              CI-sized sweep (fewer rank counts / steps)
+///   --async              run the SENSEI configurations through the async
+///                        pipeline (<pipeline mode="async" depth="2"/>);
+///                        baseline configurations stay untouched
 struct BenchArgs {
   bool trace = false;
   std::string trace_path;
@@ -36,6 +40,7 @@ struct BenchArgs {
   std::string metrics_path;
   std::string bench_path;
   bool smoke = false;
+  bool async = false;
 
   /// telemetry.json next to the requested trace file.
   [[nodiscard]] std::string SummaryPath() const {
@@ -58,6 +63,8 @@ inline void PrintBenchUsage(const char* binary) {
       "  --bench-out <path>    write canonical BENCH_*.json for the\n"
       "                        bench/compare_runs regression gate\n"
       "  --smoke               CI-sized sweep (fewer rank counts / steps)\n"
+      "  --async               offload in situ updates to the per-rank\n"
+      "                        async pipeline (depth 2 double buffering)\n"
       "  --help                show this help\n",
       binary);
 }
@@ -88,6 +95,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.bench_path = value(i, "--bench-out");
     } else if (arg == "--smoke") {
       args.smoke = true;
+    } else if (arg == "--async") {
+      args.async = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintBenchUsage(argv[0]);
       std::exit(0);
@@ -211,6 +220,20 @@ inline nekrs::FlowConfig RayleighBenardBenchCase(int sim_ranks) {
   nekrs::FlowConfig config = nekrs::cases::RayleighBenardCase(rbc);
   config.mesh.partition_axis = 0;
   return config;
+}
+
+/// Insert <pipeline mode="async" depth="2"/> right after the <sensei> root
+/// when `async` is set; the sync XML comes back untouched, so baseline
+/// configurations cannot drift.
+inline std::string WithPipeline(std::string xml, bool async) {
+  if (!async) return xml;
+  const std::string root = "<sensei>";
+  const std::size_t at = xml.find(root);
+  if (at == std::string::npos) {
+    throw std::runtime_error("bench: XML has no <sensei> root to extend");
+  }
+  xml.insert(at + root.size(), "<pipeline mode=\"async\" depth=\"2\"/>");
+  return xml;
 }
 
 /// SENSEI XML for the in situ Catalyst configuration (renders one image per

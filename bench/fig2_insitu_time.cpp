@@ -25,7 +25,10 @@ int main(int argc, char** argv) {
 
   instrument::BenchReport bench_report;
   bench_report.bench = "fig2";
-  bench_report.config = args.smoke ? "smoke" : "full";
+  // The "-async" suffix makes cross-mode comparisons a config mismatch in
+  // compare_runs: async runs gate only against *_async baselines.
+  bench_report.config = std::string(args.smoke ? "smoke" : "full") +
+                        (args.async ? "-async" : "");
 
   instrument::Table time_table(
       "Figure 2: in situ time-to-solution (pb146 stand-in, 30 steps, "
@@ -52,9 +55,11 @@ int main(int argc, char** argv) {
       if (config == "original") {
         options.use_sensei = false;
       } else if (config == "checkpointing") {
-        options.sensei_xml = bench::InSituCheckpointXml(out, kFrequency);
+        options.sensei_xml = bench::WithPipeline(
+            bench::InSituCheckpointXml(out, kFrequency), args.async);
       } else {
-        options.sensei_xml = bench::InSituCatalystXml(out, kFrequency);
+        options.sensei_xml = bench::WithPipeline(
+            bench::InSituCatalystXml(out, kFrequency), args.async);
       }
       // The Catalyst run at the largest rank count is the headline trace:
       // with --trace, its Chrome trace lands at the requested path.

@@ -24,7 +24,9 @@ int main(int argc, char** argv) {
 
   instrument::BenchReport bench_report;
   bench_report.bench = "fig5";
-  bench_report.config = args.smoke ? "smoke" : "full";
+  // "-async" suffix: async runs gate only against *_async baselines.
+  bench_report.config = std::string(args.smoke ? "smoke" : "full") +
+                        (args.async ? "-async" : "");
 
   instrument::Table table(
       "Figure 5: in transit mean time per timestep on sim ranks (RBC weak "
@@ -49,7 +51,10 @@ int main(int argc, char** argv) {
         options.sim_xml = "<sensei/>";
         options.endpoint_xml = "<sensei/>";
       } else {
-        options.sim_xml = bench::InTransitAdiosXml(kFrequency);
+        // --async offloads the sim-side SST sender to the per-rank worker;
+        // the endpoint stays a plain consumer loop either way.
+        options.sim_xml = bench::WithPipeline(
+            bench::InTransitAdiosXml(kFrequency), args.async);
         options.endpoint_xml = mode == "checkpointing"
                                    ? bench::EndpointCheckpointXml(out)
                                    : bench::EndpointCatalystXml(out);

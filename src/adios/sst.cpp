@@ -1,5 +1,6 @@
 #include "adios/sst.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -46,10 +47,24 @@ void SstWriter::DrainAcks(int target_in_flight) {
   const std::int64_t begin_ns =
       (metrics != nullptr && will_block) ? instrument::Tracer::NowNs() : 0;
   while (static_cast<int>(in_flight_.size()) > target_in_flight) {
-    world_.RecvValue<std::int32_t>(reader_, kTagSstAck);
+    const auto ack = world_.RecvValue<std::int32_t>(reader_, kTagSstAck);
     ++stats_.control_messages;
-    TrackMarshal(-static_cast<std::ptrdiff_t>(in_flight_.front()));
+    const InFlight& front = in_flight_.front();
+    if (static_cast<int>(ack) != front.step) {
+      // The stream is FIFO per (reader, tag), so acks must land in ship
+      // order; a mismatch means the reader acked a step it never received
+      // (or the control plane lost sync) — fail loudly, never silently
+      // free the wrong staging slot.
+      throw std::runtime_error(
+          "adios: SST ack mismatch: reader acked step " +
+          std::to_string(ack) + " but the oldest in-flight step is " +
+          std::to_string(front.step) + " (" +
+          std::to_string(in_flight_.size()) + " in flight)");
+    }
+    TrackMarshal(-static_cast<std::ptrdiff_t>(front.bytes));
     in_flight_.pop_front();
+    queue_depth_.store(static_cast<int>(in_flight_.size()),
+                       std::memory_order_relaxed);
   }
   if (metrics != nullptr && will_block) {
     metrics->Add("sst.stall_seconds",
@@ -116,9 +131,12 @@ void SstWriter::EndStep() {
   TrackMarshal(static_cast<std::ptrdiff_t>(payload_bytes));
   ++stats_.steps;
   stats_.payload_bytes += payload_bytes;
+  const int shipped_step = staged_.step;
   staged_ = StepChain{};
   step_open_ = false;
-  in_flight_.push_back(payload_bytes);
+  in_flight_.push_back({shipped_step, payload_bytes});
+  queue_depth_.store(static_cast<int>(in_flight_.size()),
+                     std::memory_order_relaxed);
   if (auto* metrics = instrument::CurrentMetrics()) {
     metrics->Set("sst.queue_depth", static_cast<double>(in_flight_.size()));
     metrics->SetTotal("sst.payload_bytes",
@@ -143,15 +161,70 @@ SstReader::SstReader(mpimini::Comm world, std::vector<int> writer_world_ranks,
     : world_(world),
       writers_(std::move(writer_world_ranks)),
       open_(writers_.size(), true),
-      params_(params) {}
+      params_(params),
+      stash_(writers_.size()) {}
 
 std::optional<SstReader::Step> SstReader::NextStep() {
   instrument::Span recv_span("sst.recv");
   Step out;
   bool any = false;
+  // Writers whose message for this step has not been consumed yet.  Drained
+  // in ARRIVAL order, not index order: a fixed-order drain would sit in a
+  // blocking receive on writer 0 while later writers' payloads wait in the
+  // mailbox unacked — head-of-line blocking that stalls every fast writer
+  // behind the slowest one's backpressure window.
+  std::vector<std::size_t> pending;
+  pending.reserve(writers_.size());
   for (std::size_t w = 0; w < writers_.size(); ++w) {
-    if (!open_[w]) continue;
-    core::Buffer message = world_.RecvBuffer(writers_[w], kTagSstMsg);
+    if (open_[w]) pending.push_back(w);
+  }
+  while (!pending.empty()) {
+    // Pick the first pending writer with a message at hand: stashed from an
+    // earlier out-of-turn arrival, or waiting in the mailbox right now.
+    // (Stash first — a stashed message from writer w predates anything
+    // still in w's mailbox, and the per-writer FIFO order must hold.)
+    std::size_t slot = pending.size();
+    bool from_stash = false;
+    for (std::size_t i = 0; i < pending.size() && slot == pending.size();
+         ++i) {
+      if (!stash_[pending[i]].empty()) {
+        slot = i;
+        from_stash = true;
+      }
+    }
+    for (std::size_t i = 0; i < pending.size() && slot == pending.size();
+         ++i) {
+      if (world_.HasMessage(writers_[pending[i]], kTagSstMsg)) slot = i;
+    }
+    if (slot == pending.size()) {
+      // Nothing at hand: block until ANY writer's message arrives — never
+      // on one specific writer, which would deadlock if that writer is
+      // itself gated on an ack this reader owes a different writer.  The
+      // arrival may be from a writer already served this round running a
+      // step ahead (queue_limit >= 2); it parks in the stash and opens
+      // that writer's next round.
+      mpimini::Message arrival =
+          world_.RecvBytes(mpimini::kAnySource, kTagSstMsg);
+      const auto sender =
+          std::find(writers_.begin(), writers_.end(), arrival.source);
+      if (sender == writers_.end()) {
+        throw std::runtime_error(
+            "adios: SST message from unknown writer rank " +
+            std::to_string(arrival.source));
+      }
+      stash_[static_cast<std::size_t>(sender - writers_.begin())].push_back(
+          std::move(arrival.payload));
+      continue;
+    }
+    const std::size_t w = pending[slot];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(slot));
+    core::Buffer message;
+    if (from_stash) {
+      message = std::move(stash_[w].front());
+      stash_[w].pop_front();
+    } else {
+      message = world_.RecvBuffer(writers_[w], kTagSstMsg);
+    }
     if (message.empty()) {
       throw std::runtime_error("adios: empty SST message");
     }

@@ -12,6 +12,7 @@
 // footprint independent of the endpoint count (Fig 6).
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <optional>
@@ -68,24 +69,38 @@ class SstWriter {
   [[nodiscard]] const SstStats& Stats() const { return stats_; }
 
   /// Steps shipped but not yet acked — the live staging-queue occupancy
-  /// (the heartbeat prints this next to queue_limit).
+  /// (the heartbeat prints this next to queue_limit).  Reads a mirror of
+  /// in_flight_.size(), so it is safe from any thread: in async-pipeline
+  /// mode the worker thread owns the writer while the rank thread's
+  /// heartbeat polls the depth.
   [[nodiscard]] int QueueDepth() const {
-    return static_cast<int>(in_flight_.size());
+    return queue_depth_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] int QueueLimit() const { return params_.queue_limit; }
 
  private:
+  /// One shipped-but-unacked step: the step number the reader must echo in
+  /// its ack, and the marshaled byte size still attributed to this writer.
+  struct InFlight {
+    int step = -1;
+    std::size_t bytes = 0;
+  };
+
   void DrainAcks(int required_credits);
 
   mpimini::Comm world_;
   int reader_ = -1;
   SstParams params_;
   SstStats stats_;
-  /// Byte sizes of marshaled steps shipped but not yet acked: this memory
-  /// stays attributed to the writer ("marshal" category) until the reader
-  /// acks, exactly like SST's writer-side staging queue — the mechanism
-  /// that keeps Fig 6's sim-node footprint bounded by queue_limit.
-  std::deque<std::size_t> in_flight_;
+  /// Marshaled steps shipped but not yet acked: this memory stays
+  /// attributed to the writer ("marshal" category) until the reader acks,
+  /// exactly like SST's writer-side staging queue — the mechanism that
+  /// keeps Fig 6's sim-node footprint bounded by queue_limit.  Acks must
+  /// arrive in step order (the stream is FIFO); DrainAcks validates each
+  /// ack against the front entry's step.
+  std::deque<InFlight> in_flight_;
+  /// Lock-free mirror of in_flight_.size() for cross-thread QueueDepth().
+  std::atomic<int> queue_depth_{0};
   bool step_open_ = false;
   bool closed_ = false;
   StepChain staged_;
@@ -117,6 +132,11 @@ class SstReader {
   std::vector<bool> open_;
   SstParams params_;
   SstStats stats_;
+  /// Messages received out of turn, per writer index: when the reader blocks
+  /// on "any writer" (arrival-order drain) it may pull a message from a
+  /// writer already served this round (queue_limit >= 2 lets writers run a
+  /// step ahead).  Those park here, FIFO, and open the writer's next round.
+  std::vector<std::deque<core::Buffer>> stash_;
 };
 
 }  // namespace adios

@@ -10,13 +10,33 @@ namespace nek_sensei {
 Bridge::Bridge(
     nekrs::FlowSolver& solver, const std::string& sensei_xml,
     const std::function<void(sensei::ConfigurableAnalysis&)>& customize)
-    : solver_(solver), analysis_(solver.Comm()) {
+    : solver_(solver),
+      pipeline_config_(
+          sensei::ParsePipelineConfig(xmlcfg::Parse(sensei_xml).root)),
+      // Split is collective over the stepping communicator; every rank
+      // reaches this constructor with the same XML, so the async decision
+      // is globally consistent.  Key = rank keeps the numbering identical,
+      // which keeps every per-rank output filename identical to sync mode.
+      analysis_comm_(pipeline_config_.async
+                         ? solver.Comm().Split(0, solver.Comm().Rank())
+                         : solver.Comm()),
+      analysis_(analysis_comm_) {
   data_.Initialize(&solver_);
   if (customize) customize(analysis_);
   analysis_.Initialize(xmlcfg::Parse(sensei_xml).root);
+  if (pipeline_config_.async) {
+    pipeline_ = std::make_unique<AsyncPipeline>(
+        solver_, analysis_, data_, analysis_comm_, pipeline_config_.depth);
+  }
 }
 
 bool Bridge::Update() {
+  if (pipeline_) {
+    // The rank-thread cost of async mode is capture + enqueue, traced as
+    // async.submit inside the pipeline; bridge.update_seconds is recorded
+    // by the worker so the metric keeps meaning "time inside SENSEI".
+    return pipeline_->Submit(solver_.StepNumber(), solver_.Time());
+  }
   instrument::Span span("bridge.update");
   instrument::MetricsRegistry* metrics = instrument::CurrentMetrics();
   const std::int64_t begin_ns =
@@ -36,7 +56,13 @@ bool Bridge::Update() {
 
 void Bridge::Finalize() {
   if (finalized_) return;
-  analysis_.Finalize();
+  if (pipeline_) {
+    // Drains the queue, runs analysis_.Finalize() as the last worker job,
+    // joins, and folds the worker's metrics/stats into this rank.
+    pipeline_->Shutdown();
+  } else {
+    analysis_.Finalize();
+  }
   finalized_ = true;
   // End-of-run telemetry digest: one line per traced rank (span totals,
   // drops if the ring wrapped, counter totals), so trace truncation can

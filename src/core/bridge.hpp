@@ -3,11 +3,21 @@
 // the configured analyses as the simulation steps.
 //
 // One Bridge per rank (ranks are threads here, so no globals).
+//
+// Execution modes (DESIGN.md §3b): with the default <pipeline mode="sync"/>
+// (or no <pipeline> element) Update runs the analyses inline on the rank
+// thread — byte-identical to the historical behaviour.  With
+// <pipeline mode="async" depth="N"/> the bridge owns an AsyncPipeline: it
+// splits off a dedicated analysis communicator (same rank numbering, so all
+// per-rank output filenames are unchanged), snapshots the due fields at the
+// step boundary, and runs the whole update path on a per-rank worker thread
+// while the solver takes the next step.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "core/async_pipeline.hpp"
 #include "core/nek_data_adaptor.hpp"
 #include "sensei/configurable_analysis.hpp"
 
@@ -25,19 +35,45 @@ class Bridge {
              {});
 
   /// Invoke after every solver step; runs due analyses. Returns false if
-  /// any analysis failed.
+  /// any analysis failed.  Async mode: captures the snapshot and returns
+  /// once enqueued (the report is sticky — false once any offloaded update
+  /// has failed); worker errors are rethrown here or in Finalize.
   bool Update();
 
-  /// Flush all analyses (closes streams, writes trailing output).
+  /// Flush all analyses (closes streams, writes trailing output).  Async
+  /// mode: drains the pipeline first, so every submitted update completes.
   void Finalize();
 
   [[nodiscard]] sensei::ConfigurableAnalysis& Analysis() { return analysis_; }
   [[nodiscard]] NekDataAdaptor& Data() { return data_; }
 
+  /// True when updates run on the per-rank worker thread.
+  [[nodiscard]] bool Async() const { return pipeline_ != nullptr; }
+
+  /// Cumulative wall seconds of offloaded updates so far, or -1.0 in sync
+  /// mode (the heartbeat's "offloaded" column sentinel).  Safe to read from
+  /// the rank thread while the worker runs.
+  [[nodiscard]] double OffloadedSeconds() const {
+    return pipeline_ ? pipeline_->OffloadedSeconds() : -1.0;
+  }
+
+  /// The worker thread's host high-water mark (0 in sync mode or before
+  /// Finalize); reports add it to the rank's own peak.
+  [[nodiscard]] std::size_t WorkerHostPeakBytes() const {
+    return pipeline_ ? pipeline_->WorkerHostPeakBytes() : 0;
+  }
+
  private:
   nekrs::FlowSolver& solver_;
+  /// Parsed before analysis_ so the constructor can pick its communicator.
+  sensei::PipelineConfig pipeline_config_;
+  /// Async: a dedicated Split of the stepping communicator (identical rank
+  /// numbering) so worker-side collectives never share a mailbox with the
+  /// solver's.  Sync: the stepping communicator itself.
+  mpimini::Comm analysis_comm_;
   NekDataAdaptor data_;
   sensei::ConfigurableAnalysis analysis_;
+  std::unique_ptr<AsyncPipeline> pipeline_;
   bool finalized_ = false;
 };
 

@@ -5,52 +5,49 @@
 
 namespace nek_sensei {
 
-void NekDataAdaptor::Initialize(nekrs::FlowSolver* solver) {
-  if (!solver) throw std::invalid_argument("nek_sensei: null solver");
-  solver_ = solver;
-  SetCommunicator(solver->Comm());
+namespace {
+
+/// Interleave 3 scalar device fields into (x,y,z) tuples on the device
+/// (kernel "pack_vector3"): one kernel plus one D2H replaces three D2H
+/// copies and a host-side gather loop.
+occamini::Array<double> PackVector3(nekrs::FlowSolver& solver,
+                                    const occamini::Array<double>& x,
+                                    const occamini::Array<double>& y,
+                                    const occamini::Array<double>& z) {
+  const std::size_t n = x.size();
+  occamini::Array<double> packed(solver.Device(), 3 * n, "device");
+  solver.Device().Launch("pack_vector3", [&] {
+    const double* xs = x.DevicePtr();
+    const double* ys = y.DevicePtr();
+    const double* zs = z.DevicePtr();
+    double* out = packed.DevicePtr();
+    for (std::size_t i = 0; i < n; ++i) {
+      out[3 * i + 0] = xs[i];
+      out[3 * i + 1] = ys[i];
+      out[3 * i + 2] = zs[i];
+    }
+  });
+  return packed;
 }
 
-int NekDataAdaptor::GetNumberOfMeshes() { return solver_ ? 1 : 0; }
+}  // namespace
 
-sensei::MeshMetadata NekDataAdaptor::GetMeshMetadata(int) {
-  if (!solver_) throw std::runtime_error("nek_sensei: not initialized");
-  sensei::MeshMetadata metadata;
-  metadata.mesh_name = "mesh";
-  metadata.num_blocks = GetCommunicator().Size();
-  const auto& length = solver_->Config().mesh.length;
-  metadata.global_bounds = {0.0, length[0], 0.0, length[1], 0.0, length[2]};
-  metadata.arrays.push_back({"velocity", svtk::Centering::kPoint, 3});
-  metadata.arrays.push_back({"pressure", svtk::Centering::kPoint, 1});
-  if (solver_->Config().solve_temperature) {
-    metadata.arrays.push_back({"temperature", svtk::Centering::kPoint, 1});
-  }
-  // Derived fields (vorticity, qcriterion) are intentionally not advertised:
-  // checkpoints dump raw simulation state only, but rendering views may
-  // request them by name through AddArray.
-  return metadata;
-}
-
-std::shared_ptr<svtk::UnstructuredGrid> NekDataAdaptor::GetMesh(int) {
-  if (!solver_) throw std::runtime_error("nek_sensei: not initialized");
-  if (mesh_) return mesh_;
-
-  const sem::BoxMesh& mesh = solver_->Mesh();
-  const sem::GllRule& rule = solver_->Rule();
+std::shared_ptr<svtk::UnstructuredGrid> BuildSemGrid(const sem::BoxMesh& mesh,
+                                                    const sem::GllRule& rule) {
   const int n = mesh.Order();
   const int np = mesh.NumPoints1D();
   const int nel = mesh.NumLocalElements();
   const std::size_t npoints = mesh.NumLocalDofs();
-  const std::size_t ncells = static_cast<std::size_t>(nel) *
-                             static_cast<std::size_t>(n) * n * n;
+  const std::size_t ncells =
+      static_cast<std::size_t>(nel) * static_cast<std::size_t>(n) * n * n;
 
-  mesh_ = std::make_shared<svtk::UnstructuredGrid>(npoints, ncells);
+  auto grid = std::make_shared<svtk::UnstructuredGrid>(npoints, ncells);
 
   // Points: the GLL nodes, element-major (matching the dof layout so array
   // staging is a straight copy).
   std::vector<double> x(npoints), y(npoints), z(npoints);
   mesh.FillCoordinates(rule, x, y, z);
-  auto points = mesh_->Points();
+  auto points = grid->Points();
   for (std::size_t i = 0; i < npoints; ++i) {
     points[3 * i + 0] = x[i];
     points[3 * i + 1] = y[i];
@@ -70,47 +67,89 @@ std::shared_ptr<svtk::UnstructuredGrid> NekDataAdaptor::GetMesh(int) {
     for (int k = 0; k < n; ++k) {
       for (int j = 0; j < n; ++j) {
         for (int i = 0; i < n; ++i) {
-          mesh_->SetCell(cell++, {node(i, j, k), node(i + 1, j, k),
-                                  node(i + 1, j + 1, k), node(i, j + 1, k),
-                                  node(i, j, k + 1), node(i + 1, j, k + 1),
-                                  node(i + 1, j + 1, k + 1),
-                                  node(i, j + 1, k + 1)});
+          grid->SetCell(cell++, {node(i, j, k), node(i + 1, j, k),
+                                 node(i + 1, j + 1, k), node(i, j + 1, k),
+                                 node(i, j, k + 1), node(i + 1, j, k + 1),
+                                 node(i + 1, j + 1, k + 1),
+                                 node(i, j + 1, k + 1)});
         }
       }
     }
   }
+  return grid;
+}
+
+sensei::MeshMetadata NekMeshMetadata(const nekrs::FlowSolver& solver,
+                                     int num_blocks) {
+  sensei::MeshMetadata metadata;
+  metadata.mesh_name = "mesh";
+  metadata.num_blocks = num_blocks;
+  const auto& length = solver.Config().mesh.length;
+  metadata.global_bounds = {0.0, length[0], 0.0, length[1], 0.0, length[2]};
+  metadata.arrays.push_back({"velocity", svtk::Centering::kPoint, 3});
+  metadata.arrays.push_back({"pressure", svtk::Centering::kPoint, 1});
+  if (solver.Config().solve_temperature) {
+    metadata.arrays.push_back({"temperature", svtk::Centering::kPoint, 1});
+  }
+  return metadata;
+}
+
+int CaptureNekArray(nekrs::FlowSolver& solver, const std::string& name,
+                    bool derived_enabled, core::Buffer& staged) {
+  const std::size_t n = solver.Mesh().NumLocalDofs();
+
+  if (name == "velocity") {
+    PackVector3(solver, solver.VelocityX(), solver.VelocityY(),
+                solver.VelocityZ())
+        .StageToHostInto(staged, "staging");
+    return 3;
+  }
+  if (name == "pressure") {
+    solver.Pressure().StageToHostInto(staged, "staging");
+    return 1;
+  }
+  if (name == "temperature" && solver.Config().solve_temperature) {
+    solver.Temperature().StageToHostInto(staged, "staging");
+    return 1;
+  }
+  if (name == "vorticity" && derived_enabled) {
+    // Derived on the device (as a NekRS post-processing kernel would be),
+    // then packed and staged to the host like any other vector field.
+    occamini::Array<double> wx(solver.Device(), n, "device");
+    occamini::Array<double> wy(solver.Device(), n, "device");
+    occamini::Array<double> wz(solver.Device(), n, "device");
+    solver.ComputeVorticity({wx.DevicePtr(), n}, {wy.DevicePtr(), n},
+                            {wz.DevicePtr(), n});
+    PackVector3(solver, wx, wy, wz).StageToHostInto(staged, "staging");
+    return 3;
+  }
+  if (name == "qcriterion" && derived_enabled) {
+    occamini::Array<double> q(solver.Device(), n, "device");
+    solver.ComputeQCriterion({q.DevicePtr(), n});
+    q.StageToHostInto(staged, "staging");
+    return 1;
+  }
+  return 0;
+}
+
+void NekDataAdaptor::Initialize(nekrs::FlowSolver* solver) {
+  if (!solver) throw std::invalid_argument("nek_sensei: null solver");
+  solver_ = solver;
+  SetCommunicator(solver->Comm());
+}
+
+int NekDataAdaptor::GetNumberOfMeshes() { return solver_ ? 1 : 0; }
+
+sensei::MeshMetadata NekDataAdaptor::GetMeshMetadata(int) {
+  if (!solver_) throw std::runtime_error("nek_sensei: not initialized");
+  return NekMeshMetadata(*solver_, GetCommunicator().Size());
+}
+
+std::shared_ptr<svtk::UnstructuredGrid> NekDataAdaptor::GetMesh(int) {
+  if (!solver_) throw std::runtime_error("nek_sensei: not initialized");
+  if (mesh_) return mesh_;
+  mesh_ = BuildSemGrid(solver_->Mesh(), solver_->Rule());
   return mesh_;
-}
-
-core::Buffer NekDataAdaptor::Stage(const occamini::Array<double>& field) {
-  // The device -> host copy the paper calls out: VTK is host-only.  The
-  // buffer is adopted downstream, never re-copied; keep a shared handle so
-  // StagingBytes() reflects it until ReleaseData.
-  core::Buffer host = field.StageToHost("staging");
-  staged_.push_back(host);
-  return host;
-}
-
-core::Buffer NekDataAdaptor::StageVector3(const occamini::Array<double>& x,
-                                          const occamini::Array<double>& y,
-                                          const occamini::Array<double>& z) {
-  // Interleave on the device so the host sees VTK tuple layout directly:
-  // one kernel plus one D2H replaces three D2H copies and a host-side
-  // gather loop.
-  const std::size_t n = x.size();
-  occamini::Array<double> packed(solver_->Device(), 3 * n, "device");
-  solver_->Device().Launch("pack_vector3", [&] {
-    const double* xs = x.DevicePtr();
-    const double* ys = y.DevicePtr();
-    const double* zs = z.DevicePtr();
-    double* out = packed.DevicePtr();
-    for (std::size_t i = 0; i < n; ++i) {
-      out[3 * i + 0] = xs[i];
-      out[3 * i + 1] = ys[i];
-      out[3 * i + 2] = zs[i];
-    }
-  });
-  return Stage(packed);
 }
 
 bool NekDataAdaptor::AddArray(svtk::UnstructuredGrid& mesh,
@@ -118,41 +157,17 @@ bool NekDataAdaptor::AddArray(svtk::UnstructuredGrid& mesh,
                               svtk::Centering centering) {
   if (!solver_) throw std::runtime_error("nek_sensei: not initialized");
   if (centering != svtk::Centering::kPoint) return false;
-  const std::size_t n = mesh.NumPoints();
 
-  if (name == "velocity") {
-    mesh.AdoptPointArray("velocity", 3,
-                         StageVector3(solver_->VelocityX(),
-                                      solver_->VelocityY(),
-                                      solver_->VelocityZ()));
-    return true;
-  }
-  if (name == "pressure") {
-    mesh.AdoptPointArray("pressure", 1, Stage(solver_->Pressure()));
-    return true;
-  }
-  if (name == "temperature" && solver_->Config().solve_temperature) {
-    mesh.AdoptPointArray("temperature", 1, Stage(solver_->Temperature()));
-    return true;
-  }
-  if (name == "vorticity" && derived_) {
-    // Derived on the device (as a NekRS post-processing kernel would be),
-    // then packed and staged to the host like any other vector field.
-    occamini::Array<double> wx(solver_->Device(), n, "device");
-    occamini::Array<double> wy(solver_->Device(), n, "device");
-    occamini::Array<double> wz(solver_->Device(), n, "device");
-    solver_->ComputeVorticity({wx.DevicePtr(), n}, {wy.DevicePtr(), n},
-                              {wz.DevicePtr(), n});
-    mesh.AdoptPointArray("vorticity", 3, StageVector3(wx, wy, wz));
-    return true;
-  }
-  if (name == "qcriterion" && derived_) {
-    occamini::Array<double> q(solver_->Device(), n, "device");
-    solver_->ComputeQCriterion({q.DevicePtr(), n});
-    mesh.AdoptPointArray("qcriterion", 1, Stage(q));
-    return true;
-  }
-  return false;
+  // The device -> host copy the paper calls out: VTK is host-only.  The
+  // buffer is adopted downstream, never re-copied; keep a shared handle so
+  // StagingBytes() reflects it until ReleaseData.  `staged` starts empty,
+  // so CaptureNekArray always lands in a fresh "staging" allocation here.
+  core::Buffer staged;
+  const int components = CaptureNekArray(*solver_, name, derived_, staged);
+  if (components == 0) return false;
+  staged_.push_back(staged);
+  mesh.AdoptPointArray(name, components, std::move(staged));
+  return true;
 }
 
 void NekDataAdaptor::ReleaseData() {

@@ -11,6 +11,11 @@
 // pack kernel before the one D2H transfer.  The spectral element mesh is
 // exposed as an unstructured hex grid with each element tessellated into
 // order^3 linear sub-cells.
+//
+// The grid build, mesh metadata, and per-array device capture are free
+// functions so the async pipeline's snapshot adaptor (DESIGN.md §3b) shares
+// them with the live adaptor instead of duplicating the geometry and kernel
+// logic.
 #pragma once
 
 #include <memory>
@@ -22,6 +27,34 @@
 #include "sensei/data_adaptor.hpp"
 
 namespace nek_sensei {
+
+/// Build the rank-local unstructured hex grid: each spectral element of
+/// `mesh` tessellated into order^3 linear hexes over its GLL sub-lattice
+/// (VTK node ordering).  Reads only const geometry, so it is safe to call
+/// from the async worker thread while the solver steps.
+[[nodiscard]] std::shared_ptr<svtk::UnstructuredGrid> BuildSemGrid(
+    const sem::BoxMesh& mesh, const sem::GllRule& rule);
+
+/// Advertised mesh metadata for `solver` with `num_blocks` ranks.  Derived
+/// fields (vorticity, qcriterion) are intentionally not advertised:
+/// checkpoints dump raw simulation state only, but rendering views may
+/// request them by name through AddArray.
+[[nodiscard]] sensei::MeshMetadata NekMeshMetadata(
+    const nekrs::FlowSolver& solver, int num_blocks);
+
+/// The device-side half of one array request: derived-field kernels, the
+/// vector interleave pack, and the single D2H copy, landing in `staged`.
+/// When `staged` already holds a uniquely-owned allocation of the right
+/// size it is reused in place (the async pipeline's staging slots); any
+/// other buffer is replaced by a fresh "staging" allocation, which is the
+/// sync path.  Returns the component count of the captured array, or 0 for
+/// an unknown name (or a disabled derived/temperature field).
+///
+/// Must run on the rank thread that owns the solver: device stats mutate on
+/// every launch, and the derived-field computes are collective.
+[[nodiscard]] int CaptureNekArray(nekrs::FlowSolver& solver,
+                                  const std::string& name,
+                                  bool derived_enabled, core::Buffer& staged);
 
 class NekDataAdaptor final : public sensei::DataAdaptor {
  public:
@@ -44,19 +77,9 @@ class NekDataAdaptor final : public sensei::DataAdaptor {
   /// enabled by default. Computing them costs nine gradient evaluations on
   /// the device per request.
   void SetDerivedFieldsEnabled(bool enabled) { derived_ = enabled; }
+  [[nodiscard]] bool DerivedFieldsEnabled() const { return derived_; }
 
  private:
-  /// Stage one device field to the host: the single mandatory copy of the
-  /// Catalyst path.  The returned buffer is also remembered in `staged_`
-  /// (shared, not copied) so StagingBytes() can report it until ReleaseData.
-  core::Buffer Stage(const occamini::Array<double>& field);
-
-  /// Interleave 3 scalar device fields into (x,y,z) tuples on the device
-  /// (kernel "pack_vector3"), then stage the packed result with one D2H.
-  core::Buffer StageVector3(const occamini::Array<double>& x,
-                            const occamini::Array<double>& y,
-                            const occamini::Array<double>& z);
-
   nekrs::FlowSolver* solver_ = nullptr;
   bool derived_ = true;
   std::shared_ptr<svtk::UnstructuredGrid> mesh_;  // cached until ReleaseData

@@ -46,15 +46,20 @@ void CollectReports(mpimini::Comm& world, const RankReport& mine,
   }
 }
 
+// `worker_host_peak_bytes` is the async worker's high-water mark (0 in sync
+// mode): the two threads coexist, so the rank's reported footprint is the
+// conservative sum of both peaks.
 RankReport MakeReport(mpimini::Comm& world, bool is_sim,
-                      double step_busy_seconds) {
+                      double step_busy_seconds,
+                      std::size_t worker_host_peak_bytes = 0) {
   RankReport report;
   report.world_rank = world.Rank();
   report.is_sim = is_sim;
   report.step_busy_seconds = step_busy_seconds;
   if (mpimini::RankEnv* env = mpimini::CurrentEnv()) {
     report.total_busy_seconds = env->busy.Seconds();
-    report.host_peak_bytes = env->memory.HostPeakBytes();
+    report.host_peak_bytes =
+        env->memory.HostPeakBytes() + worker_host_peak_bytes;
     report.device_peak_bytes =
         env->memory.PeakBytes(instrument::kDeviceCategory);
   }
@@ -105,7 +110,11 @@ class Heartbeat {
 
   /// `queue_depth`/`queue_limit` describe the SST staging queue (pass
   /// -1/-1 when the workflow has no transport, e.g. in situ).
-  void Tick(int step_index, int queue_depth, int queue_limit) {
+  /// `offload_seconds` is this rank's cumulative async-worker update
+  /// seconds, or negative in sync mode (must agree in sign across ranks —
+  /// the reductions are collective).
+  void Tick(int step_index, int queue_depth, int queue_limit,
+            double offload_seconds = -1.0) {
     if (interval_ <= 0) return;
     const int done = step_index + 1;
     if (done % interval_ != 0 && done != total_) return;
@@ -117,7 +126,9 @@ class Heartbeat {
     if (const instrument::MetricsRegistry* m = instrument::CurrentMetrics()) {
       insitu_seconds = m->Counter("bridge.update_seconds");
     }
-    std::array<double, 2> sums{mem, insitu_seconds};
+    const bool async = offload_seconds >= 0.0;
+    std::array<double, 3> sums{mem, insitu_seconds,
+                               async ? offload_seconds : 0.0};
     std::array<double, 2> maxs{mem, static_cast<double>(queue_depth)};
     comm_.Reduce(std::span<double>(sums), mpimini::Op::kSum, 0);
     comm_.Reduce(std::span<double>(maxs), mpimini::Op::kMax, 0);
@@ -126,32 +137,25 @@ class Heartbeat {
     const double elapsed =
         static_cast<double>(instrument::Tracer::NowNs() - start_ns_) * 1e-9;
     const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
-    const double eta =
-        rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
     const double ranks = static_cast<double>(comm_.Size());
-    std::string line;
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "[heartbeat] step %d/%d (%d%%) | %.2f steps/s | eta %.1fs",
-                  done, total_, total_ > 0 ? 100 * done / total_ : 0, rate,
-                  eta);
-    line = buf;
-    line += " | mem mean " + instrument::FormatBytes(static_cast<std::size_t>(
-                                 sums[0] / ranks)) +
-            " max " +
-            instrument::FormatBytes(static_cast<std::size_t>(maxs[0]));
-    if (elapsed > 0.0 && insitu_seconds >= 0.0 &&
-        instrument::CurrentMetrics() != nullptr) {
-      std::snprintf(buf, sizeof(buf), " | insitu %.0f%%",
-                    100.0 * sums[1] / ranks / elapsed);
-      line += buf;
+
+    HeartbeatLine line;
+    line.done = done;
+    line.total = total_;
+    line.rate_steps_per_second = rate;
+    line.eta_seconds =
+        rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+    line.mem_mean_bytes = static_cast<std::size_t>(sums[0] / ranks);
+    line.mem_max_bytes = static_cast<std::size_t>(maxs[0]);
+    if (elapsed > 0.0 && instrument::CurrentMetrics() != nullptr) {
+      line.insitu_percent = 100.0 * sums[1] / ranks / elapsed;
     }
-    if (queue_limit > 0) {
-      std::snprintf(buf, sizeof(buf), " | sst queue %d/%d",
-                    static_cast<int>(maxs[1]), queue_limit);
-      line += buf;
+    if (elapsed > 0.0 && async) {
+      line.offload_percent = 100.0 * sums[2] / ranks / elapsed;
     }
-    std::fprintf(stderr, "%s\n", line.c_str());
+    line.queue_depth = static_cast<int>(maxs[1]);
+    line.queue_limit = queue_limit;
+    std::fprintf(stderr, "%s\n", FormatHeartbeatLine(line).c_str());
     std::fflush(stderr);
   }
 
@@ -287,6 +291,38 @@ void ExportRunHealth(const instrument::TelemetryConfig& config,
 
 }  // namespace
 
+std::string FormatHeartbeatLine(const HeartbeatLine& line) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "[heartbeat] step %d/%d (%d%%) | %.2f steps/s | eta %.1fs",
+                line.done, line.total,
+                line.total > 0 ? 100 * line.done / line.total : 0,
+                line.rate_steps_per_second, line.eta_seconds);
+  std::string out = buf;
+  out += " | mem mean " + instrument::FormatBytes(line.mem_mean_bytes) +
+         " max " + instrument::FormatBytes(line.mem_max_bytes);
+  if (line.insitu_percent >= 0.0) {
+    // Clamp the display: busy-clock vs wall-clock skew can nudge the raw
+    // ratio past 100, and a ">100% in situ" line reads as nonsense.  Work
+    // running off the critical path is the offload column, never an
+    // inflated insitu%.
+    std::snprintf(buf, sizeof(buf), " | insitu %.0f%%",
+                  std::min(line.insitu_percent, 100.0));
+    out += buf;
+  }
+  if (line.offload_percent >= 0.0) {
+    std::snprintf(buf, sizeof(buf), " | offload %.0f%%",
+                  std::min(line.offload_percent, 100.0));
+    out += buf;
+  }
+  if (line.queue_limit > 0) {
+    std::snprintf(buf, sizeof(buf), " | sst queue %d/%d", line.queue_depth,
+                  line.queue_limit);
+    out += buf;
+  }
+  return out;
+}
+
 double WorkflowMetrics::MeanSimStepSeconds() const {
   double sum = 0.0;
   int count = 0;
@@ -354,23 +390,38 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
     const sensei::ConfigurableAnalysis* analysis =
         bridge ? &bridge->Analysis() : nullptr;
 
+    // Async mode: the analyses run concurrently on the worker thread, so
+    // their counters must not be read at step boundaries — sample with the
+    // device feed only, and take one full sample after Finalize (SetTotal
+    // and counter sampling are cumulative, so the final totals come out
+    // mode-independent).
+    const bool async = bridge && bridge->Async();
+    const sensei::ConfigurableAnalysis* loop_analysis =
+        async ? nullptr : analysis;
+    const sensei::CatalystAnalysisAdaptor* loop_catalyst =
+        async ? nullptr : catalyst.get();
+
     mpimini::RankEnv* env = mpimini::CurrentEnv();
     const double busy0 = env ? env->busy.Seconds() : 0.0;
     std::optional<instrument::ScopedTimer> loop_timer;
     if (env) loop_timer.emplace(env->timings, "step_loop");
     Heartbeat heartbeat(comm, telemetry.heartbeat_steps, options.steps);
-    SampleStepCounters(&device, analysis, catalyst.get(), nullptr);
+    SampleStepCounters(&device, loop_analysis, loop_catalyst, nullptr);
     for (int s = 0; s < options.steps; ++s) {
       solver.Step();
       if (bridge) bridge->Update();
-      SampleStepCounters(&device, analysis, catalyst.get(), nullptr);
-      heartbeat.Tick(s, /*queue_depth=*/-1, /*queue_limit=*/-1);
+      SampleStepCounters(&device, loop_analysis, loop_catalyst, nullptr);
+      heartbeat.Tick(s, /*queue_depth=*/-1, /*queue_limit=*/-1,
+                     bridge ? bridge->OffloadedSeconds() : -1.0);
     }
     // Stop before teardown: Finalize (stream flushes, file closes) must not
     // count toward the per-step figures.
     const double step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
     if (loop_timer) loop_timer->Stop();
     if (bridge) bridge->Finalize();
+    // Post-Finalize the worker (if any) is joined and its attribution is
+    // folded into this rank: the full-feed sample closes the totals.
+    SampleStepCounters(&device, analysis, catalyst.get(), nullptr);
 
     std::size_t bytes = 0;
     std::size_t images = 0;
@@ -378,8 +429,10 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
       bytes = bridge->Analysis().TotalBytesWritten();
       if (catalyst) images = catalyst->ImagesWritten();
     }
-    CollectReports(comm, MakeReport(comm, /*is_sim=*/true, step_busy), bytes,
-                   images, shared);
+    CollectReports(comm,
+                   MakeReport(comm, /*is_sim=*/true, step_busy,
+                              bridge ? bridge->WorkerHostPeakBytes() : 0),
+                   bytes, images, shared);
     CollectRunHealth(comm, telemetry, shared);
   });
 
@@ -414,6 +467,7 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
 
     std::size_t bytes = 0;
     std::size_t images = 0;
+    std::size_t worker_peak = 0;
     double step_busy = 0.0;
 
     if (is_sim) {
@@ -441,26 +495,38 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
           std::dynamic_pointer_cast<sensei::AdiosAnalysisAdaptor>(
               bridge.Analysis().Find("adios"));
 
+      // Async mode: the SST sender runs on the worker thread; its stats and
+      // the analysis byte counts are worker-owned until Finalize joins it.
+      // QueueDepth/QueueLimit stay readable (atomic mirror / immutable).
+      const bool async = bridge.Async();
+      const sensei::ConfigurableAnalysis* loop_analysis =
+          async ? nullptr : &bridge.Analysis();
+      const adios::SstStats* loop_sst =
+          (!async && adios) ? &adios->TransportStats() : nullptr;
+
       const double busy0 = env ? env->busy.Seconds() : 0.0;
       std::optional<instrument::ScopedTimer> loop_timer;
       if (env) loop_timer.emplace(env->timings, "step_loop");
       // Heartbeat runs on the sim group: endpoint ranks sit in their
       // receive loop and cannot join step-boundary collectives.
       Heartbeat heartbeat(group, telemetry.heartbeat_steps, options.steps);
-      SampleStepCounters(&device, &bridge.Analysis(), nullptr,
-                         adios ? &adios->TransportStats() : nullptr);
+      SampleStepCounters(&device, loop_analysis, nullptr, loop_sst);
       for (int s = 0; s < options.steps; ++s) {
         solver.Step();
         bridge.Update();
-        SampleStepCounters(&device, &bridge.Analysis(), nullptr,
-                           adios ? &adios->TransportStats() : nullptr);
+        SampleStepCounters(&device, loop_analysis, nullptr, loop_sst);
         heartbeat.Tick(s, adios ? adios->QueueDepth() : -1,
-                       adios ? adios->QueueLimit() : -1);
+                       adios ? adios->QueueLimit() : -1,
+                       bridge.OffloadedSeconds());
       }
       step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
       if (loop_timer) loop_timer->Stop();
       bridge.Finalize();
+      // Post-Finalize full-feed sample (see RunInSitu).
+      SampleStepCounters(&device, &bridge.Analysis(), nullptr,
+                         adios ? &adios->TransportStats() : nullptr);
       bytes = bridge.Analysis().TotalBytesWritten();
+      worker_peak = bridge.WorkerHostPeakBytes();
     } else if (streaming) {
       // Endpoint rank: receive steps and run the endpoint analyses.
       std::vector<int> writers;
@@ -494,8 +560,8 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
       }
     }
 
-    CollectReports(world, MakeReport(world, is_sim, step_busy), bytes, images,
-                   shared);
+    CollectReports(world, MakeReport(world, is_sim, step_busy, worker_peak),
+                   bytes, images, shared);
     CollectRunHealth(world, telemetry, shared);
   });
 

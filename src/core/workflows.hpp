@@ -68,6 +68,32 @@ struct InSituOptions {
   instrument::TelemetryConfig telemetry;
 };
 
+/// Inputs of one rank-0 heartbeat progress line, after the cross-rank
+/// reductions.  Public (with FormatHeartbeatLine) so the formatting rules —
+/// including the display clamps — are unit-testable.
+struct HeartbeatLine {
+  int done = 0;
+  int total = 0;
+  double rate_steps_per_second = 0.0;
+  double eta_seconds = 0.0;
+  std::size_t mem_mean_bytes = 0;
+  std::size_t mem_max_bytes = 0;
+  /// Mean across ranks of cumulative rank-thread in situ seconds over wall
+  /// elapsed, as a percentage.  Negative omits the column (metrics plane
+  /// off).  The display clamps at 100: bookkeeping skew (busy-clock vs
+  /// wall) can push the raw ratio past it.
+  double insitu_percent = -1.0;
+  /// Same shape for updates offloaded to the async worker (which genuinely
+  /// exceed rank-thread time under overlap — hence a separate column, not
+  /// a bigger insitu%).  Negative = sync mode, column omitted.
+  double offload_percent = -1.0;
+  int queue_depth = -1;
+  int queue_limit = -1;  ///< <= 0 omits the sst queue column
+};
+
+/// Render one heartbeat line ("[heartbeat] step ... | ...").
+[[nodiscard]] std::string FormatHeartbeatLine(const HeartbeatLine& line);
+
 /// Run the in situ workflow on `nranks` rank threads. Collective-free
 /// convenience: spawns its own mpimini runtime.
 WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options);

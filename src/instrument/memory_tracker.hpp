@@ -55,6 +55,12 @@ class MemoryTracker {
   /// Reset all counters (used between benchmark configurations).
   void Reset();
 
+  /// Release the single-owner binding WITHOUT touching the counters: the
+  /// explicit handoff used when a worker thread's tracker is folded back
+  /// into its rank after a join (async pipeline shutdown) and later
+  /// releases may land from the rank thread.
+  void ReleaseOwnership() { owner_.Reset(); }
+
  private:
   struct Cat {
     std::size_t current = 0;

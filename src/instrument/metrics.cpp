@@ -234,6 +234,31 @@ void MetricsRegistry::DefineHistogram(std::string_view name,
                                HistogramData(std::move(edges)));
 }
 
+void MetricsRegistry::MergeFrom(const MetricsSnapshot& other) {
+  owner_.Check("instrument::MetricsRegistry::MergeFrom");
+  for (const auto& [name, value] : other.counters) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, gauge] : other.gauges) {
+    auto [it, inserted] = gauges_.try_emplace(name, gauge);
+    if (inserted) continue;
+    GaugeData& mine = it->second;
+    mine.last = gauge.last;  // the merged-in side is the later observer
+    mine.low = std::min(mine.low, gauge.low);
+    mine.high = std::max(mine.high, gauge.high);
+    mine.sum += gauge.sum;
+    mine.samples += gauge.samples;
+  }
+  for (const auto& [name, histogram] : other.histograms) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, histogram);
+    } else {
+      it->second.Merge(histogram);
+    }
+  }
+}
+
 std::vector<double> MetricsRegistry::DefaultLatencyEdges() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
 }

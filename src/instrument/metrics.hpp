@@ -105,6 +105,14 @@ class MetricsRegistry {
   /// std::invalid_argument on unsorted/duplicate edges.
   void DefineHistogram(std::string_view name, std::vector<double> edges);
 
+  /// Fold another registry's snapshot into this one: counters add, gauge
+  /// watermarks/sums merge, histograms merge (same-edges contract as
+  /// HistogramData::Merge).  The ownership-handoff point of the async
+  /// pipeline: the worker thread's registry is snapshotted after the worker
+  /// joins, then folded into the rank's registry *by the rank thread*, so
+  /// each registry keeps exactly one owner for its whole life.
+  void MergeFrom(const MetricsSnapshot& other);
+
   /// Log-spaced seconds-scale edges: 1us .. 10s, one bucket per decade.
   [[nodiscard]] static std::vector<double> DefaultLatencyEdges();
 

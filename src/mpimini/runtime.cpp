@@ -24,6 +24,27 @@ class EnvScope {
 
 RankEnv* CurrentEnv() { return g_env; }
 
+WorkerEnvScope::WorkerEnvScope(RankEnv* env)
+    : env_(env),
+      previous_env_(g_env),
+      previous_tracker_(instrument::SetCurrentTracker(env ? &env->memory
+                                                          : nullptr)),
+      previous_tracer_(
+          instrument::SetCurrentTracer(env ? env->tracer.get() : nullptr)),
+      previous_metrics_(instrument::SetCurrentMetrics(
+          env ? env->metrics.get() : nullptr)) {
+  g_env = env_;
+  if (env_) env_->busy.Resume();
+}
+
+WorkerEnvScope::~WorkerEnvScope() {
+  if (env_) env_->busy.Pause();
+  g_env = previous_env_;
+  instrument::SetCurrentMetrics(previous_metrics_);
+  instrument::SetCurrentTracer(previous_tracer_);
+  instrument::SetCurrentTracker(previous_tracker_);
+}
+
 double RunResult::MeanBusySeconds() const {
   if (ranks.empty()) return 0.0;
   double sum = 0.0;

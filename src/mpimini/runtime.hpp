@@ -41,6 +41,30 @@ struct RankEnv {
 /// The calling thread's RankEnv, or nullptr outside a rank.
 RankEnv* CurrentEnv();
 
+/// RAII installation of a caller-owned RankEnv on the calling thread —
+/// the per-rank-helper-thread counterpart of what Runtime::Run does for
+/// rank threads.  The async in situ pipeline uses this so its worker
+/// thread keeps per-rank attribution: blocking mpimini calls pause the
+/// env's BusyClock, allocations land in the env's MemoryTracker, and
+/// metric/span feeds reach the env's registries.  The env must outlive the
+/// scope and must not be installed on two threads at once (the per-rank
+/// structures inside it are single-owner).
+class WorkerEnvScope {
+ public:
+  explicit WorkerEnvScope(RankEnv* env);
+  ~WorkerEnvScope();
+
+  WorkerEnvScope(const WorkerEnvScope&) = delete;
+  WorkerEnvScope& operator=(const WorkerEnvScope&) = delete;
+
+ private:
+  RankEnv* env_;
+  RankEnv* previous_env_;
+  instrument::MemoryTracker* previous_tracker_;
+  instrument::Tracer* previous_tracer_;
+  instrument::MetricsRegistry* previous_metrics_;
+};
+
 /// Metrics harvested from one rank after the run completes.
 struct RankMetrics {
   int rank = -1;

@@ -101,6 +101,20 @@ core::Buffer Memory::ToHost(const std::string& category) const {
   return host;
 }
 
+void Memory::ToHostInto(core::Buffer& dest, const std::string& category) const {
+  if (!block_) throw std::runtime_error("occamini: null memory");
+  // Reuse only a uniquely-owned, exactly-sized block: a shared block may
+  // still be adopted downstream (a renderer or writer holding last step's
+  // view must never see this step's bytes), and a resized field needs a
+  // fresh allocation anyway.
+  if (dest.size() != block_->storage.Bytes() || dest.UseCount() != 1) {
+    dest = ToHost(category);
+    return;
+  }
+  CopyTo(dest.data(), dest.size());
+  core::CountDeviceStage();
+}
+
 void Memory::CopyTo(void* host, std::size_t bytes, std::size_t offset) const {
   if (!block_) throw std::runtime_error("occamini: null memory");
   if (offset + bytes > block_->storage.Bytes()) {

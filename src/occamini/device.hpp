@@ -93,6 +93,13 @@ class Memory {
   /// the returned buffer instead of re-copying it.
   [[nodiscard]] core::Buffer ToHost(const std::string& category) const;
 
+  /// ToHost variant that reuses `dest`'s allocation when it is the sole
+  /// handle of a block of exactly the right size; otherwise `dest` is
+  /// replaced with a fresh buffer (as ToHost).  The async pipeline's staging
+  /// slots call this every step so steady-state snapshots perform zero host
+  /// allocations — only the mandatory D2H copy.
+  void ToHostInto(core::Buffer& dest, const std::string& category) const;
+
   /// Raw device pointer, for use inside kernels only (host code must go
   /// through CopyFrom/CopyTo, as with a real GPU).
   [[nodiscard]] std::byte* DevicePtr();
@@ -127,6 +134,11 @@ class Array {
   /// the rest of the data plane).
   [[nodiscard]] core::Buffer StageToHost(const std::string& category) const {
     return memory_.ToHost(category);
+  }
+
+  /// Slot-reuse staging (see Memory::ToHostInto).
+  void StageToHostInto(core::Buffer& dest, const std::string& category) const {
+    memory_.ToHostInto(dest, category);
   }
 
   /// Device-side typed pointer (kernels only).

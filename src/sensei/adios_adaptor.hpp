@@ -32,6 +32,9 @@ class AdiosAnalysisAdaptor final : public AnalysisAdaptor {
   bool Execute(DataAdaptor& data) override;
   void Finalize() override;
   [[nodiscard]] std::string Kind() const override { return "adios"; }
+  [[nodiscard]] std::vector<std::string> RequestedArrays() const override {
+    return options_.arrays;  // empty = every advertised array
+  }
 
   [[nodiscard]] const adios::SstStats& TransportStats() const {
     return writer_.Stats();

@@ -31,6 +31,9 @@ class AutocorrelationAnalysisAdaptor final : public AnalysisAdaptor {
   explicit AutocorrelationAnalysisAdaptor(AutocorrelationOptions options);
 
   bool Execute(DataAdaptor& data) override;
+  [[nodiscard]] std::vector<std::string> RequestedArrays() const override {
+    return {options_.array};
+  }
   [[nodiscard]] std::string Kind() const override {
     return "autocorrelation";
   }

@@ -29,6 +29,9 @@ class BpFileAnalysisAdaptor final : public AnalysisAdaptor {
   bool Execute(DataAdaptor& data) override;
   void Finalize() override;
   [[nodiscard]] std::string Kind() const override { return "bpfile"; }
+  [[nodiscard]] std::vector<std::string> RequestedArrays() const override {
+    return options_.arrays;  // empty = every advertised array
+  }
   [[nodiscard]] std::size_t BytesWritten() const override {
     return writer_ ? writer_->BytesWritten() : bytes_final_;
   }

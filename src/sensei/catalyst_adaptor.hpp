@@ -60,6 +60,24 @@ class CatalystAnalysisAdaptor final : public AnalysisAdaptor {
   bool Execute(DataAdaptor& data) override;
   void Finalize() override {}
   [[nodiscard]] std::string Kind() const override { return "catalyst"; }
+  [[nodiscard]] std::vector<std::string> RequestedArrays() const override {
+    // Views may pull derived fields (vorticity, qcriterion) by name, and an
+    // isosurface view pulls its iso_array on top of the colored array.
+    std::vector<std::string> names;
+    auto add = [&](const std::string& name) {
+      if (name.empty()) return;
+      for (const std::string& have : names) {
+        if (have == name) return;
+      }
+      names.push_back(name);
+    };
+    for (const CatalystView& view : options_.views) {
+      add(view.array);
+      if (view.isovalue) add(view.iso_array.empty() ? view.array
+                                                    : view.iso_array);
+    }
+    return names;
+  }
   [[nodiscard]] std::size_t BytesWritten() const override {
     return bytes_written_;
   }

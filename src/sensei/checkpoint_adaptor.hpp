@@ -31,6 +31,9 @@ class CheckpointAnalysisAdaptor final : public AnalysisAdaptor {
 
   bool Execute(DataAdaptor& data) override;
   [[nodiscard]] std::string Kind() const override { return "checkpoint"; }
+  [[nodiscard]] std::vector<std::string> RequestedArrays() const override {
+    return options_.arrays;  // empty = every advertised array
+  }
   [[nodiscard]] std::size_t BytesWritten() const override {
     return bytes_written_;
   }

@@ -1,5 +1,6 @@
 #include "sensei/configurable_analysis.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "sensei/catalyst_adaptor.hpp"
@@ -235,6 +236,64 @@ bool ConfigurableAnalysis::Execute(DataAdaptor& data) {
 
 void ConfigurableAnalysis::Finalize() {
   for (Entry& entry : entries_) entry.adaptor->Finalize();
+}
+
+bool ConfigurableAnalysis::AnyDue(int step) const {
+  for (const Entry& entry : entries_) {
+    if (step % entry.frequency == 0) return true;
+  }
+  return false;
+}
+
+std::optional<std::vector<std::string>> ConfigurableAnalysis::RequiredArrays(
+    int step) const {
+  std::vector<std::string> names;
+  for (const Entry& entry : entries_) {
+    if (step % entry.frequency != 0) continue;
+    std::vector<std::string> requested = entry.adaptor->RequestedArrays();
+    if (requested.empty()) return std::nullopt;  // "every advertised array"
+    for (std::string& name : requested) {
+      bool have = false;
+      for (const std::string& existing : names) {
+        if (existing == name) {
+          have = true;
+          break;
+        }
+      }
+      if (!have) names.push_back(std::move(name));
+    }
+  }
+  return names;
+}
+
+PipelineConfig ParsePipelineConfig(const xmlcfg::Element& root) {
+  PipelineConfig config;
+  if (root.name != "sensei") {
+    throw std::invalid_argument("sensei: configuration root must be <sensei>");
+  }
+  const xmlcfg::Element* pipeline = root.FindChild("pipeline");
+  if (pipeline == nullptr) {
+    // Environment default (CI's async-default lane); explicit XML wins.
+    const char* env = std::getenv("NEK_SENSEI_ASYNC");
+    if (env != nullptr) {
+      const std::string value = env;
+      config.async = value == "1" || value == "on" || value == "ON";
+    }
+    return config;
+  }
+  const std::string mode = pipeline->Attr("mode", "sync");
+  if (mode == "async") {
+    config.async = true;
+  } else if (mode != "sync") {
+    throw std::invalid_argument("sensei: unknown pipeline mode '" + mode +
+                                "' (expected sync or async)");
+  }
+  const long depth = pipeline->AttrInt("depth", config.depth);
+  if (depth < 1) {
+    throw std::invalid_argument("sensei: pipeline depth must be >= 1");
+  }
+  config.depth = static_cast<int>(depth);
+  return config;
 }
 
 std::size_t ConfigurableAnalysis::TotalBytesWritten() const {

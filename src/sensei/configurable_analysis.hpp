@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,17 @@ class ConfigurableAnalysis {
   /// Sum of BytesWritten() over all adaptors.
   [[nodiscard]] std::size_t TotalBytesWritten() const;
 
+  /// True when at least one analysis is due at `step` (its frequency
+  /// divides the step) — whether Execute(data) would run anything.
+  [[nodiscard]] bool AnyDue(int step) const;
+
+  /// Union of RequestedArrays() over the analyses due at `step`.  nullopt
+  /// means at least one due analysis requests "every advertised array";
+  /// an empty vector means nothing is due.  The async pipeline snapshots
+  /// exactly this set at the step boundary.
+  [[nodiscard]] std::optional<std::vector<std::string>> RequiredArrays(
+      int step) const;
+
   /// First adaptor of the given kind, or nullptr.
   [[nodiscard]] std::shared_ptr<AnalysisAdaptor> Find(
       const std::string& kind) const;
@@ -86,5 +98,23 @@ std::vector<std::string> SplitList(const std::string& csv);
 /// configurations are unaffected.
 [[nodiscard]] instrument::TelemetryConfig ParseTelemetryConfig(
     const xmlcfg::Element& root);
+
+/// Execution mode of the in situ pipeline (DESIGN.md §3b).
+struct PipelineConfig {
+  /// false: Bridge::Update runs the analyses inline on the rank thread
+  /// (the default — byte-identical to the pre-async behaviour).  true:
+  /// updates run on a per-rank worker thread over staged snapshots.
+  bool async = false;
+  /// Staging slots (async only): 2 = double buffering.  Bounds how many
+  /// steps of snapshots may be in flight before the rank thread blocks.
+  int depth = 2;
+};
+
+/// Parse the optional <pipeline mode="sync|async" depth="N"/> child of a
+/// <sensei> root.  When the element is absent, the NEK_SENSEI_ASYNC
+/// environment variable ("1"/"on") selects async with the default depth —
+/// the hook the TSan CI lane uses to run the whole suite async-default.
+/// An explicit mode="sync" always wins over the environment.
+[[nodiscard]] PipelineConfig ParsePipelineConfig(const xmlcfg::Element& root);
 
 }  // namespace sensei

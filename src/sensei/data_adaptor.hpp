@@ -92,6 +92,15 @@ class AnalysisAdaptor {
   /// Human-readable adaptor kind ("catalyst", "checkpoint", ...).
   [[nodiscard]] virtual std::string Kind() const = 0;
 
+  /// The array names this analysis will pull through AddArray when it
+  /// executes.  An EMPTY list means "every advertised metadata array" (the
+  /// checkpoint convention).  The async pipeline uses this to snapshot only
+  /// the fields the due analyses actually consume; names may include
+  /// derived fields (vorticity, qcriterion) that are never advertised.
+  [[nodiscard]] virtual std::vector<std::string> RequestedArrays() const {
+    return {};
+  }
+
   /// Total bytes this adaptor wrote to storage so far (images, checkpoint
   /// files, ...); feeds the paper's storage-economy comparison.
   [[nodiscard]] virtual std::size_t BytesWritten() const { return 0; }

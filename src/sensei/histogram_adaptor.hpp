@@ -23,6 +23,9 @@ class HistogramAnalysisAdaptor final : public AnalysisAdaptor {
 
   bool Execute(DataAdaptor& data) override;
   [[nodiscard]] std::string Kind() const override { return "histogram"; }
+  [[nodiscard]] std::vector<std::string> RequestedArrays() const override {
+    return {options_.array};
+  }
   [[nodiscard]] std::size_t BytesWritten() const override {
     return bytes_written_;
   }

@@ -23,6 +23,9 @@ class StatsAnalysisAdaptor final : public AnalysisAdaptor {
 
   bool Execute(DataAdaptor& data) override;
   [[nodiscard]] std::string Kind() const override { return "stats"; }
+  [[nodiscard]] std::vector<std::string> RequestedArrays() const override {
+    return options_.arrays;  // empty = every advertised array
+  }
   [[nodiscard]] std::size_t BytesWritten() const override {
     return bytes_written_;
   }

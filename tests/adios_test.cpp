@@ -270,6 +270,73 @@ TEST(SstTest, QueueDepthWatermarkExactUnderConcurrentFeeders) {
   EXPECT_EQ(result.metrics[kReaderRank]->Gauge("sst.queue_depth"), nullptr);
 }
 
+TEST(SstTest, ArrivalOrderDrainAvoidsHeadOfLineBlocking) {
+  // Writer 0 is deliberately the SLOWEST: it ships only after writer 1's
+  // payload has been consumed AND acked — writer 1's Close() returns once
+  // its data ack arrived, and only then does the tag-7 signal release
+  // writer 0.  A fixed-order drain (blocking receive on writer 0 first)
+  // deadlocks here: the reader waits on writer 0, writer 0 waits on the
+  // signal, the signal waits on writer 1's ack, and the ack waits on the
+  // reader.  Arrival-order draining must consume writer 1 first.
+  constexpr int kGoTag = 7;
+  Runtime::Run(3, [&](Comm& comm) {
+    if (comm.Rank() == 0) {
+      comm.RecvValue<std::int32_t>(1, kGoTag);  // gate on writer 1's ack
+      SstWriter writer(comm, 2);
+      writer.BeginStep(0);
+      writer.Put("v", Bytes("slow"));
+      writer.EndStep();
+      writer.Close();
+    } else if (comm.Rank() == 1) {
+      SstWriter writer(comm, 2);
+      writer.BeginStep(0);
+      writer.Put("v", Bytes("fast"));
+      writer.EndStep();
+      writer.Close();  // returns only after the reader acked the step
+      comm.SendValue<std::int32_t>(0, kGoTag, 1);
+    } else {
+      SstReader reader(comm, {0, 1});
+      auto step = reader.NextStep();
+      ASSERT_TRUE(step.has_value());
+      EXPECT_EQ(step->step, 0);
+      ASSERT_EQ(step->payloads.size(), 2u);
+      EXPECT_EQ(step->payloads.at(0).variables.at("v"), Bytes("slow"));
+      EXPECT_EQ(step->payloads.at(1).variables.at("v"), Bytes("fast"));
+      EXPECT_FALSE(reader.NextStep().has_value());
+    }
+  });
+}
+
+TEST(SstTest, AckMismatchThrowsDescriptively) {
+  // A misbehaving endpoint acks a step the writer never shipped.  The
+  // writer must refuse to free a staging slot on the bogus ack: the next
+  // BeginStep (queue full -> drains acks) throws, naming both the acked
+  // step and the oldest in-flight step.
+  Runtime::Run(2, [](Comm& comm) {
+    constexpr int kTagSstMsg = 8001;  // wire tags, mirrored from sst.cpp
+    constexpr int kTagSstAck = 8002;
+    if (comm.Rank() == 0) {
+      SstWriter writer(comm, 1, {.queue_limit = 1});
+      writer.BeginStep(5);
+      writer.Put("v", Bytes("abc"));
+      writer.EndStep();
+      try {
+        writer.BeginStep(6);
+        FAIL() << "BeginStep accepted a mismatched ack";
+      } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("ack mismatch"), std::string::npos) << what;
+        EXPECT_NE(what.find("99"), std::string::npos) << what;  // bogus ack
+        EXPECT_NE(what.find("5"), std::string::npos) << what;   // in flight
+      }
+    } else {
+      core::Buffer message = comm.RecvBuffer(0, kTagSstMsg);
+      EXPECT_FALSE(message.empty());
+      comm.SendValue<std::int32_t>(0, kTagSstAck, 99);
+    }
+  });
+}
+
 TEST(SstTest, WriterMisuseThrows) {
   Runtime::Run(2, [](Comm& comm) {
     if (comm.Rank() == 0) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "core/bridge.hpp"
@@ -321,8 +322,12 @@ TEST(WorkflowTelemetryTest, CatalystRunAttributesStepTimeToChildSpans) {
   nek_sensei::InSituOptions options;
   options.flow = SmallCase();
   options.steps = 4;
+  // Pin sync: this test asserts the INLINE path's tracer attribution (the
+  // async worker records no spans), so it must not flip under the CI
+  // async-default environment.
   options.sensei_xml =
-      "<sensei><analysis type=\"catalyst\" frequency=\"1\" output=\"" + dir +
+      "<sensei><pipeline mode=\"sync\"/>"
+      "<analysis type=\"catalyst\" frequency=\"1\" output=\"" + dir +
       "\" array=\"velocity\" magnitude=\"1\" width=\"48\" height=\"32\"/>"
       "</sensei>";
   options.telemetry.enabled = true;
@@ -373,8 +378,10 @@ TEST(WorkflowTelemetryTest, XmlTelemetryElementEnablesTracing) {
   nek_sensei::InSituOptions options;
   options.flow = SmallCase();
   options.steps = 2;
+  // Pin sync: asserts spans from the inline update path.
   options.sensei_xml =
-      "<sensei><telemetry summary=\"" + dir + "/telemetry.json\"/>"
+      "<sensei><pipeline mode=\"sync\"/>"
+      "<telemetry summary=\"" + dir + "/telemetry.json\"/>"
       "<analysis type=\"checkpoint\" frequency=\"2\" output=\"" + dir +
       "\"/></sensei>";
   const auto metrics = nek_sensei::RunInSitu(1, options);
@@ -440,8 +447,11 @@ TEST(WorkflowMetricsTest, InSituPlaneProducesAggregatedReportAndJson) {
   nek_sensei::InSituOptions options;
   options.flow = SmallCase();
   options.steps = 4;
+  // Pin sync: bridge.updates counts every inline Update call (8); the async
+  // pipeline only counts executed (due) jobs.
   options.sensei_xml =
-      "<sensei><analysis type=\"catalyst\" frequency=\"2\" output=\"" + dir +
+      "<sensei><pipeline mode=\"sync\"/>"
+      "<analysis type=\"catalyst\" frequency=\"2\" output=\"" + dir +
       "\" array=\"velocity\" magnitude=\"1\" width=\"48\" height=\"32\"/>"
       "</sensei>";
   options.telemetry.metrics = true;
@@ -527,8 +537,11 @@ TEST(WorkflowTelemetryTest, InTransitSstWriterPacksExactlyOnePerTrigger) {
   options.flow = nekrs::cases::RayleighBenardCase(rbc);
   options.steps = 4;
   options.sim_per_endpoint = 2;
+  // Pin sync: asserts the sim-side marshal/send spans, which the async
+  // worker would run untraced.
   options.sim_xml =
-      "<sensei><analysis type=\"adios\" frequency=\"2\"/></sensei>";
+      "<sensei><pipeline mode=\"sync\"/>"
+      "<analysis type=\"adios\" frequency=\"2\"/></sensei>";
   options.endpoint_xml = "<sensei/>";  // endpoint adopts, never copies
   options.telemetry.enabled = true;
 
@@ -543,6 +556,195 @@ TEST(WorkflowTelemetryTest, InTransitSstWriterPacksExactlyOnePerTrigger) {
   EXPECT_GE(t.SpanCount("sst.recv"), 2u);
   EXPECT_DOUBLE_EQ(t.Counter("buffer.full_copies"), 4.0);
   EXPECT_GT(t.Counter("sst.bytes"), 0.0);
+}
+
+// ---- Async pipeline ---------------------------------------------------------
+
+// Every regular file under `root`, keyed by relative path, with its bytes.
+std::map<std::string, std::string> ReadTree(const std::string& root) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    files[std::filesystem::relative(entry.path(), root).string()] =
+        bytes.str();
+  }
+  return files;
+}
+
+void ExpectTreesIdentical(const std::string& sync_dir,
+                          const std::string& async_dir) {
+  const auto sync_tree = ReadTree(sync_dir);
+  const auto async_tree = ReadTree(async_dir);
+  ASSERT_FALSE(sync_tree.empty());
+  EXPECT_EQ(async_tree.size(), sync_tree.size());
+  for (const auto& [name, bytes] : sync_tree) {
+    const auto it = async_tree.find(name);
+    ASSERT_NE(it, async_tree.end()) << name << " missing from async run";
+    EXPECT_EQ(it->second, bytes)
+        << name << " differs between sync and async";
+  }
+}
+
+// Stats + Catalyst + checkpoint (the quickstart shape), optionally behind
+// the async pipeline.
+std::string QuickstartLikeXml(const std::string& dir,
+                              const std::string& pipeline) {
+  return "<sensei>" + pipeline +
+         "<analysis type=\"stats\" frequency=\"2\" arrays=\"velocity\""
+         " log=\"" + dir + "/stats.log\"/>"
+         "<analysis type=\"catalyst\" frequency=\"2\" output=\"" + dir +
+         "\" array=\"velocity\" magnitude=\"1\" width=\"48\" height=\"32\"/>"
+         "<analysis type=\"checkpoint\" frequency=\"4\" output=\"" + dir +
+         "\"/></sensei>";
+}
+
+TEST(AsyncPipelineTest, InSituOutputsByteIdenticalToSync) {
+  // The tentpole's correctness bar: offloading the whole Update path to the
+  // per-rank worker must not change a single output byte — images,
+  // checkpoints, the stats log — nor the zero-copy ledger.
+  const std::string sync_dir = TempSubdir("async_eq_sync");
+  const std::string async_dir = TempSubdir("async_eq_async");
+
+  nek_sensei::InSituOptions options;
+  options.flow = SmallCase();
+  options.steps = 4;
+  options.telemetry.metrics = true;
+
+  auto sync_options = options;
+  sync_options.sensei_xml = QuickstartLikeXml(sync_dir, "");
+  auto async_options = options;
+  async_options.sensei_xml = QuickstartLikeXml(
+      async_dir, "<pipeline mode=\"async\" depth=\"2\"/>");
+
+  const auto sync_metrics = nek_sensei::RunInSitu(2, sync_options);
+  const auto async_metrics = nek_sensei::RunInSitu(2, async_options);
+
+  EXPECT_GT(sync_metrics.images_written, 0u);
+  EXPECT_EQ(async_metrics.images_written, sync_metrics.images_written);
+  EXPECT_EQ(async_metrics.bytes_written, sync_metrics.bytes_written);
+  ExpectTreesIdentical(sync_dir, async_dir);
+
+  // Mode-independent data plane: the async path stages the same bytes the
+  // same way, just on a different thread.  (Allocation counts legitimately
+  // drop async — slot reuse — so they are not compared.)
+  const auto& s = sync_metrics.metrics_report;
+  const auto& a = async_metrics.metrics_report;
+  ASSERT_FALSE(s.Empty());
+  ASSERT_FALSE(a.Empty());
+  for (const char* counter : {"buffer.full_copies", "buffer.copied_bytes",
+                              "storage.bytes_written", "d2h.bytes"}) {
+    EXPECT_DOUBLE_EQ(a.CounterSum(counter), s.CounterSum(counter))
+        << counter;
+  }
+}
+
+TEST(AsyncPipelineTest, InTransitOutputsByteIdenticalToSync) {
+  // Same bar for the streaming path: the worker owns marshal + SST send,
+  // and the endpoint must not be able to tell.
+  const std::string sync_dir = TempSubdir("async_it_sync");
+  const std::string async_dir = TempSubdir("async_it_async");
+
+  nek_sensei::InTransitOptions options;
+  nekrs::cases::RayleighBenardOptions rbc;
+  rbc.elements = {2, 2, 2};
+  rbc.order = 3;
+  options.flow = nekrs::cases::RayleighBenardCase(rbc);
+  options.steps = 4;
+  options.sim_per_endpoint = 2;
+
+  auto endpoint_xml = [](const std::string& dir) {
+    return "<sensei><analysis type=\"catalyst\" output=\"" + dir +
+           "\" width=\"48\" height=\"32\">"
+           "<render array=\"temperature\"/>"
+           "<render array=\"velocity\" magnitude=\"1\" azimuth=\"90\"/>"
+           "</analysis></sensei>";
+  };
+  auto sync_options = options;
+  sync_options.sim_xml =
+      "<sensei><analysis type=\"adios\" frequency=\"2\"/></sensei>";
+  sync_options.endpoint_xml = endpoint_xml(sync_dir);
+  auto async_options = options;
+  async_options.sim_xml =
+      "<sensei><pipeline mode=\"async\" depth=\"2\"/>"
+      "<analysis type=\"adios\" frequency=\"2\"/></sensei>";
+  async_options.endpoint_xml = endpoint_xml(async_dir);
+
+  const auto sync_metrics = nek_sensei::RunInTransit(2, sync_options);
+  const auto async_metrics = nek_sensei::RunInTransit(2, async_options);
+
+  EXPECT_EQ(sync_metrics.images_written, 4u);  // 2 renders x 2 triggers
+  EXPECT_EQ(async_metrics.images_written, sync_metrics.images_written);
+  EXPECT_EQ(async_metrics.bytes_written, sync_metrics.bytes_written);
+  ExpectTreesIdentical(sync_dir, async_dir);
+}
+
+TEST(AsyncPipelineTest, AsyncRunSurfacesPipelineMetrics) {
+  // The overlap ledger: submits count due steps, worker time lands in
+  // bridge.update_seconds, and Shutdown publishes the overlap/offload
+  // split the heartbeat and bench tables read.
+  const std::string dir = TempSubdir("async_metrics");
+  nek_sensei::InSituOptions options;
+  options.flow = SmallCase();
+  options.steps = 4;
+  options.sensei_xml =
+      "<sensei><pipeline mode=\"async\" depth=\"2\"/>"
+      "<analysis type=\"catalyst\" frequency=\"2\" output=\"" + dir +
+      "\" array=\"velocity\" magnitude=\"1\" width=\"48\" height=\"32\"/>"
+      "</sensei>";
+  options.telemetry.metrics = true;
+
+  const auto metrics = nek_sensei::RunInSitu(2, options);
+  const auto& report = metrics.metrics_report;
+  ASSERT_FALSE(report.Empty());
+  // Steps 2 and 4 are due (frequency 2) on each of the 2 ranks.
+  EXPECT_DOUBLE_EQ(report.CounterSum("pipeline.submits"), 4.0);
+  EXPECT_DOUBLE_EQ(report.CounterSum("bridge.updates"), 4.0);
+  EXPECT_GT(report.CounterSum("bridge.update_seconds"), 0.0);
+  EXPECT_EQ(report.counters.count("pipeline.queue_wait_seconds"), 1u);
+  EXPECT_EQ(report.counters.count("pipeline.overlap_seconds"), 1u);
+  ASSERT_NE(report.Gauge("insitu.offloaded_share"), nullptr);
+  EXPECT_LE(report.Gauge("insitu.offloaded_share")->high_watermark, 1.0);
+}
+
+// ---- Heartbeat formatting ---------------------------------------------------
+
+TEST(HeartbeatFormatTest, ClampsInsituShareAtOneHundredPercent) {
+  // Busy-clock vs wall-clock skew can push the raw ratio past 100; the
+  // printed line must clamp (work off the critical path belongs to the
+  // offload column instead).
+  nek_sensei::HeartbeatLine line;
+  line.done = 5;
+  line.total = 10;
+  line.rate_steps_per_second = 2.0;
+  line.eta_seconds = 2.5;
+  line.mem_mean_bytes = 1024;
+  line.mem_max_bytes = 2048;
+  line.insitu_percent = 137.0;
+  const std::string out = nek_sensei::FormatHeartbeatLine(line);
+  EXPECT_NE(out.find("step 5/10 (50%)"), std::string::npos) << out;
+  EXPECT_NE(out.find("insitu 100%"), std::string::npos) << out;
+  EXPECT_EQ(out.find("137"), std::string::npos) << out;
+  // Sync line: no offload or SST queue columns.
+  EXPECT_EQ(out.find("offload"), std::string::npos) << out;
+  EXPECT_EQ(out.find("sst queue"), std::string::npos) << out;
+}
+
+TEST(HeartbeatFormatTest, AsyncLineAddsOffloadAndQueueColumns) {
+  nek_sensei::HeartbeatLine line;
+  line.done = 4;
+  line.total = 8;
+  line.insitu_percent = 42.0;
+  line.offload_percent = 33.0;
+  line.queue_depth = 1;
+  line.queue_limit = 2;
+  const std::string out = nek_sensei::FormatHeartbeatLine(line);
+  EXPECT_NE(out.find("insitu 42%"), std::string::npos) << out;
+  EXPECT_NE(out.find("offload 33%"), std::string::npos) << out;
+  EXPECT_NE(out.find("sst queue 1/2"), std::string::npos) << out;
 }
 
 // ---- Derived fields ---------------------------------------------------------

@@ -183,6 +183,41 @@ TEST(ArrayTest, ElementOffsetCopies) {
   EXPECT_EQ(out[5], 8);
 }
 
+TEST(ArrayTest, StageToHostIntoReusesUniqueRightSizedBuffer) {
+  // The async pipeline's double-buffered staging leans on this contract:
+  // re-staging into last round's slot reuses the allocation in place, so
+  // steady-state snapshots allocate nothing.
+  Device device(Backend::kSimGpu);
+  Array<double> array(device, 64);
+  array.CopyFromHost(std::vector<double>(64, 1.0));
+  core::Buffer staged = array.StageToHost("staging");
+  const std::byte* block = staged.data();
+
+  array.CopyFromHost(std::vector<double>(64, 2.0));
+  core::ResetLocalBufferStats();
+  array.StageToHostInto(staged, "staging");
+  EXPECT_EQ(staged.data(), block);  // reused in place
+  EXPECT_EQ(core::LocalBufferStats().allocations, 0u);
+  EXPECT_EQ(core::LocalBufferStats().device_stages, 1u);
+  EXPECT_DOUBLE_EQ(staged.As<double>()[0], 2.0);
+
+  // A shared handle forbids reuse: a downstream holder of last round's
+  // view must never see this round's bytes.
+  core::Buffer held = staged;
+  array.CopyFromHost(std::vector<double>(64, 3.0));
+  array.StageToHostInto(staged, "staging");
+  EXPECT_NE(staged.data(), held.data());
+  EXPECT_DOUBLE_EQ(held.As<double>()[0], 2.0);
+  EXPECT_DOUBLE_EQ(staged.As<double>()[0], 3.0);
+
+  // A wrong-sized destination (including empty) falls back to a fresh
+  // allocation of the full field.
+  core::Buffer empty;
+  array.StageToHostInto(empty, "staging");
+  EXPECT_EQ(empty.size(), 64 * sizeof(double));
+  EXPECT_DOUBLE_EQ(empty.As<double>()[63], 3.0);
+}
+
 TEST(MemoryTest, NullMemoryThrows) {
   Memory mem;
   EXPECT_FALSE(mem.Valid());

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -348,6 +349,55 @@ TEST(ConfigurableAnalysisTest, EmptyConfigIsNoTransportMode) {
     EXPECT_EQ(data.releases, 0);  // nothing ran, nothing released
     EXPECT_EQ(analysis.TotalBytesWritten(), 0u);
   });
+}
+
+// ---- Pipeline configuration -------------------------------------------------
+
+TEST(PipelineConfigTest, DefaultsToSync) {
+  unsetenv("NEK_SENSEI_ASYNC");
+  const auto config =
+      sensei::ParsePipelineConfig(xmlcfg::Parse("<sensei/>").root);
+  EXPECT_FALSE(config.async);
+  EXPECT_EQ(config.depth, 2);
+}
+
+TEST(PipelineConfigTest, ParsesAsyncModeAndDepth) {
+  const auto config = sensei::ParsePipelineConfig(
+      xmlcfg::Parse("<sensei><pipeline mode=\"async\" depth=\"3\"/></sensei>")
+          .root);
+  EXPECT_TRUE(config.async);
+  EXPECT_EQ(config.depth, 3);
+}
+
+TEST(PipelineConfigTest, RejectsUnknownModeAndBadDepth) {
+  auto parse = [](const std::string& xml) {
+    return sensei::ParsePipelineConfig(xmlcfg::Parse(xml).root).async;
+  };
+  EXPECT_THROW(parse("<sensei><pipeline mode=\"turbo\"/></sensei>"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("<sensei><pipeline mode=\"async\" depth=\"0\"/></sensei>"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("<other/>"), std::invalid_argument);
+}
+
+TEST(PipelineConfigTest, EnvironmentSelectsAsyncWhenElementAbsent) {
+  // The CI async-default lane: NEK_SENSEI_ASYNC flips configurations that
+  // do not pin a <pipeline> element.
+  setenv("NEK_SENSEI_ASYNC", "1", 1);
+  const auto flipped =
+      sensei::ParsePipelineConfig(xmlcfg::Parse("<sensei/>").root);
+  EXPECT_TRUE(flipped.async);
+  EXPECT_EQ(flipped.depth, 2);
+
+  // An explicit mode always wins over the environment.
+  const auto pinned = sensei::ParsePipelineConfig(
+      xmlcfg::Parse("<sensei><pipeline mode=\"sync\"/></sensei>").root);
+  EXPECT_FALSE(pinned.async);
+
+  setenv("NEK_SENSEI_ASYNC", "off", 1);
+  EXPECT_FALSE(
+      sensei::ParsePipelineConfig(xmlcfg::Parse("<sensei/>").root).async);
+  unsetenv("NEK_SENSEI_ASYNC");
 }
 
 // ---- In transit: adios sender + endpoint consumer ---------------------------
