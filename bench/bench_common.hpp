@@ -33,6 +33,11 @@ namespace bench {
 ///   --async              run the SENSEI configurations through the async
 ///                        pipeline (<pipeline mode="async" depth="2"/>);
 ///                        baseline configurations stay untouched
+///   --compress           select transport codecs on the SST stream
+///                        (blockfloat rate 8 on points + data arrays,
+///                        delta shuffle_rle on connectivity); stamps a
+///                        "-compress" config suffix so the regression gate
+///                        compares against the matching baseline
 struct BenchArgs {
   bool trace = false;
   std::string trace_path;
@@ -41,6 +46,7 @@ struct BenchArgs {
   std::string bench_path;
   bool smoke = false;
   bool async = false;
+  bool compress = false;
 
   /// telemetry.json next to the requested trace file.
   [[nodiscard]] std::string SummaryPath() const {
@@ -65,6 +71,8 @@ inline void PrintBenchUsage(const char* binary) {
       "  --smoke               CI-sized sweep (fewer rank counts / steps)\n"
       "  --async               offload in situ updates to the per-rank\n"
       "                        async pipeline (depth 2 double buffering)\n"
+      "  --compress            compress the SST stream (blockfloat rate 8\n"
+      "                        fields, delta shuffle_rle connectivity)\n"
       "  --help                show this help\n",
       binary);
 }
@@ -97,6 +105,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.smoke = true;
     } else if (arg == "--async") {
       args.async = true;
+    } else if (arg == "--compress") {
+      args.compress = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintBenchUsage(argv[0]);
       std::exit(0);
@@ -255,10 +265,21 @@ inline std::string InSituCheckpointXml(const std::string& out,
          "\"/></sensei>";
 }
 
-/// Sim-side XML activating the SST stream every `frequency` steps.
-inline std::string InTransitAdiosXml(int frequency) {
-  return "<sensei><analysis type=\"adios\" frequency=\"" +
-         std::to_string(frequency) + "\"/></sensei>";
+/// Sim-side XML activating the SST stream every `frequency` steps.  With
+/// `compress`, the analysis element carries the per-plane codec selection:
+/// blockfloat rate 8 on points and every data array, delta shuffle_rle on
+/// the int64 connectivity (DESIGN.md §3c).
+inline std::string InTransitAdiosXml(int frequency, bool compress = false) {
+  std::string xml = "<sensei><analysis type=\"adios\" frequency=\"" +
+                    std::to_string(frequency) + "\"";
+  if (!compress) return xml + "/></sensei>";
+  return xml +
+         ">"
+         "<points><codec type=\"blockfloat\" rate=\"8\"/></points>"
+         "<connectivity><codec type=\"shuffle_rle\" delta=\"1\"/>"
+         "</connectivity>"
+         "<array name=\"*\"><codec type=\"blockfloat\" rate=\"8\"/></array>"
+         "</analysis></sensei>";
 }
 
 /// Endpoint XML for the in transit Checkpointing measurement point.

@@ -24,9 +24,11 @@ int main(int argc, char** argv) {
 
   instrument::BenchReport bench_report;
   bench_report.bench = "fig5";
-  // "-async" suffix: async runs gate only against *_async baselines.
+  // "-async" / "-compress" suffixes: such runs gate only against the
+  // matching baselines (byte counters shift under compression).
   bench_report.config = std::string(args.smoke ? "smoke" : "full") +
-                        (args.async ? "-async" : "");
+                        (args.async ? "-async" : "") +
+                        (args.compress ? "-compress" : "");
 
   instrument::Table table(
       "Figure 5: in transit mean time per timestep on sim ranks (RBC weak "
@@ -54,7 +56,7 @@ int main(int argc, char** argv) {
         // --async offloads the sim-side SST sender to the per-rank worker;
         // the endpoint stays a plain consumer loop either way.
         options.sim_xml = bench::WithPipeline(
-            bench::InTransitAdiosXml(kFrequency), args.async);
+            bench::InTransitAdiosXml(kFrequency, args.compress), args.async);
         options.endpoint_xml = mode == "checkpointing"
                                    ? bench::EndpointCheckpointXml(out)
                                    : bench::EndpointCatalystXml(out);

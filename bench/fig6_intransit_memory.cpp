@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
       options.sim_xml = "<sensei/>";
       options.endpoint_xml = "<sensei/>";
     } else {
-      options.sim_xml = bench::InTransitAdiosXml(kFrequency);
+      options.sim_xml = bench::WithPipeline(
+          bench::InTransitAdiosXml(kFrequency, args.compress), args.async);
       options.endpoint_xml = mode == "checkpointing"
                                  ? bench::EndpointCheckpointXml(out)
                                  : bench::EndpointCatalystXml(out);

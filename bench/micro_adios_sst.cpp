@@ -4,10 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstring>
 
 #include "adios/marshal.hpp"
 #include "adios/sst.hpp"
+#include "codec/codec.hpp"
 #include "mpimini/runtime.hpp"
 
 namespace {
@@ -73,6 +75,84 @@ void BM_SstStream16Steps(benchmark::State& state) {
                           kSteps * static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_SstStream16Steps)
+    ->Range(1 << 12, 1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- codec plane ------------------------------------------------------------
+
+std::vector<std::byte> SmoothFieldBytes(std::size_t bytes) {
+  std::vector<double> values(bytes / sizeof(double));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(static_cast<double>(i) * 0.01) * 300.0 + 273.0;
+  }
+  std::vector<std::byte> out(values.size() * sizeof(double));
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+
+codec::Spec BlockFloat8() {
+  codec::Spec spec;
+  spec.kind = codec::Kind::kBlockFloat;
+  spec.rate = 8;
+  return spec;
+}
+
+void BM_CodecEncodeBlockFloat(benchmark::State& state) {
+  const auto raw = SmoothFieldBytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::Buffer wire = codec::Encode(BlockFloat8(), raw);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw.size()));
+}
+BENCHMARK(BM_CodecEncodeBlockFloat)->Range(1 << 10, 1 << 22);
+
+void BM_CodecDecodeBlockFloat(benchmark::State& state) {
+  const auto raw = SmoothFieldBytes(static_cast<std::size_t>(state.range(0)));
+  const core::Buffer wire = codec::Encode(BlockFloat8(), raw);
+  for (auto _ : state) {
+    core::Buffer back =
+        codec::Decode(codec::Kind::kBlockFloat, wire.bytes(), raw.size());
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw.size()));
+}
+BENCHMARK(BM_CodecDecodeBlockFloat)->Range(1 << 10, 1 << 22);
+
+// The compressed twin of BM_SstStream16Steps: same stream shape, blockfloat
+// rate 8 on the field.  Comparing the two rows shows whether the encode
+// cost is paid back by the smaller wire payload.
+void BM_SstStream16StepsCompressed(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  constexpr int kSteps = 16;
+  const std::vector<std::byte> block = SmoothFieldBytes(bytes);
+  for (auto _ : state) {
+    mpimini::Runtime::Run(2, [&](mpimini::Comm& comm) {
+      if (comm.Rank() == 0) {
+        core::Buffer staged =
+            core::Buffer::TakeVector("", std::vector<std::byte>(block));
+        adios::SstWriter writer(comm, 1);
+        for (int i = 0; i < kSteps; ++i) {
+          writer.BeginStep(i);
+          writer.PutChain("mesh",
+                          core::BufferChain(core::BufferView(staged)),
+                          BlockFloat8());
+          writer.EndStep();
+        }
+        writer.Close();
+      } else {
+        adios::SstReader reader(comm, {0});
+        while (reader.NextStep()) {
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSteps * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SstStream16StepsCompressed)
     ->Range(1 << 12, 1 << 20)
     ->Unit(benchmark::kMillisecond);
 

@@ -24,15 +24,17 @@ void BpFileWriter::Put(const std::string& name,
                      core::BufferView(core::Buffer::CopyOf("marshal", data))));
 }
 
-void BpFileWriter::PutChain(const std::string& name, core::BufferChain chain) {
+void BpFileWriter::PutChain(const std::string& name, core::BufferChain chain,
+                            codec::Spec spec) {
   if (!step_open_) throw std::runtime_error("adios: Put outside a step");
   staged_.variables[name] = std::move(chain);
+  if (!spec.Identity()) staged_.codecs[name] = spec;
 }
 
 void BpFileWriter::EndStep() {
   if (!step_open_) throw std::runtime_error("adios: EndStep outside a step");
   instrument::Span span("bpfile.write");
-  const core::BufferChain chain = MarshalChain(staged_);
+  const core::BufferChain chain = MarshalChain(staged_, &codec_stats_);
   const std::uint64_t length = chain.TotalBytes();
   out_.write(reinterpret_cast<const char*>(&length), sizeof(length));
   for (const core::BufferView& segment : chain.Segments()) {

@@ -21,14 +21,19 @@ class BpFileWriter {
   void BeginStep(int step);
   void Put(const std::string& name, std::span<const std::byte> data);
   /// Zero-copy Put of a scatter-gather chain; segments are streamed to the
-  /// file at EndStep without ever being flattened in memory.
-  void PutChain(const std::string& name, core::BufferChain chain);
+  /// file at EndStep without ever being flattened in memory.  A non-identity
+  /// `spec` routes the variable through codec::Encode at EndStep — the same
+  /// codec plane the SST stream uses, so checkpoints compress identically.
+  void PutChain(const std::string& name, core::BufferChain chain,
+                codec::Spec spec = {});
   /// Appends the marshaled step, prefixed by its byte length.  Segments are
   /// written in wire order directly from the staged chains (no pack copy).
   void EndStep();
   void Close();
 
   [[nodiscard]] std::size_t BytesWritten() const { return bytes_written_; }
+  /// Cumulative raw/wire variable bytes across all steps written.
+  [[nodiscard]] const MarshalStats& CodecStats() const { return codec_stats_; }
 
  private:
   std::ofstream out_;
@@ -36,6 +41,7 @@ class BpFileWriter {
   StepChain staged_;
   bool step_open_ = false;
   std::size_t bytes_written_ = 0;
+  MarshalStats codec_stats_;
 };
 
 class BpFileReader {

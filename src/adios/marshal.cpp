@@ -7,7 +7,7 @@ namespace adios {
 
 namespace {
 
-constexpr std::uint64_t kBpMagic = 0x4250354D494E49ULL;  // "BP5MINI"
+constexpr std::uint64_t kBpMagic = 0x4250364D494E49ULL;  // "BP6MINI"
 
 template <typename T>
 void Append(std::vector<std::byte>& buf, const T& v) {
@@ -16,10 +16,16 @@ void Append(std::vector<std::byte>& buf, const T& v) {
   std::memcpy(buf.data() + old, &v, sizeof(T));
 }
 
+/// Bounds-checked read that names the header field it was after, so a
+/// truncated buffer reports *what* is missing, not just that something is.
 template <typename T>
-T Read(std::span<const std::byte> buf, std::size_t& pos) {
+T Read(std::span<const std::byte> buf, std::size_t& pos, const char* field) {
   if (pos + sizeof(T) > buf.size()) {
-    throw std::runtime_error("adios: marshal buffer underrun");
+    throw std::runtime_error(
+        "adios: truncated step buffer reading " + std::string(field) +
+        " (need " + std::to_string(sizeof(T)) + " bytes at offset " +
+        std::to_string(pos) + ", have " + std::to_string(buf.size() - pos) +
+        ")");
   }
   T v;
   std::memcpy(&v, buf.data() + pos, sizeof(T));
@@ -27,11 +33,13 @@ T Read(std::span<const std::byte> buf, std::size_t& pos) {
   return v;
 }
 
-/// Byte range of one variable inside a packed step buffer.
+/// Byte range of one variable's wire bytes inside a packed step buffer.
 struct VarRecord {
   std::string name;
-  std::size_t offset = 0;
-  std::size_t size = 0;
+  codec::Kind kind = codec::Kind::kIdentity;
+  std::size_t offset = 0;     // wire bytes
+  std::size_t wire_len = 0;
+  std::size_t raw_len = 0;
 };
 
 struct ParsedStep {
@@ -42,43 +50,68 @@ struct ParsedStep {
 
 // Single bounds-checked parse shared by both unmarshal flavors: every
 // length is validated against the remaining bytes before any read, so a
-// truncated or corrupt buffer throws instead of reading out of bounds.
+// truncated, oversized, or corrupt buffer throws a field-named error
+// instead of reading out of bounds.
 ParsedStep ParseStep(std::span<const std::byte> buffer) {
   std::size_t pos = 0;
-  if (Read<std::uint64_t>(buffer, pos) != kBpMagic) {
+  if (Read<std::uint64_t>(buffer, pos, "magic") != kBpMagic) {
     throw std::runtime_error("adios: bad BP magic");
   }
   ParsedStep parsed;
-  parsed.step = static_cast<int>(Read<std::int64_t>(buffer, pos));
-  parsed.writer_rank = static_cast<int>(Read<std::int64_t>(buffer, pos));
-  const auto count = Read<std::uint64_t>(buffer, pos);
+  parsed.step = static_cast<int>(Read<std::int64_t>(buffer, pos, "step"));
+  parsed.writer_rank =
+      static_cast<int>(Read<std::int64_t>(buffer, pos, "writer_rank"));
+  const auto count = Read<std::uint64_t>(buffer, pos, "variable count");
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = Read<std::uint64_t>(buffer, pos);
+    const auto name_len = Read<std::uint64_t>(buffer, pos, "name length");
     if (name_len > buffer.size() - pos) {
-      throw std::runtime_error("adios: marshal name underrun");
+      throw std::runtime_error(
+          "adios: variable name overruns the step buffer (name length " +
+          std::to_string(name_len) + ", " +
+          std::to_string(buffer.size() - pos) + " byte(s) left)");
     }
     VarRecord record;
     record.name.assign(reinterpret_cast<const char*>(buffer.data() + pos),
                        name_len);
     pos += name_len;
-    const auto data_len = Read<std::uint64_t>(buffer, pos);
-    if (data_len > buffer.size() - pos) {
-      throw std::runtime_error("adios: marshal data underrun");
+    const auto kind = Read<std::uint64_t>(buffer, pos, "codec kind");
+    if (!codec::KnownKind(kind)) {
+      throw std::runtime_error(
+          "adios: variable '" + record.name + "' carries unknown codec kind " +
+          std::to_string(kind));
+    }
+    record.kind = static_cast<codec::Kind>(kind);
+    record.raw_len = Read<std::uint64_t>(buffer, pos, "raw length");
+    record.wire_len = Read<std::uint64_t>(buffer, pos, "wire length");
+    if (record.kind == codec::Kind::kIdentity &&
+        record.raw_len != record.wire_len) {
+      throw std::runtime_error(
+          "adios: identity-coded variable '" + record.name +
+          "' has raw length " + std::to_string(record.raw_len) +
+          " != wire length " + std::to_string(record.wire_len));
+    }
+    if (record.wire_len > buffer.size() - pos) {
+      throw std::runtime_error(
+          "adios: variable '" + record.name +
+          "' data overruns the step buffer (wire length " +
+          std::to_string(record.wire_len) + ", " +
+          std::to_string(buffer.size() - pos) + " byte(s) left)");
     }
     record.offset = pos;
-    record.size = data_len;
-    pos += data_len;
+    pos += record.wire_len;
     parsed.vars.push_back(std::move(record));
   }
   if (pos != buffer.size()) {
-    throw std::runtime_error("adios: marshal trailing bytes");
+    throw std::runtime_error(
+        "adios: step buffer has " + std::to_string(buffer.size() - pos) +
+        " trailing byte(s) after the last variable");
   }
   return parsed;
 }
 
 }  // namespace
 
-core::BufferChain MarshalChain(const StepChain& staged) {
+core::BufferChain MarshalChain(const StepChain& staged, MarshalStats* stats) {
   core::BufferChain chain;
   std::vector<std::byte> header;
 
@@ -93,13 +126,47 @@ core::BufferChain MarshalChain(const StepChain& staged) {
   Append(header, static_cast<std::int64_t>(staged.writer_rank));
   Append(header, static_cast<std::uint64_t>(staged.variables.size()));
   for (const auto& [name, data] : staged.variables) {
+    const auto spec_it = staged.codecs.find(name);
+    const codec::Spec spec =
+        spec_it == staged.codecs.end() ? codec::Spec{} : spec_it->second;
+    const std::size_t raw_len = data.TotalBytes();
+
     Append(header, static_cast<std::uint64_t>(name.size()));
     const std::size_t old = header.size();
     header.resize(old + name.size());
     std::memcpy(header.data() + old, name.data(), name.size());
-    Append(header, static_cast<std::uint64_t>(data.TotalBytes()));
+    Append(header, static_cast<std::uint64_t>(spec.kind));
+    Append(header, static_cast<std::uint64_t>(raw_len));
+
+    if (spec.Identity()) {
+      Append(header, static_cast<std::uint64_t>(raw_len));
+      flush_header();
+      chain.Append(data);  // zero-copy: views ride to the transport pack
+      if (stats != nullptr) {
+        stats->raw_bytes += raw_len;
+        stats->wire_bytes += raw_len;
+      }
+      continue;
+    }
+    // Coded path: the codec needs contiguous input.  Split staging puts
+    // bulk arrays up as single-segment chains, so this packs only in the
+    // multi-segment corner case.
+    core::Buffer packed;
+    std::span<const std::byte> raw;
+    if (data.Contiguous()) {
+      raw = data.ContiguousBytes();
+    } else {
+      packed = data.Pack("marshal");
+      raw = packed.bytes();
+    }
+    core::Buffer wire = codec::Encode(spec, raw);
+    Append(header, static_cast<std::uint64_t>(wire.size()));
     flush_header();
-    chain.Append(data);
+    if (stats != nullptr) {
+      stats->raw_bytes += raw_len;
+      stats->wire_bytes += wire.size();
+    }
+    chain.Append(core::BufferView(std::move(wire)));
   }
   flush_header();
   return chain;
@@ -124,8 +191,13 @@ StepPayload UnmarshalStep(std::span<const std::byte> buffer) {
   payload.step = parsed.step;
   payload.writer_rank = parsed.writer_rank;
   for (const VarRecord& record : parsed.vars) {
-    payload.variables[record.name] = core::Buffer::CopyOf(
-        "marshal", buffer.subspan(record.offset, record.size));
+    const auto wire = buffer.subspan(record.offset, record.wire_len);
+    payload.variables[record.name] =
+        record.kind == codec::Kind::kIdentity
+            ? core::Buffer::CopyOf("marshal", wire)
+            : codec::Decode(record.kind, wire, record.raw_len);
+    payload.raw_bytes += record.raw_len;
+    payload.wire_bytes += record.wire_len;
   }
   return payload;
 }
@@ -136,7 +208,15 @@ StepPayload UnmarshalShared(const core::Buffer& packed) {
   payload.step = parsed.step;
   payload.writer_rank = parsed.writer_rank;
   for (const VarRecord& record : parsed.vars) {
-    payload.variables[record.name] = packed.Slice(record.offset, record.size);
+    payload.variables[record.name] =
+        record.kind == codec::Kind::kIdentity
+            ? packed.Slice(record.offset, record.wire_len)
+            : codec::Decode(
+                  record.kind,
+                  packed.bytes().subspan(record.offset, record.wire_len),
+                  record.raw_len);
+    payload.raw_bytes += record.raw_len;
+    payload.wire_bytes += record.wire_len;
   }
   return payload;
 }

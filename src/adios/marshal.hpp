@@ -9,6 +9,19 @@
 // semantics MarshalStep/UnmarshalStep wrappers keep the old copying API for
 // file engines and tests; UnmarshalShared slices the packed buffer without
 // copying for the streaming (SST) receive path.
+//
+// Wire format (v2, magic "BP6MINI"): after the step header each variable
+// carries a codec tag —
+//
+//   u64 name_len, name bytes,
+//   u64 codec_kind   (codec::Kind wire value),
+//   u64 raw_len      (decoded size in bytes),
+//   u64 wire_len     (encoded size in bytes; == raw_len for identity),
+//   wire bytes.
+//
+// Identity-coded variables keep the zero-copy staging path end to end;
+// other codecs run through codec::Encode at marshal time and codec::Decode
+// at unmarshal time.
 #pragma once
 
 #include <cstdint>
@@ -17,18 +30,24 @@
 #include <string>
 #include <vector>
 
+#include "codec/codec.hpp"
 #include "core/buffer.hpp"
 
 namespace adios {
 
 /// One step's worth of named variables from one writer.  Variables are
 /// ref-counted data-plane buffers: after UnmarshalShared they are slices of
-/// the received transport buffer (no copy); after UnmarshalStep they own
-/// fresh storage.
+/// the received transport buffer (no copy; identity-coded variables only —
+/// compressed variables always own freshly decoded storage); after
+/// UnmarshalStep they own fresh storage.
 struct StepPayload {
   int step = -1;
   int writer_rank = -1;
   std::map<std::string, core::Buffer> variables;
+  /// Byte accounting filled by the unmarshal parse: decoded (raw) and
+  /// as-transported (wire) totals over all variables.
+  std::size_t raw_bytes = 0;
+  std::size_t wire_bytes = 0;
 
   [[nodiscard]] std::size_t TotalBytes() const {
     std::size_t total = 0;
@@ -39,11 +58,13 @@ struct StepPayload {
 
 /// Writer-side staging for one step: each variable is a scatter-gather
 /// chain (e.g. svtk::SerializeChain output) that is never flattened before
-/// the wire.
+/// the wire.  `codecs` selects a per-variable codec; absent entries ship
+/// identity (zero-copy).
 struct StepChain {
   int step = -1;
   int writer_rank = -1;
   std::map<std::string, core::BufferChain> variables;
+  std::map<std::string, codec::Spec> codecs;
 
   [[nodiscard]] std::size_t TotalBytes() const {
     std::size_t total = 0;
@@ -52,21 +73,34 @@ struct StepChain {
   }
 };
 
+/// Raw-vs-wire byte totals for one MarshalChain call (the writer-side twin
+/// of StepPayload::raw_bytes/wire_bytes).
+struct MarshalStats {
+  std::size_t raw_bytes = 0;
+  std::size_t wire_bytes = 0;
+};
+
 /// Marshal a staged step into a scatter-gather chain:
-/// magic, step, writer_rank, count, then per variable (name, size, bytes),
-/// where the variable bytes are zero-copy views.
-core::BufferChain MarshalChain(const StepChain& staged);
+/// magic, step, writer_rank, count, then per variable the v2 record above.
+/// Identity variables are appended as zero-copy views; coded variables are
+/// encoded here (on the caller's thread — the async worker in async mode).
+/// When `stats` is non-null the per-variable raw/wire totals are added to
+/// it.
+core::BufferChain MarshalChain(const StepChain& staged,
+                               MarshalStats* stats = nullptr);
 
 /// Pack a payload into a single BP-like buffer (value-semantics wrapper:
-/// performs the one pack copy).
+/// performs the one pack copy; all variables ship identity).
 std::vector<std::byte> MarshalStep(const StepPayload& payload);
 
-/// Inverse of MarshalStep; variables own fresh storage (one copy each).
-/// Throws std::runtime_error on malformed input; never reads out of bounds.
+/// Inverse of MarshalStep; variables own fresh storage (one copy each;
+/// coded variables are decoded).  Throws std::runtime_error naming the
+/// offending header field on malformed input; never reads out of bounds.
 StepPayload UnmarshalStep(std::span<const std::byte> buffer);
 
-/// Zero-copy inverse: variables are slices sharing `packed`'s block, valid
-/// for as long as any slice is held.  Same validation as UnmarshalStep.
+/// Zero-copy inverse: identity variables are slices sharing `packed`'s
+/// block, valid for as long as any slice is held; coded variables own their
+/// decoded bytes.  Same validation as UnmarshalStep.
 StepPayload UnmarshalShared(const core::Buffer& packed);
 
 }  // namespace adios

@@ -102,10 +102,12 @@ void SstWriter::PutBuffer(const std::string& name, core::Buffer data) {
   PutChain(name, core::BufferChain(core::BufferView(std::move(data))));
 }
 
-void SstWriter::PutChain(const std::string& name, core::BufferChain chain) {
+void SstWriter::PutChain(const std::string& name, core::BufferChain chain,
+                         codec::Spec spec) {
   owner_.Check("adios::SstWriter::PutChain");
   if (!step_open_) throw std::runtime_error("adios: Put outside a step");
   staged_.variables[name] = std::move(chain);
+  if (!spec.Identity()) staged_.codecs[name] = spec;
 }
 
 void SstWriter::EndStep() {
@@ -117,8 +119,13 @@ void SstWriter::EndStep() {
   core::BufferChain message;
   message.Append(core::Buffer::TakeVector(
       "", std::vector<std::byte>{kKindData}));
-  message.Append(MarshalChain(staged_));
+  MarshalStats marshal_stats;
+  message.Append(MarshalChain(staged_, &marshal_stats));
   marshal_span.End();
+  stats_.raw_bytes += marshal_stats.raw_bytes;
+  stats_.wire_bytes += marshal_stats.wire_bytes;
+  raw_bytes_.store(stats_.raw_bytes, std::memory_order_relaxed);
+  wire_bytes_.store(stats_.wire_bytes, std::memory_order_relaxed);
   const std::size_t payload_bytes = message.TotalBytes() - 1;
   {
     instrument::Span send_span("sst.send");
@@ -142,6 +149,12 @@ void SstWriter::EndStep() {
     metrics->SetTotal("sst.payload_bytes",
                       static_cast<double>(stats_.payload_bytes));
     metrics->SetTotal("sst.steps", static_cast<double>(stats_.steps));
+    // Writer-side only: the reader keeps its own SstStats, but feeding the
+    // same bytes into the metrics plane from both ends would double the
+    // global sums ReduceMetrics computes.
+    metrics->SetTotal("sst.bytes_raw", static_cast<double>(stats_.raw_bytes));
+    metrics->SetTotal("sst.bytes_wire",
+                      static_cast<double>(stats_.wire_bytes));
   }
 }
 
@@ -238,6 +251,8 @@ std::optional<SstReader::Step> SstReader::NextStep() {
     StepPayload payload =
         UnmarshalShared(message.Slice(1, message.size() - 1));
     stats_.payload_bytes += message.size() - 1;
+    stats_.raw_bytes += payload.raw_bytes;
+    stats_.wire_bytes += payload.wire_bytes;
     // Ack immediately: the writer's staging slot is free once the payload
     // is on the endpoint.
     world_.SendValue<std::int32_t>(writers_[w], kTagSstAck,

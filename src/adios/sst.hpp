@@ -36,6 +36,10 @@ struct SstStats {
   std::uint64_t steps = 0;
   std::size_t payload_bytes = 0;
   std::uint64_t control_messages = 0;
+  /// Codec-plane accounting: decoded (raw) vs as-transported (wire) variable
+  /// bytes.  Equal unless at least one variable ships a non-identity codec.
+  std::size_t raw_bytes = 0;
+  std::size_t wire_bytes = 0;
 };
 
 /// Simulation-side SST endpoint: one per sim rank, streaming to a fixed
@@ -59,7 +63,11 @@ class SstWriter {
   void PutBuffer(const std::string& name, core::Buffer data);
   /// Zero-copy Put of a scatter-gather chain (e.g. svtk::SerializeChain
   /// output); the segments ride to the wire without being flattened here.
-  void PutChain(const std::string& name, core::BufferChain chain);
+  /// A non-identity `spec` routes the variable through codec::Encode at
+  /// EndStep (on this writer's owning thread — the async worker in async
+  /// pipeline mode).
+  void PutChain(const std::string& name, core::BufferChain chain,
+                codec::Spec spec = {});
   /// Marshal and ship the staged step to the reader: the staged chains are
   /// packed exactly once, into the outgoing transport buffer.
   void EndStep();
@@ -77,6 +85,16 @@ class SstWriter {
     return queue_depth_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] int QueueLimit() const { return params_.queue_limit; }
+
+  /// Cumulative raw/wire variable bytes shipped, readable from any thread
+  /// (lock-free mirrors of the stats, for the rank thread's heartbeat while
+  /// the async worker owns the writer).
+  [[nodiscard]] std::size_t RawBytes() const {
+    return raw_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t WireBytes() const {
+    return wire_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// One shipped-but-unacked step: the step number the reader must echo in
@@ -101,6 +119,10 @@ class SstWriter {
   std::deque<InFlight> in_flight_;
   /// Lock-free mirror of in_flight_.size() for cross-thread QueueDepth().
   std::atomic<int> queue_depth_{0};
+  /// Lock-free mirrors of stats_.raw_bytes / stats_.wire_bytes for
+  /// cross-thread RawBytes()/WireBytes().
+  std::atomic<std::size_t> raw_bytes_{0};
+  std::atomic<std::size_t> wire_bytes_{0};
   bool step_open_ = false;
   bool closed_ = false;
   StepChain staged_;

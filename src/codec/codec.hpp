@@ -1,0 +1,101 @@
+// Pluggable compression codec plane for the transport boundary.
+//
+// Every byte that leaves a rank — the SST stream, the BP file engine, the
+// checkpoint-over-BP plane — is framed per variable by adios::MarshalChain,
+// and each variable may be run through one of the codecs here (the role
+// zfp/SZ play behind ADIOS2's SST in the paper's workflow, scaled to this
+// reproduction).  Two concrete codecs plus the identity:
+//
+//   kIdentity    bytes pass through untouched (the zero-copy path; the
+//                marshal layer never calls into this module for it).
+//   kShuffleRle  lossless byte shuffle + run-length coding: a wrap-around
+//                int64 delta (optional), a stride-8 byte transpose that
+//                groups the high-order byte planes (near-constant for
+//                connectivity and smooth fields), then PackBits-style RLE.
+//                Round-trips arbitrary bytes exactly, including NaN/Inf
+//                payloads and non-multiple-of-8 sizes.
+//   kBlockFloat  fixed-rate lossy coding of f64 arrays: per 64-value block,
+//                values are quantized to `rate` bits against the block's
+//                max-abs scale.  Documented, testable error bound below.
+//
+// Ownership rule at the encode boundary: Encode reads a borrowed view of
+// the staged bytes and returns a freshly allocated buffer the caller owns;
+// the input is never aliased by the output, so staged data-plane buffers
+// keep their zero-copy lifetime rules.  Decode likewise returns an owned
+// buffer of exactly `raw_size` bytes or throws — it never returns partial
+// output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/buffer.hpp"
+
+namespace codec {
+
+/// Wire identifier of a codec, carried per variable in the BP-like header
+/// (adios::MarshalChain).  Values are part of the wire format: never
+/// renumber.
+enum class Kind : std::uint32_t {
+  kIdentity = 0,
+  kShuffleRle = 1,
+  kBlockFloat = 2,
+};
+
+/// True when `kind` is a Kind this build can decode.
+[[nodiscard]] bool KnownKind(std::uint64_t kind);
+
+/// Human-readable codec name ("identity", "shuffle_rle", "blockfloat").
+[[nodiscard]] std::string KindName(Kind kind);
+
+/// Values per blockfloat quantization block.  Each block carries its own
+/// scale, so a rank decomposition aligned to this granularity encodes to
+/// identical bytes regardless of how the blocks are partitioned.
+inline constexpr std::size_t kBlockFloatBlock = 64;
+
+/// Blockfloat rate limits (bits per value, sign included).
+inline constexpr int kMinBlockFloatRate = 2;
+inline constexpr int kMaxBlockFloatRate = 32;
+
+/// Per-variable codec selection (parsed from the SENSEI XML's <codec>
+/// elements).  `rate` applies to kBlockFloat, `delta` to kShuffleRle.
+struct Spec {
+  Kind kind = Kind::kIdentity;
+  int rate = 8;
+  bool delta = false;
+
+  [[nodiscard]] bool Identity() const { return kind == Kind::kIdentity; }
+};
+
+/// Encode `raw` under `spec` into a freshly allocated buffer (tracker
+/// category "marshal").  kBlockFloat requires raw.size() % 8 == 0 (whole
+/// f64 values) and rate in [kMinBlockFloatRate, kMaxBlockFloatRate];
+/// violations throw std::invalid_argument.  The encoded stream is
+/// self-describing (rate / applied transforms live in its header), so
+/// decoding needs only the Kind.
+[[nodiscard]] core::Buffer Encode(const Spec& spec,
+                                  std::span<const std::byte> raw);
+
+/// Inverse of Encode: decode `wire` into exactly `raw_size` bytes.  Every
+/// read is bounds-checked; truncated, oversized, or internally inconsistent
+/// streams throw std::runtime_error with a descriptive message.
+[[nodiscard]] core::Buffer Decode(Kind kind, std::span<const std::byte> wire,
+                                  std::size_t raw_size);
+
+/// The documented kBlockFloat error bound: for every 64-value block B,
+///
+///   max |v - decode(encode(v))|  <=  max_abs(B) * 2^(1 - rate)
+///    v in B
+///
+/// (quantization against the block max-abs scale m with Q = 2^(rate-1) - 1
+/// levels has max error 0.5 * m / Q, which is <= m * 2^(1-rate) for every
+/// rate >= 2).  Blocks containing non-finite values are stored verbatim
+/// (NaN/Inf passthrough: bit-exact, error 0); all-zero blocks decode to
+/// exact zeros.  This helper evaluates the bound for a concrete array so
+/// tests can assert it value-by-value.
+[[nodiscard]] double BlockFloatErrorBound(std::span<const double> values,
+                                          int rate);
+
+}  // namespace codec

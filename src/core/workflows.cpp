@@ -112,9 +112,12 @@ class Heartbeat {
   /// -1/-1 when the workflow has no transport, e.g. in situ).
   /// `offload_seconds` is this rank's cumulative async-worker update
   /// seconds, or negative in sync mode (must agree in sign across ranks —
-  /// the reductions are collective).
+  /// the reductions are collective).  `raw_bytes`/`wire_bytes` are this
+  /// rank's cumulative transport codec-plane totals (0 when there is no
+  /// transport; equal when every variable ships identity).
   void Tick(int step_index, int queue_depth, int queue_limit,
-            double offload_seconds = -1.0) {
+            double offload_seconds = -1.0, std::size_t raw_bytes = 0,
+            std::size_t wire_bytes = 0) {
     if (interval_ <= 0) return;
     const int done = step_index + 1;
     if (done % interval_ != 0 && done != total_) return;
@@ -127,8 +130,10 @@ class Heartbeat {
       insitu_seconds = m->Counter("bridge.update_seconds");
     }
     const bool async = offload_seconds >= 0.0;
-    std::array<double, 3> sums{mem, insitu_seconds,
-                               async ? offload_seconds : 0.0};
+    std::array<double, 5> sums{mem, insitu_seconds,
+                               async ? offload_seconds : 0.0,
+                               static_cast<double>(raw_bytes),
+                               static_cast<double>(wire_bytes)};
     std::array<double, 2> maxs{mem, static_cast<double>(queue_depth)};
     comm_.Reduce(std::span<double>(sums), mpimini::Op::kSum, 0);
     comm_.Reduce(std::span<double>(maxs), mpimini::Op::kMax, 0);
@@ -155,6 +160,8 @@ class Heartbeat {
     }
     line.queue_depth = static_cast<int>(maxs[1]);
     line.queue_limit = queue_limit;
+    line.raw_bytes = static_cast<std::size_t>(sums[3]);
+    line.wire_bytes = static_cast<std::size_t>(sums[4]);
     std::fprintf(stderr, "%s\n", FormatHeartbeatLine(line).c_str());
     std::fflush(stderr);
   }
@@ -180,6 +187,21 @@ void CollectRunHealth(mpimini::Comm& world,
   }
   instrument::MetricsReport report = mpimini::ReduceMetrics(world, mine, 0);
   if (world.Rank() == 0) {
+    // Derived metric: the run's aggregate compression ratio, from the
+    // writer-fed raw/wire counters.  Computed from the global sums (not
+    // per-rank ratios), so it is deterministic across 4-vs-8-rank
+    // partitionings of the same work.
+    const double raw = report.CounterSum("sst.bytes_raw");
+    const double wire = report.CounterSum("sst.bytes_wire");
+    if (raw > 0.0 && wire > 0.0) {
+      const double ratio = raw / wire;
+      instrument::MetricStat stat;
+      stat.ranks = report.ranks;
+      stat.min = stat.mean = stat.max = stat.p95 = stat.sum = ratio;
+      stat.low_watermark = stat.high_watermark = ratio;
+      stat.imbalance = 1.0;
+      report.gauges["sst.compression_ratio"] = stat;
+    }
     core::MutexLock lock(shared.mutex);
     shared.metrics.metrics_report = std::move(report);
   }
@@ -253,6 +275,10 @@ void SampleStepCounters(const occamini::Device* device,
   if (sst != nullptr) {
     tracer->SampleCounter("sst.bytes",
                           static_cast<double>(sst->payload_bytes));
+    tracer->SampleCounter("sst.bytes_raw",
+                          static_cast<double>(sst->raw_bytes));
+    tracer->SampleCounter("sst.bytes_wire",
+                          static_cast<double>(sst->wire_bytes));
   }
 }
 
@@ -318,6 +344,16 @@ std::string FormatHeartbeatLine(const HeartbeatLine& line) {
   if (line.queue_limit > 0) {
     std::snprintf(buf, sizeof(buf), " | sst queue %d/%d", line.queue_depth,
                   line.queue_limit);
+    out += buf;
+  }
+  // Wire column only when a codec actually shrank (or grew) the stream:
+  // identity-only runs keep the pre-codec line byte for byte.
+  if (line.raw_bytes > 0 && line.wire_bytes > 0 &&
+      line.raw_bytes != line.wire_bytes) {
+    std::snprintf(buf, sizeof(buf), " | wire %s (%.1fx)",
+                  instrument::FormatBytes(line.wire_bytes).c_str(),
+                  static_cast<double>(line.raw_bytes) /
+                      static_cast<double>(line.wire_bytes));
     out += buf;
   }
   return out;
@@ -485,6 +521,8 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
                                 sensei::SplitList(e.Attr("arrays"));
                             adios_options.sst.queue_limit =
                                 options.sst_queue_limit;
+                            adios_options.codecs =
+                                sensei::ParseTransportCodecs(e);
                             return std::make_shared<
                                 sensei::AdiosAnalysisAdaptor>(
                                 world, endpoint_world_rank, adios_options);
@@ -517,7 +555,9 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
         SampleStepCounters(&device, loop_analysis, nullptr, loop_sst);
         heartbeat.Tick(s, adios ? adios->QueueDepth() : -1,
                        adios ? adios->QueueLimit() : -1,
-                       bridge.OffloadedSeconds());
+                       bridge.OffloadedSeconds(),
+                       adios ? adios->RawBytes() : 0,
+                       adios ? adios->WireBytes() : 0);
       }
       step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
       if (loop_timer) loop_timer->Stop();

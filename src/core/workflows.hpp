@@ -89,6 +89,11 @@ struct HeartbeatLine {
   double offload_percent = -1.0;
   int queue_depth = -1;
   int queue_limit = -1;  ///< <= 0 omits the sst queue column
+  /// Cross-rank sums of transport raw/wire bytes.  The wire column only
+  /// prints when both are nonzero and they differ (i.e. a non-identity
+  /// codec actually ran), so uncompressed runs keep their exact line.
+  std::size_t raw_bytes = 0;
+  std::size_t wire_bytes = 0;
 };
 
 /// Render one heartbeat line ("[heartbeat] step ... | ...").

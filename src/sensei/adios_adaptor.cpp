@@ -1,7 +1,5 @@
 #include "sensei/adios_adaptor.hpp"
 
-#include "svtk/serialize.hpp"
-
 namespace sensei {
 
 AdiosAnalysisAdaptor::AdiosAnalysisAdaptor(mpimini::Comm world,
@@ -29,10 +27,11 @@ bool AdiosAnalysisAdaptor::Execute(DataAdaptor& data) {
   }
 
   writer_.BeginStep(data.GetDataTimeStep());
-  // Zero-copy staging: the serialized grid is a scatter-gather chain of
-  // views into the mesh's own buffers; the single contiguous copy happens
-  // at the transport pack inside EndStep.
-  writer_.PutChain("mesh", svtk::SerializeChain(*mesh));
+  // Zero-copy staging: each grid plane is staged as its own variable whose
+  // bulk bytes are views into the mesh's own buffers; the single contiguous
+  // copy happens at the transport pack inside EndStep (coded planes are
+  // encoded there too — on the async worker in async pipeline mode).
+  StageGrid(writer_, *mesh, options_.codecs);
   const double time = data.GetDataTime();
   writer_.Put("time", std::as_bytes(std::span<const double>(&time, 1)));
   writer_.EndStep();

@@ -13,6 +13,7 @@
 
 #include "adios/sst.hpp"
 #include "sensei/data_adaptor.hpp"
+#include "sensei/transport_stage.hpp"
 
 namespace sensei {
 
@@ -20,6 +21,8 @@ struct AdiosOptions {
   /// Arrays shipped with the mesh; empty = every advertised array.
   std::vector<std::string> arrays;
   adios::SstParams sst;
+  /// Per-plane transport codecs (identity everywhere by default).
+  TransportCodecs codecs;
 };
 
 class AdiosAnalysisAdaptor final : public AnalysisAdaptor {
@@ -43,6 +46,11 @@ class AdiosAnalysisAdaptor final : public AnalysisAdaptor {
   /// Live staging-queue occupancy / limit (heartbeat display).
   [[nodiscard]] int QueueDepth() const { return writer_.QueueDepth(); }
   [[nodiscard]] int QueueLimit() const { return writer_.QueueLimit(); }
+
+  /// Cumulative raw/wire variable bytes shipped (heartbeat wire column;
+  /// safe from any thread, like QueueDepth).
+  [[nodiscard]] std::size_t RawBytes() const { return writer_.RawBytes(); }
+  [[nodiscard]] std::size_t WireBytes() const { return writer_.WireBytes(); }
 
  private:
   AdiosOptions options_;

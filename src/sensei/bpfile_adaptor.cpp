@@ -2,8 +2,6 @@
 
 #include <cstdio>
 
-#include "svtk/serialize.hpp"
-
 namespace sensei {
 
 std::string BpFileAnalysisAdaptor::FilePath(int rank) const {
@@ -36,7 +34,7 @@ bool BpFileAnalysisAdaptor::Execute(DataAdaptor& data) {
         FilePath(data.GetCommunicator().Rank()));
   }
   writer_->BeginStep(data.GetDataTimeStep());
-  writer_->PutChain("mesh", svtk::SerializeChain(*mesh));
+  StageGrid(*writer_, *mesh, options_.codecs);
   const double time = data.GetDataTime();
   writer_->Put("time", std::as_bytes(std::span<const double>(&time, 1)));
   writer_->EndStep();

@@ -11,6 +11,7 @@
 
 #include "adios/bp_file.hpp"
 #include "sensei/data_adaptor.hpp"
+#include "sensei/transport_stage.hpp"
 
 namespace sensei {
 
@@ -19,6 +20,9 @@ struct BpFileOptions {
   std::string prefix = "stream";
   /// Arrays shipped with the mesh; empty = every advertised array.
   std::vector<std::string> arrays;
+  /// Per-plane transport codecs (identity everywhere by default) — the
+  /// same codec plane the SST stream uses, reused for the file engine.
+  TransportCodecs codecs;
 };
 
 class BpFileAnalysisAdaptor final : public AnalysisAdaptor {

@@ -106,6 +106,7 @@ std::shared_ptr<AnalysisAdaptor> MakeBpFile(const xmlcfg::Element& e,
   options.output_dir = e.Attr("output", ".");
   options.prefix = e.Attr("prefix", "stream");
   options.arrays = SplitList(e.Attr("arrays"));
+  options.codecs = ParseTransportCodecs(e);
   return std::make_shared<BpFileAnalysisAdaptor>(std::move(options));
 }
 
@@ -129,6 +130,60 @@ std::shared_ptr<AnalysisAdaptor> MakeHistogram(const xmlcfg::Element& e,
 }
 
 }  // namespace
+
+codec::Spec ParseCodecSpec(const xmlcfg::Element& parent) {
+  const xmlcfg::Element* e = parent.FindChild("codec");
+  if (e == nullptr) return {};
+  codec::Spec spec;
+  const std::string type = e->Attr("type", "identity");
+  if (type == "identity") {
+    spec.kind = codec::Kind::kIdentity;
+  } else if (type == "blockfloat") {
+    spec.kind = codec::Kind::kBlockFloat;
+  } else if (type == "shuffle_rle") {
+    spec.kind = codec::Kind::kShuffleRle;
+  } else {
+    throw std::invalid_argument(
+        "sensei: unknown codec type '" + type +
+        "' (expected identity, blockfloat, or shuffle_rle)");
+  }
+  const long rate = e->AttrInt("rate", spec.rate);
+  if (rate < codec::kMinBlockFloatRate || rate > codec::kMaxBlockFloatRate) {
+    throw std::invalid_argument(
+        "sensei: codec rate " + std::to_string(rate) + " outside [" +
+        std::to_string(codec::kMinBlockFloatRate) + ", " +
+        std::to_string(codec::kMaxBlockFloatRate) + "]");
+  }
+  spec.rate = static_cast<int>(rate);
+  spec.delta = e->AttrInt("delta", spec.delta ? 1 : 0) != 0;
+  return spec;
+}
+
+TransportCodecs ParseTransportCodecs(const xmlcfg::Element& analysis) {
+  TransportCodecs codecs;
+  if (const xmlcfg::Element* points = analysis.FindChild("points")) {
+    codecs.points = ParseCodecSpec(*points);
+  }
+  if (const xmlcfg::Element* conn = analysis.FindChild("connectivity")) {
+    codecs.connectivity = ParseCodecSpec(*conn);
+  }
+  if (codecs.connectivity.kind == codec::Kind::kBlockFloat) {
+    // Reject at configuration time, before the first staged step would.
+    throw std::invalid_argument(
+        "sensei: blockfloat codec cannot apply to the int64 connectivity "
+        "plane (use shuffle_rle)");
+  }
+  for (const xmlcfg::Element* array : analysis.FindAll("array")) {
+    const std::string name = array->Attr("name");
+    if (name.empty()) {
+      throw std::invalid_argument(
+          "sensei: <array> codec element needs a name attribute "
+          "(\"*\" selects every array)");
+    }
+    codecs.arrays[name] = ParseCodecSpec(*array);
+  }
+  return codecs;
+}
 
 std::vector<std::string> SplitList(const std::string& csv) {
   std::vector<std::string> out;

@@ -25,8 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "codec/codec.hpp"
 #include "instrument/telemetry.hpp"
 #include "sensei/data_adaptor.hpp"
+#include "sensei/transport_stage.hpp"
 #include "xmlcfg/xml.hpp"
 
 namespace sensei {
@@ -91,6 +93,26 @@ class ConfigurableAnalysis {
 
 /// Helper shared by factories: split a comma-separated attribute.
 std::vector<std::string> SplitList(const std::string& csv);
+
+/// Parse the optional <codec type="identity|blockfloat|shuffle_rle"
+/// rate="N" delta="0|1"/> child of `parent` into a codec::Spec.  An absent
+/// child means identity; an unknown type or out-of-range rate throws
+/// std::invalid_argument.
+[[nodiscard]] codec::Spec ParseCodecSpec(const xmlcfg::Element& parent);
+
+/// Parse the transport-codec children of an <analysis> element:
+///
+///   <analysis type="adios" ...>
+///     <points><codec type="blockfloat" rate="8"/></points>
+///     <connectivity><codec type="shuffle_rle" delta="1"/></connectivity>
+///     <array name="*"><codec type="blockfloat" rate="8"/></array>
+///   </analysis>
+///
+/// <array> entries select per-array codecs by name ("*" is the wildcard
+/// fallback).  Blockfloat on the int64 connectivity plane is rejected here,
+/// at configuration time.
+[[nodiscard]] TransportCodecs ParseTransportCodecs(
+    const xmlcfg::Element& analysis);
 
 /// Parse the optional <telemetry trace="..." summary="..." capacity="..."/>
 /// child of a <sensei> root into a TelemetryConfig.  Presence of the element

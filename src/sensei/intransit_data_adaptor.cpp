@@ -3,7 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
-#include "svtk/serialize.hpp"
+#include "sensei/transport_stage.hpp"
 
 namespace sensei {
 
@@ -79,12 +79,8 @@ void InTransitDataAdaptor::SetStep(
   merged_.reset();
   double data_time = time;
   for (const auto& [writer, payload] : payloads) {
-    auto it = payload.variables.find("mesh");
-    if (it == payload.variables.end()) {
-      throw std::runtime_error("sensei: SST payload missing 'mesh'");
-    }
     blocks_.push_back(std::make_shared<svtk::UnstructuredGrid>(
-        svtk::Deserialize(it->second)));
+        ReassembleGrid(payload)));
     auto t = payload.variables.find("time");
     if (t != payload.variables.end() && t->second.size() == sizeof(double)) {
       std::memcpy(&data_time, t->second.data(), sizeof(double));

@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "adios/bp_file.hpp"
 #include "adios/marshal.hpp"
 #include "adios/sst.hpp"
+#include "codec/codec.hpp"
 #include "mpimini/runtime.hpp"
 
 namespace {
@@ -28,6 +34,38 @@ std::vector<std::byte> Bytes(const std::string& s) {
 
 core::Buffer Buf(const std::string& s) {
   return core::Buffer::TakeVector("", Bytes(s));
+}
+
+std::vector<double> SmoothField(std::size_t n, double phase = 0.0) {
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = std::sin(static_cast<double>(i) * 0.013 + phase) * 300.0;
+  }
+  return values;
+}
+
+std::vector<std::byte> AsBytes(const std::vector<double>& values) {
+  std::vector<std::byte> out(values.size() * sizeof(double));
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+
+codec::Spec BlockFloat8() {
+  codec::Spec spec;
+  spec.kind = codec::Kind::kBlockFloat;
+  spec.rate = 8;
+  return spec;
+}
+
+/// Message of the std::runtime_error thrown by UnmarshalStep, or "" if it
+/// unexpectedly succeeded.
+std::string UnmarshalError(std::span<const std::byte> buffer) {
+  try {
+    (void)UnmarshalStep(buffer);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
 }
 
 TEST(MarshalTest, RoundTripsVariables) {
@@ -72,17 +110,31 @@ TEST(MarshalTest, RejectsTrailingBytes) {
   EXPECT_THROW(UnmarshalStep(buffer), std::runtime_error);
 }
 
-// Wire layout: u64 magic, i64 step, i64 writer_rank, u64 count, then per
-// variable u64 name_len, name, u64 data_len, data.  The corruption tests
-// below overwrite a length field with a value far past the buffer end; the
-// parser must throw instead of reading out of bounds.
+// Wire layout (v2): u64 magic, i64 step, i64 writer_rank, u64 count, then
+// per variable u64 name_len, name, u64 codec_kind, u64 raw_len,
+// u64 wire_len, wire bytes.  For the single variable "x" that puts name_len
+// at offset 32, codec_kind at 41, raw_len at 49, wire_len at 57 and the
+// data at 65.  The corruption tests below overwrite header fields with
+// values far past the buffer end; the parser must throw a descriptive
+// error instead of reading out of bounds.
 TEST(MarshalTest, RejectsOversizedNameLength) {
   StepPayload payload;
   payload.variables["x"] = Buf("abc");
   auto buffer = MarshalStep(payload);
   const std::uint64_t huge = ~std::uint64_t{0};
   std::memcpy(buffer.data() + 32, &huge, sizeof(huge));  // name_len field
-  EXPECT_THROW(UnmarshalStep(buffer), std::runtime_error);
+  EXPECT_NE(UnmarshalError(buffer).find("overruns"), std::string::npos);
+}
+
+TEST(MarshalTest, RejectsUnknownCodecKind) {
+  StepPayload payload;
+  payload.variables["x"] = Buf("abc");
+  auto buffer = MarshalStep(payload);
+  const std::uint64_t bogus = 99;
+  std::memcpy(buffer.data() + 41, &bogus, sizeof(bogus));  // codec_kind
+  const std::string what = UnmarshalError(buffer);
+  EXPECT_NE(what.find("unknown codec kind"), std::string::npos) << what;
+  EXPECT_NE(what.find("99"), std::string::npos) << what;
 }
 
 TEST(MarshalTest, RejectsOversizedDataLength) {
@@ -90,8 +142,12 @@ TEST(MarshalTest, RejectsOversizedDataLength) {
   payload.variables["x"] = Buf("abc");
   auto buffer = MarshalStep(payload);
   const std::uint64_t huge = std::uint64_t{1} << 60;
-  std::memcpy(buffer.data() + 41, &huge, sizeof(huge));  // data_len of "x"
-  EXPECT_THROW(UnmarshalStep(buffer), std::runtime_error);
+  // Keep raw_len == wire_len so the identity consistency check passes and
+  // the bounds check is what fires.
+  std::memcpy(buffer.data() + 49, &huge, sizeof(huge));  // raw_len of "x"
+  std::memcpy(buffer.data() + 57, &huge, sizeof(huge));  // wire_len of "x"
+  const std::string what = UnmarshalError(buffer);
+  EXPECT_NE(what.find("data overruns"), std::string::npos) << what;
 }
 
 TEST(MarshalTest, RejectsDataLengthJustPastEnd) {
@@ -99,8 +155,145 @@ TEST(MarshalTest, RejectsDataLengthJustPastEnd) {
   payload.variables["x"] = Buf("abc");
   auto buffer = MarshalStep(payload);
   const std::uint64_t off_by_one = 4;  // actual data is 3 bytes
-  std::memcpy(buffer.data() + 41, &off_by_one, sizeof(off_by_one));
+  std::memcpy(buffer.data() + 49, &off_by_one, sizeof(off_by_one));
+  std::memcpy(buffer.data() + 57, &off_by_one, sizeof(off_by_one));
   EXPECT_THROW(UnmarshalStep(buffer), std::runtime_error);
+}
+
+TEST(MarshalTest, RejectsIdentityRawWireMismatch) {
+  StepPayload payload;
+  payload.variables["x"] = Buf("abc");
+  auto buffer = MarshalStep(payload);
+  const std::uint64_t wrong = 2;  // raw_len stays 3
+  std::memcpy(buffer.data() + 57, &wrong, sizeof(wrong));  // wire_len
+  const std::string what = UnmarshalError(buffer);
+  EXPECT_NE(what.find("identity-coded"), std::string::npos) << what;
+}
+
+TEST(MarshalTest, EveryTruncatedPrefixThrows) {
+  // Fuzz-style sweep: no prefix of a valid step buffer may parse, crash, or
+  // read out of bounds — every cut point must surface a runtime_error.
+  StepPayload payload;
+  payload.step = 11;
+  payload.writer_rank = 2;
+  payload.variables["x"] = Buf("abc");
+  payload.variables["yy"] = Buf("defgh");
+  const auto buffer = MarshalStep(payload);
+  for (std::size_t cut = 0; cut < buffer.size(); ++cut) {
+    EXPECT_THROW((void)UnmarshalStep(std::span(buffer.data(), cut)),
+                 std::runtime_error)
+        << "prefix " << cut << " of " << buffer.size();
+  }
+  EXPECT_NO_THROW((void)UnmarshalStep(buffer));
+}
+
+TEST(MarshalTest, TruncationErrorsNameTheHeaderField) {
+  // Each header field has a known offset for the single variable "x"; a cut
+  // inside a field must name that field in the error message.
+  StepPayload payload;
+  payload.variables["x"] = Buf("abc");  // total size 68
+  const auto buffer = MarshalStep(payload);
+  ASSERT_EQ(buffer.size(), 68u);
+  const std::pair<std::size_t, const char*> cases[] = {
+      {4, "magic"},           {12, "step"},
+      {20, "writer_rank"},    {28, "variable count"},
+      {36, "name length"},    {40, "name overruns"},
+      {44, "codec kind"},     {52, "raw length"},
+      {60, "wire length"},    {66, "data overruns"},
+  };
+  for (const auto& [cut, field] : cases) {
+    const std::string what =
+        UnmarshalError(std::span(buffer.data(), cut));
+    EXPECT_NE(what.find(field), std::string::npos)
+        << "prefix " << cut << " gave: " << what;
+  }
+  EXPECT_NE(UnmarshalError({}).find("magic"), std::string::npos);
+}
+
+TEST(MarshalTest, TrailingByteErrorCountsTheExcess) {
+  StepPayload payload;
+  payload.variables["x"] = Buf("abc");
+  auto buffer = MarshalStep(payload);
+  buffer.resize(buffer.size() + 3);
+  const std::string what = UnmarshalError(buffer);
+  EXPECT_NE(what.find("trailing"), std::string::npos) << what;
+  EXPECT_NE(what.find("3"), std::string::npos) << what;
+}
+
+TEST(MarshalTest, CodecTaggedChainRoundTripsWithStats) {
+  const std::vector<double> field = SmoothField(512);
+  core::Buffer temp = core::Buffer::TakeVector("", AsBytes(field));
+
+  std::vector<std::int64_t> ids(256);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<std::int64_t>(7 * i);
+  }
+  std::vector<std::byte> id_bytes(ids.size() * sizeof(std::int64_t));
+  std::memcpy(id_bytes.data(), ids.data(), id_bytes.size());
+  core::Buffer conn =
+      core::Buffer::TakeVector("", std::vector<std::byte>(id_bytes));
+
+  adios::StepChain staged;
+  staged.step = 3;
+  staged.writer_rank = 1;
+  staged.variables["temp"] = core::BufferChain(core::BufferView(temp));
+  staged.codecs["temp"] = BlockFloat8();
+  staged.variables["conn"] = core::BufferChain(core::BufferView(conn));
+  codec::Spec rle;
+  rle.kind = codec::Kind::kShuffleRle;
+  rle.delta = true;
+  staged.codecs["conn"] = rle;
+  staged.variables["meta"] = core::BufferChain(core::BufferView(Buf("hi")));
+
+  adios::MarshalStats stats;
+  core::BufferChain chain = adios::MarshalChain(staged, &stats);
+  const std::size_t total_raw = temp.size() + conn.size() + 2;
+  EXPECT_EQ(stats.raw_bytes, total_raw);
+  EXPECT_LT(stats.wire_bytes, stats.raw_bytes);
+
+  core::Buffer packed = chain.Pack("test");
+  StepPayload back = UnmarshalStep(packed.bytes());
+  EXPECT_EQ(back.step, 3);
+  EXPECT_EQ(back.writer_rank, 1);
+  EXPECT_EQ(back.raw_bytes, stats.raw_bytes);
+  EXPECT_EQ(back.wire_bytes, stats.wire_bytes);
+
+  // Lossless planes come back byte-exact; the lossy plane honours the
+  // documented blockfloat bound.
+  EXPECT_EQ(back.variables.at("conn"), id_bytes);
+  EXPECT_EQ(back.variables.at("meta"), Bytes("hi"));
+  const core::Buffer& decoded = back.variables.at("temp");
+  ASSERT_EQ(decoded.size(), field.size() * sizeof(double));
+  std::vector<double> values(field.size());
+  std::memcpy(values.data(), decoded.data(), decoded.size());
+  const double bound = codec::BlockFloatErrorBound(field, 8);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    EXPECT_LE(std::fabs(field[i] - values[i]), bound) << i;
+  }
+}
+
+TEST(MarshalTest, IdentityOnlyChainMatchesMarshalStepExactly) {
+  // Sync/uncompressed compatibility pin: with no codecs configured the
+  // chain-marshaled bytes are byte-identical to the value-semantics path,
+  // so pre-codec readers and files keep working unchanged.
+  StepPayload payload;
+  payload.step = 5;
+  payload.writer_rank = 0;
+  payload.variables["mesh"] = Buf("geometry-bytes");
+  payload.variables["time"] = Buf("12345678");
+  const auto reference = MarshalStep(payload);
+
+  adios::StepChain staged;
+  staged.step = 5;
+  staged.writer_rank = 0;
+  for (const auto& [name, data] : payload.variables) {
+    staged.variables[name] = core::BufferChain(core::BufferView(data));
+  }
+  adios::MarshalStats stats;
+  core::Buffer packed = adios::MarshalChain(staged, &stats).Pack("test");
+  ASSERT_EQ(packed.size(), reference.size());
+  EXPECT_EQ(std::memcmp(packed.data(), reference.data(), packed.size()), 0);
+  EXPECT_EQ(stats.raw_bytes, stats.wire_bytes);
 }
 
 TEST(MarshalTest, ZeroByteVariablesRoundTrip) {
@@ -442,6 +635,98 @@ TEST(SstTest, ZeroCopyPutChainPacksFieldExactlyOnce) {
   });
 }
 
+TEST(SstTest, StreamsCompressedChainAndCountsRawWireBytes) {
+  Runtime::Run(2, [](Comm& comm) {
+    const std::vector<double> field = SmoothField(512);
+    const std::vector<std::byte> raw = AsBytes(field);
+    if (comm.Rank() == 0) {
+      core::Buffer staged =
+          core::Buffer::TakeVector("", std::vector<std::byte>(raw));
+      SstWriter writer(comm, 1);
+      writer.BeginStep(0);
+      writer.PutChain("temp", core::BufferChain(core::BufferView(staged)),
+                      BlockFloat8());
+      writer.EndStep();
+      writer.Close();
+      EXPECT_EQ(writer.RawBytes(), raw.size());
+      EXPECT_GT(writer.WireBytes(), 0u);
+      // The acceptance floor: >= 4x on-the-wire reduction at rate 8.
+      EXPECT_LT(writer.WireBytes() * 4, writer.RawBytes());
+      EXPECT_EQ(writer.Stats().raw_bytes, writer.RawBytes());
+      EXPECT_EQ(writer.Stats().wire_bytes, writer.WireBytes());
+    } else {
+      SstReader reader(comm, {0});
+      auto step = reader.NextStep();
+      ASSERT_TRUE(step.has_value());
+      const core::Buffer& temp = step->payloads.at(0).variables.at("temp");
+      ASSERT_EQ(temp.size(), raw.size());
+      std::vector<double> decoded(field.size());
+      std::memcpy(decoded.data(), temp.data(), temp.size());
+      const double bound = codec::BlockFloatErrorBound(field, 8);
+      for (std::size_t i = 0; i < field.size(); ++i) {
+        EXPECT_LE(std::fabs(field[i] - decoded[i]), bound) << i;
+      }
+      while (reader.NextStep()) {
+      }
+      EXPECT_EQ(reader.Stats().raw_bytes, raw.size());
+      EXPECT_LT(reader.Stats().wire_bytes * 4, reader.Stats().raw_bytes);
+    }
+  });
+}
+
+TEST(SstTest, RawWireCountersDeterministicAcrossPartitionings) {
+  // The same 8 chunk-variables partitioned over 4 writers (2 each) vs 8
+  // writers (1 each) must produce identical cross-rank sst.bytes_raw /
+  // sst.bytes_wire sums: the counters account variable payloads, not
+  // per-writer framing, so the metrics.json compression ratio is
+  // deterministic across rank partitionings.
+  constexpr int kChunks = 8;
+  auto run = [&](int writers) {
+    const int reader_rank = writers;
+    const int per_writer = kChunks / writers;
+    mpimini::RunSettings settings;
+    settings.metrics = true;
+    auto result = Runtime::Run(writers + 1, settings, [&](Comm& comm) {
+      if (comm.Rank() < writers) {
+        SstWriter writer(comm, reader_rank);
+        writer.BeginStep(0);
+        std::vector<core::Buffer> held;  // staged views must outlive EndStep
+        for (int c = comm.Rank() * per_writer;
+             c < (comm.Rank() + 1) * per_writer; ++c) {
+          held.push_back(core::Buffer::TakeVector(
+              "", AsBytes(SmoothField(256, static_cast<double>(c)))));
+          writer.PutChain("c" + std::to_string(c),
+                          core::BufferChain(core::BufferView(held.back())),
+                          BlockFloat8());
+        }
+        writer.EndStep();
+        writer.Close();
+      } else {
+        std::vector<int> sources(static_cast<std::size_t>(writers));
+        for (int w = 0; w < writers; ++w) sources[static_cast<std::size_t>(w)] = w;
+        SstReader reader(comm, sources);
+        while (reader.NextStep()) {
+        }
+      }
+    });
+    double raw = 0.0;
+    double wire = 0.0;
+    for (int w = 0; w < writers; ++w) {
+      const auto& registry = *result.metrics[static_cast<std::size_t>(w)];
+      raw += registry.Counter("sst.bytes_raw");
+      wire += registry.Counter("sst.bytes_wire");
+    }
+    return std::pair(raw, wire);
+  };
+  const auto [raw4, wire4] = run(4);
+  const auto [raw8, wire8] = run(8);
+  EXPECT_EQ(raw4, static_cast<double>(kChunks * 256 * sizeof(double)));
+  EXPECT_EQ(raw4, raw8);
+  EXPECT_EQ(wire4, wire8);
+  EXPECT_GT(wire4, 0.0);
+  EXPECT_LT(wire4 * 4, raw4);
+}
+
 TEST(BpFileTest, WriteThenReadSteps) {
   const std::string path = ::testing::TempDir() + "/stream.bp";
   {
@@ -463,6 +748,41 @@ TEST(BpFileTest, WriteThenReadSteps) {
     ++expected;
   }
   EXPECT_EQ(expected, 4);
+}
+
+TEST(BpFileTest, CompressedVariablesRoundTripThroughFile) {
+  // The checkpoint-plane reuse of the codec plane: BP files persist the
+  // encoded chain and the reader decodes it back transparently.
+  const std::string path = ::testing::TempDir() + "/compressed.bp";
+  const std::vector<double> field = SmoothField(1024);
+  {
+    core::Buffer staged =
+        core::Buffer::TakeVector("", AsBytes(field));
+    BpFileWriter writer(path);
+    writer.BeginStep(0);
+    writer.PutChain("temp", core::BufferChain(core::BufferView(staged)),
+                    BlockFloat8());
+    writer.EndStep();
+    writer.Close();
+    EXPECT_EQ(writer.CodecStats().raw_bytes, field.size() * sizeof(double));
+    EXPECT_LT(writer.CodecStats().wire_bytes * 4,
+              writer.CodecStats().raw_bytes);
+    // The compressed file really is smaller than the raw field.
+    EXPECT_LT(std::filesystem::file_size(path),
+              field.size() * sizeof(double));
+  }
+  BpFileReader reader(path);
+  auto step = reader.NextStep();
+  ASSERT_TRUE(step.has_value());
+  const core::Buffer& temp = step->variables.at("temp");
+  ASSERT_EQ(temp.size(), field.size() * sizeof(double));
+  std::vector<double> decoded(field.size());
+  std::memcpy(decoded.data(), temp.data(), temp.size());
+  const double bound = codec::BlockFloatErrorBound(field, 8);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    EXPECT_LE(std::fabs(field[i] - decoded[i]), bound) << i;
+  }
+  EXPECT_FALSE(reader.NextStep().has_value());
 }
 
 TEST(BpFileTest, EmptyFileYieldsNoSteps) {

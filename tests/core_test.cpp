@@ -517,6 +517,66 @@ TEST(WorkflowMetricsTest, InTransitPlaneCapturesSstBackpressure) {
   EXPECT_GT(report.CounterSum("sst.payload_bytes"), 0.0);
 }
 
+TEST(WorkflowMetricsTest, InTransitCompressReportsCompressionRatio) {
+  // End-to-end codec plane: blockfloat on points + every data array and
+  // delta shuffle_rle on connectivity, selected purely through the SENSEI
+  // XML.  The run must ship >= 4x fewer bytes on the wire and surface the
+  // aggregate ratio in the reduced metrics report (what metrics.json and
+  // the bench gate read).
+  nek_sensei::InTransitOptions options;
+  nekrs::cases::RayleighBenardOptions rbc;
+  rbc.elements = {2, 2, 2};
+  rbc.order = 3;
+  options.flow = nekrs::cases::RayleighBenardCase(rbc);
+  options.steps = 4;
+  options.sim_per_endpoint = 2;
+  options.sim_xml =
+      "<sensei><analysis type=\"adios\" frequency=\"2\">"
+      "<points><codec type=\"blockfloat\" rate=\"8\"/></points>"
+      "<connectivity><codec type=\"shuffle_rle\" delta=\"1\"/>"
+      "</connectivity>"
+      "<array name=\"*\"><codec type=\"blockfloat\" rate=\"8\"/></array>"
+      "</analysis></sensei>";
+  options.endpoint_xml = "<sensei/>";
+  options.telemetry.metrics = true;
+
+  const auto metrics = nek_sensei::RunInTransit(2, options);
+  const auto& report = metrics.metrics_report;
+  ASSERT_FALSE(report.Empty());
+  const double raw = report.CounterSum("sst.bytes_raw");
+  const double wire = report.CounterSum("sst.bytes_wire");
+  EXPECT_GT(raw, 0.0);
+  EXPECT_GT(wire, 0.0);
+  EXPECT_GE(raw, 4.0 * wire);  // the acceptance floor on RBC fields
+  const instrument::MetricStat* ratio = report.Gauge("sst.compression_ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_DOUBLE_EQ(ratio->mean, raw / wire);
+  EXPECT_DOUBLE_EQ(ratio->min, ratio->max);
+  EXPECT_GE(ratio->mean, 4.0);
+}
+
+TEST(WorkflowMetricsTest, UncompressedInTransitRatioIsUnity) {
+  // Identity transport still accounts raw/wire (equal), so the synthesized
+  // ratio gauge reports exactly 1 — and dashboards need no special case.
+  nek_sensei::InTransitOptions options;
+  options.flow = SmallCase();
+  options.steps = 2;
+  options.sim_per_endpoint = 2;
+  options.sim_xml =
+      "<sensei><analysis type=\"adios\" frequency=\"1\"/></sensei>";
+  options.endpoint_xml = "<sensei/>";
+  options.telemetry.metrics = true;
+
+  const auto metrics = nek_sensei::RunInTransit(2, options);
+  const auto& report = metrics.metrics_report;
+  ASSERT_FALSE(report.Empty());
+  EXPECT_DOUBLE_EQ(report.CounterSum("sst.bytes_raw"),
+                   report.CounterSum("sst.bytes_wire"));
+  const instrument::MetricStat* ratio = report.Gauge("sst.compression_ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_DOUBLE_EQ(ratio->mean, 1.0);
+}
+
 TEST(WorkflowMetricsTest, DisabledPlaneLeavesReportEmpty) {
   nek_sensei::InSituOptions options;
   options.flow = SmallCase();
@@ -745,6 +805,32 @@ TEST(HeartbeatFormatTest, AsyncLineAddsOffloadAndQueueColumns) {
   EXPECT_NE(out.find("insitu 42%"), std::string::npos) << out;
   EXPECT_NE(out.find("offload 33%"), std::string::npos) << out;
   EXPECT_NE(out.find("sst queue 1/2"), std::string::npos) << out;
+}
+
+TEST(HeartbeatFormatTest, WireColumnOnlyWhenCompressionRan) {
+  nek_sensei::HeartbeatLine line;
+  line.done = 2;
+  line.total = 4;
+
+  // No transport at all: no wire column.
+  EXPECT_EQ(nek_sensei::FormatHeartbeatLine(line).find("wire"),
+            std::string::npos);
+
+  // Identity transport (raw == wire): still no wire column, so
+  // uncompressed runs keep their exact pre-codec line.
+  line.raw_bytes = 4096;
+  line.wire_bytes = 4096;
+  EXPECT_EQ(nek_sensei::FormatHeartbeatLine(line).find("wire"),
+            std::string::npos);
+
+  // A codec actually shrank the stream: the column prints the wire bytes
+  // and the compression ratio.
+  line.raw_bytes = 8 << 20;
+  line.wire_bytes = 1 << 20;
+  const std::string out = nek_sensei::FormatHeartbeatLine(line);
+  EXPECT_NE(out.find("wire"), std::string::npos) << out;
+  EXPECT_NE(out.find("1.0 MB"), std::string::npos) << out;
+  EXPECT_NE(out.find("8.0x"), std::string::npos) << out;
 }
 
 // ---- Derived fields ---------------------------------------------------------

@@ -401,6 +401,27 @@ TEST(BenchCompareTest, MissingMetricAndConfigMismatchFail) {
   EXPECT_FALSE(result.ok);
 }
 
+TEST(BenchCompareTest, CompressSuffixMustMatchBaseline) {
+  // A "--compress" run stamps a "-compress" config suffix (mirroring the
+  // "-async" rule): comparing it against an uncompressed baseline must be
+  // rejected as a config mismatch rather than silently passing the byte
+  // counters against the wrong reference.
+  const auto baseline = GateBaseline();
+  auto compressed = baseline;
+  compressed.config = baseline.config + "-compress";
+  const auto result = instrument::CompareBenchReports(
+      compressed, baseline, instrument::CompareOptions{});
+  EXPECT_TRUE(result.config_mismatch);
+  EXPECT_FALSE(result.ok);
+
+  // Against a matching "-compress" baseline it compares normally.
+  auto compress_baseline = baseline;
+  compress_baseline.config = baseline.config + "-compress";
+  EXPECT_TRUE(instrument::CompareBenchReports(compressed, compress_baseline,
+                                              instrument::CompareOptions{})
+                  .ok);
+}
+
 TEST(BenchCompareTest, NewMetricsAreNotedNotFailed) {
   const auto baseline = GateBaseline();
   auto current = baseline;

@@ -16,6 +16,7 @@
 #include "sensei/histogram_adaptor.hpp"
 #include "sensei/intransit_data_adaptor.hpp"
 #include "sensei/stats_adaptor.hpp"
+#include "sensei/transport_stage.hpp"
 #include "svtk/serialize.hpp"
 #include "svtk/vtu_writer.hpp"
 
@@ -400,6 +401,223 @@ TEST(PipelineConfigTest, EnvironmentSelectsAsyncWhenElementAbsent) {
   unsetenv("NEK_SENSEI_ASYNC");
 }
 
+// ---- Transport codec selection + split grid staging -------------------------
+
+svtk::UnstructuredGrid MakeStagedCube() {
+  svtk::UnstructuredGrid grid(8, 1);
+  int p = 0;
+  for (int k = 0; k < 2; ++k) {
+    for (int j = 0; j < 2; ++j) {
+      for (int i = 0; i < 2; ++i) {
+        grid.SetPoint(static_cast<std::size_t>(p++), 1.5 * i, 2.5 * j,
+                      3.5 * k);
+      }
+    }
+  }
+  grid.SetCell(0, {0, 1, 3, 2, 4, 5, 7, 6});
+  svtk::DataArray& scalar = grid.AddPointArray("scalar", 1);
+  for (std::size_t t = 0; t < 8; ++t) {
+    scalar.At(t) = 0.125 * static_cast<double>(t) - 0.5;
+  }
+  svtk::DataArray& vol = grid.AddCellArray("vol", 1);
+  vol.At(0) = 42.0;
+  return grid;
+}
+
+adios::StepPayload StageAndShip(const svtk::UnstructuredGrid& grid,
+                                const sensei::TransportCodecs& codecs) {
+  adios::StepChain staged;
+  staged.step = 0;
+  staged.writer_rank = 0;
+  sensei::StageGridTo(
+      [&staged](const std::string& name, core::BufferChain chain,
+                const codec::Spec& spec) {
+        staged.variables[name] = std::move(chain);
+        if (!spec.Identity()) staged.codecs[name] = spec;
+      },
+      grid, codecs);
+  core::Buffer packed = adios::MarshalChain(staged).Pack("test");
+  return adios::UnmarshalStep(packed.bytes());
+}
+
+void ExpectGridsMatch(const svtk::UnstructuredGrid& a,
+                      const svtk::UnstructuredGrid& b, double tol) {
+  ASSERT_EQ(a.NumPoints(), b.NumPoints());
+  ASSERT_EQ(a.Connectivity().size(), b.Connectivity().size());
+  for (std::size_t i = 0; i < a.Points().size(); ++i) {
+    EXPECT_NEAR(a.Points()[i], b.Points()[i], tol) << "point " << i;
+  }
+  for (std::size_t i = 0; i < a.Connectivity().size(); ++i) {
+    EXPECT_EQ(a.Connectivity()[i], b.Connectivity()[i]) << "conn " << i;
+  }
+  ASSERT_EQ(a.PointArrayNames(), b.PointArrayNames());
+  ASSERT_EQ(a.CellArrayNames(), b.CellArrayNames());
+}
+
+TEST(TransportCodecsTest, ParsesCodecSpecVariants) {
+  const codec::Spec none =
+      sensei::ParseCodecSpec(xmlcfg::Parse("<points/>").root);
+  EXPECT_TRUE(none.Identity());
+
+  const codec::Spec bf = sensei::ParseCodecSpec(
+      xmlcfg::Parse("<points><codec type=\"blockfloat\" rate=\"12\"/>"
+                    "</points>")
+          .root);
+  EXPECT_EQ(bf.kind, codec::Kind::kBlockFloat);
+  EXPECT_EQ(bf.rate, 12);
+
+  const codec::Spec rle = sensei::ParseCodecSpec(
+      xmlcfg::Parse("<connectivity><codec type=\"shuffle_rle\" delta=\"1\"/>"
+                    "</connectivity>")
+          .root);
+  EXPECT_EQ(rle.kind, codec::Kind::kShuffleRle);
+  EXPECT_TRUE(rle.delta);
+}
+
+TEST(TransportCodecsTest, RejectsUnknownTypeAndBadRate) {
+  EXPECT_THROW(
+      (void)sensei::ParseCodecSpec(
+          xmlcfg::Parse("<p><codec type=\"zstd\"/></p>").root),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)sensei::ParseCodecSpec(
+          xmlcfg::Parse("<p><codec type=\"blockfloat\" rate=\"1\"/></p>")
+              .root),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)sensei::ParseCodecSpec(
+          xmlcfg::Parse("<p><codec type=\"blockfloat\" rate=\"33\"/></p>")
+              .root),
+      std::invalid_argument);
+}
+
+TEST(TransportCodecsTest, ParsesPerPlaneSelectionWithWildcard) {
+  const auto root = xmlcfg::Parse(
+      "<analysis type=\"adios\">"
+      "  <points><codec type=\"blockfloat\" rate=\"8\"/></points>"
+      "  <connectivity><codec type=\"shuffle_rle\" delta=\"1\"/>"
+      "</connectivity>"
+      "  <array name=\"pressure\"><codec type=\"blockfloat\" rate=\"16\"/>"
+      "</array>"
+      "  <array name=\"*\"><codec type=\"blockfloat\" rate=\"8\"/></array>"
+      "</analysis>");
+  const sensei::TransportCodecs codecs =
+      sensei::ParseTransportCodecs(root.root);
+  EXPECT_TRUE(codecs.Any());
+  EXPECT_EQ(codecs.points.kind, codec::Kind::kBlockFloat);
+  EXPECT_EQ(codecs.connectivity.kind, codec::Kind::kShuffleRle);
+  EXPECT_EQ(codecs.ForArray("pressure").rate, 16);
+  EXPECT_EQ(codecs.ForArray("temperature").rate, 8);  // wildcard
+  EXPECT_EQ(codecs.ForArray("temperature").kind, codec::Kind::kBlockFloat);
+
+  const sensei::TransportCodecs empty = sensei::ParseTransportCodecs(
+      xmlcfg::Parse("<analysis type=\"adios\"/>").root);
+  EXPECT_FALSE(empty.Any());
+  EXPECT_TRUE(empty.ForArray("anything").Identity());
+}
+
+TEST(TransportCodecsTest, RejectsBlockfloatConnectivityAtParseTime) {
+  EXPECT_THROW(
+      (void)sensei::ParseTransportCodecs(
+          xmlcfg::Parse("<analysis type=\"adios\"><connectivity>"
+                        "<codec type=\"blockfloat\" rate=\"8\"/>"
+                        "</connectivity></analysis>")
+              .root),
+      std::invalid_argument);
+}
+
+TEST(TransportCodecsTest, RequiresArrayName) {
+  EXPECT_THROW(
+      (void)sensei::ParseTransportCodecs(
+          xmlcfg::Parse("<analysis type=\"adios\"><array>"
+                        "<codec type=\"blockfloat\" rate=\"8\"/>"
+                        "</array></analysis>")
+              .root),
+      std::invalid_argument);
+}
+
+TEST(TransportStageTest, IdentityRoundTripIsExact) {
+  const svtk::UnstructuredGrid grid = MakeStagedCube();
+  const adios::StepPayload payload = StageAndShip(grid, {});
+  // Identity staging ships raw == wire.
+  EXPECT_EQ(payload.raw_bytes, payload.wire_bytes);
+  const svtk::UnstructuredGrid back = sensei::ReassembleGrid(payload);
+  ExpectGridsMatch(grid, back, 0.0);
+  EXPECT_EQ(back.PointArray("scalar")->At(3), grid.PointArray("scalar")->At(3));
+  EXPECT_EQ(back.CellArray("vol")->At(0), 42.0);
+}
+
+TEST(TransportStageTest, CodecRoundTripHonoursBounds) {
+  const svtk::UnstructuredGrid grid = MakeStagedCube();
+  sensei::TransportCodecs codecs;
+  codecs.points.kind = codec::Kind::kBlockFloat;
+  codecs.points.rate = 16;
+  codecs.connectivity.kind = codec::Kind::kShuffleRle;
+  codecs.connectivity.delta = true;
+  codec::Spec array_spec;
+  array_spec.kind = codec::Kind::kBlockFloat;
+  array_spec.rate = 16;
+  codecs.arrays["*"] = array_spec;
+
+  const adios::StepPayload payload = StageAndShip(grid, codecs);
+  const svtk::UnstructuredGrid back = sensei::ReassembleGrid(payload);
+  const double bound =
+      codec::BlockFloatErrorBound(grid.Points(), 16);
+  ExpectGridsMatch(grid, back, bound);
+  const double scalar_bound = codec::BlockFloatErrorBound(
+      grid.PointArray("scalar")->Data(), 16);
+  for (std::size_t t = 0; t < 8; ++t) {
+    EXPECT_NEAR(back.PointArray("scalar")->At(t),
+                grid.PointArray("scalar")->At(t), scalar_bound);
+  }
+}
+
+TEST(TransportStageTest, BlockfloatOnConnectivityThrowsAtStageTime) {
+  const svtk::UnstructuredGrid grid = MakeStagedCube();
+  sensei::TransportCodecs codecs;
+  codecs.connectivity.kind = codec::Kind::kBlockFloat;
+  EXPECT_THROW(
+      sensei::StageGridTo(
+          [](const std::string&, core::BufferChain, const codec::Spec&) {},
+          grid, codecs),
+      std::invalid_argument);
+}
+
+TEST(TransportStageTest, LegacySingleBlobPayloadStillReassembles) {
+  // Old writers (and restart files) ship the whole grid as one "mesh" blob;
+  // ReassembleGrid must keep reading them, keyed on the svtk magic.
+  const svtk::UnstructuredGrid grid = MakeStagedCube();
+  adios::StepChain staged;
+  staged.step = 0;
+  staged.writer_rank = 0;
+  staged.variables["mesh"] = svtk::SerializeChain(grid);
+  core::Buffer packed = adios::MarshalChain(staged).Pack("test");
+  const adios::StepPayload payload = adios::UnmarshalStep(packed.bytes());
+  const svtk::UnstructuredGrid back = sensei::ReassembleGrid(payload);
+  ExpectGridsMatch(grid, back, 0.0);
+}
+
+TEST(TransportStageTest, MissingPlaneThrowsDescriptively) {
+  const svtk::UnstructuredGrid grid = MakeStagedCube();
+  adios::StepChain staged;
+  sensei::StageGridTo(
+      [&staged](const std::string& name, core::BufferChain chain,
+                const codec::Spec&) {
+        staged.variables[name] = std::move(chain);
+      },
+      grid, {});
+  staged.variables.erase("mesh.points");
+  core::Buffer packed = adios::MarshalChain(staged).Pack("test");
+  const adios::StepPayload payload = adios::UnmarshalStep(packed.bytes());
+  try {
+    (void)sensei::ReassembleGrid(payload);
+    FAIL() << "reassembled a payload with no points plane";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("mesh.points"), std::string::npos)
+        << e.what();
+  }
+}
+
 // ---- In transit: adios sender + endpoint consumer ---------------------------
 
 TEST(InTransitTest, StreamedBlocksMergeOnEndpoint) {
@@ -498,7 +716,7 @@ TEST(BpFileAdaptorTest, WritesReplayableStream) {
     int expected = 0;
     while (auto step = reader.NextStep()) {
       EXPECT_EQ(step->step, expected * 10);
-      auto grid = svtk::Deserialize(step->variables.at("mesh"));
+      auto grid = sensei::ReassembleGrid(*step);
       EXPECT_EQ(grid.NumPoints(), 8u);
       EXPECT_NE(grid.PointArray("scalar"), nullptr);
       double time = -1.0;
@@ -527,7 +745,7 @@ TEST(BpFileAdaptorTest, ConfigurableViaXml) {
     adios::BpFileReader reader(dir + "/stream_rank0000.bp");
     int steps = 0;
     while (auto step = reader.NextStep()) {
-      auto grid = svtk::Deserialize(step->variables.at("mesh"));
+      auto grid = sensei::ReassembleGrid(*step);
       EXPECT_NE(grid.PointArray("scalar"), nullptr);
       EXPECT_EQ(grid.PointArray("vec"), nullptr);  // subset respected
       ++steps;

@@ -16,6 +16,10 @@ Rules (see DESIGN.md §6 "Correctness tooling"):
                         `layer.phase` taxonomy (DESIGN.md §5a).
   metric-name           Metric names follow the same `plane.metric` form
                         (DESIGN.md §5b).
+  codec-prefix          Spans and metrics recorded inside src/codec/ carry
+                        the `codec.` prefix, so every cost the codec plane
+                        adds is attributable on the trace timeline
+                        (DESIGN.md §3c).
   json-atomic-write     JSON artifacts are written via instrument::AtomicFile
                         (temp + rename), never a plain std::ofstream — a
                         killed run must not leave a truncated file.
@@ -144,24 +148,39 @@ def strip_comments_and_strings(text):
 
 
 def lint_names(rel, raw_lines, findings):
+    in_codec_plane = "src/codec/" in rel.replace("\\", "/")
     for lineno, line in enumerate(raw_lines, 1):
         stripped = line.lstrip()
         if stripped.startswith("//") or stripped.startswith("*"):
             continue
         for match in SPAN_CALL.finditer(line):
             name = match.group(1) or match.group(2)
-            if name and not NAME_PATTERN.match(name):
+            if not name:
+                continue
+            if not NAME_PATTERN.match(name):
                 findings.append(Finding(
                     rel, lineno, "span-name",
                     f'"{name}" does not match the dotted lowercase '
                     f"layer.phase taxonomy (DESIGN.md §5a)"))
+            elif in_codec_plane and not name.startswith("codec."):
+                findings.append(Finding(
+                    rel, lineno, "codec-prefix",
+                    f'span "{name}" recorded inside src/codec/ must carry '
+                    f"the codec. prefix (DESIGN.md §3c)"))
         for match in METRIC_CALL.finditer(line):
             name = match.group(1)
-            if name and not NAME_PATTERN.match(name):
+            if not name:
+                continue
+            if not NAME_PATTERN.match(name):
                 findings.append(Finding(
                     rel, lineno, "metric-name",
                     f'"{name}" does not match the dotted lowercase '
                     f"plane.metric taxonomy (DESIGN.md §5b)"))
+            elif in_codec_plane and not name.startswith("codec."):
+                findings.append(Finding(
+                    rel, lineno, "codec-prefix",
+                    f'metric "{name}" recorded inside src/codec/ must carry '
+                    f"the codec. prefix (DESIGN.md §3c)"))
 
 
 def lint_code(rel, code_lines, raw_lines, findings):
