@@ -18,6 +18,8 @@ namespace {
 // start with a one-byte version so the formats can evolve without a new
 // Kind.
 constexpr std::uint8_t kStreamVersion = 1;
+constexpr std::size_t kBlockFloatHeaderBytes = 16;
+constexpr std::size_t kShuffleRleHeaderBytes = 8;
 
 // Blockfloat per-block storage modes.
 constexpr std::uint8_t kBlockQuantized = 0;
@@ -27,6 +29,10 @@ constexpr std::uint8_t kBlockZero = 2;      // max-abs == 0: no payload
 // shuffle_rle flag bits (recorded in the stream, so decode is
 // self-describing even when the encoder skipped a transform).
 constexpr std::uint8_t kFlagDelta64 = 0x01;
+// Incompressible-input fallback: the payload is the raw bytes verbatim
+// (no delta, no shuffle, no RLE), so wire size never exceeds raw size by
+// more than the 8-byte header.  Mutually exclusive with kFlagDelta64.
+constexpr std::uint8_t kFlagRawStore = 0x02;
 
 // PackBits-style RLE: control c in [0,127] is a literal run of c+1 bytes;
 // c in [128,255] repeats the following byte (c - 126) times (runs of
@@ -198,11 +204,14 @@ std::vector<std::byte> DecodeBlockFloat(std::span<const std::byte> wire,
   }
   for (int i = 0; i < 6; ++i) ReadValue<std::uint8_t>(wire, pos, "reserved");
   const auto count = ReadValue<std::uint64_t>(wire, pos, "value count");
-  if (count * sizeof(double) != raw_size) {
+  // Compare without multiplying: `count * 8` wraps mod 2^64, so a hostile
+  // count of raw_size/8 + 2^61 would pass a product comparison and drive
+  // the decode loop past the raw_size-byte output buffer.
+  if (raw_size % sizeof(double) != 0 || count != raw_size / sizeof(double)) {
     throw std::runtime_error(
         "codec: blockfloat stream holds " + std::to_string(count) +
-        " values but the header promises " +
-        std::to_string(raw_size / sizeof(double)));
+        " values but the declared raw size " + std::to_string(raw_size) +
+        " bytes implies " + std::to_string(raw_size / sizeof(double)));
   }
 
   const std::int64_t levels = (std::int64_t{1} << (rate - 1)) - 1;
@@ -388,6 +397,16 @@ std::vector<std::byte> EncodeShuffleRle(std::span<const std::byte> raw,
   out.push_back(static_cast<std::byte>(delta_applied ? kFlagDelta64 : 0));
   for (int i = 0; i < 6; ++i) out.push_back(std::byte{0});
   RleEncode(shuffled, out);
+  if (out.size() - kShuffleRleHeaderBytes > raw.size()) {
+    // Incompressible input: PackBits literals cost ~1/128 overhead, so
+    // already-random planes would ship larger than raw.  Store the
+    // original bytes verbatim instead — wire is then bounded by
+    // raw + header for every input, and the compression-ratio gauges
+    // never report expansion beyond the fixed header.
+    out.resize(kShuffleRleHeaderBytes);
+    out[1] = static_cast<std::byte>(kFlagRawStore);
+    out.insert(out.end(), raw.begin(), raw.end());
+  }
   return out;
 }
 
@@ -401,11 +420,25 @@ std::vector<std::byte> DecodeShuffleRle(std::span<const std::byte> wire,
         std::to_string(version));
   }
   const auto flags = ReadValue<std::uint8_t>(wire, pos, "flags");
-  if ((flags & ~kFlagDelta64) != 0) {
+  if ((flags & ~(kFlagDelta64 | kFlagRawStore)) != 0) {
     throw std::runtime_error("codec: unknown shuffle_rle stream flags " +
                              std::to_string(flags));
   }
+  if ((flags & kFlagRawStore) != 0 && (flags & kFlagDelta64) != 0) {
+    throw std::runtime_error(
+        "codec: shuffle_rle raw-store stream also carries the delta flag");
+  }
   for (int i = 0; i < 6; ++i) ReadValue<std::uint8_t>(wire, pos, "reserved");
+  if ((flags & kFlagRawStore) != 0) {
+    if (wire.size() - pos != raw_size) {
+      throw std::runtime_error(
+          "codec: shuffle_rle raw-store payload holds " +
+          std::to_string(wire.size() - pos) + " byte(s), expected " +
+          std::to_string(raw_size));
+    }
+    return std::vector<std::byte>(wire.begin() + static_cast<std::ptrdiff_t>(pos),
+                                  wire.end());
+  }
   std::vector<std::byte> out = Unshuffle8(RleDecode(wire, pos, raw_size));
   if ((flags & kFlagDelta64) != 0) {
     if (out.size() % 8 != 0) {
@@ -415,6 +448,23 @@ std::vector<std::byte> DecodeShuffleRle(std::span<const std::byte> wire,
     DeltaDecode64(out);
   }
   return out;
+}
+
+/// Largest raw size any well-formed stream of `wire_size` bytes can decode
+/// to, used to sanity-bound the untrusted raw-length header field BEFORE
+/// it becomes an allocation size.  Blockfloat: 16-byte header plus at
+/// least one mode byte per 64-value (512-byte) block.  shuffle_rle: 8-byte
+/// header plus RLE where a 2-byte repeat token expands to at most 129
+/// bytes (~64.5x per wire byte; 65 also covers a raw-store payload, which
+/// expands 1x).
+std::size_t MaxPlausibleRawSize(Kind kind, std::size_t wire_size) {
+  if (kind == Kind::kBlockFloat) {
+    if (wire_size <= kBlockFloatHeaderBytes) return 0;
+    return (wire_size - kBlockFloatHeaderBytes) * kBlockFloatBlock *
+           sizeof(double);
+  }
+  if (wire_size <= kShuffleRleHeaderBytes) return 0;
+  return (wire_size - kShuffleRleHeaderBytes) * 65;
 }
 
 }  // namespace
@@ -460,6 +510,14 @@ core::Buffer Decode(Kind kind, std::span<const std::byte> wire,
     return core::Buffer::CopyOf("marshal", wire);
   }
   instrument::Span span("codec.decode");
+  if (raw_size > MaxPlausibleRawSize(kind, wire.size())) {
+    throw std::runtime_error(
+        "codec: declared raw size " + std::to_string(raw_size) +
+        " byte(s) exceeds the " + std::to_string(
+            MaxPlausibleRawSize(kind, wire.size())) +
+        " a " + KindName(kind) + " stream of " + std::to_string(wire.size()) +
+        " byte(s) can decode to — corrupt length field");
+  }
   std::vector<std::byte> raw = kind == Kind::kBlockFloat
                                    ? DecodeBlockFloat(wire, raw_size)
                                    : DecodeShuffleRle(wire, raw_size);

@@ -13,7 +13,9 @@
 //                groups the high-order byte planes (near-constant for
 //                connectivity and smooth fields), then PackBits-style RLE.
 //                Round-trips arbitrary bytes exactly, including NaN/Inf
-//                payloads and non-multiple-of-8 sizes.
+//                payloads and non-multiple-of-8 sizes.  Incompressible
+//                input falls back to a verbatim raw-store frame, so the
+//                wire size never exceeds raw + 8 header bytes.
 //   kBlockFloat  fixed-rate lossy coding of f64 arrays: per 64-value block,
 //                values are quantized to `rate` bits against the block's
 //                max-abs scale.  Documented, testable error bound below.
@@ -80,7 +82,10 @@ struct Spec {
 
 /// Inverse of Encode: decode `wire` into exactly `raw_size` bytes.  Every
 /// read is bounds-checked; truncated, oversized, or internally inconsistent
-/// streams throw std::runtime_error with a descriptive message.
+/// streams throw std::runtime_error with a descriptive message.  The
+/// untrusted `raw_size` is capped against the codec's maximum expansion of
+/// `wire.size()` before any allocation, so a corrupt length field throws a
+/// named error instead of triggering a huge allocation.
 [[nodiscard]] core::Buffer Decode(Kind kind, std::span<const std::byte> wire,
                                   std::size_t raw_size);
 

@@ -150,6 +150,25 @@ TEST(MarshalTest, RejectsOversizedDataLength) {
   EXPECT_NE(what.find("data overruns"), std::string::npos) << what;
 }
 
+TEST(MarshalTest, RejectsImplausibleRawLengthOnCodedVariable) {
+  // For a non-identity variable raw_len != wire_len is legal, so the
+  // identity consistency check never sees it; a corrupt raw_len of ~2^60
+  // must still fail with a named parse error at decode time, not a huge
+  // allocation / bad_alloc.
+  adios::StepChain staged;
+  codec::Spec rle;
+  rle.kind = codec::Kind::kShuffleRle;
+  staged.variables["x"] =
+      core::BufferChain(core::BufferView(Buf(std::string(256, 'a'))));
+  staged.codecs["x"] = rle;
+  core::Buffer packed = adios::MarshalChain(staged).Pack("test");
+  std::vector<std::byte> buffer(packed.bytes().begin(), packed.bytes().end());
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(buffer.data() + 49, &huge, sizeof(huge));  // raw_len of "x"
+  const std::string what = UnmarshalError(buffer);
+  EXPECT_NE(what.find("corrupt length field"), std::string::npos) << what;
+}
+
 TEST(MarshalTest, RejectsDataLengthJustPastEnd) {
   StepPayload payload;
   payload.variables["x"] = Buf("abc");

@@ -119,6 +119,29 @@ TEST(ShuffleRleTest, DeltaCompressesMonotoneInt64) {
   EXPECT_LT(wire.size() * 4, raw.size());  // >= 4x on this shape
 }
 
+TEST(ShuffleRleTest, IncompressibleInputFallsBackToRawStore) {
+  // Random bytes have no runs: PackBits literals would cost ~1/128
+  // overhead, so the encoder must degrade to a verbatim raw-store frame
+  // bounded by raw + 8 header bytes — and still round-trip exactly.
+  std::mt19937_64 rng(99);
+  std::vector<std::byte> raw(4096);
+  for (std::byte& b : raw) b = static_cast<std::byte>(rng() & 0xFF);
+  for (const bool delta : {false, true}) {
+    const core::Buffer wire = Encode(ShuffleRle(delta), raw);
+    EXPECT_LE(wire.size(), raw.size() + 8);
+    ExpectLosslessRoundTrip(raw, delta);
+    // Raw-store streams must reject truncation and size mismatch like any
+    // other frame: every proper prefix throws.
+    for (std::size_t cut = 0; cut < wire.size(); cut += 37) {
+      EXPECT_THROW(
+          (void)Decode(Kind::kShuffleRle, wire.bytes().subspan(0, cut),
+                       raw.size()),
+          std::runtime_error)
+          << "prefix " << cut;
+    }
+  }
+}
+
 TEST(ShuffleRleTest, EncodeIsDeterministic) {
   std::mt19937_64 rng(7);
   std::vector<std::byte> raw(777);
@@ -259,6 +282,45 @@ TEST(CodecDecodeTest, RejectsWrongDeclaredRawSize) {
                  std::runtime_error);
     EXPECT_THROW((void)Decode(kind, wire.bytes(), raw.size() - 8),
                  std::runtime_error);
+  }
+}
+
+TEST(CodecDecodeTest, RejectsOverflowingValueCount) {
+  // `count * sizeof(double)` wraps mod 2^64: a hostile count of
+  // raw_size/8 + 2^61 multiplies back to raw_size exactly, so a product
+  // comparison would accept it and the decode loop would write far past
+  // the raw_size-byte output buffer.  The count must be compared without
+  // multiplication.
+  const std::vector<double> values(64, 2.0);
+  const std::vector<std::byte> raw = ToBytes(values);
+  const core::Buffer encoded = Encode(BlockFloat(8), raw);
+  std::vector<std::byte> wire(encoded.bytes().begin(), encoded.bytes().end());
+  std::uint64_t count;
+  std::memcpy(&count, wire.data() + 8, sizeof(count));  // after version+rate+reserved
+  ASSERT_EQ(count, values.size());
+  count += std::uint64_t{1} << 61;  // (count + 2^61) * 8 ≡ count * 8 (mod 2^64)
+  std::memcpy(wire.data() + 8, &count, sizeof(count));
+  EXPECT_THROW((void)Decode(Kind::kBlockFloat, wire, raw.size()),
+               std::runtime_error);
+}
+
+TEST(CodecDecodeTest, RejectsImplausiblyLargeDeclaredRawSize) {
+  // A corrupt frame header can declare raw_len ~2^60; Decode must throw a
+  // descriptive error before that number ever becomes an allocation size.
+  const std::vector<double> values(64, 2.0);
+  const std::vector<std::byte> raw = ToBytes(values);
+  for (const Kind kind : {Kind::kBlockFloat, Kind::kShuffleRle}) {
+    const Spec spec =
+        kind == Kind::kBlockFloat ? BlockFloat(8) : ShuffleRle(false);
+    const core::Buffer wire = Encode(spec, raw);
+    try {
+      (void)Decode(kind, wire.bytes(), std::size_t{1} << 60);
+      FAIL() << codec::KindName(kind) << ": huge raw size accepted";
+    } catch (const std::runtime_error& err) {
+      EXPECT_NE(std::string(err.what()).find("corrupt length field"),
+                std::string::npos)
+          << codec::KindName(kind) << " gave: " << err.what();
+    }
   }
 }
 
