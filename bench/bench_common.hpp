@@ -38,6 +38,12 @@ namespace bench {
 ///                        delta shuffle_rle on connectivity); stamps a
 ///                        "-compress" config suffix so the regression gate
 ///                        compares against the matching baseline
+///   --monitor [port]     serve /metrics, /healthz, and /status on rank 0's
+///                        loopback during every run (port 0 = ephemeral;
+///                        discover it via --monitor-port-file)
+///   --status-out <path>  persist the final /status JSON when the monitor
+///                        shuts down
+///   --monitor-port-file <path>  write the bound monitor port here at start
 struct BenchArgs {
   bool trace = false;
   std::string trace_path;
@@ -47,6 +53,9 @@ struct BenchArgs {
   bool smoke = false;
   bool async = false;
   bool compress = false;
+  int monitor_port = -1;  ///< -1 = monitor off, 0 = ephemeral port
+  std::string status_path;
+  std::string monitor_port_file;
 
   /// telemetry.json next to the requested trace file.
   [[nodiscard]] std::string SummaryPath() const {
@@ -73,6 +82,11 @@ inline void PrintBenchUsage(const char* binary) {
       "                        async pipeline (depth 2 double buffering)\n"
       "  --compress            compress the SST stream (blockfloat rate 8\n"
       "                        fields, delta shuffle_rle connectivity)\n"
+      "  --monitor [port]      serve live /metrics, /healthz, /status on\n"
+      "                        rank 0's loopback during every run (omit the\n"
+      "                        port for an ephemeral one)\n"
+      "  --status-out <path>   persist the final /status JSON at shutdown\n"
+      "  --monitor-port-file <path>  write the bound monitor port here\n"
       "  --help                show this help\n",
       binary);
 }
@@ -107,6 +121,25 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.async = true;
     } else if (arg == "--compress") {
       args.compress = true;
+    } else if (arg == "--monitor") {
+      // The port is optional: a following all-digit token is consumed as
+      // the port, anything else leaves port 0 (ephemeral).
+      args.monitor_port = 0;
+      if (i + 1 < argc) {
+        const std::string next = argv[i + 1];
+        if (!next.empty() &&
+            next.find_first_not_of("0123456789") == std::string::npos) {
+          args.monitor_port = std::atoi(argv[++i]);
+          if (args.monitor_port > 65535) {
+            std::cerr << "error: --monitor port must be in [0, 65535]\n";
+            std::exit(2);
+          }
+        }
+      }
+    } else if (arg == "--status-out") {
+      args.status_path = value(i, "--status-out");
+    } else if (arg == "--monitor-port-file") {
+      args.monitor_port_file = value(i, "--monitor-port-file");
     } else if (arg == "--help" || arg == "-h") {
       PrintBenchUsage(argv[0]);
       std::exit(0);
@@ -138,6 +171,14 @@ inline instrument::TelemetryConfig RunTelemetry(const BenchArgs& args,
   if (headline && !args.metrics_path.empty()) {
     config.metrics = true;
     config.metrics_path = args.metrics_path;
+  }
+  // The monitor applies to every run in the sweep: runs are serial, so a
+  // fixed port simply rebinds per run and a mid-sweep scrape always finds
+  // whichever run is live.
+  if (args.monitor_port >= 0) {
+    config.monitor_port = args.monitor_port;
+    config.status_path = args.status_path;
+    config.monitor_port_file = args.monitor_port_file;
   }
   return config;
 }

@@ -7,7 +7,7 @@
 //
 //   $ ./quickstart [output_dir] [--trace trace.json]
 //                  [--heartbeat <steps>] [--metrics-out metrics.json]
-//                  [--async]
+//                  [--async] [--monitor [port]]
 //
 // Produces quickstart_out/render_speed_*.png plus a stats log, and prints
 // the run metrics the paper's figures are built from.  With --trace, also
@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   int heartbeat_steps = 0;
   bool async = false;
+  int monitor_port = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") {
@@ -53,6 +54,16 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--async") {
       async = true;
+    } else if (arg == "--monitor") {
+      // Optional all-digit port; anything else leaves port 0 (ephemeral).
+      monitor_port = 0;
+      if (i + 1 < argc) {
+        const std::string next = argv[i + 1];
+        if (!next.empty() &&
+            next.find_first_not_of("0123456789") == std::string::npos) {
+          monitor_port = std::atoi(argv[++i]);
+        }
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [output_dir] [options]\n"
@@ -67,6 +78,9 @@ int main(int argc, char** argv) {
           "  --async               run the analyses on a per-rank worker\n"
           "                        thread (double-buffered staging) instead\n"
           "                        of inline after each step\n"
+          "  --monitor [port]      serve live /metrics, /healthz, /status\n"
+          "                        on rank 0's loopback during the run\n"
+          "                        (omit the port for an ephemeral one)\n"
           "  --help                show this help\n",
           argv[0]);
       return 0;
@@ -118,6 +132,11 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     options.telemetry.metrics = true;
     options.telemetry.metrics_path = metrics_path;
+  }
+  // Live monitor (XML equivalent: <telemetry monitor="PORT"/>): scrape
+  // http://127.0.0.1:<port>/metrics while the run is stepping.
+  if (monitor_port >= 0) {
+    options.telemetry.monitor_port = monitor_port;
   }
 
   // 4. Run on 2 ranks (threads standing in for MPI processes).

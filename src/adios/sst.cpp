@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "instrument/flight_recorder.hpp"
 #include "instrument/metrics.hpp"
 #include "instrument/tracer.hpp"
 
@@ -44,8 +45,11 @@ void SstWriter::DrainAcks(int target_in_flight) {
   // only when the metrics plane is installed.
   instrument::MetricsRegistry* metrics = instrument::CurrentMetrics();
   const bool will_block = static_cast<int>(in_flight_.size()) > target_in_flight;
-  const std::int64_t begin_ns =
-      (metrics != nullptr && will_block) ? instrument::Tracer::NowNs() : 0;
+  const bool timing =
+      will_block && (metrics != nullptr ||
+                     instrument::CurrentFlightRecorder() != nullptr);
+  const std::int64_t begin_ns = timing ? instrument::Tracer::NowNs() : 0;
+  const int blocked_step = will_block ? in_flight_.front().step : -1;
   while (static_cast<int>(in_flight_.size()) > target_in_flight) {
     const auto ack = world_.RecvValue<std::int32_t>(reader_, kTagSstAck);
     ++stats_.control_messages;
@@ -66,10 +70,14 @@ void SstWriter::DrainAcks(int target_in_flight) {
     queue_depth_.store(static_cast<int>(in_flight_.size()),
                        std::memory_order_relaxed);
   }
-  if (metrics != nullptr && will_block) {
-    metrics->Add("sst.stall_seconds",
-                 static_cast<double>(instrument::Tracer::NowNs() - begin_ns) *
-                     1e-9);
+  if (timing) {
+    const double stalled =
+        static_cast<double>(instrument::Tracer::NowNs() - begin_ns) * 1e-9;
+    if (metrics != nullptr) metrics->Add("sst.stall_seconds", stalled);
+    // Queue-full block: the forensic step is the oldest in-flight step the
+    // writer was waiting on when it blocked (the reader's position).
+    instrument::RecordFlightEvent(instrument::FlightEventKind::kQueueBlock,
+                                  "sst.queue_full", blocked_step, stalled);
   }
 }
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "instrument/flight_recorder.hpp"
 #include "instrument/metrics.hpp"
 #include "instrument/tracer.hpp"
 
@@ -406,6 +407,12 @@ std::vector<std::byte> EncodeShuffleRle(std::span<const std::byte> raw,
     out.resize(kShuffleRleHeaderBytes);
     out[1] = static_cast<std::byte>(kFlagRawStore);
     out.insert(out.end(), raw.begin(), raw.end());
+    // Forensic breadcrumb: a stream that suddenly stops compressing (all
+    // fallbacks, ratio ~1.0) is a data-distribution change worth seeing in
+    // the crash tail, not just in the aggregate wire counters.
+    instrument::RecordFlightEvent(instrument::FlightEventKind::kCodecFallback,
+                                  "codec.shuffle_rle_raw", /*step=*/-1,
+                                  static_cast<double>(raw.size()));
   }
   return out;
 }

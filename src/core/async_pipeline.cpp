@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "instrument/flight_recorder.hpp"
 #include "instrument/tracer.hpp"
 
 namespace nek_sensei {
@@ -75,6 +76,10 @@ AsyncPipeline::AsyncPipeline(nekrs::FlowSolver& solver,
   // and insitu.offloaded_share instead).
   if (const mpimini::RankEnv* env = mpimini::CurrentEnv()) {
     worker_env_.rank = env->rank;
+    // The flight recorder is the one deliberately *shared* instrument: its
+    // ring is multi-writer safe, and a crash dump must interleave worker
+    // events (codec fallbacks, long waits) with the rank's own timeline.
+    worker_env_.flightrec = env->flightrec;
   }
   if (instrument::CurrentMetrics() != nullptr) {
     worker_env_.metrics = std::make_shared<instrument::MetricsRegistry>();
@@ -171,6 +176,12 @@ bool AsyncPipeline::Submit(int step, double time) {
   if (auto* metrics = instrument::CurrentMetrics()) {
     metrics->Add("pipeline.queue_wait_seconds", waited);
     metrics->Add("pipeline.submits", 1.0);
+  }
+  if (waited >= instrument::kFlightStallMinSeconds) {
+    // Backpressure stall: the worker is `depth` updates behind and the
+    // rank thread just paid for it — prime straggler-forensics material.
+    instrument::RecordFlightEvent(instrument::FlightEventKind::kStall,
+                                  "pipeline.slot_wait", step, waited);
   }
 
   // The rank thread owns the slot now (the worker cleared its flag and will

@@ -1,14 +1,20 @@
 #include "core/workflows.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <optional>
 
 #include "adios/sst.hpp"
 #include "core/bridge.hpp"
 #include "core/buffer.hpp"
 #include "core/thread_annotations.hpp"
+#include "instrument/flight_recorder.hpp"
+#include "instrument/monitor.hpp"
 #include "instrument/report.hpp"
+#include "instrument/straggler.hpp"
 #include "mpimini/metrics_reduce.hpp"
 #include "mpimini/runtime.hpp"
 #include "sensei/adios_adaptor.hpp"
@@ -96,17 +102,46 @@ mpimini::RunSettings MakeRunSettings(
   return settings;
 }
 
-// Rank-0 progress line, every `heartbeat_steps` steps.  Collective on the
-// stepping communicator when enabled (two small Reduces), so every rank of
-// that communicator must Tick at the same step; a zero interval makes Tick
-// a no-op and the run collective-free, as before.
+// Rank-0 progress line plus the run-health collective.  When enabled, every
+// Tick at the interval runs the same fixed collective sequence (two small
+// Reduces, one health-sample Gather, and — monitor runs only — one metrics
+// reduction), so every rank of the stepping communicator must Tick at the
+// same step; a zero interval makes Tick a no-op and the run collective-free,
+// as before.  The interval is config-derived (identical on every rank by
+// construction), never data-dependent.
+//
+// Rank 0 additionally feeds the gathered health samples into the straggler
+// detector — new verdicts go to the flight recorder, the printed line's
+// `note` column, and (via Anomalies()) metrics.json — and publishes a
+// MonitorStatus snapshot to the /metrics endpoint when one is serving.
 class Heartbeat {
  public:
-  Heartbeat(mpimini::Comm& comm, int interval_steps, int total_steps)
+  /// `monitor` is rank 0's MonitorServer or nullptr; non-rank-0 callers
+  /// always pass nullptr.  Printing follows config.heartbeat_steps; with
+  /// the heartbeat off but the monitor on, ticks run every step (the
+  /// endpoint wants fresh data) without printing anything.
+  Heartbeat(mpimini::Comm& comm, const instrument::TelemetryConfig& config,
+            int total_steps, instrument::MonitorServer* monitor)
       : comm_(comm),
-        interval_(interval_steps),
+        print_interval_(config.heartbeat_steps),
+        interval_(config.heartbeat_steps > 0
+                      ? config.heartbeat_steps
+                      : (config.MonitorEnabled() ? 1 : 0)),
+        monitor_on_(config.MonitorEnabled()),
+        monitor_(monitor),
         total_(total_steps),
-        start_ns_(instrument::Tracer::NowNs()) {}
+        start_ns_(instrument::Tracer::NowNs()) {
+    // Baselines for the per-interval deltas that make up a health sample.
+    if (mpimini::RankEnv* env = mpimini::CurrentEnv()) {
+      last_busy_ = env->busy.Seconds();
+    }
+    if (const instrument::MetricsRegistry* m = instrument::CurrentMetrics()) {
+      last_solver_ = m->Counter("solver.step_seconds");
+      last_insitu_ = m->Counter("bridge.update_seconds");
+      last_transport_ = m->Counter("sst.stall_seconds") +
+                        m->Counter("pipeline.queue_wait_seconds");
+    }
+  }
 
   /// `queue_depth`/`queue_limit` describe the SST staging queue (pass
   /// -1/-1 when the workflow has no transport, e.g. in situ).
@@ -137,7 +172,40 @@ class Heartbeat {
     std::array<double, 2> maxs{mem, static_cast<double>(queue_depth)};
     comm_.Reduce(std::span<double>(sums), mpimini::Op::kSum, 0);
     comm_.Reduce(std::span<double>(maxs), mpimini::Op::kMax, 0);
+
+    // Health-sample gather: always part of the tick collective, so the
+    // straggler detector works even with the metrics plane off (the busy
+    // clock is unconditional; only the span attribution needs counters).
+    const instrument::RankHealthSample health = SampleHealth();
+    const std::vector<instrument::RankHealthSample> samples =
+        comm_.Gather<instrument::RankHealthSample>(
+            std::span<const instrument::RankHealthSample>(&health, 1), 0);
+
+    // Monitor runs reduce the full registry each tick so /metrics serves
+    // live cross-rank sums, not stale startup values.  MonitorEnabled()
+    // implies the metrics plane is installed (TelemetryConfig contract).
+    instrument::MetricsReport report;
+    if (monitor_on_) {
+      instrument::MetricsSnapshot snap;
+      if (const instrument::MetricsRegistry* m =
+              instrument::CurrentMetrics()) {
+        snap = m->Snapshot();
+      }
+      report = mpimini::ReduceMetrics(comm_, snap, 0);
+    }
     if (comm_.Rank() != 0) return;
+
+    std::string note;
+    for (const instrument::AnomalyRecord& a : straggler_.Update(samples,
+                                                                done)) {
+      char verdict[64];
+      std::snprintf(verdict, sizeof(verdict), "straggler rank %d (%s)",
+                    a.rank, a.dominant_span.c_str());
+      instrument::RecordFlightEvent(instrument::FlightEventKind::kAnomaly,
+                                    verdict, done, a.z);
+      if (!note.empty()) note += ", ";
+      note += verdict;
+    }
 
     const double elapsed =
         static_cast<double>(instrument::Tracer::NowNs() - start_ns_) * 1e-9;
@@ -149,7 +217,7 @@ class Heartbeat {
     line.total = total_;
     line.rate_steps_per_second = rate;
     line.eta_seconds =
-        rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+        rate > 0.0 ? static_cast<double>(total_ - done) / rate : -1.0;
     line.mem_mean_bytes = static_cast<std::size_t>(sums[0] / ranks);
     line.mem_max_bytes = static_cast<std::size_t>(maxs[0]);
     if (elapsed > 0.0 && instrument::CurrentMetrics() != nullptr) {
@@ -162,16 +230,102 @@ class Heartbeat {
     line.queue_limit = queue_limit;
     line.raw_bytes = static_cast<std::size_t>(sums[3]);
     line.wire_bytes = static_cast<std::size_t>(sums[4]);
-    std::fprintf(stderr, "%s\n", FormatHeartbeatLine(line).c_str());
-    std::fflush(stderr);
+    line.note = note;
+    if (print_interval_ > 0 &&
+        (done % print_interval_ == 0 || done == total_)) {
+      std::fprintf(stderr, "%s\n", FormatHeartbeatLine(line).c_str());
+      std::fflush(stderr);
+    }
+
+    if (monitor_ != nullptr && monitor_->Serving()) {
+      instrument::MonitorStatus status;
+      status.step = done;
+      status.total_steps = total_;
+      status.rate_steps_per_second = rate;
+      status.eta_seconds = line.eta_seconds;
+      double lo = 0.0;
+      double hi = 0.0;
+      double sum = 0.0;
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double s = samples[i].step_seconds;
+        lo = i == 0 ? s : std::min(lo, s);
+        hi = std::max(hi, s);
+        sum += s;
+      }
+      status.step_seconds_min = lo;
+      status.step_seconds_max = hi;
+      status.step_seconds_mean =
+          samples.empty() ? 0.0 : sum / static_cast<double>(samples.size());
+      status.queue_depth = line.queue_depth;
+      status.queue_limit = queue_limit;
+      status.insitu_percent = line.insitu_percent;
+      status.offload_percent = line.offload_percent;
+      status.anomalies = straggler_.Anomalies();
+      report.anomalies = status.anomalies;
+      status.metrics = std::move(report);
+      monitor_->Publish(std::move(status));
+    }
+  }
+
+  /// Straggler verdicts accumulated so far (meaningful on rank 0 only) —
+  /// the source of metrics.json's `anomalies` array.
+  [[nodiscard]] const std::vector<instrument::AnomalyRecord>& Anomalies()
+      const {
+    return straggler_.Anomalies();
   }
 
  private:
+  // One interval's busy-time delta plus the per-span counter deltas that
+  // could explain it.  The busy clock excludes comm waits by design, so a
+  // straggler's *victims* (ranks idling at the collective) do not get
+  // inflated samples — only the rank actually doing extra work does.
+  instrument::RankHealthSample SampleHealth() {
+    instrument::RankHealthSample sample;
+    sample.rank = comm_.Rank();
+    double busy = 0.0;
+    if (mpimini::RankEnv* env = mpimini::CurrentEnv()) {
+      busy = env->busy.Seconds();
+    }
+    sample.step_seconds = busy - last_busy_;
+    last_busy_ = busy;
+    if (const instrument::MetricsRegistry* m = instrument::CurrentMetrics()) {
+      const double solver = m->Counter("solver.step_seconds");
+      const double insitu = m->Counter("bridge.update_seconds");
+      const double transport = m->Counter("sst.stall_seconds") +
+                               m->Counter("pipeline.queue_wait_seconds");
+      sample.solver_seconds = solver - last_solver_;
+      sample.insitu_seconds = insitu - last_insitu_;
+      sample.transport_seconds = transport - last_transport_;
+      last_solver_ = solver;
+      last_insitu_ = insitu;
+      last_transport_ = transport;
+    }
+    return sample;
+  }
+
   mpimini::Comm& comm_;
+  int print_interval_;
   int interval_;
+  bool monitor_on_;
+  instrument::MonitorServer* monitor_;
   int total_;
   std::int64_t start_ns_;
+  double last_busy_ = 0.0;
+  double last_solver_ = 0.0;
+  double last_insitu_ = 0.0;
+  double last_transport_ = 0.0;
+  instrument::StragglerMonitor straggler_;
 };
+
+// Fault-injection hook for the flight-recorder acceptance path: the named
+// step throws an uncaught (by the workflow) exception on every rank, so the
+// crash-dump machinery can be exercised end to end from a normal binary.
+// In-situ only — in-transit endpoint ranks block in their receive loop and
+// would never observe a sim-side throw (the join would hang).
+int FailStepFromEnv() {
+  const char* value = std::getenv("NEK_SENSEI_FAIL_STEP");
+  return value != nullptr ? std::atoi(value) : -1;
+}
 
 // Reduce every rank's metric snapshot onto world rank 0 and stash the
 // rank-aggregated report.  Collective when the metrics plane is on: every
@@ -179,6 +333,8 @@ class Heartbeat {
 // so the collective order stays identical across ranks).
 void CollectRunHealth(mpimini::Comm& world,
                       const instrument::TelemetryConfig& config,
+                      const std::vector<instrument::AnomalyRecord>& anomalies,
+                      instrument::MonitorServer* monitor,
                       SharedMetrics& shared) {
   if (!config.MetricsEnabled()) return;
   instrument::MetricsSnapshot mine;
@@ -201,6 +357,12 @@ void CollectRunHealth(mpimini::Comm& world,
       stat.low_watermark = stat.high_watermark = ratio;
       stat.imbalance = 1.0;
       report.gauges["sst.compression_ratio"] = stat;
+    }
+    report.anomalies = anomalies;
+    if (monitor != nullptr) {
+      // Final agreement pass: a scrape after the last step (and the
+      // persisted status file) must match metrics.json exactly.
+      monitor->UpdateMetrics(report, anomalies);
     }
     core::MutexLock lock(shared.mutex);
     shared.metrics.metrics_report = std::move(report);
@@ -320,11 +482,20 @@ void ExportRunHealth(const instrument::TelemetryConfig& config,
 std::string FormatHeartbeatLine(const HeartbeatLine& line) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "[heartbeat] step %d/%d (%d%%) | %.2f steps/s | eta %.1fs",
+                "[heartbeat] step %d/%d (%d%%) | %.2f steps/s",
                 line.done, line.total,
                 line.total > 0 ? 100 * line.done / line.total : 0,
-                line.rate_steps_per_second, line.eta_seconds);
+                line.rate_steps_per_second);
   std::string out = buf;
+  // A zero observed rate (clock glitch, first tick landing in the same
+  // timer quantum) has no defined ETA: print `n/a`, never inf/nan or a
+  // garbage division result.
+  if (line.eta_seconds >= 0.0 && std::isfinite(line.eta_seconds)) {
+    std::snprintf(buf, sizeof(buf), " | eta %.1fs", line.eta_seconds);
+    out += buf;
+  } else {
+    out += " | eta n/a";
+  }
   out += " | mem mean " + instrument::FormatBytes(line.mem_mean_bytes) +
          " max " + instrument::FormatBytes(line.mem_max_bytes);
   if (line.insitu_percent >= 0.0) {
@@ -356,6 +527,7 @@ std::string FormatHeartbeatLine(const HeartbeatLine& line) {
                       static_cast<double>(line.wire_bytes));
     out += buf;
   }
+  if (!line.note.empty()) out += " | " + line.note;
   return out;
 }
 
@@ -413,6 +585,18 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
 
   mpimini::RunResult run = mpimini::Runtime::Run(
       nranks, MakeRunSettings(telemetry), [&](mpimini::Comm& comm) {
+    // Live run-health endpoint: rank 0 only, opt-in, loopback.  Created
+    // before the step loop so /healthz answers from the first step, and
+    // destroyed (-> Stop -> persisted status) at rank-body scope end,
+    // after the closing metrics reduction has refreshed it.
+    std::unique_ptr<instrument::MonitorServer> monitor;
+    if (comm.Rank() == 0 && telemetry.MonitorEnabled()) {
+      instrument::MonitorServer::Options monitor_options;
+      monitor_options.port = telemetry.monitor_port;
+      monitor_options.persist_path = telemetry.status_path;
+      monitor_options.port_file = telemetry.monitor_port_file;
+      monitor = std::make_unique<instrument::MonitorServer>(monitor_options);
+    }
     occamini::Device device(options.backend, options.transfer);
     nekrs::FlowSolver solver(comm, device, options.flow);
     std::optional<Bridge> bridge;
@@ -441,10 +625,36 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
     const double busy0 = env ? env->busy.Seconds() : 0.0;
     std::optional<instrument::ScopedTimer> loop_timer;
     if (env) loop_timer.emplace(env->timings, "step_loop");
-    Heartbeat heartbeat(comm, telemetry.heartbeat_steps, options.steps);
+    Heartbeat heartbeat(comm, telemetry, options.steps, monitor.get());
+    const int fail_step = FailStepFromEnv();
     SampleStepCounters(&device, loop_analysis, loop_catalyst, nullptr);
     for (int s = 0; s < options.steps; ++s) {
+      // Step boundary first: a crash dump's tail names the step that was
+      // *in flight*, not the last one that completed.
+      instrument::RecordFlightEvent(instrument::FlightEventKind::kStep,
+                                    "solver.step", s);
+      if (s == fail_step) {
+        throw std::runtime_error("injected failure at step " +
+                                 std::to_string(s) + " (solver.step)");
+      }
       solver.Step();
+      if (comm.Rank() == options.straggler_rank &&
+          options.straggler_seconds > 0.0) {
+        // Controlled straggler: busy-spin (not sleep — the busy clock must
+        // see it) and book the time as solver work so the detector's span
+        // attribution has a known right answer.
+        const std::int64_t spin0 = instrument::Tracer::NowNs();
+        while (static_cast<double>(instrument::Tracer::NowNs() - spin0) *
+                   1e-9 <
+               options.straggler_seconds) {
+        }
+        if (auto* metrics = instrument::CurrentMetrics()) {
+          metrics->Add("solver.step_seconds",
+                       static_cast<double>(instrument::Tracer::NowNs() -
+                                           spin0) *
+                           1e-9);
+        }
+      }
       if (bridge) bridge->Update();
       SampleStepCounters(&device, loop_analysis, loop_catalyst, nullptr);
       heartbeat.Tick(s, /*queue_depth=*/-1, /*queue_limit=*/-1,
@@ -469,7 +679,8 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
                    MakeReport(comm, /*is_sim=*/true, step_busy,
                               bridge ? bridge->WorkerHostPeakBytes() : 0),
                    bytes, images, shared);
-    CollectRunHealth(comm, telemetry, shared);
+    CollectRunHealth(comm, telemetry, heartbeat.Anomalies(), monitor.get(),
+                     shared);
   });
 
   // Rank threads are joined, but the analysis (rightly) still wants the
@@ -498,6 +709,17 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
   mpimini::RunResult run = mpimini::Runtime::Run(
       world_ranks, MakeRunSettings(telemetry), [&](mpimini::Comm& world) {
     const bool is_sim = world.Rank() < sim_ranks;
+    // World rank 0 is sim-group rank 0 (the Split keys on world rank), so
+    // the monitor host is also the rank the sim-group heartbeat reduces
+    // onto — one rank owns both planes.
+    std::unique_ptr<instrument::MonitorServer> monitor;
+    if (world.Rank() == 0 && telemetry.MonitorEnabled()) {
+      instrument::MonitorServer::Options monitor_options;
+      monitor_options.port = telemetry.monitor_port;
+      monitor_options.persist_path = telemetry.status_path;
+      monitor_options.port_file = telemetry.monitor_port_file;
+      monitor = std::make_unique<instrument::MonitorServer>(monitor_options);
+    }
     mpimini::Comm group = world.Split(is_sim ? 0 : 1, world.Rank());
     mpimini::RankEnv* env = mpimini::CurrentEnv();
 
@@ -505,6 +727,9 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
     std::size_t images = 0;
     std::size_t worker_peak = 0;
     double step_busy = 0.0;
+    // Hoisted out of the sim block: the closing CollectRunHealth runs on
+    // the world communicator, after the heartbeat (sim-group scope) died.
+    std::vector<instrument::AnomalyRecord> anomalies;
 
     if (is_sim) {
       occamini::Device device(options.backend, options.transfer);
@@ -547,9 +772,11 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
       if (env) loop_timer.emplace(env->timings, "step_loop");
       // Heartbeat runs on the sim group: endpoint ranks sit in their
       // receive loop and cannot join step-boundary collectives.
-      Heartbeat heartbeat(group, telemetry.heartbeat_steps, options.steps);
+      Heartbeat heartbeat(group, telemetry, options.steps, monitor.get());
       SampleStepCounters(&device, loop_analysis, nullptr, loop_sst);
       for (int s = 0; s < options.steps; ++s) {
+        instrument::RecordFlightEvent(instrument::FlightEventKind::kStep,
+                                      "solver.step", s);
         solver.Step();
         bridge.Update();
         SampleStepCounters(&device, loop_analysis, nullptr, loop_sst);
@@ -567,6 +794,7 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
                          adios ? &adios->TransportStats() : nullptr);
       bytes = bridge.Analysis().TotalBytesWritten();
       worker_peak = bridge.WorkerHostPeakBytes();
+      anomalies = heartbeat.Anomalies();
     } else if (streaming) {
       // Endpoint rank: receive steps and run the endpoint analyses.
       std::vector<int> writers;
@@ -602,7 +830,7 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
 
     CollectReports(world, MakeReport(world, is_sim, step_busy, worker_peak),
                    bytes, images, shared);
-    CollectRunHealth(world, telemetry, shared);
+    CollectRunHealth(world, telemetry, anomalies, monitor.get(), shared);
   });
 
   // Rank threads are joined, but the analysis (rightly) still wants the

@@ -66,6 +66,12 @@ struct InSituOptions {
   /// <telemetry .../> element (if any) is honored instead, so tracing can
   /// be switched on without recompiling — like every other pipeline knob.
   instrument::TelemetryConfig telemetry;
+  /// Test/demo knob: the named rank busy-spins this long after every
+  /// solver step, feeding the extra seconds into solver.step_seconds so
+  /// the straggler detector has a controlled, span-attributable target.
+  /// Negative rank (the default) disables the injection.
+  int straggler_rank = -1;
+  double straggler_seconds = 0.0;
 };
 
 /// Inputs of one rank-0 heartbeat progress line, after the cross-rank
@@ -75,7 +81,10 @@ struct HeartbeatLine {
   int done = 0;
   int total = 0;
   double rate_steps_per_second = 0.0;
-  double eta_seconds = 0.0;
+  /// Seconds to completion at the current rate.  Negative (or non-finite)
+  /// means "unknown" — zero observed rate — and renders as `eta n/a`, never
+  /// as inf/garbage.
+  double eta_seconds = -1.0;
   std::size_t mem_mean_bytes = 0;
   std::size_t mem_max_bytes = 0;
   /// Mean across ranks of cumulative rank-thread in situ seconds over wall
@@ -94,6 +103,9 @@ struct HeartbeatLine {
   /// codec actually ran), so uncompressed runs keep their exact line.
   std::size_t raw_bytes = 0;
   std::size_t wire_bytes = 0;
+  /// Free-form annotation appended as a final column (straggler verdicts).
+  /// Empty omits the column.
+  std::string note;
 };
 
 /// Render one heartbeat line ("[heartbeat] step ... | ...").

@@ -423,7 +423,14 @@ bool WriteMetricsJson(const std::string& path, const MetricsReport& report) {
     }
     out << "]}";
   }
-  out << "\n  }\n}\n";
+  // Always present, [] for a balanced run: consumers can distinguish "the
+  // detector ran clean" from "an old file without the anomalies plane".
+  out << "\n  },\n  \"anomalies\": [";
+  for (std::size_t i = 0; i < report.anomalies.size(); ++i) {
+    if (i) out << ",";
+    out << "\n    " << AnomalyJson(report.anomalies[i]);
+  }
+  out << (report.anomalies.empty() ? "]\n}\n" : "\n  ]\n}\n");
   return file.Commit();
 }
 

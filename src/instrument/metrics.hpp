@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/thread_annotations.hpp"
+#include "instrument/straggler.hpp"
 
 namespace instrument {
 
@@ -167,6 +168,9 @@ struct MetricsReport {
   std::map<std::string, MetricStat> counters;
   std::map<std::string, MetricStat> gauges;
   std::map<std::string, HistogramData> histograms;  ///< merged buckets
+  /// Straggler-detector verdicts (rank 0 attaches them after the
+  /// reduction); always serialized to metrics.json, [] for a clean run.
+  std::vector<AnomalyRecord> anomalies;
 
   [[nodiscard]] bool Empty() const {
     return counters.empty() && gauges.empty() && histograms.empty();

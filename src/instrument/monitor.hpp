@@ -1,0 +1,118 @@
+// Live run-health endpoint: an opt-in rank-0 loopback HTTP server that
+// makes the metrics plane scrapable *while the simulation runs*, instead
+// of only readable from metrics.json after Finalize (DESIGN.md §5c).
+//
+// Routes:
+//   /metrics  Prometheus text exposition (version 0.0.4) rendered from the
+//             most recently published cross-rank MetricsReport
+//   /healthz  liveness probe ("ok")
+//   /status   JSON: step/ETA, per-rank step-time min/mean/max, SST queue
+//             occupancy, offload share, straggler anomalies
+//
+// Threading model: the server never touches the per-rank single-owner
+// registries.  The rank-0 thread *publishes* an immutable MonitorStatus
+// snapshot (built from the heartbeat's collective reductions) under a
+// mutex; the server thread copies it per request.  This is exactly the
+// cross-thread shape the core::Mutex annotations exist to police — the
+// monitor thread never reads live registries directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_annotations.hpp"
+#include "instrument/metrics.hpp"
+#include "instrument/straggler.hpp"
+
+namespace instrument {
+
+/// One published snapshot of run health, as served by /status.
+struct MonitorStatus {
+  int step = 0;
+  int total_steps = 0;
+  double rate_steps_per_second = 0.0;
+  double eta_seconds = -1.0;  ///< negative = unknown (serialized as null)
+  double step_seconds_min = 0.0;
+  double step_seconds_mean = 0.0;
+  double step_seconds_max = 0.0;
+  int queue_depth = -1;
+  int queue_limit = -1;  ///< <= 0 omits the sst_queue object
+  double insitu_percent = -1.0;   ///< negative omitted
+  double offload_percent = -1.0;  ///< negative omitted
+  std::vector<AnomalyRecord> anomalies;
+  MetricsReport metrics;  ///< cross-rank reduction backing /metrics
+};
+
+/// Render a report as Prometheus text exposition (metric names get an
+/// `nsm_` prefix, dots become underscores; counters expose the cross-rank
+/// sum, gauges a {stat="min|mean|max"} family, histograms cumulative
+/// le-buckets plus _sum/_count).
+[[nodiscard]] std::string RenderPrometheus(const MetricsReport& report);
+
+/// Render a status snapshot as the /status JSON document.
+[[nodiscard]] std::string RenderStatusJson(const MonitorStatus& status);
+
+/// The loopback HTTP server.  Construction binds and starts the serving
+/// thread; a failed bind logs a warning and leaves Serving() false rather
+/// than killing the run (observability must never take the simulation
+/// down).  Stop() (also run by the destructor) joins the thread and
+/// persists the last published status via AtomicFile when configured.
+class MonitorServer {
+ public:
+  struct Options {
+    int port = 0;              ///< 0 = ephemeral (read back via Port())
+    std::string persist_path;  ///< final /status JSON on Stop ("" = skip)
+    std::string port_file;     ///< bound port written here at start ("" = skip)
+  };
+
+  explicit MonitorServer(const Options& options);
+  ~MonitorServer();
+
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  /// The bound port, or -1 when the bind failed.
+  [[nodiscard]] int Port() const { return port_; }
+  [[nodiscard]] bool Serving() const { return port_ >= 0; }
+
+  /// Publish a fresh snapshot (rank-0 thread, at heartbeat ticks).  Also
+  /// feeds the monitor-plane metrics (monitor.requests / monitor.publishes)
+  /// into the calling thread's registry.
+  void Publish(MonitorStatus status);
+
+  /// Swap in a final MetricsReport + anomaly list without touching the
+  /// step-progress fields — called after the run's closing reduction so a
+  /// late scrape (and the persisted status) agrees with metrics.json.
+  void UpdateMetrics(MetricsReport report,
+                     std::vector<AnomalyRecord> anomalies);
+
+  /// HTTP requests served so far.
+  [[nodiscard]] std::uint64_t Requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Idempotent shutdown: join the server thread, close the socket, and
+  /// persist the last published status if persist_path was configured.
+  void Stop();
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+  [[nodiscard]] std::string ResponseFor(const std::string& target);
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  core::Mutex mutex_;
+  MonitorStatus status_ NSM_GUARDED_BY(mutex_);
+  bool published_ NSM_GUARDED_BY(mutex_) = false;
+  std::thread server_;
+  bool stopped_ = false;  ///< owner-thread only
+};
+
+}  // namespace instrument

@@ -1,0 +1,185 @@
+#include "instrument/straggler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "instrument/report.hpp"
+
+namespace instrument {
+
+namespace {
+
+// 0.6745 ~ Phi^-1(0.75): scales the MAD to estimate one standard
+// deviation under normality, making z_threshold comparable to a classic
+// z-score cutoff.
+constexpr double kMadToSigma = 0.6745;
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  const double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(values.begin(),
+                        values.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace
+
+std::string AnomalyJson(const AnomalyRecord& record) {
+  std::string out = "{\"rank\": " + std::to_string(record.rank) +
+                    ", \"step\": " + std::to_string(record.step) +
+                    ", \"z\": " + JsonNumber(record.z) +
+                    ", \"step_seconds\": " + JsonNumber(record.step_seconds) +
+                    ", \"median_seconds\": " +
+                    JsonNumber(record.median_seconds) +
+                    ", \"dominant_span\": \"" +
+                    JsonEscape(record.dominant_span) + "\"" +
+                    ", \"span_share\": " + JsonNumber(record.span_share) +
+                    "}";
+  return out;
+}
+
+std::vector<AnomalyRecord> DetectStragglers(
+    std::span<const RankHealthSample> samples, int step,
+    const StragglerConfig& config) {
+  std::vector<AnomalyRecord> out;
+  if (static_cast<int>(samples.size()) < config.min_ranks) return out;
+
+  std::vector<double> steps;
+  std::vector<double> solver;
+  std::vector<double> insitu;
+  std::vector<double> transport;
+  steps.reserve(samples.size());
+  for (const RankHealthSample& s : samples) {
+    steps.push_back(s.step_seconds);
+    solver.push_back(s.solver_seconds);
+    insitu.push_back(s.insitu_seconds);
+    transport.push_back(s.transport_seconds);
+  }
+  const double median = Median(steps);
+  if (median <= 0.0) return out;
+
+  std::vector<double> deviations;
+  deviations.reserve(steps.size());
+  for (const double v : steps) deviations.push_back(std::abs(v - median));
+  const double mad = Median(deviations);
+  // Floor the spread estimate: a perfectly balanced run has MAD ~ 0 and
+  // would otherwise flag scheduler noise as an outlier.
+  const double scale =
+      std::max(mad / kMadToSigma, config.mad_floor_share * median);
+
+  const double median_solver = Median(solver);
+  const double median_insitu = Median(insitu);
+  const double median_transport = Median(transport);
+
+  for (const RankHealthSample& s : samples) {
+    const double z = (s.step_seconds - median) / scale;
+    if (z < config.z_threshold) continue;
+    if (s.step_seconds < config.min_ratio * median) continue;
+
+    // Attribute the *excess* over the cross-rank per-span medians, not the
+    // raw span shares: the solver dominates every rank's step time, so a
+    // share-based verdict would read "solver" even when the slowdown came
+    // from the in situ or transport plane.  Tie order solver > insitu >
+    // transport keeps verdicts deterministic.
+    const double excess_solver = s.solver_seconds - median_solver;
+    const double excess_insitu = s.insitu_seconds - median_insitu;
+    const double excess_transport = s.transport_seconds - median_transport;
+
+    const char* span = "solver";
+    double dominant = excess_solver;
+    if (excess_insitu > dominant) {
+      span = "insitu";
+      dominant = excess_insitu;
+    }
+    if (excess_transport > dominant) {
+      span = "transport";
+      dominant = excess_transport;
+    }
+    if (dominant <= 0.0) {
+      // No span explains the excess (the slowdown sits between the
+      // instrumented spans, e.g. a paused thread); fall back to the
+      // rank's largest absolute span, or "unknown" with no span feeds.
+      span = "unknown";
+      dominant = 0.0;
+      if (s.solver_seconds > 0.0 || s.insitu_seconds > 0.0 ||
+          s.transport_seconds > 0.0) {
+        span = "solver";
+        dominant = s.solver_seconds;
+        if (s.insitu_seconds > dominant) {
+          span = "insitu";
+          dominant = s.insitu_seconds;
+        }
+        if (s.transport_seconds > dominant) {
+          span = "transport";
+          dominant = s.transport_seconds;
+        }
+      }
+    }
+    const double excess = s.step_seconds - median;
+
+    AnomalyRecord record;
+    record.rank = static_cast<int>(s.rank);
+    record.step = step;
+    record.z = z;
+    record.step_seconds = s.step_seconds;
+    record.median_seconds = median;
+    record.dominant_span = span;
+    record.span_share =
+        excess > 0.0 ? std::clamp(dominant / excess, 0.0, 1.0) : 0.0;
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+std::vector<AnomalyRecord> StragglerMonitor::Update(
+    std::span<const RankHealthSample> samples, int step) {
+  // Roll each rank's window, then detect on the window means: a single
+  // slow interval (page fault, descheduled thread) should not convict.
+  std::vector<RankHealthSample> smoothed;
+  smoothed.reserve(samples.size());
+  for (const RankHealthSample& s : samples) {
+    std::deque<RankHealthSample>& window = windows_[static_cast<int>(s.rank)];
+    window.push_back(s);
+    while (static_cast<int>(window.size()) > std::max(1, config_.window)) {
+      window.pop_front();
+    }
+    RankHealthSample mean;
+    mean.rank = s.rank;
+    for (const RankHealthSample& w : window) {
+      mean.step_seconds += w.step_seconds;
+      mean.solver_seconds += w.solver_seconds;
+      mean.insitu_seconds += w.insitu_seconds;
+      mean.transport_seconds += w.transport_seconds;
+    }
+    const double n = static_cast<double>(window.size());
+    mean.step_seconds /= n;
+    mean.solver_seconds /= n;
+    mean.insitu_seconds /= n;
+    mean.transport_seconds /= n;
+    smoothed.push_back(mean);
+  }
+
+  std::vector<AnomalyRecord> fresh;
+  for (AnomalyRecord& record : DetectStragglers(smoothed, step, config_)) {
+    auto existing = std::find_if(
+        anomalies_.begin(), anomalies_.end(),
+        [&](const AnomalyRecord& a) { return a.rank == record.rank; });
+    if (existing == anomalies_.end()) {
+      anomalies_.push_back(record);
+      fresh.push_back(std::move(record));
+    } else if (record.z > existing->z) {
+      // Keep the first-flagged step (the forensic "when did it start")
+      // but the worst z / attribution seen since.
+      record.step = existing->step;
+      *existing = std::move(record);
+    }
+  }
+  return fresh;
+}
+
+}  // namespace instrument

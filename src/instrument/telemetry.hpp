@@ -35,12 +35,20 @@ struct TelemetryConfig {
   std::string metrics_path;    ///< rank-aggregated metrics.json ("" = skip)
   int heartbeat_steps = 0;     ///< rank-0 progress line every N steps (0=off)
 
-  /// The metrics plane is active when metrics.json output was requested or
-  /// the heartbeat needs live samples.  Like tracing, inactive means no
-  /// registry is installed and every Metric call is a thread-local null
-  /// read — zero allocations on rank threads.
+  // -- live monitor (rank-0 loopback /metrics endpoint, DESIGN.md §5c) -------
+  int monitor_port = -1;          ///< -1 = off, 0 = ephemeral, else the port
+  std::string status_path;        ///< final /status JSON on shutdown ("" = skip)
+  std::string monitor_port_file;  ///< bound-port discovery file ("" = skip)
+
+  /// The live monitor is requested (monitor="PORT" / --monitor).
+  [[nodiscard]] bool MonitorEnabled() const { return monitor_port >= 0; }
+
+  /// The metrics plane is active when metrics.json output was requested,
+  /// the heartbeat needs live samples, or the monitor serves them.  Like
+  /// tracing, inactive means no registry is installed and every Metric
+  /// call is a thread-local null read — zero allocations on rank threads.
   [[nodiscard]] bool MetricsEnabled() const {
-    return metrics || heartbeat_steps > 0;
+    return metrics || heartbeat_steps > 0 || MonitorEnabled();
   }
 
   [[nodiscard]] Tracer::Options TracerOptions() const {

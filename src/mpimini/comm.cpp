@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/thread_annotations.hpp"
+#include "instrument/flight_recorder.hpp"
 #include "instrument/tracer.hpp"
 #include "mpimini/comm_state.hpp"
 #include "mpimini/runtime.hpp"
@@ -20,17 +21,31 @@ namespace {
 class IdleScope {
  public:
   explicit IdleScope(std::string_view name)
-      : env_(CurrentEnv()), span_(name, instrument::Span::Mode::kThreshold) {
+      : env_(CurrentEnv()),
+        name_(name),
+        begin_ns_(instrument::Tracer::NowNs()),
+        span_(name, instrument::Span::Mode::kThreshold) {
     if (env_) env_->busy.Pause();
   }
   ~IdleScope() {
     if (env_) env_->busy.Resume();
+    // Long waits are straggler evidence: a rank stuck 10ms+ on a peer is
+    // exactly what a crash dump needs to show.  Short waits stay out of
+    // the flight ring (the threshold span already tallies them).
+    const double waited =
+        static_cast<double>(instrument::Tracer::NowNs() - begin_ns_) * 1e-9;
+    if (waited >= instrument::kFlightCommWaitMinSeconds) {
+      instrument::RecordFlightEvent(instrument::FlightEventKind::kCommWait,
+                                    name_, /*step=*/-1, waited);
+    }
   }
   IdleScope(const IdleScope&) = delete;
   IdleScope& operator=(const IdleScope&) = delete;
 
  private:
   RankEnv* env_;
+  std::string_view name_;
+  std::int64_t begin_ns_;
   instrument::Span span_;
 };
 

@@ -1,5 +1,6 @@
 #include "mpimini/runtime.hpp"
 
+#include <cstdlib>
 #include <exception>
 #include <thread>
 
@@ -32,7 +33,9 @@ WorkerEnvScope::WorkerEnvScope(RankEnv* env)
       previous_tracer_(
           instrument::SetCurrentTracer(env ? env->tracer.get() : nullptr)),
       previous_metrics_(instrument::SetCurrentMetrics(
-          env ? env->metrics.get() : nullptr)) {
+          env ? env->metrics.get() : nullptr)),
+      previous_flightrec_(instrument::SetCurrentFlightRecorder(
+          env ? env->flightrec.get() : nullptr)) {
   g_env = env_;
   if (env_) env_->busy.Resume();
 }
@@ -40,6 +43,7 @@ WorkerEnvScope::WorkerEnvScope(RankEnv* env)
 WorkerEnvScope::~WorkerEnvScope() {
   if (env_) env_->busy.Pause();
   g_env = previous_env_;
+  instrument::SetCurrentFlightRecorder(previous_flightrec_);
   instrument::SetCurrentMetrics(previous_metrics_);
   instrument::SetCurrentTracer(previous_tracer_);
   instrument::SetCurrentTracker(previous_tracker_);
@@ -79,6 +83,13 @@ RunResult Runtime::Run(int nranks, const RunSettings& settings,
                        const std::function<void(Comm&)>& body) {
   if (nranks < 1) throw std::invalid_argument("mpimini: nranks must be >= 1");
 
+  // Crash forensics: from the first run on, an abort or uncaught exception
+  // dumps every live flight-recorder ring (hook install is idempotent).
+  instrument::InstallFlightRecorderCrashDump();
+  if (const char* dir = std::getenv("NSM_FLIGHTREC_DIR")) {
+    instrument::SetFlightRecorderDumpDir(dir);
+  }
+
   // Build the world communicator via a size-preserving Split of a fresh
   // single-purpose state: we reuse Comm's private constructor through a
   // friend-free trick — construct the shared state here.
@@ -104,6 +115,10 @@ RunResult Runtime::Run(int nranks, const RunSettings& settings,
       // the metric plane never shows up in per-rank memory figures.
       env->metrics = std::make_shared<instrument::MetricsRegistry>();
     }
+    // Always-on (unlike tracer/metrics): the whole point of the flight
+    // recorder is to have evidence for failures nobody opted into.
+    env->flightrec = std::make_shared<instrument::FlightRecorder>(
+        r, settings.flight_capacity);
     envs.push_back(std::move(env));
   }
 
@@ -119,11 +134,18 @@ RunResult Runtime::Run(int nranks, const RunSettings& settings,
       instrument::TrackerScope tracker_scope(&env->memory);
       instrument::TracerScope tracer_scope(env->tracer.get());
       instrument::MetricsScope metrics_scope(env->metrics.get());
+      instrument::FlightRecorderScope flightrec_scope(env->flightrec.get());
       Comm comm = WorldMaker(world_state, r);
       env->busy.Resume();
       try {
         body(comm);
+      } catch (const std::exception& e) {
+        instrument::RecordFlightEvent(instrument::FlightEventKind::kError,
+                                      e.what());
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
       } catch (...) {
+        instrument::RecordFlightEvent(instrument::FlightEventKind::kError,
+                                      "non-std exception");
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
       env->busy.Pause();
@@ -132,6 +154,15 @@ RunResult Runtime::Run(int nranks, const RunSettings& settings,
   for (std::thread& t : threads) t.join();
   const double wall_seconds = wall.Elapsed();
 
+  // Dump the forensic rings *before* the rethrow unwinds this frame: the
+  // envs (and their recorders) die with it, so the terminate hook alone
+  // would arrive too late to see a caught-and-rethrown rank error.
+  for (const std::exception_ptr& e : errors) {
+    if (e) {
+      instrument::DumpFlightRecorders();
+      break;
+    }
+  }
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
@@ -155,6 +186,8 @@ RunResult Runtime::Run(int nranks, const RunSettings& settings,
     if (env.metrics) {
       result.metrics.push_back(envs[static_cast<std::size_t>(r)]->metrics);
     }
+    result.flight_recorders.push_back(
+        envs[static_cast<std::size_t>(r)]->flightrec);
   }
   return result;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "instrument/flight_recorder.hpp"
 #include "instrument/memory_tracker.hpp"
 #include "instrument/metrics.hpp"
 #include "instrument/timer.hpp"
@@ -36,6 +37,10 @@ struct RankEnv {
   /// opted into the metrics plane (RunSettings::metrics); rank code reaches
   /// it via instrument::CurrentMetrics.
   std::shared_ptr<instrument::MetricsRegistry> metrics;
+  /// Always-on flight recorder (last-K-events forensic ring, ~22 KB);
+  /// unlike the tracer/metrics it is shared with the rank's async worker
+  /// (the ring is multi-writer safe) and dumped on crash.
+  std::shared_ptr<instrument::FlightRecorder> flightrec;
 };
 
 /// The calling thread's RankEnv, or nullptr outside a rank.
@@ -63,6 +68,7 @@ class WorkerEnvScope {
   instrument::MemoryTracker* previous_tracker_;
   instrument::Tracer* previous_tracer_;
   instrument::MetricsRegistry* previous_metrics_;
+  instrument::FlightRecorder* previous_flightrec_;
 };
 
 /// Metrics harvested from one rank after the run completes.
@@ -82,6 +88,10 @@ struct RunResult {
   std::vector<std::shared_ptr<instrument::Tracer>> tracers;
   /// Per-rank metric registries; empty unless RunSettings::metrics was set.
   std::vector<std::shared_ptr<instrument::MetricsRegistry>> metrics;
+  /// Per-rank flight recorders; always populated (the recorder is on by
+  /// default — its cost is one ring allocation per rank and nothing on the
+  /// step hot path until an event actually fires).
+  std::vector<std::shared_ptr<instrument::FlightRecorder>> flight_recorders;
 
   /// Mean of per-rank busy seconds.
   [[nodiscard]] double MeanBusySeconds() const;
@@ -106,6 +116,10 @@ struct RunSettings {
   /// plane costs rank threads exactly one thread-local null read per
   /// Metric call and allocates nothing.
   bool metrics = false;
+  /// Flight-recorder ring slots per rank (always allocated; events are
+  /// rare — step boundaries, stalls, errors — so a few hundred slots hold
+  /// minutes of history).
+  std::size_t flight_capacity = instrument::FlightRecorder::kDefaultCapacity;
 };
 
 /// Launches message-passing programs.

@@ -266,6 +266,20 @@ instrument::TelemetryConfig ParseTelemetryConfig(const xmlcfg::Element& root) {
     throw std::invalid_argument("sensei: telemetry heartbeat must be >= 0");
   }
   config.heartbeat_steps = static_cast<int>(heartbeat);
+  // Live monitor: monitor="PORT" serves /metrics, /healthz, and /status on
+  // rank 0's loopback for the duration of the run (0 = ephemeral port);
+  // status="path" persists the final /status JSON, port_file="path" writes
+  // the bound port (how scripts find an ephemeral one).
+  if (!telemetry->Attr("monitor").empty()) {
+    const long port = telemetry->AttrInt("monitor", 0);
+    if (port < 0 || port > 65535) {
+      throw std::invalid_argument(
+          "sensei: telemetry monitor port must be in [0, 65535]");
+    }
+    config.monitor_port = static_cast<int>(port);
+  }
+  config.status_path = telemetry->Attr("status");
+  config.monitor_port_file = telemetry->Attr("port_file");
   return config;
 }
 

@@ -12,6 +12,7 @@
 #include "adios/marshal.hpp"
 #include "adios/sst.hpp"
 #include "codec/codec.hpp"
+#include "instrument/flight_recorder.hpp"
 #include "mpimini/runtime.hpp"
 
 namespace {
@@ -433,6 +434,39 @@ TEST(SstTest, QueueLimitBoundsInFlightSteps) {
       EXPECT_EQ(expected, 50);
     }
   });
+}
+
+TEST(SstTest, QueueFullBlockLandsInTheFlightRecorder) {
+  // Backpressure forensics: whenever BeginStep must drain an ack first,
+  // the writer's (always-on) flight recorder gets a queue_block event
+  // naming the oldest in-flight step it was waiting on.
+  auto result = Runtime::Run(2, [](Comm& comm) {
+    if (comm.Rank() == 0) {
+      SstWriter writer(comm, 1, {.queue_limit = 1});
+      for (int s = 0; s < 3; ++s) {
+        writer.BeginStep(s);
+        writer.Put("v", Bytes("payload"));
+        writer.EndStep();
+      }
+      writer.Close();
+    } else {
+      SstReader reader(comm, {0});
+      while (reader.NextStep()) {
+      }
+    }
+  });
+  ASSERT_EQ(result.flight_recorders.size(), 2u);
+  int queue_blocks = 0;
+  for (const auto& event : result.flight_recorders[0]->Events()) {
+    if (event.kind == instrument::FlightEventKind::kQueueBlock) {
+      ++queue_blocks;
+      EXPECT_EQ(event.detail, "sst.queue_full");
+      EXPECT_GE(event.step, 0);
+      EXPECT_LT(event.step, 3);
+    }
+  }
+  // BeginStep(1), BeginStep(2), and Close each had to drain an ack.
+  EXPECT_EQ(queue_blocks, 3);
 }
 
 TEST(SstTest, QueueDepthWatermarkExactUnderConcurrentFeeders) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "codec/codec.hpp"
+#include "instrument/flight_recorder.hpp"
 
 namespace {
 
@@ -140,6 +141,31 @@ TEST(ShuffleRleTest, IncompressibleInputFallsBackToRawStore) {
           << "prefix " << cut;
     }
   }
+}
+
+TEST(ShuffleRleTest, RawStoreFallbackLandsInTheFlightRecorder) {
+  // The raw-store degrade is a run-health event: with a flight recorder
+  // installed, the encoder logs a codec_fallback naming the frame type and
+  // the payload size, so a post-mortem explains why the wire stayed fat.
+  instrument::FlightRecorder recorder(0, 32);
+  instrument::FlightRecorderScope scope(&recorder);
+
+  std::vector<double> smooth(512);
+  for (std::size_t i = 0; i < smooth.size(); ++i) {
+    smooth[i] = static_cast<double>(i);
+  }
+  (void)Encode(ShuffleRle(true), ToBytes(smooth));
+  EXPECT_EQ(recorder.TotalEvents(), 0u);  // compressible: no fallback
+
+  std::mt19937_64 rng(99);
+  std::vector<std::byte> raw(4096);
+  for (std::byte& b : raw) b = static_cast<std::byte>(rng() & 0xFF);
+  (void)Encode(ShuffleRle(false), raw);
+  const auto events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, instrument::FlightEventKind::kCodecFallback);
+  EXPECT_EQ(events[0].detail, "codec.shuffle_rle_raw");
+  EXPECT_DOUBLE_EQ(events[0].value, static_cast<double>(raw.size()));
 }
 
 TEST(ShuffleRleTest, EncodeIsDeterministic) {

@@ -833,6 +833,116 @@ TEST(HeartbeatFormatTest, WireColumnOnlyWhenCompressionRan) {
   EXPECT_NE(out.find("8.0x"), std::string::npos) << out;
 }
 
+TEST(HeartbeatFormatTest, UnknownEtaRendersNaNeverInfOrGarbage) {
+  // A zero observed rate (first tick inside one timer quantum) has no
+  // defined ETA.  The line must say `eta n/a` — the old behavior printed
+  // the raw division result (inf).
+  nek_sensei::HeartbeatLine line;
+  line.done = 1;
+  line.total = 10;
+  line.rate_steps_per_second = 0.0;
+  line.eta_seconds = -1.0;
+  std::string out = nek_sensei::FormatHeartbeatLine(line);
+  EXPECT_NE(out.find("| eta n/a"), std::string::npos) << out;
+  EXPECT_EQ(out.find("inf"), std::string::npos) << out;
+  EXPECT_EQ(out.find("nan"), std::string::npos) << out;
+
+  // Non-finite values (however they were produced) degrade the same way.
+  line.eta_seconds = INFINITY;
+  EXPECT_NE(nek_sensei::FormatHeartbeatLine(line).find("eta n/a"),
+            std::string::npos);
+  line.eta_seconds = NAN;
+  EXPECT_NE(nek_sensei::FormatHeartbeatLine(line).find("eta n/a"),
+            std::string::npos);
+
+  // And a known rate still renders the real ETA.
+  line.rate_steps_per_second = 2.0;
+  line.eta_seconds = 4.5;
+  out = nek_sensei::FormatHeartbeatLine(line);
+  EXPECT_NE(out.find("| eta 4.5s"), std::string::npos) << out;
+  EXPECT_EQ(out.find("n/a"), std::string::npos) << out;
+}
+
+TEST(HeartbeatFormatTest, NoteColumnCarriesStragglerVerdicts) {
+  nek_sensei::HeartbeatLine line;
+  line.done = 3;
+  line.total = 9;
+  EXPECT_EQ(nek_sensei::FormatHeartbeatLine(line).find("straggler"),
+            std::string::npos);
+  line.note = "straggler rank 2 (solver)";
+  const std::string out = nek_sensei::FormatHeartbeatLine(line);
+  EXPECT_NE(out.find(" | straggler rank 2 (solver)"), std::string::npos)
+      << out;
+}
+
+// ---- Straggler plumbing through the workflow --------------------------------
+
+TEST(WorkflowHealthTest, InjectedStragglerIsFlaggedWithSolverAttribution) {
+  // Heartbeat-only path (no monitor): the per-step health gather feeds the
+  // detector, and the verdict lands in the run's metrics report + json.
+  const std::string dir = TempSubdir("wf_straggler");
+  nek_sensei::InSituOptions options;
+  nekrs::cases::TaylorGreenOptions tg;
+  tg.elements = {2, 2, 4};  // z is the partition axis: one layer per rank
+  tg.order = 3;
+  options.flow = nekrs::cases::TaylorGreenCase(tg);
+  options.steps = 6;
+  options.use_sensei = false;
+  options.telemetry.metrics = true;
+  options.telemetry.metrics_path = dir + "/metrics.json";
+  options.telemetry.heartbeat_steps = 2;
+  // A wall-clock-sized spin so the excess dominates base step time even
+  // under sanitizer slowdowns.
+  options.straggler_rank = 2;
+  options.straggler_seconds = 0.02;
+
+  const auto metrics = nek_sensei::RunInSitu(4, options);
+  ASSERT_FALSE(metrics.metrics_report.anomalies.empty());
+  const auto& anomaly = metrics.metrics_report.anomalies[0];
+  EXPECT_EQ(anomaly.rank, 2);
+  EXPECT_EQ(anomaly.dominant_span, "solver");
+  EXPECT_GE(anomaly.z, 3.5);
+  EXPECT_GT(anomaly.step_seconds, anomaly.median_seconds);
+
+  const std::string json = [&] {
+    std::ifstream in(dir + "/metrics.json");
+    return std::string{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+  }();
+  EXPECT_EQ(json.find("\"anomalies\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"anomalies\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"rank\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"dominant_span\": \"solver\""), std::string::npos);
+}
+
+TEST(WorkflowHealthTest, BalancedRunSerializesEmptyAnomaliesArray) {
+  const std::string dir = TempSubdir("wf_balanced");
+  nek_sensei::InSituOptions options;
+  // A heavier case than SmallCase(): with multi-millisecond steps, OS
+  // scheduling jitter stays well inside the detector's 1.3x ratio guard.
+  // z is the partition axis — one element layer per rank keeps it balanced.
+  nekrs::cases::TaylorGreenOptions tg;
+  tg.elements = {3, 3, 4};
+  tg.order = 5;
+  options.flow = nekrs::cases::TaylorGreenCase(tg);
+  options.steps = 6;
+  options.use_sensei = false;
+  options.telemetry.metrics = true;
+  options.telemetry.metrics_path = dir + "/metrics.json";
+  options.telemetry.heartbeat_steps = 2;
+
+  const auto metrics = nek_sensei::RunInSitu(4, options);
+  EXPECT_TRUE(metrics.metrics_report.anomalies.empty());
+  const std::string json = [&] {
+    std::ifstream in(dir + "/metrics.json");
+    return std::string{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+  }();
+  // The key is always serialized — [] is the clean-run contract consumers
+  // (and the CI smoke job) rely on.
+  EXPECT_NE(json.find("\"anomalies\": []"), std::string::npos);
+}
+
 // ---- Derived fields ---------------------------------------------------------
 
 TEST(DerivedFieldTest, TaylorGreenVorticityIsAnalytic) {

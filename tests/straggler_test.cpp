@@ -1,0 +1,228 @@
+// Tests for the cross-rank straggler detector (DESIGN.md §5c): MAD-based
+// thresholding on synthetic series, span attribution of the excess, the
+// small-rank-count and balanced-run guards, determinism across rank
+// partitionings, and the rolling-window monitor's smoothing + dedup.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "instrument/straggler.hpp"
+
+namespace {
+
+using instrument::AnomalyRecord;
+using instrument::DetectStragglers;
+using instrument::RankHealthSample;
+using instrument::StragglerConfig;
+using instrument::StragglerMonitor;
+
+// `ranks` balanced samples of `base` seconds each, mostly solver time.
+std::vector<RankHealthSample> BalancedSamples(int ranks, double base) {
+  std::vector<RankHealthSample> samples;
+  for (int r = 0; r < ranks; ++r) {
+    RankHealthSample s;
+    s.rank = r;
+    s.step_seconds = base;
+    s.solver_seconds = 0.8 * base;
+    s.insitu_seconds = 0.15 * base;
+    s.transport_seconds = 0.05 * base;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+// ------------------------------------------------------ pure detector
+
+TEST(DetectStragglersTest, FlagsInjected3xStragglerWithSolverAttribution) {
+  auto samples = BalancedSamples(8, 0.010);
+  // Rank 5 runs 3x the median, and the whole excess is solver time.
+  samples[5].step_seconds = 0.030;
+  samples[5].solver_seconds += 0.020;
+
+  const auto anomalies = DetectStragglers(samples, /*step=*/7);
+  ASSERT_EQ(anomalies.size(), 1u);
+  const AnomalyRecord& a = anomalies[0];
+  EXPECT_EQ(a.rank, 5);
+  EXPECT_EQ(a.step, 7);
+  EXPECT_EQ(a.dominant_span, "solver");
+  EXPECT_GE(a.z, StragglerConfig{}.z_threshold);
+  EXPECT_DOUBLE_EQ(a.step_seconds, 0.030);
+  EXPECT_DOUBLE_EQ(a.median_seconds, 0.010);
+  // The solver delta explains the full excess.
+  EXPECT_NEAR(a.span_share, 1.0, 1e-9);
+}
+
+TEST(DetectStragglersTest, AttributesInsituAndTransportExcess) {
+  auto insitu = BalancedSamples(8, 0.010);
+  insitu[2].step_seconds = 0.030;
+  insitu[2].insitu_seconds += 0.020;
+  auto verdicts = DetectStragglers(insitu, 3);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].rank, 2);
+  EXPECT_EQ(verdicts[0].dominant_span, "insitu");
+
+  auto transport = BalancedSamples(8, 0.010);
+  transport[6].step_seconds = 0.030;
+  transport[6].transport_seconds += 0.020;
+  verdicts = DetectStragglers(transport, 3);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].rank, 6);
+  EXPECT_EQ(verdicts[0].dominant_span, "transport");
+}
+
+TEST(DetectStragglersTest, BalancedRunYieldsNoAnomalies) {
+  auto samples = BalancedSamples(8, 0.010);
+  // Realistic jitter well inside the MAD floor.
+  for (std::size_t r = 0; r < samples.size(); ++r) {
+    samples[r].step_seconds += 1e-4 * static_cast<double>(r % 3);
+  }
+  EXPECT_TRUE(DetectStragglers(samples, 1).empty());
+}
+
+TEST(DetectStragglersTest, DeterministicAcrossRankPartitionings) {
+  // The same per-rank work split over 4 vs 8 ranks: the median and the
+  // MAD floor are identical, so the straggler's z, span, and share must
+  // come out identical regardless of the partitioning.
+  auto four = BalancedSamples(4, 0.010);
+  four[3].step_seconds = 0.030;
+  four[3].solver_seconds += 0.020;
+  auto eight = BalancedSamples(8, 0.010);
+  eight[7].step_seconds = 0.030;
+  eight[7].solver_seconds += 0.020;
+
+  const auto a4 = DetectStragglers(four, 5);
+  const auto a8 = DetectStragglers(eight, 5);
+  ASSERT_EQ(a4.size(), 1u);
+  ASSERT_EQ(a8.size(), 1u);
+  EXPECT_DOUBLE_EQ(a4[0].z, a8[0].z);
+  EXPECT_EQ(a4[0].dominant_span, a8[0].dominant_span);
+  EXPECT_DOUBLE_EQ(a4[0].span_share, a8[0].span_share);
+  EXPECT_DOUBLE_EQ(a4[0].median_seconds, a8[0].median_seconds);
+
+  // Sample order must not matter either (Gather delivers rank order, but
+  // the detector should not depend on it).
+  auto shuffled = eight;
+  std::rotate(shuffled.begin(), shuffled.begin() + 3, shuffled.end());
+  const auto rotated = DetectStragglers(shuffled, 5);
+  ASSERT_EQ(rotated.size(), 1u);
+  EXPECT_EQ(rotated[0].rank, 7);
+  EXPECT_DOUBLE_EQ(rotated[0].z, a8[0].z);
+}
+
+TEST(DetectStragglersTest, MinRanksGuardSuppressesTinyComms) {
+  auto samples = BalancedSamples(2, 0.010);
+  samples[1].step_seconds = 0.050;  // wildly slow, but 2 ranks < min_ranks
+  EXPECT_TRUE(DetectStragglers(samples, 0).empty());
+}
+
+TEST(DetectStragglersTest, MinRatioGuardSuppressesSmallAbsoluteExcess) {
+  auto samples = BalancedSamples(8, 0.010);
+  // 1.2x the median: with the 5% MAD floor the z-score is 4 (over the 3.5
+  // threshold) but the ratio stays below min_ratio 1.3 — not a straggler.
+  samples[4].step_seconds = 0.012;
+  EXPECT_TRUE(DetectStragglers(samples, 0).empty());
+}
+
+TEST(DetectStragglersTest, ZeroMedianYieldsNoAnomalies) {
+  std::vector<RankHealthSample> samples(4);
+  for (int r = 0; r < 4; ++r) samples[static_cast<std::size_t>(r)].rank = r;
+  EXPECT_TRUE(DetectStragglers(samples, 0).empty());
+}
+
+TEST(DetectStragglersTest, UnattributableExcessFallsBackToLargestSpan) {
+  // Every rank reports identical span deltas, so no span explains the
+  // excess: the verdict falls back to the rank's largest absolute span.
+  auto samples = BalancedSamples(8, 0.010);
+  samples[1].step_seconds = 0.030;  // excess, but span deltas unchanged
+  const auto anomalies = DetectStragglers(samples, 0);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].dominant_span, "solver");  // largest absolute span
+
+  // With no span feeds at all (metrics plane off), the verdict is
+  // "unknown" rather than a fabricated attribution.
+  std::vector<RankHealthSample> bare(8);
+  for (int r = 0; r < 8; ++r) {
+    bare[static_cast<std::size_t>(r)].rank = r;
+    bare[static_cast<std::size_t>(r)].step_seconds = 0.010;
+  }
+  bare[3].step_seconds = 0.030;
+  const auto unknown = DetectStragglers(bare, 0);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].dominant_span, "unknown");
+  EXPECT_DOUBLE_EQ(unknown[0].span_share, 0.0);
+}
+
+TEST(AnomalyJsonTest, RendersEveryField) {
+  AnomalyRecord record;
+  record.rank = 3;
+  record.step = 12;
+  record.z = 7.5;
+  record.step_seconds = 0.03;
+  record.median_seconds = 0.01;
+  record.dominant_span = "insitu";
+  record.span_share = 0.9;
+  const std::string json = instrument::AnomalyJson(record);
+  EXPECT_NE(json.find("\"rank\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"step\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"z\": 7.5"), std::string::npos);
+  EXPECT_NE(json.find("\"dominant_span\": \"insitu\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_share\": 0.9"), std::string::npos);
+}
+
+// --------------------------------------------------- rolling-window monitor
+
+TEST(StragglerMonitorTest, WindowSmoothsTransientSpikeButFlagsSustained) {
+  StragglerConfig config;
+  config.window = 4;
+  StragglerMonitor monitor(config);
+
+  // Fill every window with balanced intervals.
+  for (int step = 0; step < 4; ++step) {
+    EXPECT_TRUE(monitor.Update(BalancedSamples(8, 0.010), step).empty());
+  }
+  // One transient 2.1x interval: the window mean stays under min_ratio,
+  // so a page-fault-sized blip does not convict.
+  auto spike = BalancedSamples(8, 0.010);
+  spike[2].step_seconds = 0.021;
+  spike[2].solver_seconds += 0.011;
+  EXPECT_TRUE(monitor.Update(spike, 4).empty());
+  EXPECT_TRUE(monitor.Anomalies().empty());
+
+  // The same rank staying slow fills its window: now it is a straggler.
+  std::vector<AnomalyRecord> fresh;
+  for (int step = 5; step < 9 && fresh.empty(); ++step) {
+    fresh = monitor.Update(spike, step);
+  }
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].rank, 2);
+  EXPECT_EQ(fresh[0].dominant_span, "solver");
+  EXPECT_EQ(monitor.Anomalies().size(), 1u);
+}
+
+TEST(StragglerMonitorTest, DedupsKeepingFirstStepAndWorstZ) {
+  StragglerConfig config;
+  config.window = 1;  // no smoothing: direct interval verdicts
+  StragglerMonitor monitor(config);
+
+  auto mild = BalancedSamples(8, 0.010);
+  mild[5].step_seconds = 0.030;
+  mild[5].solver_seconds += 0.020;
+  auto fresh = monitor.Update(mild, 3);
+  ASSERT_EQ(fresh.size(), 1u);
+  const double first_z = fresh[0].z;
+
+  auto worse = BalancedSamples(8, 0.010);
+  worse[5].step_seconds = 0.050;
+  worse[5].solver_seconds += 0.040;
+  // Already-flagged rank: not returned as fresh again...
+  EXPECT_TRUE(monitor.Update(worse, 9).empty());
+  // ...but the stored record keeps the first-flagged step with the worst z.
+  ASSERT_EQ(monitor.Anomalies().size(), 1u);
+  EXPECT_EQ(monitor.Anomalies()[0].step, 3);
+  EXPECT_GT(monitor.Anomalies()[0].z, first_z);
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (format 0.0.4) scraped from the
+live run-health monitor, and optionally cross-check the persisted /status
+JSON against the final metrics.json (DESIGN.md §5c).
+
+Usage:
+  check_prometheus.py EXPOSITION.txt
+  check_prometheus.py --status-json STATUS.json --metrics-json METRICS.json
+
+Both modes may be combined in one invocation.
+
+Exposition checks:
+  * every non-comment, non-blank line is `name[{labels}] value` with a
+    legal metric name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a parseable value
+  * every sample family was declared by a preceding `# TYPE` line
+  * histogram families are internally consistent: `le` buckets are
+    cumulative (non-decreasing in ascending bound order), the `+Inf`
+    bucket equals `_count`, and `_sum`/`_count` are present
+
+Agreement checks (--status-json + --metrics-json):
+  * the status document's "counters" object and metrics.json's "counters"
+    map hold the same names with the same global sums — the live endpoint
+    and the end-of-run artifact must tell one story
+
+Exit: 0 clean, 1 findings, 2 usage error.
+"""
+
+import json
+import re
+import sys
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)$")
+TYPE_LINE = re.compile(
+    r"^#\s+TYPE\s+([a-zA-Z_:][a-zA-Z0-9_:]*)\s+(counter|gauge|histogram|"
+    r"summary|untyped)$")
+LE_LABEL = re.compile(r'le="([^"]*)"')
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage
+
+
+def family_of(name):
+    """The TYPE-declared family a sample belongs to (histograms expose
+    `<family>_bucket` / `_sum` / `_count` samples)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def check_exposition(path, findings):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as err:
+        findings.append(f"{path}: unreadable: {err}")
+        return
+
+    types = {}
+    histograms = {}  # family -> {"buckets": [(le, v)], "sum": v, "count": v}
+    samples = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = TYPE_LINE.match(line)
+            if match:
+                name, kind = match.groups()
+                if name in types:
+                    findings.append(
+                        f"{path}:{lineno}: duplicate TYPE for {name}")
+                types[name] = kind
+            continue
+        match = SAMPLE_LINE.match(line)
+        if not match:
+            findings.append(f"{path}:{lineno}: unparseable sample: {line!r}")
+            continue
+        name, labels, raw_value = match.groups()
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            findings.append(
+                f"{path}:{lineno}: bad sample value {raw_value!r}")
+            continue
+        samples += 1
+        family, suffix = family_of(name)
+        declared = types.get(name) or types.get(family)
+        if declared is None:
+            findings.append(
+                f"{path}:{lineno}: sample {name} has no preceding # TYPE")
+            continue
+        if declared == "histogram":
+            h = histograms.setdefault(family,
+                                      {"buckets": [], "sum": None,
+                                       "count": None})
+            if suffix == "_bucket":
+                le = LE_LABEL.search(labels or "")
+                if not le:
+                    findings.append(
+                        f"{path}:{lineno}: histogram bucket without an "
+                        f"le label")
+                    continue
+                h["buckets"].append((parse_value(le.group(1)), value,
+                                     lineno))
+            elif suffix == "_sum":
+                h["sum"] = value
+            elif suffix == "_count":
+                h["count"] = value
+
+    for family, h in histograms.items():
+        if h["sum"] is None or h["count"] is None:
+            findings.append(
+                f"{path}: histogram {family} is missing _sum or _count")
+            continue
+        if not h["buckets"]:
+            findings.append(f"{path}: histogram {family} has no buckets")
+            continue
+        previous = None
+        for le, value, lineno in h["buckets"]:
+            if previous is not None and value < previous:
+                findings.append(
+                    f"{path}:{lineno}: histogram {family} buckets are not "
+                    f"cumulative (le={le} count {value} < {previous})")
+            previous = value
+        last_le, last_value, _ = h["buckets"][-1]
+        if last_le != float("inf"):
+            findings.append(
+                f"{path}: histogram {family} has no +Inf bucket")
+        elif last_value != h["count"]:
+            findings.append(
+                f"{path}: histogram {family} +Inf bucket {last_value} != "
+                f"_count {h['count']}")
+
+    if samples == 0 and not any(
+            line.startswith("#") for line in lines if line.strip()):
+        findings.append(f"{path}: empty exposition (not even a comment)")
+    print(f"check_prometheus: {path}: {samples} sample(s), "
+          f"{len(types)} TYPE declaration(s)")
+
+
+def check_agreement(status_path, metrics_path, findings):
+    try:
+        with open(status_path, encoding="utf-8") as handle:
+            status = json.load(handle)
+        with open(metrics_path, encoding="utf-8") as handle:
+            metrics = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        findings.append(f"agreement: cannot load documents: {err}")
+        return
+
+    status_counters = status.get("counters", {})
+    metrics_counters = {
+        name: stat.get("sum") for name, stat in
+        metrics.get("counters", {}).items()
+    }
+    for name, value in sorted(status_counters.items()):
+        if name not in metrics_counters:
+            findings.append(
+                f"agreement: counter {name} served by /status is absent "
+                f"from {metrics_path}")
+        elif abs(metrics_counters[name] - value) > 1e-9 * max(
+                1.0, abs(value)):
+            findings.append(
+                f"agreement: counter {name}: /status says {value}, "
+                f"{metrics_path} says {metrics_counters[name]}")
+    for name in sorted(set(metrics_counters) - set(status_counters)):
+        findings.append(
+            f"agreement: counter {name} in {metrics_path} never reached "
+            f"the /status endpoint")
+    print(f"check_prometheus: agreement: {len(status_counters)} counter(s) "
+          f"cross-checked")
+
+
+def main(argv):
+    exposition_paths = []
+    status_path = metrics_path = None
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--status-json":
+            i += 1
+            status_path = argv[i] if i < len(argv) else None
+        elif arg == "--metrics-json":
+            i += 1
+            metrics_path = argv[i] if i < len(argv) else None
+        elif arg.startswith("-"):
+            print(f"check_prometheus: unknown option {arg}", file=sys.stderr)
+            return 2
+        else:
+            exposition_paths.append(arg)
+        i += 1
+    if (status_path is None) != (metrics_path is None):
+        print("check_prometheus: --status-json and --metrics-json must be "
+              "given together", file=sys.stderr)
+        return 2
+    if not exposition_paths and status_path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in exposition_paths:
+        check_exposition(path, findings)
+    if status_path is not None:
+        check_agreement(status_path, metrics_path, findings)
+    for finding in findings:
+        print(finding)
+    print(f"check_prometheus: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

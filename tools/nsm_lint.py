@@ -20,6 +20,12 @@ Rules (see DESIGN.md §6 "Correctness tooling"):
                         the `codec.` prefix, so every cost the codec plane
                         adds is attributable on the trace timeline
                         (DESIGN.md §3c).
+  monitor-prefix        Spans and metrics recorded by the run-health plane
+                        (src/instrument/ monitor / flight-recorder /
+                        straggler sources) carry the `monitor.` or
+                        `flightrec.` prefix, so observability overhead is
+                        attributable — and strippable — as one family
+                        (DESIGN.md §5c).
   json-atomic-write     JSON artifacts are written via instrument::AtomicFile
                         (temp + rename), never a plain std::ofstream — a
                         killed run must not leave a truncated file.
@@ -148,7 +154,11 @@ def strip_comments_and_strings(text):
 
 
 def lint_names(rel, raw_lines, findings):
-    in_codec_plane = "src/codec/" in rel.replace("\\", "/")
+    posix = rel.replace("\\", "/")
+    in_codec_plane = "src/codec/" in posix
+    basename = posix.rsplit("/", 1)[-1]
+    in_health_plane = "src/instrument/" in posix and any(
+        tag in basename for tag in ("monitor", "flight", "straggler"))
     for lineno, line in enumerate(raw_lines, 1):
         stripped = line.lstrip()
         if stripped.startswith("//") or stripped.startswith("*"):
@@ -167,6 +177,13 @@ def lint_names(rel, raw_lines, findings):
                     rel, lineno, "codec-prefix",
                     f'span "{name}" recorded inside src/codec/ must carry '
                     f"the codec. prefix (DESIGN.md §3c)"))
+            elif in_health_plane and not name.startswith(
+                    ("monitor.", "flightrec.")):
+                findings.append(Finding(
+                    rel, lineno, "monitor-prefix",
+                    f'span "{name}" recorded by the run-health plane must '
+                    f"carry the monitor. or flightrec. prefix "
+                    f"(DESIGN.md §5c)"))
         for match in METRIC_CALL.finditer(line):
             name = match.group(1)
             if not name:
@@ -181,6 +198,13 @@ def lint_names(rel, raw_lines, findings):
                     rel, lineno, "codec-prefix",
                     f'metric "{name}" recorded inside src/codec/ must carry '
                     f"the codec. prefix (DESIGN.md §3c)"))
+            elif in_health_plane and not name.startswith(
+                    ("monitor.", "flightrec.")):
+                findings.append(Finding(
+                    rel, lineno, "monitor-prefix",
+                    f'metric "{name}" recorded by the run-health plane must '
+                    f"carry the monitor. or flightrec. prefix "
+                    f"(DESIGN.md §5c)"))
 
 
 def lint_code(rel, code_lines, raw_lines, findings):
