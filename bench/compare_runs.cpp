@@ -30,12 +30,16 @@ void PrintUsage(const char* binary) {
   std::printf(
       "usage: %s --baseline <BENCH_*.json> --current <BENCH_*.json>\n"
       "          [--time-threshold <frac>] [--counter-threshold <frac>]\n"
+      "          [--e2e-threshold <frac>]\n"
       "  --baseline <path>          committed reference report\n"
       "  --current <path>           report from the run under test\n"
       "  --time-threshold <frac>    relative headroom for timing metrics\n"
       "                             (default 0.10)\n"
       "  --counter-threshold <frac> relative headroom for everything else\n"
-      "                             (default 0.0: any increase fails)\n",
+      "                             (default 0.0: any increase fails)\n"
+      "  --e2e-threshold <frac>     relative headroom for end-to-end latency\n"
+      "                             metrics (names containing \"e2e_\");\n"
+      "                             defaults to the time threshold\n",
       binary);
 }
 
@@ -63,6 +67,8 @@ int main(int argc, char** argv) {
       options.time_threshold = std::strtod(value(), nullptr);
     } else if (arg == "--counter-threshold") {
       options.counter_threshold = std::strtod(value(), nullptr);
+    } else if (arg == "--e2e-threshold") {
+      options.e2e_threshold = std::strtod(value(), nullptr);
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(argv[0]);
       return 0;

@@ -53,6 +53,13 @@ int main(int argc, char** argv) {
   constexpr int kFrequency = 4;
   const int last_ranks = rank_counts.back();
 
+  instrument::BenchReport bench_report;
+  bench_report.bench = "fig3";
+  // The "-async" suffix makes cross-mode comparisons a config mismatch in
+  // compare_runs: async runs gate only against *_async baselines.
+  bench_report.config = std::string(args.smoke ? "smoke" : "full") +
+                        (args.async ? "-async" : "");
+
   instrument::Table table(
       "Figure 3: in situ CPU memory high-water (pb146 stand-in)");
   table.SetHeader({"ranks", "config", "max_rank_host", "aggregate_host",
@@ -71,13 +78,21 @@ int main(int argc, char** argv) {
       if (config == "original") {
         options.use_sensei = false;
       } else if (config == "checkpointing") {
-        options.sensei_xml = CheckpointXml(out, kFrequency);
+        options.sensei_xml =
+            bench::WithPipeline(CheckpointXml(out, kFrequency), args.async);
       } else {
-        options.sensei_xml = CatalystXml(out, kFrequency);
+        options.sensei_xml =
+            bench::WithPipeline(CatalystXml(out, kFrequency), args.async);
       }
       const bool headline = config == "catalyst" && ranks == last_ranks;
       options.telemetry = bench::RunTelemetry(args, out, headline);
       const auto metrics = nek_sensei::RunInSitu(ranks, options);
+
+      const std::string key = "fig3." + config + ".r" + std::to_string(ranks);
+      bench_report.metrics[key + ".max_rank_host_bytes"] =
+          static_cast<double>(metrics.MaxSimHostPeakBytes());
+      bench_report.metrics[key + ".aggregate_host_bytes"] =
+          static_cast<double>(metrics.TotalSimHostPeakBytes());
 
       std::string delta = "-";
       if (config == "checkpointing") {
@@ -99,7 +114,8 @@ int main(int argc, char** argv) {
   }
 
   table.Print(std::cout);
-  const bool ok = bench::WriteCsvOrWarn(table, out_root + "/fig3_memory.csv");
+  bool ok = bench::WriteCsvOrWarn(table, out_root + "/fig3_memory.csv");
+  ok = bench::WriteBenchReportOrWarn(args, bench_report) && ok;
   std::cout << "CSV written under " << out_root << "\n";
   return ok ? 0 : 1;
 }

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       "Figure 5: in transit mean time per timestep on sim ranks (RBC weak "
       "scaling, 4:1 sim:endpoint)");
   table.SetHeader({"sim_ranks", "endpoint_ranks", "mode", "per_step_ms",
-                   "stream_bytes", "images", "breakdown"});
+                   "stream_bytes", "images", "e2e_ms", "breakdown"});
 
   for (int sim_ranks : rank_counts) {
     for (const std::string mode : {"no-transport", "checkpointing",
@@ -66,6 +66,10 @@ int main(int argc, char** argv) {
       // largest sim-rank count.
       const bool headline = mode == "catalyst" && sim_ranks == last_ranks;
       options.telemetry = bench::RunTelemetry(args, out, headline);
+      // Async runs gate end-to-end step->analysis latency (against the
+      // *_async baseline), which needs the metrics plane — and with it the
+      // provenance stamping — on for every measurement point.
+      if (args.async) options.telemetry.metrics = true;
 
       const auto metrics = nek_sensei::RunInTransit(sim_ranks, options);
       const int endpoint_ranks =
@@ -78,11 +82,30 @@ int main(int argc, char** argv) {
           static_cast<double>(metrics.bytes_written);
       bench_report.metrics[key + ".images"] =
           static_cast<double>(metrics.images_written);
+      const std::string e2e_name = mode == "checkpointing"
+                                       ? "e2e.step_to_checkpoint_seconds"
+                                       : "e2e.step_to_image_seconds";
+      const auto e2e = metrics.metrics_report.histograms.find(e2e_name);
+      std::string e2e_cell = "-";
+      if (e2e != metrics.metrics_report.histograms.end() &&
+          e2e->second.count > 0) {
+        const std::string tag = mode == "checkpointing"
+                                    ? ".e2e_step_to_checkpoint_"
+                                    : ".e2e_step_to_image_";
+        bench_report.metrics[key + tag + "mean_seconds"] = e2e->second.Mean();
+        bench_report.metrics[key + tag + "max_seconds"] = e2e->second.max;
+        bench_report.metrics[key + ".e2e_samples"] =
+            static_cast<double>(e2e->second.count);
+        char cell[64];
+        std::snprintf(cell, sizeof(cell), "%.1f (max %.1f)",
+                      e2e->second.Mean() * 1e3, e2e->second.max * 1e3);
+        e2e_cell = cell;
+      }
       table.AddRow(
           {std::to_string(sim_ranks), std::to_string(endpoint_ranks), mode,
            instrument::FormatSeconds(metrics.MeanSimStepSeconds() * 1e3),
            instrument::FormatBytes(metrics.bytes_written),
-           std::to_string(metrics.images_written),
+           std::to_string(metrics.images_written), e2e_cell,
            bench::BreakdownCell(metrics.telemetry)});
       if (headline && args.trace) {
         instrument::TelemetryTable(metrics.telemetry,

@@ -22,10 +22,19 @@ int main(int argc, char** argv) {
   constexpr int kFrequency = 6;
   const int last_ranks = rank_counts.back();
 
+  instrument::BenchReport bench_report;
+  bench_report.bench = "fig6";
+  // The "-async" suffix makes cross-mode comparisons a config mismatch in
+  // compare_runs: async runs gate only against *_async baselines.
+  bench_report.config = std::string(args.smoke ? "smoke" : "full") +
+                        (args.async ? "-async" : "") +
+                        (args.compress ? "-compress" : "");
+
   instrument::Table table(
       "Figure 6: in transit sim-rank CPU memory high-water (RBC weak "
       "scaling, 4:1 sim:endpoint)");
-  table.SetHeader({"sim_ranks", "mode", "max_sim_host", "mean_sim_host"});
+  table.SetHeader(
+      {"sim_ranks", "mode", "max_sim_host", "mean_sim_host", "e2e_ms"});
 
   auto run_mode = [&](int sim_ranks, const std::string& mode,
                       int sim_per_endpoint, bool headline) {
@@ -48,6 +57,10 @@ int main(int argc, char** argv) {
                                  : bench::EndpointCatalystXml(out);
     }
     options.telemetry = bench::RunTelemetry(args, out, headline);
+    // Async runs additionally report the end-to-end step->analysis latency
+    // distribution, which needs the metrics plane (and with it the
+    // provenance stamping) on for every measurement point.
+    if (args.async) options.telemetry.metrics = true;
     return nek_sensei::RunInTransit(sim_ranks, options);
   };
 
@@ -65,14 +78,37 @@ int main(int argc, char** argv) {
         ++count;
       }
       mean = count ? mean / count : 0.0;
+      const std::string key =
+          "fig6." + mode + ".r" + std::to_string(sim_ranks);
+      bench_report.metrics[key + ".max_sim_host_bytes"] =
+          static_cast<double>(metrics.MaxSimHostPeakBytes());
+      bench_report.metrics[key + ".mean_sim_host_bytes"] = mean;
+      const std::string e2e_name = mode == "checkpointing"
+                                       ? "e2e.step_to_checkpoint_seconds"
+                                       : "e2e.step_to_image_seconds";
+      const auto e2e = metrics.metrics_report.histograms.find(e2e_name);
+      std::string e2e_cell = "-";
+      if (e2e != metrics.metrics_report.histograms.end() &&
+          e2e->second.count > 0) {
+        const std::string tag = mode == "checkpointing"
+                                    ? ".e2e_step_to_checkpoint_"
+                                    : ".e2e_step_to_image_";
+        bench_report.metrics[key + tag + "mean_seconds"] = e2e->second.Mean();
+        bench_report.metrics[key + tag + "max_seconds"] = e2e->second.max;
+        char cell[64];
+        std::snprintf(cell, sizeof(cell), "%.1f (max %.1f)",
+                      e2e->second.Mean() * 1e3, e2e->second.max * 1e3);
+        e2e_cell = cell;
+      }
       table.AddRow({std::to_string(sim_ranks), mode,
                     instrument::FormatBytes(metrics.MaxSimHostPeakBytes()),
-                    instrument::FormatBytes(
-                        static_cast<std::size_t>(mean))});
+                    instrument::FormatBytes(static_cast<std::size_t>(mean)),
+                    e2e_cell});
     }
   }
   table.Print(std::cout);
   bool ok = bench::WriteCsvOrWarn(table, out_root + "/fig6_memory.csv");
+  ok = bench::WriteBenchReportOrWarn(args, bench_report) && ok;
 
   // Independence of the visualizer count (§4.2's highlighted property):
   // fixed sim ranks, varying endpoints — sim memory must not change.

@@ -7,7 +7,8 @@
 //
 //   $ ./quickstart [output_dir] [--trace trace.json]
 //                  [--heartbeat <steps>] [--metrics-out metrics.json]
-//                  [--async] [--monitor [port]]
+//                  [--async] [--monitor [port]] [--status-out status.json]
+//                  [--monitor-port-file port.txt]
 //
 // Produces quickstart_out/render_speed_*.png plus a stats log, and prints
 // the run metrics the paper's figures are built from.  With --trace, also
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
   int heartbeat_steps = 0;
   bool async = false;
   int monitor_port = -1;
+  std::string status_path;
+  std::string monitor_port_file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") {
@@ -64,6 +67,18 @@ int main(int argc, char** argv) {
           monitor_port = std::atoi(argv[++i]);
         }
       }
+    } else if (arg == "--status-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --status-out needs a file argument\n";
+        return 2;
+      }
+      status_path = argv[++i];
+    } else if (arg == "--monitor-port-file") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --monitor-port-file needs a file argument\n";
+        return 2;
+      }
+      monitor_port_file = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [output_dir] [options]\n"
@@ -81,6 +96,9 @@ int main(int argc, char** argv) {
           "  --monitor [port]      serve live /metrics, /healthz, /status\n"
           "                        on rank 0's loopback during the run\n"
           "                        (omit the port for an ephemeral one)\n"
+          "  --status-out <path>   persist the final /status JSON at\n"
+          "                        shutdown\n"
+          "  --monitor-port-file <path>  write the bound monitor port here\n"
           "  --help                show this help\n",
           argv[0]);
       return 0;
@@ -137,6 +155,8 @@ int main(int argc, char** argv) {
   // http://127.0.0.1:<port>/metrics while the run is stepping.
   if (monitor_port >= 0) {
     options.telemetry.monitor_port = monitor_port;
+    options.telemetry.status_path = status_path;
+    options.telemetry.monitor_port_file = monitor_port_file;
   }
 
   // 4. Run on 2 ranks (threads standing in for MPI processes).

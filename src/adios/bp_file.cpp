@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "instrument/provenance.hpp"
 #include "instrument/tracer.hpp"
 
 namespace adios {
@@ -15,6 +16,15 @@ void BpFileWriter::BeginStep(int step) {
   if (step_open_) throw std::runtime_error("adios: step already open");
   staged_ = StepChain{};
   staged_.step = step;
+  // Same causal stamping as SstWriter: checkpoint steps carry their origin
+  // so replay/analysis tools can attribute file steps to sim-side spans.
+  if (const auto* provenance = instrument::CurrentProvenance();
+      provenance != nullptr && provenance->Valid()) {
+    staged_.context.run_id = provenance->run_id;
+    staged_.context.origin_span_id = provenance->origin_span_id;
+    staged_.context.origin_ts_ns = provenance->origin_ts_ns;
+    staged_.context.origin_offset_ns = provenance->origin_offset_ns;
+  }
   step_open_ = true;
 }
 

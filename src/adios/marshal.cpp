@@ -7,7 +7,12 @@ namespace adios {
 
 namespace {
 
-constexpr std::uint64_t kBpMagic = 0x4250364D494E49ULL;  // "BP6MINI"
+constexpr std::uint64_t kBpMagic = 0x4250364D494E49ULL;    // "BP6MINI" (v2)
+constexpr std::uint64_t kBpMagicV3 = 0x4250374D494E49ULL;  // "BP7MINI" (v3)
+
+/// The only step-context layout this reader understands; any other value
+/// in the version field is rejected by name rather than mis-parsed.
+constexpr std::uint64_t kStepContextVersion = 1;
 
 template <typename T>
 void Append(std::vector<std::byte>& buf, const T& v) {
@@ -45,6 +50,7 @@ struct VarRecord {
 struct ParsedStep {
   int step = -1;
   int writer_rank = -1;
+  StepContext context;
   std::vector<VarRecord> vars;
 };
 
@@ -54,13 +60,36 @@ struct ParsedStep {
 // instead of reading out of bounds.
 ParsedStep ParseStep(std::span<const std::byte> buffer) {
   std::size_t pos = 0;
-  if (Read<std::uint64_t>(buffer, pos, "magic") != kBpMagic) {
+  const auto magic = Read<std::uint64_t>(buffer, pos, "magic");
+  if (magic != kBpMagic && magic != kBpMagicV3) {
     throw std::runtime_error("adios: bad BP magic");
   }
   ParsedStep parsed;
   parsed.step = static_cast<int>(Read<std::int64_t>(buffer, pos, "step"));
   parsed.writer_rank =
       static_cast<int>(Read<std::int64_t>(buffer, pos, "writer_rank"));
+  if (magic == kBpMagicV3) {
+    const auto version =
+        Read<std::uint64_t>(buffer, pos, "step-context version");
+    if (version != kStepContextVersion) {
+      throw std::runtime_error(
+          "adios: unknown step-context version " + std::to_string(version) +
+          " (this reader understands version " +
+          std::to_string(kStepContextVersion) + ")");
+    }
+    parsed.context.run_id =
+        Read<std::uint64_t>(buffer, pos, "step-context run_id");
+    parsed.context.origin_span_id =
+        Read<std::uint64_t>(buffer, pos, "step-context origin_span_id");
+    parsed.context.origin_ts_ns =
+        Read<std::int64_t>(buffer, pos, "step-context origin_ts_ns");
+    parsed.context.origin_offset_ns =
+        Read<std::int64_t>(buffer, pos, "step-context origin_offset_ns");
+    if (!parsed.context.Valid()) {
+      throw std::runtime_error(
+          "adios: v3 step carries a null step-context run_id");
+    }
+  }
   const auto count = Read<std::uint64_t>(buffer, pos, "variable count");
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto name_len = Read<std::uint64_t>(buffer, pos, "name length");
@@ -121,9 +150,18 @@ core::BufferChain MarshalChain(const StepChain& staged, MarshalStats* stats) {
     header = {};
   };
 
-  Append(header, kBpMagic);
+  // Context-free steps keep the v2 header byte for byte (pinned by test);
+  // only a valid causal context upgrades the step to v3.
+  Append(header, staged.context.Valid() ? kBpMagicV3 : kBpMagic);
   Append(header, static_cast<std::int64_t>(staged.step));
   Append(header, static_cast<std::int64_t>(staged.writer_rank));
+  if (staged.context.Valid()) {
+    Append(header, kStepContextVersion);
+    Append(header, staged.context.run_id);
+    Append(header, staged.context.origin_span_id);
+    Append(header, staged.context.origin_ts_ns);
+    Append(header, staged.context.origin_offset_ns);
+  }
   Append(header, static_cast<std::uint64_t>(staged.variables.size()));
   for (const auto& [name, data] : staged.variables) {
     const auto spec_it = staged.codecs.find(name);
@@ -176,6 +214,7 @@ std::vector<std::byte> MarshalStep(const StepPayload& payload) {
   StepChain staged;
   staged.step = payload.step;
   staged.writer_rank = payload.writer_rank;
+  staged.context = payload.context;
   for (const auto& [name, data] : payload.variables) {
     staged.variables[name] = core::BufferChain(core::BufferView(data));
   }
@@ -190,6 +229,7 @@ StepPayload UnmarshalStep(std::span<const std::byte> buffer) {
   StepPayload payload;
   payload.step = parsed.step;
   payload.writer_rank = parsed.writer_rank;
+  payload.context = parsed.context;
   for (const VarRecord& record : parsed.vars) {
     const auto wire = buffer.subspan(record.offset, record.wire_len);
     payload.variables[record.name] =
@@ -207,6 +247,7 @@ StepPayload UnmarshalShared(const core::Buffer& packed) {
   StepPayload payload;
   payload.step = parsed.step;
   payload.writer_rank = parsed.writer_rank;
+  payload.context = parsed.context;
   for (const VarRecord& record : parsed.vars) {
     payload.variables[record.name] =
         record.kind == codec::Kind::kIdentity

@@ -22,6 +22,17 @@
 // Identity-coded variables keep the zero-copy staging path end to end;
 // other codecs run through codec::Encode at marshal time and codec::Decode
 // at unmarshal time.
+//
+// Wire format v3 (magic "BP7MINI") adds a per-step trace context between
+// the writer_rank and the variable count (DESIGN.md §5d):
+//
+//   u64 context_version  (1 — any other value is rejected by name),
+//   u64 run_id, u64 origin_span_id,
+//   i64 origin_ts_ns, i64 origin_offset_ns.
+//
+// The v3 header is emitted only when a step actually carries provenance;
+// context-free chains stay bit-identical to v2, so pre-v3 readers and
+// files keep working unchanged (pinned by test).  Readers accept both.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +46,20 @@
 
 namespace adios {
 
+/// Per-step causal trace context as carried by the v3 wire header.
+/// Producing rank and step number already live in the step header; the
+/// context adds the origin identity needed to link endpoint spans back to
+/// the sim-side step that caused them.  run_id == 0 means "no context"
+/// and the step marshals as plain v2.
+struct StepContext {
+  std::uint64_t run_id = 0;
+  std::uint64_t origin_span_id = 0;
+  std::int64_t origin_ts_ns = 0;      ///< origin monotonic clock, ns
+  std::int64_t origin_offset_ns = 0;  ///< origin offset to global time, ns
+
+  [[nodiscard]] bool Valid() const { return run_id != 0; }
+};
+
 /// One step's worth of named variables from one writer.  Variables are
 /// ref-counted data-plane buffers: after UnmarshalShared they are slices of
 /// the received transport buffer (no copy; identity-coded variables only —
@@ -43,6 +68,8 @@ namespace adios {
 struct StepPayload {
   int step = -1;
   int writer_rank = -1;
+  /// Causal origin parsed from a v3 header (invalid for v2 buffers).
+  StepContext context;
   std::map<std::string, core::Buffer> variables;
   /// Byte accounting filled by the unmarshal parse: decoded (raw) and
   /// as-transported (wire) totals over all variables.
@@ -63,6 +90,8 @@ struct StepPayload {
 struct StepChain {
   int step = -1;
   int writer_rank = -1;
+  /// When valid, the step marshals with the v3 header carrying it.
+  StepContext context;
   std::map<std::string, core::BufferChain> variables;
   std::map<std::string, codec::Spec> codecs;
 
@@ -81,7 +110,8 @@ struct MarshalStats {
 };
 
 /// Marshal a staged step into a scatter-gather chain:
-/// magic, step, writer_rank, count, then per variable the v2 record above.
+/// magic, step, writer_rank, [v3 context], count, then per variable the
+/// record above.  The v3 header is used iff `staged.context.Valid()`.
 /// Identity variables are appended as zero-copy views; coded variables are
 /// encoded here (on the caller's thread — the async worker in async mode).
 /// When `stats` is non-null the per-variable raw/wire totals are added to

@@ -6,6 +6,7 @@
 
 #include "instrument/flight_recorder.hpp"
 #include "instrument/metrics.hpp"
+#include "instrument/provenance.hpp"
 #include "instrument/tracer.hpp"
 
 namespace adios {
@@ -97,6 +98,16 @@ void SstWriter::BeginStep(int step) {
   staged_ = StepChain{};
   staged_.step = step;
   staged_.writer_rank = world_.Rank();
+  // Causal context: when the step carries provenance (installed by the
+  // workflow loop, or re-installed by the async worker), it rides the v3
+  // wire header so the endpoint can attribute its work to this step.
+  if (const auto* provenance = instrument::CurrentProvenance();
+      provenance != nullptr && provenance->Valid()) {
+    staged_.context.run_id = provenance->run_id;
+    staged_.context.origin_span_id = provenance->origin_span_id;
+    staged_.context.origin_ts_ns = provenance->origin_ts_ns;
+    staged_.context.origin_offset_ns = provenance->origin_offset_ns;
+  }
   step_open_ = true;
 }
 
@@ -137,6 +148,14 @@ void SstWriter::EndStep() {
   const std::size_t payload_bytes = message.TotalBytes() - 1;
   {
     instrument::Span send_span("sst.send");
+    // Flow start: the producing end of the causal arrow the Chrome trace
+    // draws from this sst.send to the endpoint's matching sst.recv.
+    if (staged_.context.Valid()) {
+      if (auto* tracer = instrument::CurrentTracer()) {
+        tracer->Flow(staged_.context.origin_span_id, staged_.step,
+                     /*start=*/true);
+      }
+    }
     world_.SendGather(reader_, kTagSstMsg, message);
   }
 
@@ -258,6 +277,14 @@ std::optional<SstReader::Step> SstReader::NextStep() {
     // transport buffer, which stays alive as long as any slice is held.
     StepPayload payload =
         UnmarshalShared(message.Slice(1, message.size() - 1));
+    // Flow finish: close the causal arrow from the writer's sst.send.  One
+    // per payload — a fan-in step draws one arrow per contributing writer.
+    if (payload.context.Valid()) {
+      if (auto* tracer = instrument::CurrentTracer()) {
+        tracer->Flow(payload.context.origin_span_id, payload.step,
+                     /*start=*/false);
+      }
+    }
     stats_.payload_bytes += message.size() - 1;
     stats_.raw_bytes += payload.raw_bytes;
     stats_.wire_bytes += payload.wire_bytes;

@@ -69,11 +69,10 @@ AsyncPipeline::AsyncPipeline(nekrs::FlowSolver& solver,
   }
 
   // The worker runs as this rank, but with its own single-owner structures:
-  // its own memory tracker always, its own metrics registry when the run
-  // has the metrics plane, and deliberately no tracer — worker-side spans
-  // are unrecorded in async mode (per-rank ring buffers are single-owner;
-  // the offloaded wall time is surfaced through pipeline.overlap_seconds
-  // and insitu.offloaded_share instead).
+  // its own memory tracker always, and its own metrics registry / tracer
+  // when the run has those planes (per-rank rings are single-owner, so the
+  // worker records into a separate lane — tid rank+1000, "rank N worker" —
+  // that the runtime folds into RunResult::tracers after Shutdown).
   if (const mpimini::RankEnv* env = mpimini::CurrentEnv()) {
     worker_env_.rank = env->rank;
     // The flight recorder is the one deliberately *shared* instrument: its
@@ -83,6 +82,15 @@ AsyncPipeline::AsyncPipeline(nekrs::FlowSolver& solver,
   }
   if (instrument::CurrentMetrics() != nullptr) {
     worker_env_.metrics = std::make_shared<instrument::MetricsRegistry>();
+  }
+  if (const instrument::Tracer* rank_tracer = instrument::CurrentTracer()) {
+    auto worker_tracer = std::make_shared<instrument::Tracer>(
+        worker_env_.rank, rank_tracer->Opts());
+    worker_tracer->SetGroup(rank_tracer->Group(), rank_tracer->GroupName());
+    worker_tracer->SetThreadLane(
+        worker_env_.rank + kWorkerTidOffset,
+        "rank " + std::to_string(worker_env_.rank) + " worker");
+    worker_env_.tracer = std::move(worker_tracer);
   }
   worker_ = std::thread([this] { WorkerMain(); });
 }
@@ -187,6 +195,14 @@ bool AsyncPipeline::Submit(int step, double time) {
   // The rank thread owns the slot now (the worker cleared its flag and will
   // not touch it again until re-enqueued).
   CaptureSnapshot(slots_[index], step, time);
+  // Causal context rides with the snapshot: the transport writers run on
+  // the worker, possibly several steps later, and must stamp this step's
+  // origin, not whatever the rank thread is doing by then.
+  const instrument::StepProvenance* provenance =
+      instrument::CurrentProvenance();
+  slots_[index].provenance = (provenance != nullptr && provenance->Valid())
+                                 ? *provenance
+                                 : instrument::StepProvenance{};
 
   {
     core::MutexLock lock(mutex_);
@@ -228,6 +244,12 @@ void AsyncPipeline::WorkerMain() {
     }
     if (!skip) {
       try {
+        // Re-install the submitting step's causal context (and its clock
+        // offset — worker threads share the process clock, so the rank's
+        // calibrated offset is also the worker's).
+        instrument::ProvenanceScope provenance_scope(
+            slot.provenance.Valid() ? &slot.provenance : nullptr);
+        instrument::SetClockOffsetNs(slot.provenance.origin_offset_ns);
         data.SetPipelineTime(slot.step, slot.time);
         data.SetSnapshot(&slot.fields);
         const bool ok = analysis_.Execute(data);
@@ -303,6 +325,21 @@ void AsyncPipeline::Shutdown() {
   stats.adoptions += worker_buffer_stats_.adoptions;
   stats.moves += worker_buffer_stats_.moves;
   stats.device_stages += worker_buffer_stats_.device_stages;
+
+  // Hand the worker's trace lane to the runtime for export.  Clock
+  // calibration is copied from the rank tracer now (post-join): the worker
+  // shares the rank's process clock, and the rank tracer carries the final
+  // calibration including end-of-run drift.
+  if (worker_env_.tracer) {
+    if (const instrument::Tracer* rank_tracer = instrument::CurrentTracer()) {
+      worker_env_.tracer->SetClockCalibration(rank_tracer->ClockOffsetNs(),
+                                              rank_tracer->ClockMinRttNs());
+      worker_env_.tracer->SetClockDrift(rank_tracer->ClockDriftNs());
+    }
+    if (mpimini::RankEnv* env = mpimini::CurrentEnv()) {
+      env->extra_tracers.push_back(worker_env_.tracer);
+    }
+  }
 
   if (auto* metrics = instrument::CurrentMetrics()) {
     metrics->MergeFrom(worker_metrics_);

@@ -50,10 +50,16 @@
 #include "core/nek_data_adaptor.hpp"
 #include "core/thread_annotations.hpp"
 #include "instrument/metrics.hpp"
+#include "instrument/provenance.hpp"
 #include "mpimini/runtime.hpp"
 #include "sensei/configurable_analysis.hpp"
 
 namespace nek_sensei {
+
+/// Trace-lane tid offset for async worker threads: rank r's worker records
+/// as tid r + kWorkerTidOffset so worker lanes sort below the rank lanes in
+/// the merged timeline without colliding with any real rank id.
+inline constexpr int kWorkerTidOffset = 1000;
 
 /// DataAdaptor over one captured snapshot: serves the analyses on the
 /// worker thread from host staging buffers the rank thread filled at the
@@ -140,6 +146,10 @@ class AsyncPipeline {
   struct Slot {
     int step = 0;
     double time = 0.0;
+    /// Causal context captured at Submit: the worker re-installs it before
+    /// Execute so SST/checkpoint writes stamp the *originating* step even
+    /// though they run `depth` steps behind the solver.
+    instrument::StepProvenance provenance;
     std::vector<SnapshotDataAdaptor::Field> fields;
   };
 

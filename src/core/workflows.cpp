@@ -13,8 +13,10 @@
 #include "core/thread_annotations.hpp"
 #include "instrument/flight_recorder.hpp"
 #include "instrument/monitor.hpp"
+#include "instrument/provenance.hpp"
 #include "instrument/report.hpp"
 #include "instrument/straggler.hpp"
+#include "mpimini/clock_sync.hpp"
 #include "mpimini/metrics_reduce.hpp"
 #include "mpimini/runtime.hpp"
 #include "sensei/adios_adaptor.hpp"
@@ -25,6 +27,61 @@
 namespace nek_sensei {
 
 namespace {
+
+// User-tag for the endpoint→monitor-host e2e latency feed: after each
+// analysed step the endpoint group's rank 0 ships the step's end-to-end
+// latency to world rank 0, whose heartbeat drains whatever has arrived
+// (buffered sends — never a collective, never a deadlock).
+constexpr int kTagE2eSample = 8003;
+
+// Run-start clock calibration (collective on `comm`, rank 0 is the
+// reference): installs the calibrated offset on this thread — GlobalNowNs
+// and step provenance read it from there — and in the rank tracer for the
+// aligned trace export.  Returns the sync so the closing re-calibration
+// can report drift.
+mpimini::ClockSync CalibrateRankClock(mpimini::Comm& comm) {
+  const mpimini::ClockSync sync = mpimini::CalibrateClockOffset(comm);
+  instrument::SetClockOffsetNs(sync.offset_ns);
+  if (instrument::Tracer* tracer = instrument::CurrentTracer()) {
+    tracer->SetClockCalibration(sync.offset_ns, sync.min_rtt_ns);
+  }
+  return sync;
+}
+
+// End-of-run re-calibration: the offset delta against the run-start sync
+// is the drift the run accumulated (bounded by min_rtt in a shared-clock
+// process; real deployments watch this to decide re-sync cadence).
+void RecalibrateRankClock(mpimini::Comm& comm,
+                          const mpimini::ClockSync& start) {
+  const mpimini::ClockSync end = mpimini::CalibrateClockOffset(comm);
+  if (instrument::Tracer* tracer = instrument::CurrentTracer()) {
+    tracer->SetClockDrift(end.offset_ns - start.offset_ns);
+  }
+}
+
+// Rebuild the step's causal origin from the payload contexts of one
+// delivered SST step.  A step is only complete once its *last* writer
+// finished, so among the writers' contexts the latest global origin
+// timestamp wins.  Invalid (default) when no payload carried a context.
+instrument::StepProvenance StepOrigin(
+    const std::map<int, adios::StepPayload>& payloads, int step) {
+  instrument::StepProvenance origin;
+  for (const auto& [writer, payload] : payloads) {
+    if (!payload.context.Valid()) continue;
+    instrument::StepProvenance candidate;
+    candidate.run_id = payload.context.run_id;
+    candidate.origin_rank = writer;
+    candidate.step = step;
+    candidate.origin_span_id = payload.context.origin_span_id;
+    candidate.origin_ts_ns = payload.context.origin_ts_ns;
+    candidate.origin_offset_ns = payload.context.origin_offset_ns;
+    if (!origin.Valid() ||
+        candidate.GlobalTimestampNs() > origin.GlobalTimestampNs()) {
+      origin = candidate;
+    }
+  }
+  return origin;
+}
 
 // Shared collection slot filled by world rank 0 inside the run (and read by
 // the launching thread after the rank threads join — which still takes the
@@ -120,9 +177,14 @@ class Heartbeat {
   /// always pass nullptr.  Printing follows config.heartbeat_steps; with
   /// the heartbeat off but the monitor on, ticks run every step (the
   /// endpoint wants fresh data) without printing anything.
+  /// `e2e_source` is the communicator the endpoint group ships its
+  /// kTagE2eSample latency samples on (in transit: the world comm), or
+  /// nullptr when e2e arrives in this rank's own registry (in situ).
   Heartbeat(mpimini::Comm& comm, const instrument::TelemetryConfig& config,
-            int total_steps, instrument::MonitorServer* monitor)
+            int total_steps, instrument::MonitorServer* monitor,
+            mpimini::Comm* e2e_source = nullptr)
       : comm_(comm),
+        e2e_source_(e2e_source),
         print_interval_(config.heartbeat_steps),
         interval_(config.heartbeat_steps > 0
                       ? config.heartbeat_steps
@@ -195,6 +257,23 @@ class Heartbeat {
     }
     if (comm_.Rank() != 0) return;
 
+    // End-to-end latency column: drain whatever the endpoint shipped since
+    // the last tick (latest sample wins), or — with no cross-group feed —
+    // read this rank's own step→image histogram (sync in situ: the image
+    // writes land right here on rank 0).
+    if (e2e_source_ != nullptr) {
+      while (e2e_source_->HasMessage(mpimini::kAnySource, kTagE2eSample)) {
+        last_e2e_seconds_ =
+            e2e_source_->RecvValue<double>(mpimini::kAnySource, kTagE2eSample);
+      }
+    } else if (const instrument::MetricsRegistry* m =
+                   instrument::CurrentMetrics()) {
+      const auto it = m->Histograms().find("e2e.step_to_image_seconds");
+      if (it != m->Histograms().end() && it->second.count > 0) {
+        last_e2e_seconds_ = it->second.Mean();
+      }
+    }
+
     std::string note;
     for (const instrument::AnomalyRecord& a : straggler_.Update(samples,
                                                                 done)) {
@@ -230,6 +309,7 @@ class Heartbeat {
     line.queue_limit = queue_limit;
     line.raw_bytes = static_cast<std::size_t>(sums[3]);
     line.wire_bytes = static_cast<std::size_t>(sums[4]);
+    line.e2e_seconds = last_e2e_seconds_;
     line.note = note;
     if (print_interval_ > 0 &&
         (done % print_interval_ == 0 || done == total_)) {
@@ -260,6 +340,7 @@ class Heartbeat {
       status.queue_limit = queue_limit;
       status.insitu_percent = line.insitu_percent;
       status.offload_percent = line.offload_percent;
+      status.e2e_seconds = line.e2e_seconds;
       status.anomalies = straggler_.Anomalies();
       report.anomalies = status.anomalies;
       status.metrics = std::move(report);
@@ -304,6 +385,7 @@ class Heartbeat {
   }
 
   mpimini::Comm& comm_;
+  mpimini::Comm* e2e_source_;
   int print_interval_;
   int interval_;
   bool monitor_on_;
@@ -311,6 +393,7 @@ class Heartbeat {
   int total_;
   std::int64_t start_ns_;
   double last_busy_ = 0.0;
+  double last_e2e_seconds_ = -1.0;  ///< rank 0 only: latest e2e estimate
   double last_solver_ = 0.0;
   double last_insitu_ = 0.0;
   double last_transport_ = 0.0;
@@ -357,6 +440,32 @@ void CollectRunHealth(mpimini::Comm& world,
       stat.low_watermark = stat.high_watermark = ratio;
       stat.imbalance = 1.0;
       report.gauges["sst.compression_ratio"] = stat;
+    }
+    // Derived e2e attribution: what share of the step→image latency was
+    // already spent when the step *arrived* at the endpoint (solver stage /
+    // queue / wire / decode) vs the analysis+render tail.  Computed from
+    // the merged histogram sums, so — like the compression ratio — it is
+    // deterministic across rank partitionings of the same work.  The full
+    // eight-segment critical path lives in tools/trace_merge.py; these two
+    // gauges are the always-on summary.
+    const auto image_it = report.histograms.find("e2e.step_to_image_seconds");
+    const auto recv_it = report.histograms.find("e2e.step_to_recv_seconds");
+    if (image_it != report.histograms.end() && image_it->second.count > 0 &&
+        recv_it != report.histograms.end() && recv_it->second.count > 0 &&
+        image_it->second.Mean() > 0.0) {
+      const double share =
+          std::clamp(recv_it->second.Mean() / image_it->second.Mean(), 0.0,
+                     1.0);
+      instrument::MetricStat stat;
+      stat.ranks = report.ranks;
+      stat.min = stat.mean = stat.max = stat.p95 = stat.sum = share;
+      stat.low_watermark = stat.high_watermark = share;
+      stat.imbalance = 1.0;
+      report.gauges["e2e.transport_share"] = stat;
+      instrument::MetricStat tail = stat;
+      tail.min = tail.mean = tail.max = tail.p95 = tail.sum = 1.0 - share;
+      tail.low_watermark = tail.high_watermark = 1.0 - share;
+      report.gauges["e2e.analysis_share"] = tail;
     }
     report.anomalies = anomalies;
     if (monitor != nullptr) {
@@ -444,6 +553,18 @@ void SampleStepCounters(const occamini::Device* device,
   }
 }
 
+// The endpoint comm group's trace file: "trace.json" -> "trace_endpoint.json"
+// (suffix-appended when the path has no extension).  A separate file per
+// group mirrors a real in transit deployment — two MPI jobs, two trace
+// files — and is exactly what tools/trace_merge.py fuses back together.
+std::string EndpointTracePath(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "_endpoint";
+  }
+  return path.substr(0, dot) + "_endpoint" + path.substr(dot);
+}
+
 // Merge the run's tracers into the metrics and write the configured trace /
 // summary files.  Export failures are reported, never silent.
 void ExportTelemetry(const instrument::TelemetryConfig& config,
@@ -452,10 +573,28 @@ void ExportTelemetry(const instrument::TelemetryConfig& config,
   if (!config.enabled) return;
   const std::vector<const instrument::Tracer*> tracers = run.TracerPointers();
   metrics.telemetry = instrument::Summarize(tracers);
-  if (!config.trace_path.empty() &&
-      !instrument::WriteChromeTrace(config.trace_path, tracers)) {
-    std::fprintf(stderr, "warning: failed to write trace file %s\n",
-                 config.trace_path.c_str());
+  if (!config.trace_path.empty()) {
+    // One file per comm group (in transit: sim + endpoint), sharing one
+    // clock-aligned base timestamp so the files fuse into a single global
+    // timeline without re-shifting.
+    std::vector<const instrument::Tracer*> sim_group;
+    std::vector<const instrument::Tracer*> endpoint_group;
+    for (const instrument::Tracer* tracer : tracers) {
+      if (tracer == nullptr) continue;
+      (tracer->Group() == 0 ? sim_group : endpoint_group).push_back(tracer);
+    }
+    const std::int64_t base = instrument::TraceBaseTimestamp(tracers);
+    if (!instrument::WriteChromeTrace(config.trace_path, sim_group, base)) {
+      std::fprintf(stderr, "warning: failed to write trace file %s\n",
+                   config.trace_path.c_str());
+    }
+    if (!endpoint_group.empty()) {
+      const std::string endpoint_path = EndpointTracePath(config.trace_path);
+      if (!instrument::WriteChromeTrace(endpoint_path, endpoint_group, base)) {
+        std::fprintf(stderr, "warning: failed to write trace file %s\n",
+                     endpoint_path.c_str());
+      }
+    }
   }
   if (!config.summary_path.empty() &&
       !instrument::WriteTelemetryJson(config.summary_path,
@@ -515,6 +654,10 @@ std::string FormatHeartbeatLine(const HeartbeatLine& line) {
   if (line.queue_limit > 0) {
     std::snprintf(buf, sizeof(buf), " | sst queue %d/%d", line.queue_depth,
                   line.queue_limit);
+    out += buf;
+  }
+  if (line.e2e_seconds >= 0.0) {
+    std::snprintf(buf, sizeof(buf), " | e2e %.1fms", line.e2e_seconds * 1e3);
     out += buf;
   }
   // Wire column only when a codec actually shrank (or grew) the stream:
@@ -582,6 +725,11 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
   }
   const instrument::TelemetryConfig telemetry =
       ResolveTelemetry(options.telemetry, options.sensei_xml);
+  // Causal plane (clock sync, step provenance, e2e latency) rides with the
+  // observability opt-ins: without them, runs keep the pre-provenance wire
+  // bytes and collective sequence exactly.
+  const bool causal = telemetry.enabled || telemetry.MetricsEnabled();
+  const std::uint64_t run_id = causal ? instrument::MakeRunId() : 0;
 
   mpimini::RunResult run = mpimini::Runtime::Run(
       nranks, MakeRunSettings(telemetry), [&](mpimini::Comm& comm) {
@@ -597,6 +745,11 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
       monitor_options.port_file = telemetry.monitor_port_file;
       monitor = std::make_unique<instrument::MonitorServer>(monitor_options);
     }
+    // Clock calibration brackets the run: the start sync feeds provenance
+    // timestamps and the aligned trace export, the closing re-sync (below)
+    // measures drift.  Collective — gated identically on every rank.
+    std::optional<mpimini::ClockSync> clock;
+    if (causal) clock = CalibrateRankClock(comm);
     occamini::Device device(options.backend, options.transfer);
     nekrs::FlowSolver solver(comm, device, options.flow);
     std::optional<Bridge> bridge;
@@ -655,7 +808,18 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
                            1e-9);
         }
       }
-      if (bridge) bridge->Update();
+      {
+        // Stamp the just-completed step's causal origin; the SENSEI update
+        // (sync: inline; async: captured at Submit) runs under it so every
+        // downstream write can attribute back to this step.
+        instrument::StepProvenance provenance;
+        if (run_id != 0) {
+          provenance = instrument::MakeStepProvenance(run_id, comm.Rank(), s);
+        }
+        instrument::ProvenanceScope provenance_scope(
+            provenance.Valid() ? &provenance : nullptr);
+        if (bridge) bridge->Update();
+      }
       SampleStepCounters(&device, loop_analysis, loop_catalyst, nullptr);
       heartbeat.Tick(s, /*queue_depth=*/-1, /*queue_limit=*/-1,
                      bridge ? bridge->OffloadedSeconds() : -1.0);
@@ -675,6 +839,7 @@ WorkflowMetrics RunInSitu(int nranks, const InSituOptions& options) {
       bytes = bridge->Analysis().TotalBytesWritten();
       if (catalyst) images = catalyst->ImagesWritten();
     }
+    if (clock) RecalibrateRankClock(comm, *clock);
     CollectReports(comm,
                    MakeReport(comm, /*is_sim=*/true, step_busy,
                               bridge ? bridge->WorkerHostPeakBytes() : 0),
@@ -705,6 +870,9 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
   }
   const instrument::TelemetryConfig telemetry =
       ResolveTelemetry(options.telemetry, options.sim_xml);
+  // See RunInSitu: the causal plane follows the observability opt-ins.
+  const bool causal = telemetry.enabled || telemetry.MetricsEnabled();
+  const std::uint64_t run_id = causal ? instrument::MakeRunId() : 0;
 
   mpimini::RunResult run = mpimini::Runtime::Run(
       world_ranks, MakeRunSettings(telemetry), [&](mpimini::Comm& world) {
@@ -722,6 +890,15 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
     }
     mpimini::Comm group = world.Split(is_sim ? 0 : 1, world.Rank());
     mpimini::RankEnv* env = mpimini::CurrentEnv();
+    // Label this rank's trace lane with its comm group so the export
+    // renders two process rows (sim / endpoint) on one timeline.
+    if (instrument::Tracer* tracer = instrument::CurrentTracer()) {
+      tracer->SetGroup(is_sim ? 0 : 1, is_sim ? "sim" : "endpoint");
+    }
+    // World-wide clock calibration against world rank 0 — both groups
+    // export onto (and the provenance timestamps live on) one timeline.
+    std::optional<mpimini::ClockSync> clock;
+    if (causal) clock = CalibrateRankClock(world);
 
     std::size_t bytes = 0;
     std::size_t images = 0;
@@ -772,13 +949,26 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
       if (env) loop_timer.emplace(env->timings, "step_loop");
       // Heartbeat runs on the sim group: endpoint ranks sit in their
       // receive loop and cannot join step-boundary collectives.
-      Heartbeat heartbeat(group, telemetry, options.steps, monitor.get());
+      Heartbeat heartbeat(group, telemetry, options.steps, monitor.get(),
+                          streaming ? &world : nullptr);
       SampleStepCounters(&device, loop_analysis, nullptr, loop_sst);
       for (int s = 0; s < options.steps; ++s) {
         instrument::RecordFlightEvent(instrument::FlightEventKind::kStep,
                                       "solver.step", s);
         solver.Step();
-        bridge.Update();
+        {
+          // Causal origin of this step: crosses the SST wire in the v3
+          // step context, links sst.send to sst.recv in the trace, and
+          // anchors the endpoint's e2e latency measurement.
+          instrument::StepProvenance provenance;
+          if (run_id != 0) {
+            provenance =
+                instrument::MakeStepProvenance(run_id, world.Rank(), s);
+          }
+          instrument::ProvenanceScope provenance_scope(
+              provenance.Valid() ? &provenance : nullptr);
+          bridge.Update();
+        }
         SampleStepCounters(&device, loop_analysis, nullptr, loop_sst);
         heartbeat.Tick(s, adios ? adios->QueueDepth() : -1,
                        adios ? adios->QueueLimit() : -1,
@@ -811,9 +1001,41 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
       std::optional<instrument::ScopedTimer> loop_timer;
       if (env) loop_timer.emplace(env->timings, "step_loop");
       SampleStepCounters(nullptr, &analysis, nullptr, &reader.Stats());
+      const bool feed_e2e = group.Rank() == 0 && world.Rank() != 0 &&
+                            (telemetry.heartbeat_steps > 0 ||
+                             telemetry.MonitorEnabled());
       while (auto step = reader.NextStep()) {
+        // Re-install the step's wire-carried origin around the analyses:
+        // endpoint-side writes (images, checkpoints) measure their e2e
+        // latency against it.  One rank per metric observes — group rank 0
+        // here, the compositing root inside the adaptors — so histogram
+        // counts stay partition-independent (one sample per step).
+        const instrument::StepProvenance origin =
+            StepOrigin(step->payloads, step->step);
+        instrument::ProvenanceScope provenance_scope(
+            origin.Valid() ? &origin : nullptr);
+        if (origin.Valid() && group.Rank() == 0) {
+          if (auto* metrics = instrument::CurrentMetrics()) {
+            metrics->Observe(
+                "e2e.step_to_recv_seconds",
+                std::max(0.0, static_cast<double>(
+                                  instrument::GlobalNowNs() -
+                                  origin.GlobalTimestampNs()) *
+                                  1e-9));
+          }
+        }
         data.SetStep(step->step, 0.0, step->payloads);
         analysis.Execute(data);
+        if (feed_e2e && origin.Valid()) {
+          // Ship this step's end-to-end latency (origin → analyses done,
+          // which includes the image write) to the monitor host.  Buffered
+          // send: the heartbeat drains at its own cadence.
+          world.SendValue<double>(
+              0, kTagE2eSample,
+              std::max(0.0, static_cast<double>(instrument::GlobalNowNs() -
+                                                origin.GlobalTimestampNs()) *
+                                1e-9));
+        }
         SampleStepCounters(nullptr, &analysis, nullptr, &reader.Stats());
       }
       step_busy = (env ? env->busy.Seconds() : 0.0) - busy0;
@@ -828,6 +1050,7 @@ WorkflowMetrics RunInTransit(int sim_ranks, const InTransitOptions& options) {
       }
     }
 
+    if (clock) RecalibrateRankClock(world, *clock);
     CollectReports(world, MakeReport(world, is_sim, step_busy, worker_peak),
                    bytes, images, shared);
     CollectRunHealth(world, telemetry, anomalies, monitor.get(), shared);

@@ -98,6 +98,10 @@ struct HeartbeatLine {
   double offload_percent = -1.0;
   int queue_depth = -1;
   int queue_limit = -1;  ///< <= 0 omits the sst queue column
+  /// Latest end-to-end step→image latency estimate, seconds (in transit:
+  /// shipped from the endpoint group; in situ: the run's mean so far).
+  /// Negative omits the column — no delivered step observed yet.
+  double e2e_seconds = -1.0;
   /// Cross-rank sums of transport raw/wire bytes.  The wire column only
   /// prints when both are nonzero and they differ (i.e. a non-identity
   /// codec actually ran), so uncompressed runs keep their exact line.

@@ -166,6 +166,10 @@ bool IsTimeMetric(const std::string& name) {
          name.find("_ms") != std::string::npos;
 }
 
+bool IsE2eMetric(const std::string& name) {
+  return IsTimeMetric(name) && name.find("e2e_") != std::string::npos;
+}
+
 int CompareResult::Regressions() const {
   int n = 0;
   for (const CompareRow& row : rows) {
@@ -186,8 +190,12 @@ CompareResult CompareBenchReports(const BenchReport& current,
     CompareRow row;
     row.name = name;
     row.baseline = base_value;
-    row.threshold =
-        IsTimeMetric(name) ? options.time_threshold : options.counter_threshold;
+    if (IsE2eMetric(name) && options.e2e_threshold >= 0.0) {
+      row.threshold = options.e2e_threshold;
+    } else {
+      row.threshold = IsTimeMetric(name) ? options.time_threshold
+                                         : options.counter_threshold;
+    }
     auto it = current.metrics.find(name);
     if (it == current.metrics.end()) {
       row.missing = true;

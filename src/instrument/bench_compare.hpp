@@ -52,6 +52,11 @@ struct CompareOptions {
   /// 0.0 = any increase beyond rounding noise fails, because the data-plane
   /// counters are deterministic.
   double counter_threshold = 0.0;
+  /// Relative headroom for end-to-end latency metrics (time metrics whose
+  /// name contains "e2e_").  The step→image path crosses a queue and a
+  /// wire, so it is noisier than pure compute timings; negative (the
+  /// default) falls back to time_threshold.
+  double e2e_threshold = -1.0;
 };
 
 /// Verdict for one metric.
@@ -84,5 +89,9 @@ struct CompareResult {
 
 /// True if `name` is judged with the timing threshold.
 [[nodiscard]] bool IsTimeMetric(const std::string& name);
+
+/// True if `name` is an end-to-end latency metric (a time metric carrying
+/// the "e2e_" marker), judged with e2e_threshold when one is set.
+[[nodiscard]] bool IsE2eMetric(const std::string& name);
 
 }  // namespace instrument

@@ -129,6 +129,9 @@ std::string RenderStatusJson(const MonitorStatus& status) {
     out << ",\n  \"offload_percent\": "
         << JsonNumber(status.offload_percent);
   }
+  if (status.e2e_seconds >= 0.0) {
+    out << ",\n  \"e2e_seconds\": " << JsonNumber(status.e2e_seconds);
+  }
   out << ",\n  \"anomalies\": [";
   for (std::size_t i = 0; i < status.anomalies.size(); ++i) {
     if (i) out << ", ";

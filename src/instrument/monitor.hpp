@@ -42,6 +42,8 @@ struct MonitorStatus {
   int queue_limit = -1;  ///< <= 0 omits the sst_queue object
   double insitu_percent = -1.0;   ///< negative omitted
   double offload_percent = -1.0;  ///< negative omitted
+  /// Latest end-to-end step→image latency estimate; negative omitted.
+  double e2e_seconds = -1.0;
   std::vector<AnomalyRecord> anomalies;
   MetricsReport metrics;  ///< cross-rank reduction backing /metrics
 };

@@ -1,0 +1,72 @@
+#include "instrument/provenance.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "instrument/tracer.hpp"
+
+namespace instrument {
+
+namespace {
+
+thread_local const StepProvenance* g_provenance = nullptr;
+thread_local std::int64_t g_clock_offset_ns = 0;
+
+/// splitmix64 finalizer: cheap, well-mixed, and stable across platforms —
+/// exactly what a wire-visible id needs.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t MakeRunId() {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+  const std::uint64_t id =
+      Mix(ns ^ (counter.fetch_add(1, std::memory_order_relaxed) << 48));
+  return id == 0 ? 1 : id;
+}
+
+std::uint64_t StepSpanId(std::uint64_t run_id, int rank, int step) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 32) ^
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(step));
+  const std::uint64_t id = Mix(run_id ^ Mix(key));
+  return id == 0 ? 1 : id;
+}
+
+StepProvenance MakeStepProvenance(std::uint64_t run_id, int rank, int step) {
+  StepProvenance provenance;
+  provenance.run_id = run_id;
+  provenance.origin_rank = rank;
+  provenance.step = step;
+  provenance.origin_span_id = StepSpanId(run_id, rank, step);
+  provenance.origin_ts_ns = Tracer::NowNs();
+  provenance.origin_offset_ns = ClockOffsetNs();
+  return provenance;
+}
+
+const StepProvenance* CurrentProvenance() { return g_provenance; }
+
+const StepProvenance* SetCurrentProvenance(
+    const StepProvenance* provenance) {
+  const StepProvenance* previous = g_provenance;
+  g_provenance = provenance;
+  return previous;
+}
+
+std::int64_t ClockOffsetNs() { return g_clock_offset_ns; }
+
+void SetClockOffsetNs(std::int64_t offset_ns) {
+  g_clock_offset_ns = offset_ns;
+}
+
+std::int64_t GlobalNowNs() { return Tracer::NowNs() + ClockOffsetNs(); }
+
+}  // namespace instrument

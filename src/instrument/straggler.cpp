@@ -173,9 +173,18 @@ std::vector<AnomalyRecord> StragglerMonitor::Update(
       anomalies_.push_back(record);
       fresh.push_back(std::move(record));
     } else if (record.z > existing->z) {
-      // Keep the first-flagged step (the forensic "when did it start")
-      // but the worst z / attribution seen since.
+      // Keep the first-flagged step (the forensic "when did it start"),
+      // the worst z seen since, and the *best-explained* attribution: once
+      // a straggler has run for an interval, its victims' solver counters
+      // inflate by their collective waits (the counter is wall time), so
+      // later intervals' span excesses collapse toward zero and the
+      // verdict degenerates into noise.  A verdict that explained 99% of
+      // the excess must not be overwritten by one explaining 0.001%.
       record.step = existing->step;
+      if (existing->span_share > record.span_share) {
+        record.dominant_span = existing->dominant_span;
+        record.span_share = existing->span_share;
+      }
       *existing = std::move(record);
     }
   }

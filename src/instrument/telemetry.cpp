@@ -12,30 +12,36 @@ namespace instrument {
 
 namespace {
 
-/// Earliest timestamp across all recorded data, so exported traces start
-/// near t=0 instead of at steady_clock's epoch offset.
-std::int64_t BaseTimestamp(const std::vector<const Tracer*>& tracers) {
-  std::int64_t base = std::numeric_limits<std::int64_t>::max();
-  for (const Tracer* tracer : tracers) {
-    if (tracer == nullptr) continue;
-    for (const Tracer::SpanRecord& s : tracer->Spans()) {
-      base = std::min(base, s.start_ns);
-    }
-    for (const Tracer::EventRecord& e : tracer->Events()) {
-      base = std::min(base, e.ts_ns);
-    }
-    for (const Tracer::CounterSample& c : tracer->CounterSamples()) {
-      base = std::min(base, c.ts_ns);
-    }
-  }
-  return base == std::numeric_limits<std::int64_t>::max() ? 0 : base;
-}
-
 std::string Micros(std::int64_t ns, std::int64_t base) {
   return JsonNumber(static_cast<double>(ns - base) * 1e-3);
 }
 
 }  // namespace
+
+std::int64_t TraceBaseTimestamp(const std::vector<const Tracer*>& tracers) {
+  // Earliest *aligned* timestamp across all recorded data, so exported
+  // traces start near t=0 instead of at steady_clock's epoch offset.  The
+  // per-tracer clock offset participates here: the base must be the global
+  // minimum or an offset lane could export negative timestamps.
+  std::int64_t base = std::numeric_limits<std::int64_t>::max();
+  for (const Tracer* tracer : tracers) {
+    if (tracer == nullptr) continue;
+    const std::int64_t offset = tracer->ClockOffsetNs();
+    for (const Tracer::SpanRecord& s : tracer->Spans()) {
+      base = std::min(base, s.start_ns + offset);
+    }
+    for (const Tracer::EventRecord& e : tracer->Events()) {
+      base = std::min(base, e.ts_ns + offset);
+    }
+    for (const Tracer::CounterSample& c : tracer->CounterSamples()) {
+      base = std::min(base, c.ts_ns + offset);
+    }
+    for (const Tracer::FlowRecord& f : tracer->Flows()) {
+      base = std::min(base, f.ts_ns + offset);
+    }
+  }
+  return base == std::numeric_limits<std::int64_t>::max() ? 0 : base;
+}
 
 double TelemetrySummary::SpanTotalSeconds(const std::string& name) const {
   auto it = spans.find(name);
@@ -67,10 +73,15 @@ TelemetrySummary Summarize(const std::vector<const Tracer*>& tracers) {
         static_cast<double>(tracer->Opts().wait_min_ns) * 1e-9;
     RankDigest digest;
     digest.rank = tracer->Rank();
+    digest.group = tracer->GroupName();
     digest.total_spans = tracer->TotalSpans();
     digest.dropped_spans = tracer->DroppedSpans();
+    digest.dropped_events = tracer->DroppedEvents();
     digest.skipped_waits = tracer->SkippedWaits();
     digest.skipped_wait_seconds = tracer->SkippedWaitSeconds();
+    digest.clock_offset_ns = tracer->ClockOffsetNs();
+    digest.clock_min_rtt_ns = tracer->ClockMinRttNs();
+    digest.clock_drift_ns = tracer->ClockDriftNs();
     summary.per_rank.push_back(digest);
     // Per-rank moments first, merged across ranks below — exercises the
     // same Merge path a sharded (multi-process) collector would use.
@@ -102,11 +113,12 @@ TelemetrySummary Summarize(const std::vector<const Tracer*>& tracers) {
 }
 
 bool WriteChromeTrace(const std::string& path,
-                      const std::vector<const Tracer*>& tracers) {
+                      const std::vector<const Tracer*>& tracers,
+                      std::int64_t base_ns) {
   AtomicFile file(path);
   if (!file.Ok()) return false;
   std::ostream& out = file.Stream();
-  const std::int64_t base = BaseTimestamp(tracers);
+  const std::int64_t base = base_ns >= 0 ? base_ns : TraceBaseTimestamp(tracers);
   out << "{\"traceEvents\":[";
   bool first = true;
   auto emit = [&](const std::string& event) {
@@ -114,33 +126,84 @@ bool WriteChromeTrace(const std::string& path,
     first = false;
     out << "\n" << event;
   };
+  // One process lane per comm group, named once (Perfetto keys process
+  // metadata by pid; repeating it per tracer would be redundant but legal —
+  // emitting once keeps diffs of smoke traces stable).
+  std::map<int, std::string> groups;
   for (const Tracer* tracer : tracers) {
     if (tracer == nullptr) continue;
-    const std::string tid = std::to_string(tracer->Rank());
-    emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" + tid +
-         ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " + tid +
-         "\"}}");
+    groups.emplace(tracer->Group(), tracer->GroupName());
+  }
+  for (const auto& [group, name] : groups) {
+    const std::string pid = std::to_string(group);
+    emit("{\"ph\":\"M\",\"pid\":" + pid +
+         ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+         JsonEscape(name) + "\"}}");
+    emit("{\"ph\":\"M\",\"pid\":" + pid +
+         ",\"tid\":0,\"name\":\"process_sort_index\",\"args\":{\"sort_index\":" +
+         pid + "}}");
+  }
+  for (const Tracer* tracer : tracers) {
+    if (tracer == nullptr) continue;
+    const std::string pid = std::to_string(tracer->Group());
+    const std::string tid = std::to_string(tracer->Tid());
+    const std::string at = "\"pid\":" + pid + ",\"tid\":" + tid;
+    // Calibrated skew for this lane: every exported timestamp is shifted
+    // onto the global timeline before subtracting the shared base.
+    const std::int64_t offset = tracer->ClockOffsetNs();
+    emit("{\"ph\":\"M\"," + at +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         JsonEscape(tracer->ThreadLabel()) + "\"}}");
+    // Machine-readable per-lane digest: trace_merge.py reads drop counts
+    // (completeness gate) and clock calibration (alignment audit) from here
+    // instead of re-deriving them from the event stream.
+    emit("{\"ph\":\"M\"," + at +
+         ",\"name\":\"nsm_rank_digest\",\"args\":{\"rank\":" +
+         std::to_string(tracer->Rank()) +
+         ",\"total_spans\":" + std::to_string(tracer->TotalSpans()) +
+         ",\"dropped_spans\":" + std::to_string(tracer->DroppedSpans()) +
+         ",\"dropped_events\":" + std::to_string(tracer->DroppedEvents()) +
+         ",\"clock_offset_ns\":" + std::to_string(offset) +
+         ",\"clock_min_rtt_ns\":" + std::to_string(tracer->ClockMinRttNs()) +
+         ",\"clock_drift_ns\":" + std::to_string(tracer->ClockDriftNs()) +
+         "}}");
     for (const Tracer::SpanRecord& span : tracer->Spans()) {
-      emit("{\"ph\":\"X\",\"pid\":0,\"tid\":" + tid + ",\"name\":\"" +
-           JsonEscape(span.Name()) + "\",\"ts\":" + Micros(span.start_ns, base) +
-           ",\"dur\":" +
+      emit("{\"ph\":\"X\"," + at + ",\"name\":\"" + JsonEscape(span.Name()) +
+           "\",\"ts\":" + Micros(span.start_ns + offset, base) + ",\"dur\":" +
            JsonNumber(static_cast<double>(span.duration_ns) * 1e-3) + "}");
     }
     for (const Tracer::EventRecord& event : tracer->Events()) {
-      emit("{\"ph\":\"i\",\"pid\":0,\"tid\":" + tid + ",\"name\":\"" +
-           JsonEscape(event.Name()) + "\",\"ts\":" + Micros(event.ts_ns, base) +
-           ",\"s\":\"t\"}");
+      emit("{\"ph\":\"i\"," + at + ",\"name\":\"" + JsonEscape(event.Name()) +
+           "\",\"ts\":" + Micros(event.ts_ns + offset, base) + ",\"s\":\"t\"}");
+    }
+    // Causal step links: "s" fires inside sst.send on the producing lane,
+    // "f" inside sst.recv on the consuming lane; both ends derive the same
+    // id (provenance StepSpanId) so no coordination crosses the wire.  The
+    // id is emitted as a string — it is a 64-bit hash and JSON numbers
+    // only carry 53 bits faithfully.
+    for (const Tracer::FlowRecord& flow : tracer->Flows()) {
+      std::string event = "{\"ph\":\"" + std::string(flow.start ? "s" : "f") +
+                          "\",";
+      if (!flow.start) event += "\"bp\":\"e\",";
+      event += "\"cat\":\"sst\",\"name\":\"sst.step\",\"id\":\"" +
+               std::to_string(flow.id) + "\"," + at +
+               ",\"ts\":" + Micros(flow.ts_ns + offset, base) +
+               ",\"args\":{\"step\":" + std::to_string(flow.step) + "}}";
+      emit(event);
     }
     // Chrome counter tracks are keyed by (pid, name): prefix the rank so
     // each rank gets its own track.
     for (const Tracer::CounterSample& sample : tracer->CounterSamples()) {
-      emit("{\"ph\":\"C\",\"pid\":0,\"tid\":" + tid + ",\"name\":\"rank" +
-           tid + "/" + JsonEscape(sample.Name()) +
-           "\",\"ts\":" + Micros(sample.ts_ns, base) +
+      emit("{\"ph\":\"C\"," + at + ",\"name\":\"rank" + tid + "/" +
+           JsonEscape(sample.Name()) +
+           "\",\"ts\":" + Micros(sample.ts_ns + offset, base) +
            ",\"args\":{\"value\":" + JsonNumber(sample.value) + "}}");
     }
   }
-  out << "\n]}\n";
+  // Alignment anchor for tools fusing several files from one run
+  // (tools/trace_merge.py): identical base_ns means timestamps are
+  // directly comparable with no re-shifting.
+  out << "\n],\"nsm\":{\"base_ns\":" << base << "}}\n";
   return file.Commit();
 }
 
@@ -163,11 +226,16 @@ bool WriteTelemetryJson(const std::string& path,
   for (const RankDigest& d : summary.per_rank) {
     if (!first_rank) out << ",";
     first_rank = false;
-    out << "\n    {\"rank\": " << d.rank << ", \"total_spans\": "
+    out << "\n    {\"rank\": " << d.rank << ", \"group\": \""
+        << JsonEscape(d.group) << "\", \"total_spans\": "
         << d.total_spans << ", \"dropped_spans\": " << d.dropped_spans
+        << ", \"dropped_events\": " << d.dropped_events
         << ", \"skipped_waits\": " << d.skipped_waits
         << ", \"skipped_wait_seconds\": "
-        << JsonNumber(d.skipped_wait_seconds) << "}";
+        << JsonNumber(d.skipped_wait_seconds)
+        << ", \"clock_offset_ns\": " << d.clock_offset_ns
+        << ", \"clock_min_rtt_ns\": " << d.clock_min_rtt_ns
+        << ", \"clock_drift_ns\": " << d.clock_drift_ns << "}";
   }
   out << "\n  ],\n";
   out << "  \"spans\": {";

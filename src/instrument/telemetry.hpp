@@ -74,10 +74,18 @@ struct SpanAggregate {
 /// ring is invisible in the totals but obvious here).
 struct RankDigest {
   int rank = 0;
+  std::string group;  ///< comm-group lane ("sim", "endpoint")
   std::uint64_t total_spans = 0;
   std::uint64_t dropped_spans = 0;
+  std::uint64_t dropped_events = 0;  ///< instants/samples/flows at capacity
   std::uint64_t skipped_waits = 0;
   double skipped_wait_seconds = 0.0;
+  /// Clock calibration (DESIGN.md §5d): offset to the global timeline, the
+  /// min-RTT error bound, and the drift observed by the end-of-run
+  /// re-calibration.  All zero when calibration never ran.
+  std::int64_t clock_offset_ns = 0;
+  std::int64_t clock_min_rtt_ns = 0;
+  std::int64_t clock_drift_ns = 0;
 };
 
 /// Everything the run-level report needs, merged across ranks.
@@ -107,10 +115,31 @@ struct TelemetrySummary {
 [[nodiscard]] TelemetrySummary Summarize(
     const std::vector<const Tracer*>& tracers);
 
+/// Earliest clock-aligned timestamp across all recorded data — the t=0 of
+/// the exported trace.  Exposed so callers writing *several* trace files
+/// from one run (the sim group and the endpoint group) can compute one
+/// shared base and keep the files on a single timeline.
+[[nodiscard]] std::int64_t TraceBaseTimestamp(
+    const std::vector<const Tracer*>& tracers);
+
 /// Write Chrome trace-event JSON.  Returns false (and leaves a best-effort
 /// partial file) if the path cannot be opened or a write fails.
+///
+/// Timestamps are clock-aligned: each tracer's calibrated offset
+/// (Tracer::ClockOffsetNs) is added before export, so lanes from skewed
+/// clocks land on one global timeline.  Lanes are keyed by comm group
+/// (pid = Tracer::Group with process_name metadata) and thread
+/// (tid = Tracer::Tid, thread_name = Tracer::ThreadLabel).  Flow records
+/// become Perfetto flow events ("s" on sst.send, "f" on sst.recv) joined
+/// by step span id, and every tracer emits an `nsm_rank_digest` metadata
+/// event carrying its drop counts and clock calibration for trace_merge.py.
+///
+/// `base_ns` < 0 (default) derives the base from `tracers`; pass a shared
+/// TraceBaseTimestamp when splitting one run across multiple files.  The
+/// chosen base is recorded in a top-level "nsm":{"base_ns":...} object.
 bool WriteChromeTrace(const std::string& path,
-                      const std::vector<const Tracer*>& tracers);
+                      const std::vector<const Tracer*>& tracers,
+                      std::int64_t base_ns = -1);
 
 /// Write the aggregate as telemetry.json.  Returns false on I/O failure.
 bool WriteTelemetryJson(const std::string& path,

@@ -26,7 +26,11 @@ Tracer* SetCurrentTracer(Tracer* tracer) {
   return previous;
 }
 
-Tracer::Tracer(int rank, Options options) : rank_(rank), options_(options) {
+Tracer::Tracer(int rank, Options options)
+    : rank_(rank),
+      options_(options),
+      tid_(rank),
+      thread_label_("rank " + std::to_string(rank)) {
   ring_.resize(options_.span_capacity);
   events_.reserve(options_.event_capacity);
   samples_.reserve(options_.event_capacity);
@@ -67,6 +71,36 @@ void Tracer::SampleCounter(std::string_view name, double value) {
 void Tracer::AddCounter(std::string_view name, double delta) {
   owner_.Check("instrument::Tracer::AddCounter");
   counters_[std::string(name)] += delta;
+}
+
+void Tracer::Flow(std::uint64_t id, int step, bool start) {
+  owner_.Check("instrument::Tracer::Flow");
+  if (flows_.size() >= options_.event_capacity) {
+    ++dropped_events_;
+    return;
+  }
+  FlowRecord rec;
+  rec.id = id;
+  rec.ts_ns = NowNs();
+  rec.step = step;
+  rec.start = start;
+  flows_.push_back(rec);
+}
+
+void Tracer::SetGroup(int group, std::string_view name) {
+  group_ = group;
+  group_name_.assign(name);
+}
+
+void Tracer::SetThreadLane(int tid, std::string_view label) {
+  tid_ = tid;
+  thread_label_.assign(label);
+}
+
+void Tracer::SetClockCalibration(std::int64_t offset_ns,
+                                 std::int64_t min_rtt_ns) {
+  clock_offset_ns_ = offset_ns;
+  clock_rtt_ns_ = min_rtt_ns;
 }
 
 std::uint16_t Tracer::OpenSpan() {
@@ -146,6 +180,7 @@ void Tracer::Clear() {
   depth_ = 0;
   events_.clear();
   samples_.clear();
+  flows_.clear();
   dropped_events_ = 0;
   counters_.clear();
   skipped_waits_ = 0;

@@ -73,6 +73,18 @@ class Tracer {
     [[nodiscard]] std::string_view Name() const { return {name}; }
   };
 
+  /// One causal flow endpoint: `start` marks the producing side (Perfetto
+  /// phase "s", recorded inside sst.send), !start the consuming side
+  /// (phase "f", recorded inside sst.recv).  Matching endpoints share the
+  /// id (StepSpanId over run/rank/step), which is how the Chrome trace
+  /// draws the arrow across process lanes (DESIGN.md §5d).
+  struct FlowRecord {
+    std::uint64_t id = 0;
+    std::int64_t ts_ns = 0;
+    int step = -1;  ///< solver step, surfaced in the flow event args
+    bool start = false;
+  };
+
   explicit Tracer(int rank) : Tracer(rank, Options()) {}
   Tracer(int rank, Options options);
 
@@ -92,6 +104,33 @@ class Tracer {
   /// Add `delta` to a counter total without a timeline sample.
   void AddCounter(std::string_view name, double delta);
 
+  /// Record one causal flow endpoint (bounded like events; drops counted).
+  void Flow(std::uint64_t id, int step, bool start);
+
+  // -- identity & clock ------------------------------------------------------
+  /// Comm-group identity for the trace export: tracers with the same
+  /// `group` render in one process lane named `name` ("sim", "endpoint").
+  void SetGroup(int group, std::string_view name);
+  [[nodiscard]] int Group() const { return group_; }
+  [[nodiscard]] const std::string& GroupName() const { return group_name_; }
+
+  /// Thread lane within the group (defaults: tid = rank, "rank N"); the
+  /// async worker overrides this so its spans get their own labeled row.
+  void SetThreadLane(int tid, std::string_view label);
+  [[nodiscard]] int Tid() const { return tid_; }
+  [[nodiscard]] const std::string& ThreadLabel() const {
+    return thread_label_;
+  }
+
+  /// Calibrated clock alignment (clock_sync.hpp): offset to the global
+  /// timeline, the min-RTT error bound, and end-of-run drift — exported in
+  /// telemetry digests and applied to exported timestamps.
+  void SetClockCalibration(std::int64_t offset_ns, std::int64_t min_rtt_ns);
+  void SetClockDrift(std::int64_t drift_ns) { clock_drift_ns_ = drift_ns; }
+  [[nodiscard]] std::int64_t ClockOffsetNs() const { return clock_offset_ns_; }
+  [[nodiscard]] std::int64_t ClockMinRttNs() const { return clock_rtt_ns_; }
+  [[nodiscard]] std::int64_t ClockDriftNs() const { return clock_drift_ns_; }
+
   // -- recorded data ---------------------------------------------------------
   /// Retained spans, oldest first (the ring is unwound).
   [[nodiscard]] std::vector<SpanRecord> Spans() const;
@@ -100,6 +139,9 @@ class Tracer {
   }
   [[nodiscard]] const std::vector<CounterSample>& CounterSamples() const {
     return samples_;
+  }
+  [[nodiscard]] const std::vector<FlowRecord>& Flows() const {
+    return flows_;
   }
   [[nodiscard]] const std::map<std::string, double>& CounterTotals() const {
     return counters_;
@@ -113,6 +155,8 @@ class Tracer {
   [[nodiscard]] std::uint64_t RetainedSpans() const {
     return total_ - dropped_;
   }
+  /// Instant events / counter samples / flows dropped at capacity.
+  [[nodiscard]] std::uint64_t DroppedEvents() const { return dropped_events_; }
   /// Threshold-mode spans too short to record individually.
   [[nodiscard]] std::uint64_t SkippedWaits() const { return skipped_waits_; }
   [[nodiscard]] double SkippedWaitSeconds() const {
@@ -136,6 +180,13 @@ class Tracer {
 
   int rank_;
   Options options_;
+  int group_ = 0;                  ///< process lane (0 = sim)
+  std::string group_name_ = "sim";
+  int tid_;                        ///< thread lane (defaults to rank)
+  std::string thread_label_;
+  std::int64_t clock_offset_ns_ = 0;
+  std::int64_t clock_rtt_ns_ = 0;
+  std::int64_t clock_drift_ns_ = 0;
   std::vector<SpanRecord> ring_;
   std::size_t head_ = 0;        ///< next ring slot to write
   std::uint64_t total_ = 0;     ///< spans routed to the ring, ever
@@ -143,6 +194,7 @@ class Tracer {
   std::uint32_t depth_ = 0;     ///< currently open spans
   std::vector<EventRecord> events_;
   std::vector<CounterSample> samples_;
+  std::vector<FlowRecord> flows_;
   std::uint64_t dropped_events_ = 0;
   std::map<std::string, double> counters_;
   std::uint64_t skipped_waits_ = 0;

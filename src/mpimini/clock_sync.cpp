@@ -1,0 +1,62 @@
+#include "mpimini/clock_sync.hpp"
+
+#include <stdexcept>
+
+#include "instrument/tracer.hpp"
+
+namespace mpimini {
+
+ClockSync CalibrateClockOffset(Comm& comm, int root, int rounds,
+                               std::int64_t injected_skew_ns) {
+  if (root < 0 || root >= comm.Size()) {
+    throw std::invalid_argument("mpimini: clock-sync root out of range");
+  }
+  if (rounds < 1) {
+    throw std::invalid_argument("mpimini: clock-sync rounds must be >= 1");
+  }
+  instrument::Span span("clock.sync");
+
+  // The calling rank's (possibly virtually skewed) local clock.
+  auto local_now = [injected_skew_ns] {
+    return instrument::Tracer::NowNs() + injected_skew_ns;
+  };
+
+  ClockSync sync;
+  sync.rounds = rounds;
+  if (comm.Rank() == root) {
+    // Serve one rank at a time, in rank order: while rank r ping-pongs,
+    // later ranks' first pings queue in the mailbox — their inflated RTT
+    // for that round is discarded by the min-RTT filter.
+    for (int r = 0; r < comm.Size(); ++r) {
+      if (r == root) continue;
+      for (int k = 0; k < rounds; ++k) {
+        (void)comm.RecvValue<std::int64_t>(r, detail::kTagClockSync);
+        comm.SendValue<std::int64_t>(r, detail::kTagClockSync, local_now());
+      }
+    }
+    return sync;  // the root defines the global timeline: offset 0
+  }
+
+  std::int64_t best_rtt = 0;
+  std::int64_t best_offset = 0;
+  for (int k = 0; k < rounds; ++k) {
+    const std::int64_t t0 = local_now();
+    comm.SendValue<std::int64_t>(root, detail::kTagClockSync, t0);
+    const auto t_root =
+        comm.RecvValue<std::int64_t>(root, detail::kTagClockSync);
+    const std::int64_t t1 = local_now();
+    const std::int64_t rtt = t1 - t0;
+    // Symmetric-path assumption: the root read its clock halfway through
+    // the round trip.  The error of this sample is bounded by rtt/2.
+    const std::int64_t offset = t_root - (t0 + rtt / 2);
+    if (k == 0 || rtt < best_rtt) {
+      best_rtt = rtt;
+      best_offset = offset;
+    }
+  }
+  sync.offset_ns = best_offset;
+  sync.min_rtt_ns = best_rtt;
+  return sync;
+}
+
+}  // namespace mpimini

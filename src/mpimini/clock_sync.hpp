@@ -1,0 +1,46 @@
+// Clock-offset calibration: the mpimini collective behind the aligned
+// global timeline (DESIGN.md §5d).
+//
+// Real deployments run sim and endpoint groups as separate aprun jobs on
+// different nodes, so their monotonic clocks share no epoch.  Before two
+// trace files can merge into one timeline — or an endpoint can subtract a
+// sim-side origin timestamp — every rank needs its offset to a common
+// reference.  The classic remedy (Cristian's algorithm / NTP's symmetric
+// assumption) is a ping-pong against the reference: of K round trips keep
+// the one with the minimum RTT; the offset estimate derived from it is
+// wrong by at most min_rtt/2, because the only unknowable quantity is how
+// the RTT splits between the two directions.
+//
+// In this stand-in, ranks are threads of one process and genuinely share
+// steady_clock, so true offsets are ~0 — the collective still runs the
+// real protocol (and `injected_skew_ns` lets tests give a rank a skewed
+// virtual clock and assert the estimator recovers it within the bound).
+#pragma once
+
+#include <cstdint>
+
+#include "mpimini/comm.hpp"
+
+namespace mpimini {
+
+/// One rank's calibration result.
+struct ClockSync {
+  /// Add to this rank's monotonic clock to land on the root's timeline.
+  std::int64_t offset_ns = 0;
+  /// Smallest round trip observed; |estimate error| <= min_rtt_ns / 2.
+  std::int64_t min_rtt_ns = 0;
+  int rounds = 0;  ///< ping-pong rounds actually used
+};
+
+/// Collective over `comm`: every rank must call it, in the same program
+/// order as other collectives.  Non-root ranks run `rounds` ping-pongs
+/// against `root` (served one rank at a time, in rank order) and keep the
+/// min-RTT offset sample; root returns the identity calibration.
+///
+/// `injected_skew_ns` is a test hook: the calling rank behaves as if its
+/// clock ran that many ns ahead, so the returned offset should recover
+/// -injected_skew_ns to within min_rtt_ns/2.
+ClockSync CalibrateClockOffset(Comm& comm, int root = 0, int rounds = 8,
+                               std::int64_t injected_skew_ns = 0);
+
+}  // namespace mpimini

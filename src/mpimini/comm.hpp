@@ -194,6 +194,7 @@ inline constexpr int kTagAllGather = -5;
 inline constexpr int kTagSplit = -6;
 inline constexpr int kTagAllToAll = -7;
 inline constexpr int kTagAllReduce = -8;
+inline constexpr int kTagClockSync = -9;
 
 template <typename T>
 void ApplyOp(Op op, std::span<T> acc, std::span<const T> in) {

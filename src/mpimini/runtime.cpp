@@ -183,6 +183,9 @@ RunResult Runtime::Run(int nranks, const RunSettings& settings,
     if (env.tracer) {
       result.tracers.push_back(envs[static_cast<std::size_t>(r)]->tracer);
     }
+    for (const auto& extra : env.extra_tracers) {
+      if (extra) result.tracers.push_back(extra);
+    }
     if (env.metrics) {
       result.metrics.push_back(envs[static_cast<std::size_t>(r)]->metrics);
     }

@@ -41,6 +41,12 @@ struct RankEnv {
   /// unlike the tracer/metrics it is shared with the rank's async worker
   /// (the ring is multi-writer safe) and dumped on crash.
   std::shared_ptr<instrument::FlightRecorder> flightrec;
+  /// Additional single-owner tracers registered by rank code for helper
+  /// threads it spawned (the async pipeline's worker records its spans and
+  /// flow events here).  Appended after the helper thread has joined; the
+  /// runtime folds them into RunResult::tracers so the trace export sees
+  /// worker lanes without sharing a ring across threads.
+  std::vector<std::shared_ptr<instrument::Tracer>> extra_tracers;
 };
 
 /// The calling thread's RankEnv, or nullptr outside a rank.

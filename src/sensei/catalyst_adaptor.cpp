@@ -2,9 +2,11 @@
 
 #include "render/isosurface.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "instrument/metrics.hpp"
+#include "instrument/provenance.hpp"
 #include "instrument/tracer.hpp"
 
 namespace sensei {
@@ -126,6 +128,23 @@ bool CatalystAnalysisAdaptor::Execute(DataAdaptor& data) {
                           static_cast<double>(bytes_written_));
         metrics->SetTotal("catalyst.images",
                           static_cast<double>(images_written_));
+      }
+    }
+  }
+  // End-to-end latency: solver-step completion (the wire-carried causal
+  // origin, global timeline) to the step's images being on disk.  Observed
+  // once per step on the compositing root only, so the histogram count is
+  // one sample per rendered step regardless of how the work is partitioned
+  // across ranks.
+  if (comm.Rank() == 0) {
+    const instrument::StepProvenance* origin = instrument::CurrentProvenance();
+    if (origin != nullptr && origin->Valid()) {
+      if (auto* metrics = instrument::CurrentMetrics()) {
+        metrics->Observe(
+            "e2e.step_to_image_seconds",
+            std::max(0.0, static_cast<double>(instrument::GlobalNowNs() -
+                                              origin->GlobalTimestampNs()) *
+                              1e-9));
       }
     }
   }

@@ -1,7 +1,10 @@
 #include "sensei/checkpoint_adaptor.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "instrument/metrics.hpp"
+#include "instrument/provenance.hpp"
 #include "instrument/tracer.hpp"
 
 namespace sensei {
@@ -37,9 +40,27 @@ bool CheckpointAnalysisAdaptor::Execute(DataAdaptor& data) {
 
   const std::string path = FilePath(data.GetDataTimeStep(),
                                     data.GetCommunicator().Rank());
-  instrument::Span write_span("checkpoint.write");
-  bytes_written_ += svtk::WriteVtu(*mesh, path, options_.encoding);
-  ++files_written_;
+  {
+    instrument::Span write_span("checkpoint.write");
+    bytes_written_ += svtk::WriteVtu(*mesh, path, options_.encoding);
+    ++files_written_;
+  }
+  // End-to-end latency: causal origin of the step to its checkpoint being
+  // on disk.  Rank 0 of the analysis communicator observes (the write is
+  // per-rank, but one sample per step keeps the histogram count
+  // partition-independent).
+  if (data.GetCommunicator().Rank() == 0) {
+    const instrument::StepProvenance* origin = instrument::CurrentProvenance();
+    if (origin != nullptr && origin->Valid()) {
+      if (auto* metrics = instrument::CurrentMetrics()) {
+        metrics->Observe(
+            "e2e.step_to_checkpoint_seconds",
+            std::max(0.0, static_cast<double>(instrument::GlobalNowNs() -
+                                              origin->GlobalTimestampNs()) *
+                              1e-9));
+      }
+    }
+  }
   return true;
 }
 

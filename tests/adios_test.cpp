@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -13,6 +14,8 @@
 #include "adios/sst.hpp"
 #include "codec/codec.hpp"
 #include "instrument/flight_recorder.hpp"
+#include "instrument/provenance.hpp"
+#include "instrument/tracer.hpp"
 #include "mpimini/runtime.hpp"
 
 namespace {
@@ -56,6 +59,16 @@ codec::Spec BlockFloat8() {
   spec.kind = codec::Kind::kBlockFloat;
   spec.rate = 8;
   return spec;
+}
+
+/// A fully populated step context with distinctive values in every field.
+adios::StepContext TestContext() {
+  adios::StepContext context;
+  context.run_id = 0x1122334455667788ULL;
+  context.origin_span_id = 0x00FFEEDDCCBBAA99ULL;
+  context.origin_ts_ns = 123456789;
+  context.origin_offset_ns = -4242;
+  return context;
 }
 
 /// Message of the std::runtime_error thrown by UnmarshalStep, or "" if it
@@ -240,6 +253,146 @@ TEST(MarshalTest, TrailingByteErrorCountsTheExcess) {
   EXPECT_NE(what.find("3"), std::string::npos) << what;
 }
 
+// Wire layout (v3): as v2 but magic "BP7MINI" and, between writer_rank and
+// the variable count, the 40-byte step context — u64 version at offset 24,
+// u64 run_id at 32, u64 origin_span_id at 40, i64 origin_ts_ns at 48,
+// i64 origin_offset_ns at 56; the variable count moves to 64.
+TEST(MarshalTest, StepContextRoundTripsThroughV3Header) {
+  StepPayload payload;
+  payload.step = 42;
+  payload.writer_rank = 3;
+  payload.context = TestContext();
+  payload.variables["mesh"] = Buf("geometry-bytes");
+  auto buffer = MarshalStep(payload);
+  StepPayload back = UnmarshalStep(buffer);
+  EXPECT_EQ(back.step, 42);
+  EXPECT_EQ(back.writer_rank, 3);
+  ASSERT_TRUE(back.context.Valid());
+  EXPECT_EQ(back.context.run_id, payload.context.run_id);
+  EXPECT_EQ(back.context.origin_span_id, payload.context.origin_span_id);
+  EXPECT_EQ(back.context.origin_ts_ns, payload.context.origin_ts_ns);
+  EXPECT_EQ(back.context.origin_offset_ns, payload.context.origin_offset_ns);
+  EXPECT_EQ(back.variables.at("mesh"), payload.variables.at("mesh"));
+  // The zero-copy flavor (the SST receive path) parses the same header.
+  core::Buffer packed = core::Buffer::TakeVector("", std::move(buffer));
+  StepPayload shared = adios::UnmarshalShared(packed);
+  EXPECT_EQ(shared.context.run_id, payload.context.run_id);
+  EXPECT_EQ(shared.context.origin_offset_ns, payload.context.origin_offset_ns);
+}
+
+TEST(MarshalTest, ContextFreeStepIsBitIdenticalToV2Wire) {
+  // Compatibility pin: a step staged without a causal context marshals to
+  // the exact v2 wire bytes, hand-assembled here from the documented
+  // layout.  Pre-v3 readers, BP files on disk, and the byte counters the
+  // bench baselines pin all stay unchanged unless provenance is attached.
+  StepPayload payload;
+  payload.step = 11;
+  payload.writer_rank = 2;
+  payload.variables["x"] = Buf("abc");
+  const auto buffer = MarshalStep(payload);
+
+  std::vector<std::byte> expected;
+  auto append_u64 = [&](std::uint64_t v) {
+    const std::size_t old = expected.size();
+    expected.resize(old + sizeof(v));
+    std::memcpy(expected.data() + old, &v, sizeof(v));
+  };
+  auto append_ascii = [&](const std::string& s) {
+    for (char c : s) expected.push_back(static_cast<std::byte>(c));
+  };
+  append_u64(0x4250364D494E49ULL);  // "BP6MINI" (v2 magic, marshal.cpp)
+  append_u64(11);                   // step
+  append_u64(2);                    // writer_rank
+  append_u64(1);                    // variable count
+  append_u64(1);                    // name length
+  append_ascii("x");
+  append_u64(0);                    // codec kind (identity)
+  append_u64(3);                    // raw length
+  append_u64(3);                    // wire length
+  append_ascii("abc");
+  ASSERT_EQ(buffer.size(), expected.size());
+  EXPECT_EQ(std::memcmp(buffer.data(), expected.data(), expected.size()), 0);
+
+  // Attaching a context grows the buffer by exactly the 40-byte context
+  // block, switches the magic to v3, and moves nothing else: everything
+  // after the (step, writer_rank) header is byte-identical.
+  payload.context = TestContext();
+  const auto v3 = MarshalStep(payload);
+  ASSERT_EQ(v3.size(), expected.size() + 40);
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, v3.data(), sizeof(magic));
+  EXPECT_EQ(magic, 0x4250374D494E49ULL);  // "BP7MINI"
+  EXPECT_EQ(std::memcmp(v3.data() + 24 + 40, expected.data() + 24,
+                        expected.size() - 24),
+            0);
+}
+
+TEST(MarshalTest, RejectsUnknownStepContextVersionByName) {
+  // Forward compatibility: a reader must refuse (not mis-parse) a context
+  // layout it does not understand, naming the field and the value.
+  StepPayload payload;
+  payload.context = TestContext();
+  payload.variables["x"] = Buf("abc");
+  auto buffer = MarshalStep(payload);
+  const std::uint64_t future = 7;
+  std::memcpy(buffer.data() + 24, &future, sizeof(future));  // version field
+  const std::string what = UnmarshalError(buffer);
+  EXPECT_NE(what.find("step-context version"), std::string::npos) << what;
+  EXPECT_NE(what.find("7"), std::string::npos) << what;
+}
+
+TEST(MarshalTest, RejectsNullContextRunIdInV3Header) {
+  // A v3 header claiming "provenance attached" with run_id 0 is corrupt:
+  // writers only upgrade to v3 for a valid context.
+  StepPayload payload;
+  payload.context = TestContext();
+  payload.variables["x"] = Buf("abc");
+  auto buffer = MarshalStep(payload);
+  const std::uint64_t zero = 0;
+  std::memcpy(buffer.data() + 32, &zero, sizeof(zero));  // run_id field
+  const std::string what = UnmarshalError(buffer);
+  EXPECT_NE(what.find("run_id"), std::string::npos) << what;
+}
+
+TEST(MarshalTest, EveryTruncatedPrefixOfV3BufferThrows) {
+  // The v2 fuzz sweep repeated over a context-carrying buffer: no prefix
+  // may parse, crash, or read out of bounds.
+  StepPayload payload;
+  payload.step = 11;
+  payload.writer_rank = 2;
+  payload.context = TestContext();
+  payload.variables["x"] = Buf("abc");
+  payload.variables["yy"] = Buf("defgh");
+  const auto buffer = MarshalStep(payload);
+  for (std::size_t cut = 0; cut < buffer.size(); ++cut) {
+    EXPECT_THROW((void)UnmarshalStep(std::span(buffer.data(), cut)),
+                 std::runtime_error)
+        << "prefix " << cut << " of " << buffer.size();
+  }
+  EXPECT_NO_THROW((void)UnmarshalStep(buffer));
+}
+
+TEST(MarshalTest, ContextTruncationErrorsNameTheContextField) {
+  // A cut inside each context field must name that field in the error.
+  StepPayload payload;
+  payload.context = TestContext();
+  payload.variables["x"] = Buf("abc");
+  const auto buffer = MarshalStep(payload);
+  ASSERT_EQ(buffer.size(), 108u);  // 68-byte v2 body + 40-byte context
+  const std::pair<std::size_t, const char*> cases[] = {
+      {28, "step-context version"},
+      {36, "step-context run_id"},
+      {44, "step-context origin_span_id"},
+      {52, "step-context origin_ts_ns"},
+      {60, "step-context origin_offset_ns"},
+  };
+  for (const auto& [cut, field] : cases) {
+    const std::string what = UnmarshalError(std::span(buffer.data(), cut));
+    EXPECT_NE(what.find(field), std::string::npos)
+        << "prefix " << cut << " gave: " << what;
+  }
+}
+
 TEST(MarshalTest, CodecTaggedChainRoundTripsWithStats) {
   const std::vector<double> field = SmoothField(512);
   core::Buffer temp = core::Buffer::TakeVector("", AsBytes(field));
@@ -382,6 +535,101 @@ TEST(SstTest, OneWriterOneReaderStreamsSteps) {
       EXPECT_EQ(reader.Stats().steps, 5u);
     }
   });
+}
+
+TEST(SstTest, StepContextRidesTheWireToTheReader) {
+  // The tentpole propagation path: a provenance installed on the writer's
+  // thread when the step is staged crosses the wire in the v3 header and
+  // surfaces on the reader's payload; a step staged with no current
+  // provenance arrives context-free (and stays v2 on the wire).
+  Runtime::Run(2, [](Comm& comm) {
+    constexpr int kRunIdTag = 7;
+    constexpr int kSpanIdTag = 8;
+    if (comm.Rank() == 0) {
+      SstWriter writer(comm, 1);
+      instrument::StepProvenance provenance;
+      provenance.run_id = instrument::MakeRunId();
+      provenance.origin_rank = 0;
+      provenance.step = 0;
+      provenance.origin_span_id =
+          instrument::StepSpanId(provenance.run_id, 0, 0);
+      provenance.origin_ts_ns = 123456789;
+      provenance.origin_offset_ns = -4242;
+      {
+        instrument::ProvenanceScope scope(&provenance);
+        writer.BeginStep(0);
+        writer.Put("mesh", Bytes("with-context"));
+        writer.EndStep();
+      }
+      writer.BeginStep(1);
+      writer.Put("mesh", Bytes("without"));
+      writer.EndStep();
+      writer.Close();
+      comm.SendValue<std::uint64_t>(1, kRunIdTag, provenance.run_id);
+      comm.SendValue<std::uint64_t>(1, kSpanIdTag,
+                                    provenance.origin_span_id);
+    } else {
+      SstReader reader(comm, {0});
+      auto first = reader.NextStep();
+      ASSERT_TRUE(first.has_value());
+      auto second = reader.NextStep();
+      ASSERT_TRUE(second.has_value());
+      EXPECT_FALSE(reader.NextStep().has_value());
+      const auto run_id = comm.RecvValue<std::uint64_t>(0, kRunIdTag);
+      const auto span_id = comm.RecvValue<std::uint64_t>(0, kSpanIdTag);
+      const adios::StepContext& context = first->payloads.at(0).context;
+      ASSERT_TRUE(context.Valid());
+      EXPECT_EQ(context.run_id, run_id);
+      EXPECT_EQ(context.origin_span_id, span_id);
+      EXPECT_EQ(context.origin_ts_ns, 123456789);
+      EXPECT_EQ(context.origin_offset_ns, -4242);
+      EXPECT_FALSE(second->payloads.at(0).context.Valid());
+    }
+  });
+}
+
+TEST(SstTest, FlowEventsPairAcrossTheWire) {
+  // Causal arrows in the trace: shipping a context-carrying step records a
+  // start flow ("s") inside the writer's sst.send and a matching finish
+  // ("f") inside the reader's sst.recv, both under the deterministic
+  // StepSpanId — no id negotiation crosses the wire besides the context.
+  std::atomic<std::uint64_t> expected_id{0};
+  mpimini::RunSettings settings;
+  settings.trace = true;
+  auto result = Runtime::Run(2, settings, [&](Comm& comm) {
+    if (comm.Rank() == 0) {
+      instrument::StepProvenance provenance;
+      provenance.run_id = instrument::MakeRunId();
+      provenance.origin_rank = 0;
+      provenance.step = 3;
+      provenance.origin_span_id =
+          instrument::StepSpanId(provenance.run_id, 0, 3);
+      provenance.origin_ts_ns = 1;
+      expected_id = provenance.origin_span_id;
+      instrument::ProvenanceScope scope(&provenance);
+      SstWriter writer(comm, 1);
+      writer.BeginStep(3);
+      writer.Put("mesh", Bytes("payload"));
+      writer.EndStep();
+      writer.Close();
+    } else {
+      SstReader reader(comm, {0});
+      while (reader.NextStep()) {
+      }
+    }
+  });
+  ASSERT_EQ(result.tracers.size(), 2u);
+  const auto& sends = result.tracers[0]->Flows();
+  const auto& recvs = result.tracers[1]->Flows();
+  ASSERT_EQ(sends.size(), 1u);
+  ASSERT_EQ(recvs.size(), 1u);
+  EXPECT_TRUE(sends[0].start);
+  EXPECT_FALSE(recvs[0].start);
+  EXPECT_EQ(sends[0].id, expected_id.load());
+  EXPECT_EQ(recvs[0].id, expected_id.load());
+  EXPECT_EQ(sends[0].step, 3);
+  EXPECT_EQ(recvs[0].step, 3);
+  EXPECT_GE(recvs[0].ts_ns, sends[0].ts_ns);
 }
 
 TEST(SstTest, FourToOneFanIn) {

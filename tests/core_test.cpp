@@ -493,6 +493,52 @@ TEST(WorkflowMetricsTest, XmlTelemetryAttributesEnablePlaneAndHeartbeat) {
   EXPECT_TRUE(std::filesystem::exists(dir + "/metrics.json"));
 }
 
+TEST(WorkflowMetricsTest, E2eLatencyHistogramCountsPartitionIndependent) {
+  // Acceptance pin for the e2e latency plane (DESIGN.md §5d): exactly one
+  // e2e.step_to_image / e2e.step_to_recv sample per delivered step —
+  // observed on one rank only — so the histogram counts are identical no
+  // matter how the same work is partitioned across sim/endpoint ranks.
+  auto run = [](int sim_ranks) {
+    const std::string dir =
+        TempSubdir("wf_e2e_" + std::to_string(sim_ranks));
+    nek_sensei::InTransitOptions options;
+    nekrs::cases::RayleighBenardOptions rbc;
+    rbc.elements = {8, 2, 2};  // 8 x-layers: partitionable 4 or 8 ways
+    rbc.order = 3;
+    options.flow = nekrs::cases::RayleighBenardCase(rbc);
+    options.flow.mesh.partition_axis = 0;
+    options.steps = 6;
+    options.sim_per_endpoint = 2;
+    options.sim_xml =
+        "<sensei><analysis type=\"adios\" frequency=\"2\"/></sensei>";
+    options.endpoint_xml =
+        "<sensei><analysis type=\"catalyst\" output=\"" + dir +
+        "\" width=\"48\" height=\"32\">"
+        "<render array=\"temperature\"/></analysis></sensei>";
+    options.telemetry.metrics = true;  // in-memory report, no file
+    return nek_sensei::RunInTransit(sim_ranks, options);
+  };
+  const auto m4 = run(4);   // 4 sim + 2 endpoint ranks
+  const auto m8 = run(8);   // 8 sim + 4 endpoint ranks
+  for (const char* name :
+       {"e2e.step_to_image_seconds", "e2e.step_to_recv_seconds"}) {
+    const auto& h4 = m4.metrics_report.histograms;
+    const auto& h8 = m8.metrics_report.histograms;
+    ASSERT_TRUE(h4.count(name)) << name;
+    ASSERT_TRUE(h8.count(name)) << name;
+    // Steps 2, 4, 6 ship (frequency 2): one sample each, on any layout.
+    EXPECT_EQ(h4.at(name).count, 3u) << name;
+    EXPECT_EQ(h8.at(name).count, h4.at(name).count) << name;
+    EXPECT_GE(h4.at(name).min, 0.0) << name;
+    EXPECT_GE(h4.at(name).max, h4.at(name).Mean()) << name;
+  }
+  // Causality: an image cannot land before its step was received.
+  EXPECT_GE(m4.metrics_report.histograms.at("e2e.step_to_image_seconds")
+                .Mean(),
+            m4.metrics_report.histograms.at("e2e.step_to_recv_seconds")
+                .Mean());
+}
+
 TEST(WorkflowMetricsTest, InTransitPlaneCapturesSstBackpressure) {
   // In transit the plane additionally watches the SST staging queue: depth
   // watermarks plus the block-decision counter that exposes backpressure.

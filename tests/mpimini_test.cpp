@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 
 #include "instrument/tracer.hpp"
+#include "mpimini/clock_sync.hpp"
 #include "mpimini/comm.hpp"
 #include "mpimini/runtime.hpp"
 
@@ -489,6 +491,77 @@ TEST(StressTest, TracerRingDropCountersIsolatedAcrossConcurrentFeeders) {
     EXPECT_EQ(tracer.DroppedSpans(), expected - kRing) << "rank " << r;
     EXPECT_EQ(tracer.RetainedSpans(), kRing) << "rank " << r;
   }
+}
+
+// ---- Clock-offset calibration (DESIGN.md §5d) -------------------------------
+
+TEST(ClockSyncTest, ZeroSkewEstimateWithinHalfMinRtt) {
+  // Ranks are threads sharing one steady_clock, so the true offset is 0 ns:
+  // the returned estimate must itself sit inside the documented error bound
+  // |error| <= min_rtt / 2 (+1 ns slack for the integer halving).
+  Runtime::Run(4, [](Comm& comm) {
+    const mpimini::ClockSync sync = mpimini::CalibrateClockOffset(comm);
+    if (comm.Rank() == 0) {
+      // The root defines the global timeline.
+      EXPECT_EQ(sync.offset_ns, 0);
+      EXPECT_EQ(sync.min_rtt_ns, 0);
+    } else {
+      EXPECT_GT(sync.min_rtt_ns, 0);
+      EXPECT_EQ(sync.rounds, 8);
+      EXPECT_LE(std::llabs(sync.offset_ns), sync.min_rtt_ns / 2 + 1);
+    }
+  });
+}
+
+TEST(ClockSyncTest, RecoversInjectedSkewWithinHalfMinRtt) {
+  // A rank whose virtual clock runs 5 ms ahead must calibrate to an offset
+  // of ~-5 ms, wrong by at most half its minimum round trip — Cristian's
+  // bound, since only the RTT's split between directions is unknowable.
+  constexpr std::int64_t kSkewNs = 5'000'000;
+  Runtime::Run(2, [](Comm& comm) {
+    const std::int64_t skew = comm.Rank() == 1 ? kSkewNs : 0;
+    const mpimini::ClockSync sync =
+        mpimini::CalibrateClockOffset(comm, /*root=*/0, /*rounds=*/8, skew);
+    if (comm.Rank() == 1) {
+      EXPECT_LE(std::llabs(sync.offset_ns + kSkewNs),
+                sync.min_rtt_ns / 2 + 1);
+    }
+  });
+}
+
+TEST(ClockSyncTest, TwoGroupWorldCalibrationAlignsSkewedEndpointGroup) {
+  // The in transit shape: the world splits into a sim group and an endpoint
+  // group (separate jobs on separate nodes in a real deployment — their
+  // unrelated clock epochs simulated by skewing every endpoint rank 3 ms
+  // ahead).  Calibration runs over the WORLD communicator, so both groups
+  // land on world rank 0's timeline, and each skewed rank's offset must
+  // recover its skew within min_rtt / 2.  After calibration an endpoint
+  // rank can place a sim-side timestamp on its own corrected timeline to
+  // within the same bound.
+  constexpr std::int64_t kEndpointSkewNs = 3'000'000;
+  Runtime::Run(6, [](Comm& world) {
+    const bool is_endpoint = world.Rank() >= 4;
+    Comm group = world.Split(is_endpoint ? 1 : 0, world.Rank());
+    ASSERT_EQ(group.Size(), is_endpoint ? 2 : 4);
+    const std::int64_t skew = is_endpoint ? kEndpointSkewNs : 0;
+    const mpimini::ClockSync sync =
+        mpimini::CalibrateClockOffset(world, /*root=*/0, /*rounds=*/8, skew);
+    if (world.Rank() == 0) {
+      EXPECT_EQ(sync.offset_ns, 0);
+    } else {
+      EXPECT_LE(std::llabs(sync.offset_ns + skew), sync.min_rtt_ns / 2 + 1);
+    }
+  });
+}
+
+TEST(ClockSyncTest, RejectsBadArguments) {
+  Runtime::Run(2, [](Comm& comm) {
+    EXPECT_THROW(mpimini::CalibrateClockOffset(comm, /*root=*/2),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        mpimini::CalibrateClockOffset(comm, /*root=*/0, /*rounds=*/0),
+        std::invalid_argument);
+  });
 }
 
 TEST(StressTest, NestedSplitsFormConsistentSubgroups) {

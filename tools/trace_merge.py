@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Fuse per-group Chrome traces into one causally aligned timeline.
+
+The workflow exports one trace file per communicator group (the simulation
+group's ``trace.json`` and the endpoint group's ``trace_endpoint.json``),
+each already clock-aligned: every timestamp carries the emitting rank's
+calibrated offset to rank 0, and both files share one ``nsm.base_ns``
+anchor when exported by the same run.  This tool
+
+  * merges N such files into a single trace (open in Perfetto), shifting
+    files whose ``base_ns`` anchors differ onto the earliest one;
+  * pairs SST flow events (``ph:"s"`` on the sending sim worker with
+    ``ph:"f"`` on the receiving endpoint rank, matched by id) and reports
+    the per-step wire latency;
+  * extracts the per-step critical path across the boundary — send ->
+    wire/queue -> decode (sst.recv) -> analysis -> write — from the merged
+    span timeline;
+  * surfaces each lane's tracer-ring drop counts (``nsm_rank_digest``
+    metadata), so a truncated timeline is never mistaken for a quiet one.
+
+Exit codes: 0 = merged and valid; 1 = validation failure (an unpaired flow
+event, a requested step whose spans were dropped, or --check finding a
+delivered step without a send->recv link or a finite end-to-end latency);
+2 = usage or unreadable input.
+
+Usage:
+  tools/trace_merge.py --out merged.json trace.json trace_endpoint.json
+  tools/trace_merge.py --check --step 10 --out merged.json a.json b.json
+"""
+
+import argparse
+import json
+import math
+import sys
+from collections import defaultdict
+
+# Endpoint-side span families that make up the post-wire critical path.
+DECODE_SPANS = ("sst.recv",)
+ANALYSIS_PREFIXES = ("analysis.",)
+WRITE_SPANS = ("catalyst.write", "checkpoint.write")
+
+
+def load_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"error: {path} is not valid JSON: {err}")
+    if "traceEvents" not in doc:
+        sys.exit(f"error: {path} has no traceEvents array")
+    return doc
+
+
+def merge_traces(docs):
+    """Shift every file onto the earliest base_ns anchor and concatenate."""
+    bases = [doc.get("nsm", {}).get("base_ns", 0) for doc in docs]
+    base = min(bases) if bases else 0
+    events = []
+    for doc, file_base in zip(docs, bases):
+        shift_us = (file_base - base) / 1e3
+        for event in doc["traceEvents"]:
+            if shift_us and "ts" in event:
+                event = dict(event)
+                event["ts"] = event["ts"] + shift_us
+            events.append(event)
+    # Metadata first, then time order: Perfetto names lanes before drawing.
+    events.sort(key=lambda e: (e.get("ph") != "M", e.get("ts", 0.0)))
+    return {"traceEvents": events, "nsm": {"base_ns": base}}
+
+
+def digest_rows(events):
+    """One row per (pid, tid) lane carrying an nsm_rank_digest."""
+    rows = []
+    names = {}
+    for event in events:
+        if event.get("ph") != "M":
+            continue
+        key = (event.get("pid"), event.get("tid"))
+        if event.get("name") == "thread_name":
+            names[key] = event["args"]["name"]
+        elif event.get("name") == "nsm_rank_digest":
+            rows.append((key, event["args"]))
+    return [(key, names.get(key, "?"), args) for key, args in rows]
+
+
+def pair_flows(events):
+    """Match s/f flow events by id -> {step: [link...]}, plus leftovers."""
+    sends = {}
+    recvs = {}
+    for event in events:
+        if event.get("ph") == "s":
+            sends[event["id"]] = event
+        elif event.get("ph") == "f":
+            recvs[event["id"]] = event
+    steps = defaultdict(list)
+    for flow_id, send in sends.items():
+        recv = recvs.get(flow_id)
+        if recv is not None:
+            steps[send["args"]["step"]].append((send, recv))
+    unpaired_sends = [s for i, s in sends.items() if i not in recvs]
+    unpaired_recvs = [r for i, r in recvs.items() if i not in sends]
+    return steps, unpaired_sends, unpaired_recvs
+
+
+def critical_path(events, steps):
+    """Per-step segment durations (ms) from the merged span timeline.
+
+    Steps are processed in delivery order; each step's endpoint window runs
+    from its first send to the next step's first send (or the end of the
+    trace), which is exact for the sequential endpoint consumer loop.
+    """
+    endpoint_pids = set()
+    for links in steps.values():
+        for _, recv in links:
+            endpoint_pids.add(recv.get("pid"))
+    spans = [
+        e
+        for e in events
+        if e.get("ph") == "X" and e.get("pid") in endpoint_pids
+    ]
+    ordered = sorted(steps.items(), key=lambda kv: min(s["ts"] for s, _ in kv[1]))
+    report = []
+    for index, (step, links) in enumerate(ordered):
+        first_send = min(send["ts"] for send, _ in links)
+        last_recv = max(recv["ts"] for _, recv in links)
+        window_end = math.inf
+        if index + 1 < len(ordered):
+            window_end = min(s["ts"] for s, _ in ordered[index + 1][1])
+        in_window = [
+            s for s in spans if first_send <= s["ts"] < window_end
+        ]
+        decode = sum(
+            s.get("dur", 0.0) for s in in_window if s["name"] in DECODE_SPANS
+        )
+        analysis = sum(
+            s.get("dur", 0.0)
+            for s in in_window
+            if s["name"].startswith(ANALYSIS_PREFIXES)
+        )
+        write = sum(
+            s.get("dur", 0.0) for s in in_window if s["name"] in WRITE_SPANS
+        )
+        work_end = max(
+            (s["ts"] + s.get("dur", 0.0) for s in in_window),
+            default=last_recv,
+        )
+        report.append(
+            {
+                "step": step,
+                "links": len(links),
+                "wire_ms": (last_recv - first_send) / 1e3,
+                "decode_ms": decode / 1e3,
+                "analysis_ms": analysis / 1e3,
+                "write_ms": write / 1e3,
+                "e2e_ms": (work_end - first_send) / 1e3,
+            }
+        )
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="merge per-group Chrome traces into one aligned timeline"
+    )
+    parser.add_argument("inputs", nargs="+", help="per-group trace files")
+    parser.add_argument("--out", help="write the merged trace here")
+    parser.add_argument(
+        "--step",
+        type=int,
+        help="require this step's spans and flow links to be present "
+        "(exit 1 when its lane dropped records)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI mode: every delivered step must have a paired send->recv "
+        "flow link and a finite end-to-end latency",
+    )
+    args = parser.parse_args()
+
+    merged = merge_traces([load_trace(path) for path in args.inputs])
+    events = merged["traceEvents"]
+    steps, unpaired_sends, unpaired_recvs = pair_flows(events)
+    digests = digest_rows(events)
+
+    failures = []
+    total_dropped = 0
+    for (pid, tid), name, digest in digests:
+        dropped = digest.get("dropped_spans", 0) + digest.get(
+            "dropped_events", 0
+        )
+        total_dropped += dropped
+        if dropped:
+            print(
+                f"warning: lane pid={pid} tid={tid} ({name}) dropped "
+                f"{digest.get('dropped_spans', 0)} spans and "
+                f"{digest.get('dropped_events', 0)} events "
+                "(ring capacity; raise the tracer ring size)",
+                file=sys.stderr,
+            )
+
+    if args.step is not None:
+        if args.step not in steps:
+            detail = (
+                "its spans were dropped from a full tracer ring"
+                if total_dropped
+                else "no flow events reference it"
+            )
+            failures.append(f"step {args.step} is absent from the merge: {detail}")
+        elif total_dropped:
+            failures.append(
+                f"step {args.step} is present but {total_dropped} records "
+                "were dropped; the timeline is not trustworthy"
+            )
+
+    report = critical_path(events, steps)
+    if args.check:
+        if not steps:
+            failures.append("no send->recv flow links in the merged trace")
+        for send in unpaired_sends:
+            failures.append(
+                f"send flow id {send['id']} (step {send['args']['step']}) "
+                "has no matching recv"
+            )
+        for recv in unpaired_recvs:
+            failures.append(
+                f"recv flow id {recv['id']} (step {recv['args']['step']}) "
+                "has no matching send"
+            )
+        for row in report:
+            if not math.isfinite(row["e2e_ms"]) or row["e2e_ms"] < 0.0:
+                failures.append(
+                    f"step {row['step']} has no finite end-to-end latency"
+                )
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(merged, f)
+        print(f"merged {len(args.inputs)} trace(s) -> {args.out} "
+              f"({len(events)} events)")
+
+    if report:
+        print("step  links  wire_ms  decode_ms  analysis_ms  write_ms  e2e_ms")
+        for row in report:
+            print(
+                f"{row['step']:>4}  {row['links']:>5}  {row['wire_ms']:>7.3f}"
+                f"  {row['decode_ms']:>9.3f}  {row['analysis_ms']:>11.3f}"
+                f"  {row['write_ms']:>8.3f}  {row['e2e_ms']:>6.3f}"
+            )
+    else:
+        print("no paired flow events (nothing streamed, or tracing was off)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"check ok: {len(report)} step(s) with paired flow links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
