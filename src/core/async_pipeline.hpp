@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "core/buffer.hpp"
+#include "core/lock_ranks.hpp"
 #include "core/nek_data_adaptor.hpp"
 #include "core/thread_annotations.hpp"
 #include "instrument/metrics.hpp"
@@ -173,7 +174,7 @@ class AsyncPipeline {
   std::vector<Slot> slots_;
   std::size_t next_slot_ = 0;  ///< rank thread only: round-robin cursor
 
-  core::Mutex mutex_;
+  core::Mutex mutex_{core::lock_rank::kCoreAsyncPipelineMutex};
   core::CondVar slot_freed_cv_;  ///< worker -> rank: a slot went idle
   core::CondVar work_cv_;        ///< rank -> worker: job queued / drain
   std::vector<std::uint8_t> in_flight_ NSM_GUARDED_BY(mutex_);

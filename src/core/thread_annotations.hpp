@@ -31,10 +31,15 @@
 #include <condition_variable>
 #include <mutex>
 
-#if defined(NSM_THREAD_CHECKS)
+#if defined(NSM_THREAD_CHECKS) || defined(NSM_LOCK_RANK)
 #include <cstdio>
 #include <cstdlib>
+#endif
+#if defined(NSM_THREAD_CHECKS)
 #include <thread>
+#endif
+#if defined(NSM_LOCK_RANK)
+#include <vector>
 #endif
 
 // ---- annotation macros -----------------------------------------------------
@@ -81,21 +86,114 @@
 
 namespace core {
 
+/// Rank metadata for a core::Mutex, emitted by `nsm_analyze --write-ranks`
+/// into src/core/lock_ranks.hpp as the topological order of the static
+/// acquired-before graph.  The type exists in every build so ranked
+/// declarations (`core::Mutex m{core::lock_rank::kX};`) always compile;
+/// the enforcement below is compiled in only under -DNSM_LOCK_RANK=ON.
+struct LockRankSpec {
+  int rank;
+  const char* name;  // the analyzer's lock id, e.g. "mpimini/comm::mutex"
+};
+
+#if defined(NSM_LOCK_RANK)
+
+namespace lock_rank_detail {
+
+/// Ranked locks the current thread holds, in acquisition order.  A plain
+/// vector: the stack is a handful of entries deep and only ever touched by
+/// its own thread.
+inline thread_local std::vector<const LockRankSpec*> held_locks;
+
+/// Abort unless `spec` outranks everything this thread already holds.
+/// Strict `>`: re-acquiring the same rank is also forbidden (relocking a
+/// std::mutex is undefined behavior anyway).
+inline void CheckAcquire(const LockRankSpec* spec) {
+  if (spec == nullptr) return;  // unranked mutex: nothing to enforce
+  for (const LockRankSpec* held : held_locks) {
+    if (held->rank >= spec->rank) {
+      std::fprintf(
+          stderr,
+          "[lock-rank] forbidden acquisition order: acquiring \"%s\" "
+          "(rank %d) while holding \"%s\" (rank %d) — the acquired-before "
+          "graph (nsm_analyze --dot) does not approve this interleaving\n",
+          spec->name, spec->rank, held->name, held->rank);
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+}
+
+inline void PushHeld(const LockRankSpec* spec) {
+  if (spec != nullptr) held_locks.push_back(spec);
+}
+
+inline void PopHeld(const LockRankSpec* spec) {
+  if (spec == nullptr) return;
+  for (auto it = held_locks.rbegin(); it != held_locks.rend(); ++it) {
+    if (*it == spec) {
+      held_locks.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace lock_rank_detail
+
+#endif  // NSM_LOCK_RANK
+
 /// std::mutex with the capability annotation the Clang analysis needs.
 /// Lowercase lock/unlock keep it a BasicLockable, so it composes with
 /// std::condition_variable_any (see CondVar).
+///
+/// A mutex constructed with a LockRankSpec participates in the runtime
+/// acquisition-order check under -DNSM_LOCK_RANK=ON; default builds accept
+/// the spec and discard it, so ranked declarations cost nothing and
+/// sizeof(Mutex) stays sizeof(std::mutex) (asserted by lock_rank_test).
 class NSM_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+#if defined(NSM_LOCK_RANK)
+  explicit Mutex(const LockRankSpec& spec) : spec_(&spec) {}
+#else
+  explicit Mutex(const LockRankSpec& /*spec*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() NSM_ACQUIRE() { mutex_.lock(); }
-  void unlock() NSM_RELEASE() { mutex_.unlock(); }
-  bool try_lock() NSM_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+  void lock() NSM_ACQUIRE() {
+#if defined(NSM_LOCK_RANK)
+    lock_rank_detail::CheckAcquire(spec_);
+#endif
+    mutex_.lock();
+#if defined(NSM_LOCK_RANK)
+    lock_rank_detail::PushHeld(spec_);
+#endif
+  }
+
+  void unlock() NSM_RELEASE() {
+#if defined(NSM_LOCK_RANK)
+    lock_rank_detail::PopHeld(spec_);
+#endif
+    mutex_.unlock();
+  }
+
+  /// try_lock records the hold but never aborts: a failed try cannot
+  /// block, and callers using try_lock for deadlock avoidance are exactly
+  /// the ones acquiring against the rank order on purpose.
+  bool try_lock() NSM_TRY_ACQUIRE(true) {
+    if (!mutex_.try_lock()) return false;
+#if defined(NSM_LOCK_RANK)
+    lock_rank_detail::PushHeld(spec_);
+#endif
+    return true;
+  }
 
  private:
   std::mutex mutex_;
+#if defined(NSM_LOCK_RANK)
+  const LockRankSpec* spec_ = nullptr;
+#endif
 };
 
 /// Scoped lock of a core::Mutex (the std::lock_guard of the annotated
@@ -197,6 +295,15 @@ class ThreadOwnershipChecker {
 /// True when the dynamic single-owner checks were compiled in.
 [[nodiscard]] constexpr bool ThreadChecksEnabled() {
 #if defined(NSM_THREAD_CHECKS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// True when the runtime lock-rank assertion was compiled in.
+[[nodiscard]] constexpr bool LockRankEnabled() {
+#if defined(NSM_LOCK_RANK)
   return true;
 #else
   return false;

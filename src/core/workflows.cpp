@@ -10,6 +10,7 @@
 #include "adios/sst.hpp"
 #include "core/bridge.hpp"
 #include "core/buffer.hpp"
+#include "core/lock_ranks.hpp"
 #include "core/thread_annotations.hpp"
 #include "instrument/flight_recorder.hpp"
 #include "instrument/monitor.hpp"
@@ -87,7 +88,7 @@ instrument::StepProvenance StepOrigin(
 // the launching thread after the rank threads join — which still takes the
 // lock, so the thread-safety analysis can prove every access).
 struct SharedMetrics {
-  core::Mutex mutex;
+  core::Mutex mutex{core::lock_rank::kCoreWorkflowsMutex};
   WorkflowMetrics metrics NSM_GUARDED_BY(mutex);
 };
 

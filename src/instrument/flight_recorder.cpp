@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 
+#include "core/lock_ranks.hpp"
 #include "core/thread_annotations.hpp"
 #include "instrument/report.hpp"
 #include "instrument/tracer.hpp"
@@ -21,7 +22,7 @@ thread_local FlightRecorder* g_flightrec = nullptr;
 // Function-local static: recorders are always scoped inside a run/test, so
 // they unregister before static destruction.
 struct Registry {
-  core::Mutex mutex;
+  core::Mutex mutex{core::lock_rank::kInstrumentFlightRecorderMutex};
   std::vector<FlightRecorder*> recorders NSM_GUARDED_BY(mutex);
   std::string dump_dir NSM_GUARDED_BY(mutex) = ".";
 };

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/lock_ranks.hpp"
 #include "core/thread_annotations.hpp"
 #include "instrument/metrics.hpp"
 #include "instrument/straggler.hpp"
@@ -110,7 +111,7 @@ class MonitorServer {
   int port_ = -1;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_{0};
-  core::Mutex mutex_;
+  core::Mutex mutex_{core::lock_rank::kInstrumentMonitorMutex};
   MonitorStatus status_ NSM_GUARDED_BY(mutex_);
   bool published_ NSM_GUARDED_BY(mutex_) = false;
   std::thread server_;

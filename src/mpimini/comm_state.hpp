@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/lock_ranks.hpp"
 #include "core/thread_annotations.hpp"
 #include "mpimini/comm.hpp"
 
@@ -35,7 +36,7 @@ struct CommState {
   };
 
   const int size;
-  core::Mutex mutex;
+  core::Mutex mutex{core::lock_rank::kMpiminiCommMutex};
   core::CondVar cv;
   std::vector<std::deque<Message>> boxes NSM_GUARDED_BY(mutex);
 

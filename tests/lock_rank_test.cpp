@@ -1,0 +1,93 @@
+// Lock-rank runtime assertion coverage: under -DNSM_LOCK_RANK=ON, acquiring
+// two core::Mutex in the order the acquired-before graph forbids must abort
+// naming BOTH locks; in default builds the spec constructor must cost
+// nothing (sizeof(core::Mutex) == sizeof(std::mutex)).  The file compiles
+// in both configurations; CI runs it in both (tier1 and the lock-rank
+// sanitizer lane).
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "core/lock_ranks.hpp"
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+using core::lock_rank::kCoreAsyncPipelineMutex;
+using core::lock_rank::kMpiminiCommMutex;
+
+#if defined(NSM_LOCK_RANK)
+
+TEST(LockRankTest, Enabled) { EXPECT_TRUE(core::LockRankEnabled()); }
+
+// The approved direction: ranks strictly increase, so holding the
+// lower-ranked pipeline mutex while taking the higher-ranked comm mutex is
+// exactly what the graph allows.
+TEST(LockRankTest, ApprovedOrderSucceeds) {
+  core::Mutex low{kCoreAsyncPipelineMutex};
+  core::Mutex high{kMpiminiCommMutex};
+  {
+    core::MutexLock hold_low(low);
+    core::MutexLock hold_high(high);
+  }
+  // Releasing restores the ledger: the same order works again.
+  {
+    core::MutexLock hold_low(low);
+    core::MutexLock hold_high(high);
+  }
+}
+
+// Release order is not acquisition order: after the high lock is gone,
+// nothing blocks re-acquiring above the still-held low lock.
+TEST(LockRankTest, ReleasePopsTheHeldStack) {
+  core::Mutex low{kCoreAsyncPipelineMutex};
+  core::Mutex high{kMpiminiCommMutex};
+  core::MutexLock hold_low(low);
+  {
+    core::MutexLock hold_high(high);
+  }
+  core::MutexLock hold_high_again(high);
+}
+
+// The forbidden interleaving: acquiring a lower rank while holding a
+// higher one.  The abort report must name BOTH locks (by analyzer lock id)
+// so the hang is diagnosable from the one line.
+TEST(LockRankDeathTest, ForbiddenOrderAbortsNamingBothLocks) {
+  EXPECT_DEATH(
+      {
+        core::Mutex low{kCoreAsyncPipelineMutex};
+        core::Mutex high{kMpiminiCommMutex};
+        core::MutexLock hold_high(high);
+        core::MutexLock hold_low(low);  // rank goes down: abort
+      },
+      "mpimini/comm::mutex.*core/async_pipeline::mutex_|"
+      "core/async_pipeline::mutex_.*mpimini/comm::mutex");
+}
+
+// Unranked mutexes stay outside the scheme entirely — legacy or local
+// locks do not have to be ranked to coexist with ranked ones.
+TEST(LockRankTest, UnrankedMutexIsExempt) {
+  core::Mutex ranked{kMpiminiCommMutex};
+  core::Mutex unranked;
+  core::MutexLock hold_ranked(ranked);
+  core::MutexLock hold_unranked(unranked);
+}
+
+#else  // !NSM_LOCK_RANK
+
+TEST(LockRankTest, Disabled) { EXPECT_FALSE(core::LockRankEnabled()); }
+
+// Zero overhead when off: the spec constructor discards its argument and
+// the mutex carries no extra state.
+static_assert(sizeof(core::Mutex) == sizeof(std::mutex),
+              "default-build core::Mutex must carry no lock-rank state");
+
+TEST(LockRankTest, RankedConstructionIsFreeWhenOff) {
+  core::Mutex ranked{kMpiminiCommMutex};
+  core::MutexLock hold(ranked);
+  EXPECT_EQ(sizeof(core::Mutex), sizeof(std::mutex));
+}
+
+#endif  // NSM_LOCK_RANK
+
+}  // namespace

@@ -1,0 +1,36 @@
+// Seeded rank-divergent collectives for the nsm_analyze
+// `collective-divergence` check (inverted nsm_analyze_divergence_fixture
+// ctest).  Both shapes of the classic hang: a collective on one branch of
+// a rank conditional with nothing on the other, and mismatched collectives
+// across the two branches.  The rank-conditional Send/Recv pair is the
+// legitimate point-to-point pattern collectives are *implemented* with and
+// must NOT be flagged.  Analyzer input only.
+#include "mpimini/comm.hpp"
+
+namespace fixture {
+
+void RootOnlyBarrier(mpimini::Comm& comm) {
+  if (comm.Rank() == 0) {
+    comm.Barrier();  // ranks != 0 never arrive: everyone hangs
+  }
+}
+
+void MismatchedBranches(mpimini::Comm& comm, int rank) {
+  if (rank == 0) {
+    comm.Bcast(0, nullptr, 0);
+  } else {
+    comm.Barrier();  // different collective: both sides hang
+  }
+}
+
+void LegitimatePointToPoint(mpimini::Comm& comm, int rank, char* buf,
+                            int bytes) {
+  // How collectives are implemented: rank-conditional p2p, not divergence.
+  if (rank == 0) {
+    comm.RecvBytes(1, 0, buf, bytes);
+  } else {
+    comm.SendBytes(0, 0, buf, bytes);
+  }
+}
+
+}  // namespace fixture

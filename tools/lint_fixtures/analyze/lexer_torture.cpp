@@ -1,0 +1,45 @@
+// Lexer torture fixture: every shape that defeats a line regex, in one
+// file.  The nsm_analyze_lexer_fixture ctest runs the registry check over
+// this file against lexer_torture_registry.md and expects EXACTLY the
+// names listed there — proving the lexer skips raw strings, comments, and
+// continued macros, and that the extractor sees through multi-line calls.
+// Analyzer input only, never compiled.
+#include "instrument/tracer.hpp"
+
+namespace fixture {
+
+// A raw string whose body contains braces, quotes, and code-shaped text:
+// everything inside must be invisible to the analyzer.
+const char* kTemplate = R"json({
+  "span": "raw.decoy_span",
+  "call": "metrics->Observe(\"raw.decoy_metric\", 1.0);",
+  "brace_soup": "}}}{{{"
+})json";
+
+// Custom-delimiter raw string containing the )" sequence itself.
+const char* kTricky = R"del(ends with )" but not here)del";
+
+// A line-continuation macro: one logical preprocessor line, zero tokens.
+// The name inside must NOT reach the registry.
+#define FIXTURE_RECORD(metrics)                       \
+  do {                                                \
+    (metrics)->Observe("macro.decoy_metric", 0.0);    \
+  } while (0)
+
+/* C++ block comments do not nest: this outer comment ends at the first
+   close sequence. /* The lexer must resume right after it. */
+inline const char* kAfterComment = "code again";
+
+// Decoys in comments: Span span("comment.decoy_span");
+// metrics->Observe("comment.decoy_metric", 1.0);
+
+void Record(instrument::Tracer& tracer, instrument::MetricsRegistry* metrics,
+            double seconds) {
+  instrument::Span span("torture.real_span");
+  metrics->Observe(
+      "torture.multiline_metric",  // literal on its own line: a line regex
+      seconds);                    // anchored on Observe( never sees it
+  tracer.Instant("torture.real_instant");
+}
+
+}  // namespace fixture

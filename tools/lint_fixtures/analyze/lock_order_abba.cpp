@@ -1,0 +1,34 @@
+// Seeded ABBA lock-order inversion for the nsm_analyze `lock-order` check.
+// Wired as an inverted ctest (nsm_analyze_lock_order_fixture): the analyzer
+// MUST fail here, proving the acquired-before graph and its cycle detection
+// are live.  Never compiled — analyzer input only.
+//
+// TransferIn acquires table::mutex_ then journal::mutex_ (via the helper,
+// one level down the call graph); TransferOut acquires them in the opposite
+// order directly.  A schedule interleaving the two deadlocks.
+#include "core/thread_annotations.hpp"
+
+namespace fixture {
+
+struct State {
+  core::Mutex table_mutex;
+  core::Mutex journal_mutex;
+};
+
+State& TheState();
+
+void AppendJournal() {
+  core::MutexLock lock(TheState().journal_mutex);
+}
+
+void TransferIn() {
+  core::MutexLock lock(TheState().table_mutex);
+  AppendJournal();  // table -> journal, one level down the call graph
+}
+
+void TransferOut() {
+  core::MutexLock journal(TheState().journal_mutex);
+  core::MutexLock table(TheState().table_mutex);  // journal -> table: cycle
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Seeded registry violations for the nsm_analyze `registry` check
+// (inverted nsm_analyze_registry_fixture ctest, gated against
+// registry_fixture.md rather than the real docs/REGISTRY.md):
+//
+//   - "ghost.unregistered_span" / "ghost.unregistered_metric" are recorded
+//     here but absent from the fixture registry  -> missing-entry findings
+//   - "CamelCase.Bad" breaks the dotted lowercase taxonomy
+//   - the fixture registry's "stale.retired_metric" is recorded nowhere
+//     -> stale-entry finding
+//
+// Analyzer input only, never compiled.
+#include "instrument/tracer.hpp"
+
+namespace fixture {
+
+void Record(instrument::Tracer& tracer, instrument::MetricsRegistry* metrics,
+            double seconds) {
+  instrument::Span span("ghost.unregistered_span");
+  metrics->Observe(
+      "ghost.unregistered_metric",  // split across lines: invisible to a
+      seconds);                     // line regex, visible to the lexer
+  tracer.Instant("CamelCase.Bad");
+  metrics->Observe("fixture.registered_metric", seconds);
+}
+
+}  // namespace fixture

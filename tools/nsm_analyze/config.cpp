@@ -1,0 +1,84 @@
+#include "config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace nsm_analyze {
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+}  // namespace
+
+bool LoadConfig(const std::string& path, Config* config, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open config: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank / comment-only line
+
+    auto fail = [&](const std::string& what) {
+      *error = path + ":" + std::to_string(lineno) + ": " + what;
+      return false;
+    };
+
+    if (directive == "raw-new-allowed" ||
+        directive == "blocking-under-lock-allowed" ||
+        directive == "divergence-allowed" || directive == "lock-rank-last") {
+      std::string value;
+      if (!(fields >> value)) return fail(directive + ": missing operand");
+      std::string extra;
+      if (fields >> extra) return fail(directive + ": trailing junk");
+      if (directive == "raw-new-allowed") {
+        config->raw_new_allowed.insert(value);
+      } else if (directive == "blocking-under-lock-allowed") {
+        config->blocking_under_lock_allowed.insert(value);
+      } else if (directive == "divergence-allowed") {
+        config->divergence_allowed.insert(value);
+      } else {
+        config->lock_rank_last.push_back(value);
+      }
+      continue;
+    }
+    if (directive == "prefix") {
+      PrefixRule rule;
+      std::string tags;
+      std::string prefixes;
+      if (!(fields >> rule.dir >> tags >> prefixes)) {
+        return fail("prefix: expected <dir> <tags|*> <prefixes>");
+      }
+      if (tags != "*") rule.tags = SplitCommas(tags);
+      rule.prefixes = SplitCommas(prefixes);
+      if (rule.prefixes.empty()) return fail("prefix: empty prefix list");
+      config->prefix_rules.push_back(std::move(rule));
+      continue;
+    }
+    return fail("unknown directive: " + directive);
+  }
+  return true;
+}
+
+}  // namespace nsm_analyze

@@ -5,26 +5,26 @@ Rules (see DESIGN.md §6 "Correctness tooling"):
 
   raw-new               All data-plane storage goes through core::Buffer;
                         `new` / `delete` expressions are allowed only in
-                        src/core/buffer.cpp (the single allocation site).
+                        the files the shared config allowlists (the single
+                        allocation site, src/core/buffer.cpp).
   collective-under-lock Blocking mpimini calls (collectives, receives,
                         probes) while a lock guard is live deadlock as soon
                         as a peer rank needs the same mutex to make
-                        progress.  src/mpimini/comm.cpp is exempt: waiting
-                        on the mailbox condition variable under the mailbox
-                        mutex is the one legitimate instance of the shape.
+                        progress.  This regex pass only sees a guard in the
+                        *same* brace scope as the call — it is the fast
+                        pre-check; tools/nsm_analyze owns the rule and also
+                        catches guards held in callers (cross-scope) and
+                        condvar waits.  Allowlisted files (the
+                        condvar-under-own-mutex pattern) come from the
+                        shared config.
   span-name             Span / instant-event names are the dotted lowercase
                         `layer.phase` taxonomy (DESIGN.md §5a).
   metric-name           Metric names follow the same `plane.metric` form
                         (DESIGN.md §5b).
-  codec-prefix          Spans and metrics recorded inside src/codec/ carry
-                        the `codec.` prefix, so every cost the codec plane
-                        adds is attributable on the trace timeline
-                        (DESIGN.md §3c).
-  monitor-prefix        Spans and metrics recorded by the run-health plane
-                        (src/instrument/ monitor / flight-recorder /
-                        straggler sources) carry the `monitor.` or
-                        `flightrec.` prefix, so observability overhead is
-                        attributable — and strippable — as one family
+  name-prefix           Per-directory span/metric prefix rules from the
+                        shared config (`prefix` directives): src/codec/
+                        names carry `codec.` (DESIGN.md §3c), run-health
+                        sources carry `monitor.` or `flightrec.`
                         (DESIGN.md §5c).
   json-atomic-write     JSON artifacts are written via instrument::AtomicFile
                         (temp + rename), never a plain std::ofstream — a
@@ -33,8 +33,12 @@ Rules (see DESIGN.md §6 "Correctness tooling"):
                         (<mutex>, <thread>, ...) only where their types are
                         actually used.
 
+Per-file allowlists and prefix rules are read from tools/nsm_rules.cfg,
+shared with tools/nsm_analyze so an exemption added for one tool is seen by
+the other.
+
 Usage: nsm_lint.py [paths...]    (default: the repository's src/ tree)
-Exit:  0 clean, 1 findings, 2 usage error.
+Exit:  0 clean, 1 findings, 2 usage/config error.
 """
 
 import pathlib
@@ -81,10 +85,56 @@ HEADER_USE = {
     "deque": re.compile(r"std::deque"),
 }
 
-# Files exempt from one rule each, with the reason inline where they are
-# consulted.
-RAW_NEW_ALLOWED = {"src/core/buffer.cpp"}
-COLLECTIVE_UNDER_LOCK_ALLOWED = {"src/mpimini/comm.cpp"}
+# Shared configuration (tools/nsm_rules.cfg): allowlists and prefix rules,
+# de-duplicated with nsm_analyze.  Directives this linter does not consume
+# (lock-rank-last, divergence-allowed) belong to the analyzer and are
+# skipped here.
+RULES_CFG = REPO_ROOT / "tools" / "nsm_rules.cfg"
+KNOWN_DIRECTIVES = {
+    "raw-new-allowed", "blocking-under-lock-allowed", "divergence-allowed",
+    "lock-rank-last", "prefix",
+}
+
+
+class RulesConfig:
+    def __init__(self):
+        self.raw_new_allowed = set()
+        self.blocking_under_lock_allowed = set()
+        # (dir fragment, basename tags or None, allowed prefixes)
+        self.prefix_rules = []
+
+
+def load_rules_config(path=RULES_CFG):
+    config = RulesConfig()
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        print(f"nsm_lint: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        directive = fields[0]
+        if directive not in KNOWN_DIRECTIVES:
+            print(f"nsm_lint: {path}:{lineno}: unknown directive "
+                  f"{directive}", file=sys.stderr)
+            sys.exit(2)
+        if directive == "raw-new-allowed" and len(fields) == 2:
+            config.raw_new_allowed.add(fields[1])
+        elif directive == "blocking-under-lock-allowed" and len(fields) == 2:
+            config.blocking_under_lock_allowed.add(fields[1])
+        elif directive == "prefix":
+            if len(fields) != 4:
+                print(f"nsm_lint: {path}:{lineno}: prefix needs "
+                      f"<dir> <tags|*> <prefixes>", file=sys.stderr)
+                sys.exit(2)
+            tags = None if fields[2] == "*" else tuple(fields[2].split(","))
+            config.prefix_rules.append(
+                (fields[1], tags, tuple(fields[3].split(","))))
+        # lock-rank-last / divergence-allowed: analyzer-only, ignored.
+    return config
 
 
 class Finding:
@@ -153,12 +203,24 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
-def lint_names(rel, raw_lines, findings):
-    posix = rel.replace("\\", "/")
-    in_codec_plane = "src/codec/" in posix
+def prefix_findings(config, posix, kind, name, rel, lineno, findings):
+    """Apply the shared per-directory prefix rules to one recorded name."""
     basename = posix.rsplit("/", 1)[-1]
-    in_health_plane = "src/instrument/" in posix and any(
-        tag in basename for tag in ("monitor", "flight", "straggler"))
+    for dir_fragment, tags, prefixes in config.prefix_rules:
+        if dir_fragment not in posix:
+            continue
+        if tags is not None and not any(tag in basename for tag in tags):
+            continue
+        if not name.startswith(tuple(prefixes)):
+            allowed = " or ".join(prefixes)
+            findings.append(Finding(
+                rel, lineno, "name-prefix",
+                f'{kind} "{name}" recorded under {dir_fragment} must carry '
+                f"the {allowed} prefix (DESIGN.md §3c/§5c)"))
+
+
+def lint_names(rel, raw_lines, config, findings):
+    posix = rel.replace("\\", "/")
     for lineno, line in enumerate(raw_lines, 1):
         stripped = line.lstrip()
         if stripped.startswith("//") or stripped.startswith("*"):
@@ -172,18 +234,9 @@ def lint_names(rel, raw_lines, findings):
                     rel, lineno, "span-name",
                     f'"{name}" does not match the dotted lowercase '
                     f"layer.phase taxonomy (DESIGN.md §5a)"))
-            elif in_codec_plane and not name.startswith("codec."):
-                findings.append(Finding(
-                    rel, lineno, "codec-prefix",
-                    f'span "{name}" recorded inside src/codec/ must carry '
-                    f"the codec. prefix (DESIGN.md §3c)"))
-            elif in_health_plane and not name.startswith(
-                    ("monitor.", "flightrec.")):
-                findings.append(Finding(
-                    rel, lineno, "monitor-prefix",
-                    f'span "{name}" recorded by the run-health plane must '
-                    f"carry the monitor. or flightrec. prefix "
-                    f"(DESIGN.md §5c)"))
+            else:
+                prefix_findings(config, posix, "span", name, rel, lineno,
+                                findings)
         for match in METRIC_CALL.finditer(line):
             name = match.group(1)
             if not name:
@@ -193,23 +246,14 @@ def lint_names(rel, raw_lines, findings):
                     rel, lineno, "metric-name",
                     f'"{name}" does not match the dotted lowercase '
                     f"plane.metric taxonomy (DESIGN.md §5b)"))
-            elif in_codec_plane and not name.startswith("codec."):
-                findings.append(Finding(
-                    rel, lineno, "codec-prefix",
-                    f'metric "{name}" recorded inside src/codec/ must carry '
-                    f"the codec. prefix (DESIGN.md §3c)"))
-            elif in_health_plane and not name.startswith(
-                    ("monitor.", "flightrec.")):
-                findings.append(Finding(
-                    rel, lineno, "monitor-prefix",
-                    f'metric "{name}" recorded by the run-health plane must '
-                    f"carry the monitor. or flightrec. prefix "
-                    f"(DESIGN.md §5c)"))
+            else:
+                prefix_findings(config, posix, "metric", name, rel, lineno,
+                                findings)
 
 
-def lint_code(rel, code_lines, raw_lines, findings):
-    allow_raw_new = rel in RAW_NEW_ALLOWED
-    allow_lock_call = rel in COLLECTIVE_UNDER_LOCK_ALLOWED
+def lint_code(rel, code_lines, raw_lines, config, findings):
+    allow_raw_new = rel in config.raw_new_allowed
+    allow_lock_call = rel in config.blocking_under_lock_allowed
 
     depth = 0
     lock_depths = []  # brace depth at which each live guard was declared
@@ -256,13 +300,17 @@ def lint_code(rel, code_lines, raw_lines, findings):
                     "(temp + rename), not a plain ofstream"))
 
         # Brace-scope lock tracking: a guard dies when its scope closes.
+        # Same-scope only — the fast pre-check.  Cross-scope reachability
+        # (guard held in a caller, condvar waits) is nsm_analyze's job;
+        # this rule defers to it rather than half-reimplementing it.
         if LOCK_GUARD.search(line):
             lock_depths.append(depth)
         elif lock_depths and BLOCKING_CALL.search(line) and not allow_lock_call:
             findings.append(Finding(
                 rel, lineno, "collective-under-lock",
                 "blocking mpimini call while a lock guard is live: a peer "
-                "rank needing the mutex deadlocks the collective"))
+                "rank needing the mutex deadlocks the collective "
+                "(same-scope pre-check; nsm_analyze covers cross-scope)"))
         for c in line:
             if c == "{":
                 depth += 1
@@ -272,14 +320,14 @@ def lint_code(rel, code_lines, raw_lines, findings):
                     lock_depths.pop()
 
 
-def lint_file(path, findings):
+def lint_file(path, config, findings):
     rel = str(path.relative_to(REPO_ROOT)) if path.is_relative_to(
         REPO_ROOT) else str(path)
     raw = path.read_text(encoding="utf-8", errors="replace")
     raw_lines = raw.splitlines()
     code_lines = strip_comments_and_strings(raw).splitlines()
-    lint_names(rel, raw_lines, findings)
-    lint_code(rel, code_lines, raw_lines, findings)
+    lint_names(rel, raw_lines, config, findings)
+    lint_code(rel, code_lines, raw_lines, config, findings)
 
 
 def collect(paths):
@@ -299,10 +347,11 @@ def main(argv):
     targets = [pathlib.Path(a) for a in argv[1:]]
     if not targets:
         targets = [REPO_ROOT / "src"]
+    config = load_rules_config()
     findings = []
     files = collect(targets)
     for f in files:
-        lint_file(f, findings)
+        lint_file(f, config, findings)
     for finding in findings:
         print(finding)
     print(f"nsm_lint: {len(files)} files, {len(findings)} finding(s)")
