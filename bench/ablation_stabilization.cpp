@@ -27,8 +27,18 @@ struct RunOutcome {
   double step_seconds = 0.0;
 };
 
+struct MgChoice {
+  bool enabled = false;
+  nekrs::MultigridPreconditioner::Smoother smoother =
+      nekrs::MultigridPreconditioner::Smoother::kChebyshev;
+  nekrs::MultigridPreconditioner::Precision precision =
+      nekrs::MultigridPreconditioner::Precision::kFloat;
+  int levels = 0;  // 0 = full ladder
+};
+
 RunOutcome RunRbc(double filter_strength, bool dealias,
-                  int projection_vectors, int steps) {
+                  int projection_vectors, int steps,
+                  const MgChoice& mg = {}) {
   RunOutcome outcome;
   mpimini::Runtime::Run(1, [&](mpimini::Comm& comm) {
     occamini::Device device(occamini::Backend::kSimGpu);
@@ -41,6 +51,10 @@ RunOutcome RunRbc(double filter_strength, bool dealias,
     config.filter_strength = filter_strength;
     config.dealias = dealias;
     config.pressure_projection_vectors = projection_vectors;
+    config.pressure_multigrid = mg.enabled;
+    config.pressure_mg_smoother = mg.smoother;
+    config.pressure_mg_precision = mg.precision;
+    config.pressure_mg_levels = mg.levels;
     nekrs::FlowSolver solver(comm, device, config);
 
     instrument::WallTimer timer;
@@ -103,5 +117,32 @@ int main() {
                        Fmt(r.step_seconds * 1e3)});
   }
   projection.Print(std::cout);
+
+  // The pressure pMG precision/smoother matrix (mixed-precision Chebyshev
+  // p-multigrid PR): iteration counts verify each configuration is an
+  // equivalent preconditioner; step time shows what the float cycle and
+  // the full ladder buy.
+  instrument::Table precision(
+      "Ablation A5c: pressure pMG precision/smoother (stable configuration, "
+      "150 steps)");
+  precision.SetHeader({"pmg", "pressure_iters", "step_ms"});
+  struct MgCase {
+    const char* name;
+    MgChoice mg;
+  };
+  using MG = nekrs::MultigridPreconditioner;
+  for (const MgCase c :
+       {MgCase{"off", {}},
+        MgCase{"jacobi-double-2lvl",
+               {true, MG::Smoother::kJacobi, MG::Precision::kDouble, 2}},
+        MgCase{"cheb-double-full",
+               {true, MG::Smoother::kChebyshev, MG::Precision::kDouble, 0}},
+        MgCase{"cheb-float-full",
+               {true, MG::Smoother::kChebyshev, MG::Precision::kFloat, 0}}}) {
+    const RunOutcome r = RunRbc(0.1, false, 8, 150, c.mg);
+    precision.AddRow({c.name, std::to_string(r.pressure_iterations),
+                      Fmt(r.step_seconds * 1e3)});
+  }
+  precision.Print(std::cout);
   return 0;
 }

@@ -82,15 +82,26 @@ struct FlowConfig {
   /// pressure projection, typically a severalfold iteration reduction.
   int pressure_projection_vectors = 8;
 
-  /// Precondition the pressure Poisson solve with two-level p-multigrid
-  /// (NekRS's pMG + coarse-grid correction). Cuts the CG iteration count
-  /// ~2.5-3x, at the price of two fine smoothing sweeps and an iterative
-  /// coarse solve per application; pays off when the fine solve is
-  /// iteration-bound (strong refinement), not at this repo's small bench
-  /// sizes where the per-cycle cost dominates (see EXPERIMENTS.md A5).
-  /// NekRS pairs pMG with a *direct* coarse solve, which is what removes
-  /// the residual domain-size dependence entirely.
+  /// Precondition the pressure Poisson solve with p-multigrid (NekRS's pMG
+  /// + coarse-grid correction). Cuts the CG iteration count ~2.5-3x, at the
+  /// price of the smoothing work per application; pays off when the fine
+  /// solve is iteration-bound (strong refinement), not at this repo's small
+  /// bench sizes where the per-cycle cost dominates (see EXPERIMENTS.md
+  /// A5). NekRS pairs pMG with a *direct* coarse solve, which is what
+  /// removes the residual domain-size dependence entirely.
   bool pressure_multigrid = false;
+
+  /// pMG shape when pressure_multigrid is on.  The defaults are the nekRS
+  /// production configuration: degree-2 Chebyshev smoothing, the full
+  /// N -> N/2 -> 1 order ladder, and a single-precision (pfloat) V-cycle
+  /// under the double outer CG.  Set smoother = kJacobi, precision =
+  /// kDouble, levels = 2 for the legacy bit-identical cycle.
+  MultigridPreconditioner::Smoother pressure_mg_smoother =
+      MultigridPreconditioner::Smoother::kChebyshev;
+  MultigridPreconditioner::Precision pressure_mg_precision =
+      MultigridPreconditioner::Precision::kFloat;
+  int pressure_mg_levels = 0;  ///< 0 = full ladder, 2 = legacy two-level
+  int pressure_mg_chebyshev_degree = 2;
 
   /// When > 0, adapt dt each step toward this advective CFL number
   /// (NekRS's targetCFL): dt changes by at most +-25 % per step and stays

@@ -1,6 +1,7 @@
 #include "nekrs/helmholtz.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace nekrs {
@@ -24,8 +25,7 @@ HelmholtzSolver::HelmholtzSolver(mpimini::Comm comm,
       r_("device", ops.NumDofs()),
       z_("device", ops.NumDofs()),
       p_("device", ops.NumDofs()),
-      w_("device", ops.NumDofs()),
-      diag_("device", ops.NumDofs()) {
+      w_("device", ops.NumDofs()) {
   double local = 0.0;
   for (double m : ops_.MassDiag()) local += m;
   volume_ = comm_.AllReduceValue(local, mpimini::Op::kSum);
@@ -51,6 +51,50 @@ double HelmholtzSolver::WeightedMean(std::span<const double> v) {
   return comm_.AllReduceValue(local, mpimini::Op::kSum) / volume_;
 }
 
+std::span<const double> HelmholtzSolver::JacobiDiag(
+    double h1, double h0, std::span<const double> mask) {
+  const std::size_t n = ops_.NumDofs();
+  DiagEntry* hit = nullptr;
+  for (DiagEntry& entry : diag_cache_) {
+    if (entry.h1 == h1 && entry.h0 == h0 &&
+        std::memcmp(entry.mask.data(), mask.data(), n * sizeof(double)) == 0) {
+      hit = &entry;
+      break;
+    }
+  }
+  // The hit/miss verdict must be global: mask contents can coincide on a
+  // subset of ranks (e.g. interior ranks of two boundary-condition
+  // families), and the rebuild below contains a collective.
+  const int miss =
+      comm_.AllReduceValue(hit ? 0 : 1, mpimini::Op::kMax);
+  if (miss != 0) {
+    if (hit == nullptr) {
+      if (diag_cache_.size() < kMaxDiagEntries) {
+        hit = &diag_cache_.emplace_back(n);
+      } else {
+        hit = &diag_cache_.front();
+        for (DiagEntry& entry : diag_cache_) {
+          if (entry.last_used < hit->last_used) hit = &entry;
+        }
+      }
+    }
+    auto mass = ops_.MassDiag();
+    auto adiag = ops_.StiffnessDiag();
+    for (std::size_t i = 0; i < n; ++i) {
+      hit->diag[i] = h1 * adiag[i] + h0 * mass[i];
+    }
+    gs_.Sum({hit->diag.data(), n});
+    for (std::size_t i = 0; i < n; ++i) {
+      if (hit->diag[i] == 0.0 || mask[i] == 0.0) hit->diag[i] = 1.0;
+    }
+    hit->h1 = h1;
+    hit->h0 = h0;
+    std::memcpy(hit->mask.data(), mask.data(), n * sizeof(double));
+  }
+  hit->last_used = ++diag_clock_;
+  return {hit->diag.data(), n};
+}
+
 HelmholtzResult HelmholtzSolver::Solve(const Options& options,
                                        std::span<const double> rhs,
                                        std::span<double> x,
@@ -61,16 +105,13 @@ HelmholtzResult HelmholtzSolver::Solve(const Options& options,
     throw std::invalid_argument("nekrs: Helmholtz size mismatch");
   }
   auto mass = ops_.MassDiag();
-  auto adiag = ops_.StiffnessDiag();
   auto mult = std::span<const double>(gs_.Multiplicity());
 
-  // Jacobi diagonal of the assembled operator.
-  for (std::size_t i = 0; i < n; ++i) {
-    diag_[i] = options.h1 * adiag[i] + options.h0 * mass[i];
-  }
-  gs_.Sum({diag_.data(), n});
-  for (std::size_t i = 0; i < n; ++i) {
-    if (diag_[i] == 0.0 || mask[i] == 0.0) diag_[i] = 1.0;
+  // Jacobi diagonal of the assembled operator — cached across solves and
+  // only needed when CG runs with the built-in diagonal preconditioner.
+  std::span<const double> diag;
+  if (options.preconditioner == nullptr) {
+    diag = JacobiDiag(options.h1, options.h0, mask);
   }
 
   // r = mask . QQ^T (rhs_local - (h1 A + h0 B) x).
@@ -140,7 +181,7 @@ HelmholtzResult HelmholtzSolver::Solve(const Options& options,
                                     {z_.data(), n});
       for (std::size_t i = 0; i < n; ++i) z_[i] *= mask[i];
     } else {
-      for (std::size_t i = 0; i < n; ++i) z_[i] = r_[i] / diag_[i];
+      for (std::size_t i = 0; i < n; ++i) z_[i] = r_[i] / diag[i];
     }
   };
   apply_precond();

@@ -4,7 +4,9 @@
 // elliptic solver reduced to its algorithmic core.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "instrument/memory_tracker.hpp"
 #include "mpimini/comm.hpp"
@@ -93,6 +95,13 @@ class HelmholtzSolver {
   /// B-weighted mean over the domain (uses quadrature partition of unity).
   double WeightedMean(std::span<const double> v);
 
+  /// Returns the assembled Jacobi diagonal for (h1, h0, mask), building it
+  /// (one gs collective) only on a cache miss.  The miss decision is
+  /// AllReduce'd so the collective rebuild cannot diverge across ranks even
+  /// if mask contents happen to match on some ranks only.
+  std::span<const double> JacobiDiag(double h1, double h0,
+                                     std::span<const double> mask);
+
   mpimini::Comm comm_;
   const sem::ElementOperators& ops_;
   const sem::GatherScatter& gs_;
@@ -100,7 +109,23 @@ class HelmholtzSolver {
 
   // CG work vectors live in "device" memory conceptually; tracked so the
   // GPU-side footprint is attributable.
-  instrument::TrackedBuffer<double> r_, z_, p_, w_, diag_;
+  instrument::TrackedBuffer<double> r_, z_, p_, w_;
+
+  // Jacobi-diagonal cache: one entry per recent solve family
+  // (h1, h0, mask contents), LRU-evicted.  A time step cycles through the
+  // velocity, scalar, and pressure families every step; caching all of them
+  // removes the per-solve diagonal rebuild and its gs_.Sum collective.
+  struct DiagEntry {
+    double h1 = 0.0;
+    double h0 = 0.0;
+    std::vector<double> mask;  // contents the entry was built for
+    instrument::TrackedBuffer<double> diag;
+    std::uint64_t last_used = 0;
+    DiagEntry(std::size_t n) : mask(n), diag("device", n) {}
+  };
+  static constexpr std::size_t kMaxDiagEntries = 4;
+  std::vector<DiagEntry> diag_cache_;
+  std::uint64_t diag_clock_ = 0;
 };
 
 }  // namespace nekrs

@@ -3,21 +3,113 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "instrument/metrics.hpp"
+#include "instrument/tracer.hpp"
 #include "sem/tensor.hpp"
 
 namespace nekrs {
 
 namespace {
 
-sem::BoxMeshSpec CoarseSpec(sem::BoxMeshSpec spec) {
-  spec.order = 1;
+sem::BoxMeshSpec LevelSpec(sem::BoxMeshSpec spec, int order) {
+  spec.order = order;
   return spec;
 }
 
-std::vector<std::int64_t> CoarseGids(const sem::BoxMesh& mesh) {
-  std::vector<std::int64_t> gids(mesh.NumLocalDofs());
-  mesh.FillGlobalIds(gids);
-  return gids;
+// Precision-dispatch accessors: for double the operator data lives in the
+// level's ElementOperators / GatherScatter; for float it was down-converted
+// into LevelData<float> at construction.
+template <typename T, typename LevelT>
+std::span<const T> MaskOf(const LevelT& level) {
+  if constexpr (std::is_same_v<T, double>) {
+    return {level.mask.data(), level.mask.size()};
+  } else {
+    return {level.flt.mask.data(), level.flt.mask.size()};
+  }
+}
+
+template <typename T, typename LevelT>
+std::span<const T> MultOf(const LevelT& level) {
+  if constexpr (std::is_same_v<T, double>) {
+    const std::vector<double>& m = level.gs->Multiplicity();
+    return {m.data(), m.size()};
+  } else {
+    return {level.flt.mult.data(), level.flt.mult.size()};
+  }
+}
+
+template <typename T, typename LevelT>
+std::span<const T> DiagOf(const LevelT& level) {
+  if constexpr (std::is_same_v<T, double>) {
+    return {level.diag.data(), level.diag.size()};
+  } else {
+    return {level.flt.diag.data(), level.flt.diag.size()};
+  }
+}
+
+template <typename T, typename LevelT>
+std::span<const T> DerivOf(const LevelT& level) {
+  if constexpr (std::is_same_v<T, double>) {
+    const std::vector<double>& d = level.ops->Rule().deriv;
+    return {d.data(), d.size()};
+  } else {
+    return {level.flt.deriv.data(), level.flt.deriv.size()};
+  }
+}
+
+template <typename T, typename LevelT>
+std::span<const T> DerivTOf(const LevelT& level) {
+  if constexpr (std::is_same_v<T, double>) {
+    const std::vector<double>& d = level.ops->Rule().deriv_t;
+    return {d.data(), d.size()};
+  } else {
+    return {level.flt.deriv_t.data(), level.flt.deriv_t.size()};
+  }
+}
+
+template <typename T, typename LevelT>
+sem::LaplacianGeo<T> GeoOf(const LevelT& level) {
+  if constexpr (std::is_same_v<T, double>) {
+    return level.ops->Geo();
+  } else {
+    const auto& f = level.flt;
+    return {{f.g11.data(), f.g11.size()}, {f.g12.data(), f.g12.size()},
+            {f.g13.data(), f.g13.size()}, {f.g22.data(), f.g22.size()},
+            {f.g23.data(), f.g23.size()}, {f.g33.data(), f.g33.size()}};
+  }
+}
+
+template <typename T, typename LevelT>
+std::span<const T> LevelMassOf(const LevelT& level) {
+  if constexpr (std::is_same_v<T, double>) {
+    return level.ops->MassDiag();
+  } else {
+    return {level.flt.mass.data(), level.flt.mass.size()};
+  }
+}
+
+template <typename T, typename LevelT>
+std::span<const T> RestrictOf(const LevelT& level) {
+  if constexpr (std::is_same_v<T, double>) {
+    return {level.restrict_1d.data(), level.restrict_1d.size()};
+  } else {
+    return {level.flt.restrict_1d.data(), level.flt.restrict_1d.size()};
+  }
+}
+
+template <typename T, typename LevelT>
+std::span<const T> ProlongOf(const LevelT& level) {
+  if constexpr (std::is_same_v<T, double>) {
+    return {level.prolong_1d.data(), level.prolong_1d.size()};
+  } else {
+    return {level.flt.prolong_1d.data(), level.flt.prolong_1d.size()};
+  }
+}
+
+std::vector<float> ToFloat(std::span<const double> v) {
+  std::vector<float> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = static_cast<float>(v[i]);
+  return out;
 }
 
 }  // namespace
@@ -26,135 +118,445 @@ MultigridPreconditioner::MultigridPreconditioner(
     mpimini::Comm comm, const sem::BoxMeshSpec& spec, int rank, int nranks,
     const sem::ElementOperators& fine_ops, const sem::GatherScatter& fine_gs,
     const std::array<bool, 6>& dirichlet, Options options)
-    : comm_(comm),
-      options_(options),
-      fine_ops_(fine_ops),
-      fine_gs_(fine_gs),
-      coarse_rule_(sem::MakeGllRule(1)),
-      coarse_mesh_(CoarseSpec(spec), rank, nranks),
-      coarse_ops_(coarse_rule_, coarse_mesh_) {
-  coarse_gs_ = std::make_unique<sem::GatherScatter>(comm_,
-                                                    CoarseGids(coarse_mesh_));
-  coarse_solver_ =
-      std::make_unique<HelmholtzSolver>(comm_, coarse_ops_, *coarse_gs_);
+    : comm_(comm), options_(options), fine_ops_(fine_ops), fine_gs_(fine_gs) {
+  // Order ladder: N, N/2, N/4, ..., plus the trilinear vertex level. An
+  // order-1 fine space degenerates to the legacy {1, 1} pair.
+  std::vector<int> orders;
+  orders.push_back(spec.order);
+  for (int o = spec.order / 2; o > 1; o /= 2) orders.push_back(o);
+  orders.push_back(1);
+  if (options_.max_levels >= 2 &&
+      orders.size() > static_cast<std::size_t>(options_.max_levels)) {
+    // Keep the finest (max_levels - 1) smoothing levels and the vertex
+    // level; max_levels = 2 is the legacy single coarse jump.
+    orders.erase(orders.begin() + (options_.max_levels - 1), orders.end() - 1);
+  }
 
-  coarse_mask_.resize(coarse_mesh_.NumLocalDofs());
-  coarse_mesh_.FillDirichletMask(dirichlet, coarse_mask_);
+  const bool mixed = options_.precision == Precision::kFloat;
+  levels_.reserve(orders.size());
+  for (std::size_t l = 0; l < orders.size(); ++l) {
+    Level level;
+    level.order = orders[l];
+    level.np = orders[l] + 1;
+    level.per_el =
+        static_cast<std::size_t>(level.np) * level.np * level.np;
+    level.mesh = std::make_unique<sem::BoxMesh>(LevelSpec(spec, orders[l]),
+                                                rank, nranks);
+    level.ndofs = level.mesh->NumLocalDofs();
+    level.nel = level.mesh->NumLocalElements();
+    level.gids.resize(level.ndofs);
+    level.mesh->FillGlobalIds(level.gids);
+    level.mask.resize(level.ndofs);
+    level.mesh->FillDirichletMask(dirichlet, level.mask);
+    if (l == 0) {
+      if (fine_ops_.NumDofs() != level.ndofs) {
+        throw std::invalid_argument("nekrs: multigrid fine space mismatch");
+      }
+      level.ops = &fine_ops_;
+      level.gs = &fine_gs_;
+    } else {
+      level.ops_owned = std::make_unique<sem::ElementOperators>(
+          sem::MakeGllRule(level.order), *level.mesh);
+      level.gs_owned = std::make_unique<sem::GatherScatter>(
+          comm_, std::span<const std::int64_t>(level.gids));
+      level.ops = level.ops_owned.get();
+      level.gs = level.gs_owned.get();
+    }
+    level.diag.resize(level.ndofs);
+    levels_.push_back(std::move(level));
+  }
 
-  sem::BoxMesh fine_mesh(spec, rank, nranks);
-  fine_mask_.resize(fine_mesh.NumLocalDofs());
-  fine_mesh.FillDirichletMask(dirichlet, fine_mask_);
-
-  // Transfer operators: trilinear (order-1) basis evaluated at the fine
-  // GLL nodes gives the per-direction prolongation matrix.
-  const sem::GllRule fine_rule = sem::MakeGllRule(spec.order);
-  prolong_1d_ = sem::InterpolationMatrix(coarse_rule_, fine_rule.nodes);
-  const int np = fine_rule.NumPoints();
-  restrict_1d_.assign(prolong_1d_.size(), 0.0);
-  for (int f = 0; f < np; ++f) {
-    for (int c = 0; c < 2; ++c) {
-      restrict_1d_[static_cast<std::size_t>(c * np + f)] =
-          prolong_1d_[static_cast<std::size_t>(f * 2 + c)];
+  // 1-D transfer matrices between adjacent levels: the coarse basis
+  // evaluated at the fine GLL nodes gives the prolongation, its transpose
+  // the (multiplicity-unassembled) restriction.
+  for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
+    Level& fine = levels_[l];
+    const Level& coarse = levels_[l + 1];
+    const sem::GllRule fine_rule = sem::MakeGllRule(fine.order);
+    const sem::GllRule coarse_rule = sem::MakeGllRule(coarse.order);
+    fine.prolong_1d = sem::InterpolationMatrix(coarse_rule, fine_rule.nodes);
+    fine.restrict_1d.assign(fine.prolong_1d.size(), 0.0);
+    for (int f = 0; f < fine.np; ++f) {
+      for (int c = 0; c < coarse.np; ++c) {
+        fine.restrict_1d[static_cast<std::size_t>(c) * fine.np + f] =
+            fine.prolong_1d[static_cast<std::size_t>(f) * coarse.np + c];
+      }
     }
   }
 
-  fine_tmp_.resize(fine_ops_.NumDofs());
-  fine_res_.resize(fine_ops_.NumDofs());
-  fine_diag_.resize(fine_ops_.NumDofs());
-  coarse_rhs_.resize(coarse_mesh_.NumLocalDofs());
-  coarse_sol_.resize(coarse_mesh_.NumLocalDofs());
-}
-
-void MultigridPreconditioner::Restrict(std::span<const double> fine,
-                                       std::span<double> coarse) const {
-  // Adjoint of Prolong under the multiplicity-weighted inner product:
-  // unassemble the dual vector, then apply P^T element-wise. The caller's
-  // coarse result is *unassembled* (the coarse solver assembles internally).
-  const auto& mult = fine_gs_.Multiplicity();
-  const int np = static_cast<int>(std::round(
-      std::cbrt(static_cast<double>(fine.size()) /
-                static_cast<double>(coarse.size() / 8))));
-  const std::size_t per_fine = static_cast<std::size_t>(np) * np * np;
-  const std::size_t nel = fine.size() / per_fine;
-  std::vector<double> local(per_fine);
-  for (std::size_t e = 0; e < nel; ++e) {
-    for (std::size_t q = 0; q < per_fine; ++q) {
-      const std::size_t idx = e * per_fine + q;
-      local[q] = fine[idx] / mult[idx];
+  // Cycle buffers (and, in mixed mode, the down-converted float operator
+  // data — built once so the hot path never converts).
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    Level& level = levels_[l];
+    auto size_buffers = [&](auto& data) {
+      data.r.resize(level.ndofs);
+      data.z.resize(level.ndofs);
+      data.res.resize(level.ndofs);
+      data.d.resize(level.ndofs);
+      data.tmp.resize(level.ndofs);
+      data.lap_scratch.resize(6 * level.per_el);
+      if (l + 1 < levels_.size()) {
+        const Level& coarse = levels_[l + 1];
+        data.interp_scratch.resize(
+            sem::Interp3DScratchSize(coarse.np, level.np));
+        data.local_in.resize(level.per_el);
+        data.local_out.resize(level.per_el);
+      }
+    };
+    size_buffers(level.dbl);
+    if (mixed) {
+      size_buffers(level.flt);
+      level.flt.deriv = ToFloat(level.ops->Rule().deriv);
+      level.flt.deriv_t = ToFloat(level.ops->Rule().deriv_t);
+      const sem::LaplacianGeo<double> geo = level.ops->Geo();
+      level.flt.g11 = ToFloat(geo.g11);
+      level.flt.g12 = ToFloat(geo.g12);
+      level.flt.g13 = ToFloat(geo.g13);
+      level.flt.g22 = ToFloat(geo.g22);
+      level.flt.g23 = ToFloat(geo.g23);
+      level.flt.g33 = ToFloat(geo.g33);
+      level.flt.mass = ToFloat(level.ops->MassDiag());
+      level.flt.mask = ToFloat(level.mask);
+      level.flt.mult = ToFloat(level.gs->Multiplicity());
+      level.flt.restrict_1d = ToFloat(level.restrict_1d);
+      level.flt.prolong_1d = ToFloat(level.prolong_1d);
+      level.flt.diag.resize(level.ndofs);
     }
-    const std::vector<double> down =
-        sem::Interp3D(restrict_1d_, 2, np, local);
-    for (std::size_t q = 0; q < 8; ++q) coarse[e * 8 + q] = down[q];
   }
+
+  coarse_solver_ = std::make_unique<HelmholtzSolver>(
+      comm_, *levels_.back().ops, *levels_.back().gs);
+  coarse_rhs_.resize(levels_.back().ndofs);
+  coarse_sol_.resize(levels_.back().ndofs);
 }
 
-void MultigridPreconditioner::Prolong(std::span<const double> coarse,
-                                      std::span<double> fine) const {
-  const std::size_t nel = coarse.size() / 8;
-  const std::size_t per_fine = fine.size() / nel;
-  const int np = static_cast<int>(std::round(
-      std::cbrt(static_cast<double>(per_fine))));
-  std::vector<double> local(8);
-  for (std::size_t e = 0; e < nel; ++e) {
-    for (std::size_t q = 0; q < 8; ++q) local[q] = coarse[e * 8 + q];
-    const std::vector<double> up = sem::Interp3D(prolong_1d_, np, 2, local);
-    for (std::size_t q = 0; q < per_fine; ++q) fine[e * per_fine + q] = up[q];
-  }
-}
-
-void MultigridPreconditioner::FineOperator(double h1, double h0,
-                                           std::span<const double> x,
-                                           std::span<double> w) {
-  fine_ops_.Laplacian(x, w);
-  auto mass = fine_ops_.MassDiag();
+template <typename T>
+void MultigridPreconditioner::LevelOperator(Level& level, double h1, double h0,
+                                            std::span<const T> x,
+                                            std::span<T> w) {
+  sem::LaplacianFused<T>(DerivOf<T>(level), DerivTOf<T>(level), level.np,
+                         level.nel, GeoOf<T>(level), x, w,
+                         Data<T>(level).lap_scratch);
+  auto mass = LevelMassOf<T>(level);
+  const T a = static_cast<T>(h1);
+  const T b = static_cast<T>(h0);
   for (std::size_t i = 0; i < w.size(); ++i) {
-    w[i] = h1 * w[i] + h0 * mass[i] * x[i];
+    w[i] = a * w[i] + b * mass[i] * x[i];
   }
-  fine_gs_.Sum(w);
-  for (std::size_t i = 0; i < w.size(); ++i) w[i] *= fine_mask_[i];
+  level.gs->Sum(w);
+  auto mask = MaskOf<T>(level);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] *= mask[i];
 }
 
-void MultigridPreconditioner::Apply(double h1, double h0,
-                                    std::span<const double> r,
-                                    std::span<double> z) {
-  const std::size_t n = fine_ops_.NumDofs();
-  if (r.size() != n || z.size() != n) {
-    throw std::invalid_argument("nekrs: multigrid size mismatch");
+template <typename T>
+void MultigridPreconditioner::Smooth(Level& level, double h1, double h0,
+                                     bool first) {
+  auto& buf = Data<T>(level);
+  auto diag = DiagOf<T>(level);
+  auto mask = MaskOf<T>(level);
+  const std::size_t n = level.ndofs;
+
+  if (options_.smoother == Smoother::kJacobi) {
+    const T omega = static_cast<T>(options_.jacobi_weight);
+    int sweep = 0;
+    if (first) {
+      // First sweep from z = 0 is just the damped diagonal scaling.
+      for (std::size_t i = 0; i < n; ++i) {
+        buf.z[i] = omega * buf.r[i] / diag[i] * mask[i];
+      }
+      sweep = 1;
+    }
+    for (; sweep < options_.smooth_sweeps; ++sweep) {
+      LevelOperator<T>(level, h1, h0, {buf.z.data(), n}, {buf.tmp.data(), n});
+      for (std::size_t i = 0; i < n; ++i) {
+        buf.z[i] += omega * (buf.r[i] - buf.tmp[i]) / diag[i] * mask[i];
+      }
+    }
+    return;
   }
 
-  // (Re)build the assembled fine Jacobi diagonal when coefficients change.
-  if (h1 != diag_h1_ || h0 != diag_h0_) {
-    auto adiag = fine_ops_.StiffnessDiag();
-    auto mass = fine_ops_.MassDiag();
+  // Chebyshev acceleration of Jacobi (nekRS form): a degree-k polynomial
+  // in D^-1 A tuned to damp [lambda_max/10, 1.1 lambda_max].  The
+  // three-term coefficients are computed in double and applied in T.
+  const int degree = options_.chebyshev_degree < 1 ? 1
+                                                   : options_.chebyshev_degree;
+  const double lam = level.lambda_max > 0.0 ? level.lambda_max : 1.0;
+  const double lam_hi = 1.1 * lam;
+  const double lam_lo = 0.1 * lam;
+  const double theta = 0.5 * (lam_hi + lam_lo);
+  const double delta = 0.5 * (lam_hi - lam_lo);
+  const double sigma = theta / delta;
+  const T inv_theta = static_cast<T>(1.0 / theta);
+
+  if (first) {
     for (std::size_t i = 0; i < n; ++i) {
-      fine_diag_[i] = h1 * adiag[i] + h0 * mass[i];
+      buf.z[i] = 0;
+      buf.res[i] = buf.r[i];
     }
-    fine_gs_.Sum(fine_diag_);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (fine_diag_[i] == 0.0 || fine_mask_[i] == 0.0) fine_diag_[i] = 1.0;
-    }
-    diag_h1_ = h1;
-    diag_h0_ = h0;
+  } else {
+    LevelOperator<T>(level, h1, h0, {buf.z.data(), n}, {buf.tmp.data(), n});
+    for (std::size_t i = 0; i < n; ++i) buf.res[i] = buf.r[i] - buf.tmp[i];
   }
-
-  const double omega = options_.jacobi_weight;
-
-  // Pre-smooth from z = 0: first sweep is z = w D^-1 r, later sweeps use
-  // the current residual.
   for (std::size_t i = 0; i < n; ++i) {
-    z[i] = omega * r[i] / fine_diag_[i] * fine_mask_[i];
+    buf.d[i] = buf.res[i] / diag[i] * mask[i] * inv_theta;
   }
-  for (int s = 1; s < options_.smooth_sweeps; ++s) {
-    FineOperator(h1, h0, z, fine_res_);
+  double rho = 1.0 / sigma;
+  for (int k = 1;; ++k) {
+    for (std::size_t i = 0; i < n; ++i) buf.z[i] += buf.d[i];
+    if (k == degree) break;
+    LevelOperator<T>(level, h1, h0, {buf.d.data(), n}, {buf.tmp.data(), n});
+    for (std::size_t i = 0; i < n; ++i) buf.res[i] -= buf.tmp[i];
+    const double rho_next = 1.0 / (2.0 * sigma - rho);
+    const T c_d = static_cast<T>(rho_next * rho);
+    const T c_r = static_cast<T>(2.0 * rho_next / delta);
     for (std::size_t i = 0; i < n; ++i) {
-      z[i] += omega * (r[i] - fine_res_[i]) / fine_diag_[i] * fine_mask_[i];
+      buf.d[i] = c_d * buf.d[i] + c_r * (buf.res[i] / diag[i] * mask[i]);
+    }
+    rho = rho_next;
+  }
+}
+
+template <typename T>
+void MultigridPreconditioner::RestrictTo(Level& fine, Level& coarse) {
+  // Adjoint of Prolong under the multiplicity-weighted inner product:
+  // unassemble the dual vector, then apply P^T element-wise. The coarse
+  // result is *unassembled* (consumers assemble or solve as needed).
+  auto& buf = Data<T>(fine);
+  auto& cbuf = Data<T>(coarse);
+  auto mult = MultOf<T>(fine);
+  auto rmat = RestrictOf<T>(fine);
+  for (int e = 0; e < fine.nel; ++e) {
+    const std::size_t fbase = static_cast<std::size_t>(e) * fine.per_el;
+    for (std::size_t q = 0; q < fine.per_el; ++q) {
+      buf.local_in[q] = buf.res[fbase + q] / mult[fbase + q];
+    }
+    sem::Interp3D<T>(rmat, coarse.np, fine.np,
+                     {buf.local_in.data(), fine.per_el},
+                     {buf.local_out.data(), coarse.per_el},
+                     buf.interp_scratch);
+    const std::size_t cbase = static_cast<std::size_t>(e) * coarse.per_el;
+    for (std::size_t q = 0; q < coarse.per_el; ++q) {
+      cbuf.r[cbase + q] = buf.local_out[q];
+    }
+  }
+}
+
+template <typename T>
+void MultigridPreconditioner::ProlongFrom(Level& coarse, Level& fine) {
+  auto& buf = Data<T>(fine);
+  auto& cbuf = Data<T>(coarse);
+  auto pmat = ProlongOf<T>(fine);
+  for (int e = 0; e < fine.nel; ++e) {
+    const std::size_t cbase = static_cast<std::size_t>(e) * coarse.per_el;
+    for (std::size_t q = 0; q < coarse.per_el; ++q) {
+      buf.local_in[q] = cbuf.z[cbase + q];
+    }
+    sem::Interp3D<T>(pmat, fine.np, coarse.np,
+                     {buf.local_in.data(), coarse.per_el},
+                     {buf.local_out.data(), fine.per_el}, buf.interp_scratch);
+    const std::size_t fbase = static_cast<std::size_t>(e) * fine.per_el;
+    for (std::size_t q = 0; q < fine.per_el; ++q) {
+      buf.d[fbase + q] = buf.local_out[q];
+    }
+  }
+}
+
+void MultigridPreconditioner::BuildCoarseDirect(double h1, double h0) {
+  Level& coarse = levels_.back();
+  const std::size_t n = coarse.ndofs;
+  coarse_direct_ok_ = false;
+
+  std::int64_t max_gid = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (coarse.gids[i] > max_gid) max_gid = coarse.gids[i];
+  }
+  max_gid = comm_.AllReduceValue(max_gid, mpimini::Op::kMax);
+  const std::size_t nglobal = static_cast<std::size_t>(max_gid + 1);
+  if (nglobal == 0 || nglobal > kDirectCoarseMaxDofs) return;
+  coarse_nglobal_ = nglobal;
+
+  // Assemble the global operator h1 K + h0 M from element stiffness
+  // columns (one single-element fused-Laplacian apply per basis function —
+  // the vertex space has 8 of them per element) and the diagonal mass.
+  std::vector<double> a(nglobal * nglobal, 0.0);
+  const sem::GllRule& rule = coarse.ops->Rule();
+  const sem::LaplacianGeo<double> geo = coarse.ops->Geo();
+  auto mass = coarse.ops->MassDiag();
+  std::vector<double> ue(coarse.per_el), ke(coarse.per_el);
+  auto& scratch = coarse.dbl.lap_scratch;
+  for (int e = 0; e < coarse.nel; ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * coarse.per_el;
+    const sem::LaplacianGeo<double> geo_e{
+        geo.g11.subspan(base, coarse.per_el),
+        geo.g12.subspan(base, coarse.per_el),
+        geo.g13.subspan(base, coarse.per_el),
+        geo.g22.subspan(base, coarse.per_el),
+        geo.g23.subspan(base, coarse.per_el),
+        geo.g33.subspan(base, coarse.per_el)};
+    for (std::size_t p = 0; p < coarse.per_el; ++p) {
+      std::fill(ue.begin(), ue.end(), 0.0);
+      ue[p] = 1.0;
+      sem::LaplacianFused<double>(rule.deriv, rule.deriv_t, coarse.np, 1,
+                                  geo_e, ue, ke, scratch);
+      const std::size_t gp = static_cast<std::size_t>(coarse.gids[base + p]);
+      for (std::size_t q = 0; q < coarse.per_el; ++q) {
+        const std::size_t gq = static_cast<std::size_t>(coarse.gids[base + q]);
+        a[gq * nglobal + gp] += h1 * ke[q];
+      }
+    }
+    if (h0 != 0.0) {
+      for (std::size_t q = 0; q < coarse.per_el; ++q) {
+        const std::size_t gq = static_cast<std::size_t>(coarse.gids[base + q]);
+        a[gq * nglobal + gq] += h0 * mass[base + q];
+      }
+    }
+  }
+  comm_.AllReduce(std::span<double>(a), mpimini::Op::kSum);
+
+  // Assembled Dirichlet row mask and lumped mass (the constant-nullspace
+  // weight): a dof is constrained when any rank masks it.
+  coarse_rowmask_.assign(nglobal, 1.0);
+  coarse_weight_.assign(nglobal, 0.0);
+  std::vector<double> masked(nglobal, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = static_cast<std::size_t>(coarse.gids[i]);
+    if (coarse.mask[i] == 0.0) masked[g] = 1.0;
+    coarse_weight_[g] += mass[i];
+  }
+  comm_.AllReduce(std::span<double>(masked), mpimini::Op::kMax);
+  comm_.AllReduce(std::span<double>(coarse_weight_), mpimini::Op::kSum);
+  bool any_dirichlet = false;
+  for (std::size_t g = 0; g < nglobal; ++g) {
+    if (masked[g] == 0.0) continue;
+    any_dirichlet = true;
+    coarse_rowmask_[g] = 0.0;
+    coarse_weight_[g] = 0.0;
+    for (std::size_t q = 0; q < nglobal; ++q) {
+      a[g * nglobal + q] = 0.0;
+      a[q * nglobal + g] = 0.0;
+    }
+    a[g * nglobal + g] = 1.0;
+  }
+
+  // A pure-Neumann vertex Laplacian is singular on constants; shift it by
+  // a mass-weighted rank-one term scaled to sit inside the spectrum, so
+  // the factorization exists and the constant mode stays well-behaved.
+  coarse_singular_ = !any_dirichlet && h0 == 0.0;
+  if (coarse_singular_) {
+    double trace = 0.0;
+    double wsum = 0.0;
+    for (std::size_t g = 0; g < nglobal; ++g) {
+      trace += a[g * nglobal + g];
+      wsum += coarse_weight_[g];
+    }
+    if (wsum <= 0.0) return;
+    const double c =
+        trace / (static_cast<double>(nglobal) * wsum * wsum);
+    for (std::size_t g = 0; g < nglobal; ++g) {
+      for (std::size_t q = 0; q < nglobal; ++q) {
+        a[g * nglobal + q] += c * coarse_weight_[g] * coarse_weight_[q];
+      }
     }
   }
 
-  // Coarse-grid correction.
-  FineOperator(h1, h0, z, fine_res_);
-  for (std::size_t i = 0; i < n; ++i) fine_res_[i] = r[i] - fine_res_[i];
-  Restrict(fine_res_, coarse_rhs_);
+  // In-place lower Cholesky; a non-positive pivot means the operator is
+  // not SPD as assembled — leave the iterative fallback in charge.
+  for (std::size_t j = 0; j < nglobal; ++j) {
+    double diag = a[j * nglobal + j];
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= a[j * nglobal + k] * a[j * nglobal + k];
+    }
+    if (!(diag > 0.0)) return;
+    const double ljj = std::sqrt(diag);
+    a[j * nglobal + j] = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < nglobal; ++i) {
+      double v = a[i * nglobal + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        v -= a[i * nglobal + k] * a[j * nglobal + k];
+      }
+      a[i * nglobal + j] = v * inv;
+    }
+  }
+  coarse_chol_ = std::move(a);
+  coarse_global_.assign(nglobal, 0.0);
+  coarse_direct_ok_ = true;
+}
+
+void MultigridPreconditioner::CoarseSolveDirect() {
+  Level& coarse = levels_.back();
+  const std::size_t n = coarse.ndofs;
+  const std::size_t nglobal = coarse_nglobal_;
+  std::vector<double>& b = coarse_global_;
+  std::fill(b.begin(), b.end(), 0.0);
+  // The restricted residual is an unassembled dual vector: summing every
+  // element-local contribution into its global id assembles it.
+  for (std::size_t i = 0; i < n; ++i) {
+    b[static_cast<std::size_t>(coarse.gids[i])] += coarse_rhs_[i];
+  }
+  comm_.AllReduce(std::span<double>(b), mpimini::Op::kSum);
+  for (std::size_t g = 0; g < nglobal; ++g) b[g] *= coarse_rowmask_[g];
+
+  double wsum = 0.0;
+  if (coarse_singular_) {
+    // Project the constant component out of the dual vector ((1, b) = sum
+    // of entries) before the solve, and out of the solution after it.
+    double bsum = 0.0;
+    for (std::size_t g = 0; g < nglobal; ++g) {
+      bsum += b[g];
+      wsum += coarse_weight_[g];
+    }
+    const double shift = bsum / wsum;
+    for (std::size_t g = 0; g < nglobal; ++g) {
+      b[g] -= shift * coarse_weight_[g];
+    }
+  }
+
+  // L y = b, then L^T x = y, in place.
+  const std::vector<double>& l = coarse_chol_;
+  for (std::size_t i = 0; i < nglobal; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l[i * nglobal + k] * b[k];
+    b[i] = v / l[i * nglobal + i];
+  }
+  for (std::size_t i = nglobal; i-- > 0;) {
+    double v = b[i];
+    for (std::size_t k = i + 1; k < nglobal; ++k) {
+      v -= l[k * nglobal + i] * b[k];
+    }
+    b[i] = v / l[i * nglobal + i];
+  }
+
+  if (coarse_singular_) {
+    double mean = 0.0;
+    for (std::size_t g = 0; g < nglobal; ++g) {
+      mean += coarse_weight_[g] * b[g];
+    }
+    mean /= wsum;
+    for (std::size_t g = 0; g < nglobal; ++g) {
+      b[g] = (b[g] - mean) * coarse_rowmask_[g];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    coarse_sol_[i] = b[static_cast<std::size_t>(coarse.gids[i])];
+  }
+}
+
+template <typename T>
+void MultigridPreconditioner::CoarseSolve(double h1, double h0) {
+  Level& coarse = levels_.back();
+  auto& buf = Data<T>(coarse);
+  const std::size_t n = coarse.ndofs;
+  for (std::size_t i = 0; i < n; ++i) {
+    coarse_rhs_[i] = static_cast<double>(buf.r[i]);
+  }
+  if (coarse_direct_ok_) {
+    CoarseSolveDirect();
+    for (std::size_t i = 0; i < n; ++i) {
+      buf.z[i] = static_cast<T>(coarse_sol_[i]);
+    }
+    return;
+  }
   std::fill(coarse_sol_.begin(), coarse_sol_.end(), 0.0);
   HelmholtzSolver::Options coarse_options;
   coarse_options.h1 = h1;
@@ -164,16 +566,136 @@ void MultigridPreconditioner::Apply(double h1, double h0,
   coarse_options.max_iterations = options_.coarse_max_iterations;
   coarse_options.remove_mean = options_.remove_mean;
   coarse_solver_->Solve(coarse_options, coarse_rhs_, coarse_sol_,
-                        coarse_mask_);
-  Prolong(coarse_sol_, fine_tmp_);
-  for (std::size_t i = 0; i < n; ++i) z[i] += fine_tmp_[i] * fine_mask_[i];
+                        coarse.mask);
+  for (std::size_t i = 0; i < n; ++i) {
+    buf.z[i] = static_cast<T>(coarse_sol_[i]);
+  }
+}
 
-  // Post-smooth (symmetric with the pre-smoothing).
-  for (int s = 0; s < options_.smooth_sweeps; ++s) {
-    FineOperator(h1, h0, z, fine_res_);
+template <typename T>
+void MultigridPreconditioner::Cycle(std::size_t l, double h1, double h0) {
+  Level& level = levels_[l];
+  auto& buf = Data<T>(level);
+  const std::size_t n = level.ndofs;
+
+  Smooth<T>(level, h1, h0, /*first=*/true);
+
+  // Residual and coarse-grid correction.
+  LevelOperator<T>(level, h1, h0, {buf.z.data(), n}, {buf.res.data(), n});
+  for (std::size_t i = 0; i < n; ++i) buf.res[i] = buf.r[i] - buf.res[i];
+  Level& coarse = levels_[l + 1];
+  RestrictTo<T>(level, coarse);
+  if (l + 2 == levels_.size()) {
+    CoarseSolve<T>(h1, h0);
+  } else {
+    auto& cbuf = Data<T>(coarse);
+    coarse.gs->Sum(std::span<T>(cbuf.r.data(), coarse.ndofs));
+    auto cmask = MaskOf<T>(coarse);
+    for (std::size_t i = 0; i < coarse.ndofs; ++i) cbuf.r[i] *= cmask[i];
+    Cycle<T>(l + 1, h1, h0);
+  }
+  ProlongFrom<T>(coarse, level);
+  auto mask = MaskOf<T>(level);
+  for (std::size_t i = 0; i < n; ++i) buf.z[i] += buf.d[i] * mask[i];
+
+  Smooth<T>(level, h1, h0, /*first=*/false);
+}
+
+double MultigridPreconditioner::EstimateLambdaMax(Level& level, double h1,
+                                                  double h0) {
+  // Power iteration on the masked D^-1 A in double.  The seed is a fixed
+  // function of the global ids, so the estimate does not depend on the
+  // rank partition (up to reduction rounding).
+  const std::size_t n = level.ndofs;
+  auto& buf = level.dbl;
+  auto mult = std::span<const double>(level.gs->Multiplicity());
+  for (std::size_t i = 0; i < n; ++i) {
+    buf.d[i] = (1.0 + 0.5 * std::sin(0.7 * static_cast<double>(
+                                               level.gids[i] % 4096))) *
+               level.mask[i];
+  }
+  const int iters = options_.power_iterations < 1 ? 1
+                                                  : options_.power_iterations;
+  double lambda = 1.0;
+  for (int it = 0; it < iters; ++it) {
+    LevelOperator<double>(level, h1, h0, {buf.d.data(), n},
+                          {buf.tmp.data(), n});
     for (std::size_t i = 0; i < n; ++i) {
-      z[i] += omega * (r[i] - fine_res_[i]) / fine_diag_[i] * fine_mask_[i];
+      buf.tmp[i] = buf.tmp[i] / level.diag[i] * level.mask[i];
     }
+    const double norm2 = sem::AssembledDot(comm_, {buf.tmp.data(), n},
+                                           {buf.tmp.data(), n}, mult);
+    if (!(norm2 > 0.0)) return 1.0;
+    lambda = std::sqrt(norm2);
+    const double inv = 1.0 / lambda;
+    for (std::size_t i = 0; i < n; ++i) buf.d[i] = buf.tmp[i] * inv;
+  }
+  return lambda;
+}
+
+void MultigridPreconditioner::EnsureCoefficients(double h1, double h0) {
+  if (coefficients_ready_ && h1 == cached_h1_ && h0 == cached_h0_) return;
+  for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
+    Level& level = levels_[l];
+    auto adiag = level.ops->StiffnessDiag();
+    auto mass = level.ops->MassDiag();
+    for (std::size_t i = 0; i < level.ndofs; ++i) {
+      level.diag[i] = h1 * adiag[i] + h0 * mass[i];
+    }
+    level.gs->Sum(std::span<double>(level.diag));
+    for (std::size_t i = 0; i < level.ndofs; ++i) {
+      if (level.diag[i] == 0.0 || level.mask[i] == 0.0) level.diag[i] = 1.0;
+    }
+    if (options_.smoother == Smoother::kChebyshev) {
+      level.lambda_max = EstimateLambdaMax(level, h1, h0);
+    }
+    if (options_.precision == Precision::kFloat) {
+      for (std::size_t i = 0; i < level.ndofs; ++i) {
+        level.flt.diag[i] = static_cast<float>(level.diag[i]);
+      }
+    }
+  }
+  if (options_.coarse_mode == CoarseMode::kDirect) {
+    BuildCoarseDirect(h1, h0);
+  }
+  cached_h1_ = h1;
+  cached_h0_ = h0;
+  coefficients_ready_ = true;
+}
+
+void MultigridPreconditioner::Apply(double h1, double h0,
+                                    std::span<const double> r,
+                                    std::span<double> z) {
+  const std::size_t n = levels_.front().ndofs;
+  if (r.size() != n || z.size() != n) {
+    throw std::invalid_argument("nekrs: multigrid size mismatch");
+  }
+  instrument::MetricsRegistry* metrics = instrument::CurrentMetrics();
+  const std::int64_t begin_ns =
+      metrics != nullptr ? instrument::Tracer::NowNs() : 0;
+
+  EnsureCoefficients(h1, h0);
+
+  if (options_.precision == Precision::kDouble) {
+    auto& buf = levels_.front().dbl;
+    for (std::size_t i = 0; i < n; ++i) buf.r[i] = r[i];
+    Cycle<double>(0, h1, h0);
+    for (std::size_t i = 0; i < n; ++i) z[i] = buf.z[i];
+  } else {
+    // pfloat cycle: one narrowing conversion on entry, one widening on
+    // exit; everything in between (smoothing, operators, transfers,
+    // gather-scatter) runs in float.  The coarse CG stays double.
+    auto& buf = levels_.front().flt;
+    for (std::size_t i = 0; i < n; ++i) buf.r[i] = static_cast<float>(r[i]);
+    Cycle<float>(0, h1, h0);
+    for (std::size_t i = 0; i < n; ++i) z[i] = static_cast<double>(buf.z[i]);
+  }
+
+  if (metrics != nullptr) {
+    metrics->Add("solver.mg.cycles", 1.0);
+    metrics->Add("solver.mg.cycle_seconds",
+                 static_cast<double>(instrument::Tracer::NowNs() - begin_ns) *
+                     1e-9);
   }
 }
 

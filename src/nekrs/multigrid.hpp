@@ -1,21 +1,35 @@
-// Two-level p-multigrid preconditioner — the role NekRS's pMG + coarse-grid
-// solve plays for the pressure Poisson equation.
+// p-multigrid preconditioner — the role NekRS's pMG + coarse-grid solve
+// plays for the pressure Poisson equation.
 //
-// Fine level: the solver's order-N spectral element space. Coarse level:
-// order-1 (trilinear) elements on the same mesh — the classic "p-coarsening
-// to vertices". One symmetric V-cycle per application:
+// The ladder coarsens in polynomial order on the same element mesh:
+// N -> N/2 -> ... -> 1, ending at the trilinear (vertex) space.  Each level
+// owns its GLL rule, ElementOperators, GatherScatter, Dirichlet mask, and
+// 1-D transfer matrices to the next coarser level; one symmetric V-cycle
+// per application:
 //
-//   pre-smooth   : damped Jacobi on the fine level
+//   smooth       : damped Jacobi or Chebyshev-accelerated Jacobi
+//   restrict     : multiplicity-unassemble + P^T, level by level
 //   coarse solve : Jacobi-CG on the vertex problem (tiny, loose tolerance)
-//   post-smooth  : damped Jacobi
+//   prolong      : P, add masked correction
+//   smooth       : symmetric with the pre-smoothing
 //
-// The cycle is symmetric positive definite, so it is a valid CG
-// preconditioner. Its payoff is weak-scaling: the coarse solve carries the
-// global (domain-extent) information that makes plain Jacobi-CG iteration
-// counts grow with domain size.
+// Chebyshev smoothing follows nekRS: a degree-k polynomial in D^-1 A with
+// eigenvalue bounds [lambda_max/10, 1.1 lambda_max] estimated by a few
+// power iterations per level whenever (h1, h0) changes.
+//
+// Mixed precision follows nekRS's pfloat/dfloat split: with
+// Precision::kFloat the entire V-cycle — smoother state, level operators,
+// residuals, transfers, gather-scatter exchanges — runs in float, while the
+// outer CG (and the coarse-grid CG) stay double.  The cycle is a fixed
+// linear operation either way, so it remains a valid CG preconditioner.
+//
+// The legacy configuration (Smoother::kJacobi, Precision::kDouble,
+// max_levels = 2 — the Options defaults) reproduces the historical
+// two-level cycle bit-for-bit.
 #pragma once
 
 #include <memory>
+#include <type_traits>
 
 #include "nekrs/helmholtz.hpp"
 #include "sem/box_mesh.hpp"
@@ -26,11 +40,42 @@ namespace nekrs {
 
 class MultigridPreconditioner final : public Preconditioner {
  public:
+  enum class Smoother {
+    kJacobi,     ///< fixed-weight damped Jacobi sweeps (legacy)
+    kChebyshev,  ///< degree-k Chebyshev acceleration of Jacobi (nekRS)
+  };
+  enum class Precision {
+    kDouble,  ///< dfloat everywhere (legacy, bit-identical mode)
+    kFloat,   ///< pfloat V-cycle under the double outer Krylov
+  };
+  enum class CoarseMode {
+    kIterative,  ///< Jacobi-CG on the vertex problem (legacy)
+    /// Redundant dense Cholesky of the assembled global vertex operator
+    /// (the role nekRS's direct/AMG coarse solve plays): every rank builds
+    /// and factors the same tiny matrix once per (h1, h0), and each cycle's
+    /// coarse solve is then one AllReduce plus two triangular sweeps —
+    /// instead of an iteration of latency-bound collectives.  Falls back
+    /// to kIterative when the vertex space exceeds the dense-size cap.
+    kDirect,
+  };
+
   struct Options {
-    int smooth_sweeps = 2;        ///< damped-Jacobi sweeps pre and post
-    double jacobi_weight = 0.8;   ///< damping factor
+    Smoother smoother = Smoother::kJacobi;
+    Precision precision = Precision::kDouble;
+    /// Number of ladder levels including the order-1 coarse level;
+    /// 2 = the legacy single coarse jump, 0 = the full N -> N/2 -> 1 ladder.
+    int max_levels = 2;
+    int chebyshev_degree = 2;  ///< smoother polynomial degree (>= 1)
+    /// Power-iteration count for the D^-1 A spectral-radius estimate.
+    /// Chebyshev AMPLIFIES modes beyond its upper bound, so an
+    /// under-converged estimate poisons the smoother; 30 iterations of
+    /// setup-only cost keeps the 1.1x safety margin honest.
+    int power_iterations = 30;
+    int smooth_sweeps = 2;     ///< damped-Jacobi sweeps pre and post
+    double jacobi_weight = 0.8;      ///< damping factor
     double coarse_tolerance = 0.05;  ///< relative tolerance of coarse CG
     int coarse_max_iterations = 200;
+    CoarseMode coarse_mode = CoarseMode::kIterative;
     bool remove_mean = false;  ///< singular (pure-Neumann) problems
   };
 
@@ -48,37 +93,136 @@ class MultigridPreconditioner final : public Preconditioner {
   void Apply(double h1, double h0, std::span<const double> r,
              std::span<double> z) override;
 
+  [[nodiscard]] int NumLevels() const {
+    return static_cast<int>(levels_.size());
+  }
+  [[nodiscard]] int LevelOrder(int level) const {
+    return levels_[static_cast<std::size_t>(level)].order;
+  }
+  /// Spectral-radius estimate of D^-1 A on a level (Chebyshev smoother
+  /// only; 0 before the first Apply).
+  [[nodiscard]] double LevelLambdaMax(int level) const {
+    return levels_[static_cast<std::size_t>(level)].lambda_max;
+  }
+
  private:
-  void Restrict(std::span<const double> fine, std::span<double> coarse) const;
-  void Prolong(std::span<const double> coarse, std::span<double> fine) const;
-  /// w = mask (QQ^T (h1 A + h0 B) x) on the fine level.
-  void FineOperator(double h1, double h0, std::span<const double> x,
-                    std::span<double> w);
+  /// Per-precision V-cycle state of one level.  For double the operator
+  /// data (derivative matrices, geometric factors, mass, multiplicity)
+  /// lives in the level's ElementOperators/GatherScatter and only the
+  /// cycle vectors are held here; for float everything is down-converted
+  /// once at construction.
+  template <typename T>
+  struct LevelData {
+    // Down-converted operator data (float mode only; empty for double).
+    std::vector<T> deriv, deriv_t;  // np x np
+    std::vector<T> g11, g12, g13, g22, g23, g33, mass;
+    std::vector<T> mask, mult;
+    std::vector<T> restrict_1d, prolong_1d;  // to/from next coarser level
+    // Assembled Jacobi diagonal for the cached (h1, h0).
+    std::vector<T> diag;
+    // Cycle vectors: rhs, solution, residual, smoother direction, operator
+    // scratch.
+    std::vector<T> r, z, res, d, tmp;
+    // Fused-Laplacian (6 np^3) and Interp3D workspaces, per-element
+    // transfer staging.
+    std::vector<T> lap_scratch, interp_scratch, local_in, local_out;
+  };
+
+  struct Level {
+    int order = 0;
+    int np = 0;
+    int nel = 0;
+    std::size_t ndofs = 0;
+    std::size_t per_el = 0;
+    std::unique_ptr<sem::BoxMesh> mesh;
+    std::unique_ptr<sem::ElementOperators> ops_owned;  // null on level 0
+    const sem::ElementOperators* ops = nullptr;
+    std::unique_ptr<sem::GatherScatter> gs_owned;  // null on level 0
+    const sem::GatherScatter* gs = nullptr;
+    std::vector<std::int64_t> gids;
+    std::vector<double> mask;
+    // 1-D transfers to the NEXT coarser level (absent on the last level):
+    // prolong is np x np_next, restrict its transpose.
+    std::vector<double> restrict_1d, prolong_1d;
+    std::vector<double> diag;  // assembled Jacobi diagonal (double master)
+    double lambda_max = 0.0;
+    LevelData<double> dbl;
+    LevelData<float> flt;
+  };
+
+  template <typename T>
+  LevelData<T>& Data(Level& level) {
+    if constexpr (std::is_same_v<T, double>) {
+      return level.dbl;
+    } else {
+      return level.flt;
+    }
+  }
+
+  /// w = mask (QQ^T (h1 A + h0 B) x) on `level`, in precision T.
+  template <typename T>
+  void LevelOperator(Level& level, double h1, double h0,
+                     std::span<const T> x, std::span<T> w);
+
+  /// In-place smoothing of A z = r on `level`; `first` means z is to be
+  /// treated as zero (pre-smoothing), saving one operator application.
+  template <typename T>
+  void Smooth(Level& level, double h1, double h0, bool first);
+
+  template <typename T>
+  void RestrictTo(Level& fine, Level& coarse);
+  template <typename T>
+  void ProlongFrom(Level& coarse, Level& fine);
+
+  template <typename T>
+  void Cycle(std::size_t l, double h1, double h0);
+
+  template <typename T>
+  void CoarseSolve(double h1, double h0);
+
+  /// Assemble, regularize (singular problems), and Cholesky-factor the
+  /// global vertex operator for CoarseMode::kDirect.  Collective; leaves
+  /// coarse_direct_ok_ false (iterative fallback) past the size cap or on
+  /// factorization failure.
+  void BuildCoarseDirect(double h1, double h0);
+
+  /// One direct coarse solve: assembled dual AllReduce, triangular sweeps,
+  /// nullspace projection for singular problems. Collective.
+  void CoarseSolveDirect();
+
+  /// Rebuild per-level diagonals (and Chebyshev eigenvalue bounds) when the
+  /// Helmholtz coefficients change. Collective.
+  void EnsureCoefficients(double h1, double h0);
+
+  /// Power iteration on D^-1 A (double, deterministic gid-based seed).
+  double EstimateLambdaMax(Level& level, double h1, double h0);
 
   mpimini::Comm comm_;
   Options options_;
   const sem::ElementOperators& fine_ops_;
   const sem::GatherScatter& fine_gs_;
-  std::vector<double> fine_mask_;
 
-  // Coarse (order-1) level.
-  sem::GllRule coarse_rule_;
-  sem::BoxMesh coarse_mesh_;
-  sem::ElementOperators coarse_ops_;
-  std::unique_ptr<sem::GatherScatter> coarse_gs_;
+  std::vector<Level> levels_;
   std::unique_ptr<HelmholtzSolver> coarse_solver_;
-  std::vector<double> coarse_mask_;
 
-  // Transfer matrices: prolongation (np x 2 per direction) and its
-  // transpose.
-  std::vector<double> prolong_1d_;   // np x 2
-  std::vector<double> restrict_1d_;  // 2 x np
-
-  // Scratch.
-  std::vector<double> fine_tmp_, fine_res_;
+  // Coarse-solve staging (double regardless of cycle precision).
   std::vector<double> coarse_rhs_, coarse_sol_;
-  std::vector<double> fine_diag_;
-  double diag_h1_ = -1.0, diag_h0_ = -1.0;  // cached diagonal coefficients
+
+  // Direct coarse solve state (CoarseMode::kDirect): the in-place Cholesky
+  // factor of the assembled global vertex operator, the assembled lumped
+  // mass (nullspace weight), the 0/1 Dirichlet row mask, and the global
+  // right-hand-side staging vector.
+  static constexpr std::size_t kDirectCoarseMaxDofs = 2048;
+  std::size_t coarse_nglobal_ = 0;
+  bool coarse_direct_ok_ = false;
+  bool coarse_singular_ = false;
+  std::vector<double> coarse_chol_;
+  std::vector<double> coarse_weight_;
+  std::vector<double> coarse_rowmask_;
+  std::vector<double> coarse_global_;
+
+  double cached_h1_ = -1.0, cached_h0_ = -1.0;
+  bool coefficients_ready_ = false;
 };
 
 }  // namespace nekrs

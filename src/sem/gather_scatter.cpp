@@ -149,15 +149,16 @@ GatherScatter::GatherScatter(mpimini::Comm comm,
   }
 }
 
-void GatherScatter::Sum(std::span<double> values) const {
+template <typename T>
+void GatherScatter::SumT(std::span<T> values) const {
   if (values.size() != ndofs_) {
     throw std::invalid_argument("sem: GatherScatter::Sum size mismatch");
   }
 
   // Local phase: every group's copies become the local sum.
-  std::vector<double> local_sum(groups_.size());
+  std::vector<T> local_sum(groups_.size());
   for (std::size_t g = 0; g < groups_.size(); ++g) {
-    double sum = 0.0;
+    T sum = 0;
     for (std::int32_t idx : groups_[g]) {
       sum += values[static_cast<std::size_t>(idx)];
     }
@@ -169,40 +170,35 @@ void GatherScatter::Sum(std::span<double> values) const {
 
   // Ship local sums of shared ids to their coordinators.
   for (const PeerPlan& plan : send_plan_) {
-    std::vector<double> payload(plan.group_index.size());
+    std::vector<T> payload(plan.group_index.size());
     for (std::size_t w = 0; w < plan.group_index.size(); ++w) {
       payload[w] = local_sum[static_cast<std::size_t>(plan.group_index[w])];
     }
-    comm_.Send<double>(plan.peer, kTagGsData,
-                       std::span<const double>(payload));
+    comm_.Send<T>(plan.peer, kTagGsData, std::span<const T>(payload));
   }
 
   // Coordinator phase: accumulate and return totals.
-  std::vector<double> acc(num_slots_, 0.0);
-  std::vector<std::vector<double>> holder_payloads;
-  holder_payloads.reserve(recv_plan_.size());
+  std::vector<T> acc(num_slots_, 0);
   for (const HolderPlan& plan : recv_plan_) {
-    std::vector<double> payload = comm_.Recv<double>(plan.holder, kTagGsData);
+    std::vector<T> payload = comm_.Recv<T>(plan.holder, kTagGsData);
     if (payload.size() != plan.slot.size()) {
       throw std::runtime_error("sem: gather-scatter payload size mismatch");
     }
     for (std::size_t w = 0; w < payload.size(); ++w) {
       acc[static_cast<std::size_t>(plan.slot[w])] += payload[w];
     }
-    holder_payloads.push_back(std::move(payload));
   }
   for (const HolderPlan& plan : recv_plan_) {
-    std::vector<double> totals(plan.slot.size());
+    std::vector<T> totals(plan.slot.size());
     for (std::size_t w = 0; w < plan.slot.size(); ++w) {
       totals[w] = acc[static_cast<std::size_t>(plan.slot[w])];
     }
-    comm_.Send<double>(plan.holder, kTagGsTotal,
-                       std::span<const double>(totals));
+    comm_.Send<T>(plan.holder, kTagGsTotal, std::span<const T>(totals));
   }
 
   // Holder phase: overwrite shared groups with global totals.
   for (const PeerPlan& plan : send_plan_) {
-    std::vector<double> totals = comm_.Recv<double>(plan.peer, kTagGsTotal);
+    std::vector<T> totals = comm_.Recv<T>(plan.peer, kTagGsTotal);
     if (totals.size() != plan.group_index.size()) {
       throw std::runtime_error("sem: gather-scatter total size mismatch");
     }
@@ -214,6 +210,12 @@ void GatherScatter::Sum(std::span<double> values) const {
     }
   }
 }
+
+void GatherScatter::Sum(std::span<double> values) const {
+  SumT<double>(values);
+}
+
+void GatherScatter::Sum(std::span<float> values) const { SumT<float>(values); }
 
 void GatherScatter::Average(std::span<double> values) const {
   Sum(values);

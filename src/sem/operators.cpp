@@ -33,7 +33,7 @@ ElementOperators::ElementOperators(const GllRule& rule, const BoxMesh& mesh)
       scratch_ur_(per_el_),
       scratch_us_(per_el_),
       scratch_ut_(per_el_),
-      scratch_w_(3 * per_el_) {
+      scratch_lap_(6 * per_el_) {
   if (rule.order != mesh.Order()) {
     throw std::invalid_argument("sem: rule/mesh order mismatch");
   }
@@ -152,30 +152,11 @@ void ElementOperators::Laplacian(std::span<const double> u,
   if (u.size() != ndofs_ || out.size() != ndofs_) {
     throw std::invalid_argument("sem: Laplacian size mismatch");
   }
-  double* wr = scratch_w_.data();
-  double* ws = wr + per_el_;
-  double* wt = ws + per_el_;
-  for (int e = 0; e < nel_; ++e) {
-    const std::size_t base = static_cast<std::size_t>(e) * per_el_;
-    std::span<const double> ue(u.data() + base, per_el_);
-    DerivR(rule_, ue, scratch_ur_);
-    DerivS(rule_, ue, scratch_us_);
-    DerivT(rule_, ue, scratch_ut_);
-    for (std::size_t q = 0; q < per_el_; ++q) {
-      const std::size_t idx = base + q;
-      wr[q] = g11_[idx] * scratch_ur_[q] + g12_[idx] * scratch_us_[q] +
-              g13_[idx] * scratch_ut_[q];
-      ws[q] = g12_[idx] * scratch_ur_[q] + g22_[idx] * scratch_us_[q] +
-              g23_[idx] * scratch_ut_[q];
-      wt[q] = g13_[idx] * scratch_ur_[q] + g23_[idx] * scratch_us_[q] +
-              g33_[idx] * scratch_ut_[q];
-    }
-    std::span<double> oe(out.data() + base, per_el_);
-    for (std::size_t q = 0; q < per_el_; ++q) oe[q] = 0.0;
-    DerivRTAdd(rule_, std::span<const double>(wr, per_el_), oe);
-    DerivSTAdd(rule_, std::span<const double>(ws, per_el_), oe);
-    DerivTTAdd(rule_, std::span<const double>(wt, per_el_), oe);
-  }
+  // Single fused pass per element; bit-identical to the historical
+  // DerivR/S/T -> G-combine -> DerivRTAdd/SAdd/TAdd composition, minus its
+  // three heap allocations per element.
+  LaplacianFused<double>(rule_.deriv, rule_.deriv_t, rule_.NumPoints(), nel_,
+                         Geo(), u, out, scratch_lap_);
 }
 
 void ElementOperators::Gradient(std::span<const double> u,

@@ -14,6 +14,7 @@
 #include "mpimini/comm.hpp"
 #include "sem/box_mesh.hpp"
 #include "sem/gll.hpp"
+#include "sem/tensor.hpp"
 
 namespace sem {
 
@@ -36,6 +37,15 @@ class ElementOperators {
   /// used to build the Jacobi preconditioner.
   [[nodiscard]] std::span<const double> StiffnessDiag() const {
     return {adiag_.data(), adiag_.size()};
+  }
+
+  /// Symmetric weak-Laplacian geometric factors (G11..G33), exposed so
+  /// reduced-precision multigrid levels can down-convert them once and run
+  /// the templated LaplacianFused kernel on their own storage.
+  [[nodiscard]] LaplacianGeo<double> Geo() const {
+    return {{g11_.data(), g11_.size()}, {g12_.data(), g12_.size()},
+            {g13_.data(), g13_.size()}, {g22_.data(), g22_.size()},
+            {g23_.data(), g23_.size()}, {g33_.data(), g33_.size()}};
   }
 
   /// out = A_L u: unassembled weak Laplacian, all elements.
@@ -89,9 +99,10 @@ class ElementOperators {
   instrument::TrackedBuffer<double> mass_;   // J * w3
   instrument::TrackedBuffer<double> adiag_;  // local Laplacian diagonal
 
-  // Per-apply scratch (single-threaded per rank).
+  // Per-apply scratch (single-threaded per rank).  scratch_lap_ is the
+  // 6*np^3 workspace of the fused Laplacian kernel.
   mutable std::vector<double> scratch_ur_, scratch_us_, scratch_ut_,
-      scratch_w_;
+      scratch_lap_;
 
   // Dealiasing (built by EnableDealiasing): fine rule, coarse->fine
   // interpolation matrix (row-major, fine x coarse), fine 3-D quadrature

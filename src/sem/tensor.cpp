@@ -1,58 +1,20 @@
 #include "sem/tensor.hpp"
 
-#include <cstring>
-
 namespace sem {
 
 void ApplyDim0(std::span<const double> a, int rows, int np,
                std::span<const double> u, std::span<double> out) {
-  // out(i, jk) = sum_m a(i,m) u(m, jk) — a plain (rows x np) * (np x np*np)
-  // matrix product with u's first index contiguous.
-  const int planes = np * np;
-  for (int jk = 0; jk < planes; ++jk) {
-    const double* ucol = u.data() + static_cast<std::size_t>(jk) * np;
-    double* ocol = out.data() + static_cast<std::size_t>(jk) * rows;
-    for (int i = 0; i < rows; ++i) {
-      const double* arow = a.data() + static_cast<std::size_t>(i) * np;
-      double sum = 0.0;
-      for (int m = 0; m < np; ++m) sum += arow[m] * ucol[m];
-      ocol[i] = sum;
-    }
-  }
+  ApplyDim0T<double>(a, rows, np, u, out);
 }
 
 void ApplyDim1(std::span<const double> a, int rows, int np,
                std::span<const double> u, std::span<double> out) {
-  for (int k = 0; k < np; ++k) {
-    const double* uslab = u.data() + static_cast<std::size_t>(k) * np * np;
-    double* oslab = out.data() + static_cast<std::size_t>(k) * np * rows;
-    for (int j = 0; j < rows; ++j) {
-      const double* arow = a.data() + static_cast<std::size_t>(j) * np;
-      for (int i = 0; i < np; ++i) {
-        double sum = 0.0;
-        for (int m = 0; m < np; ++m) {
-          sum += arow[m] * uslab[static_cast<std::size_t>(m) * np + i];
-        }
-        oslab[static_cast<std::size_t>(j) * np + i] = sum;
-      }
-    }
-  }
+  ApplyDim1T<double>(a, rows, np, u, out);
 }
 
 void ApplyDim2(std::span<const double> a, int rows, int np,
                std::span<const double> u, std::span<double> out) {
-  const int plane = np * np;
-  for (int k = 0; k < rows; ++k) {
-    const double* arow = a.data() + static_cast<std::size_t>(k) * np;
-    double* oslab = out.data() + static_cast<std::size_t>(k) * plane;
-    for (int ij = 0; ij < plane; ++ij) {
-      double sum = 0.0;
-      for (int m = 0; m < np; ++m) {
-        sum += arow[m] * u[static_cast<std::size_t>(m) * plane + ij];
-      }
-      oslab[ij] = sum;
-    }
-  }
+  ApplyDim2T<double>(a, rows, np, u, out);
 }
 
 namespace {
@@ -104,42 +66,10 @@ void DerivTTAdd(const GllRule& rule, std::span<const double> f,
 
 std::vector<double> Interp3D(std::span<const double> interp, int m, int np,
                              std::span<const double> u) {
-  // Apply along x, then y, then z, growing/shrinking the lattice each pass.
-  std::vector<double> a(static_cast<std::size_t>(m) * np * np);
-  ApplyDim0(interp, m, np, u, a);
-
-  // After the x pass the layout is m-fast; apply along y with the generic
-  // kernel by treating each z-slab as (np rows of m) columns.
-  std::vector<double> b(static_cast<std::size_t>(m) * m * np);
-  for (int k = 0; k < np; ++k) {
-    const double* aslab = a.data() + static_cast<std::size_t>(k) * m * np;
-    double* bslab = b.data() + static_cast<std::size_t>(k) * m * m;
-    for (int j = 0; j < m; ++j) {
-      const double* irow = interp.data() + static_cast<std::size_t>(j) * np;
-      for (int i = 0; i < m; ++i) {
-        double sum = 0.0;
-        for (int q = 0; q < np; ++q) {
-          sum += irow[q] * aslab[static_cast<std::size_t>(q) * m + i];
-        }
-        bslab[static_cast<std::size_t>(j) * m + i] = sum;
-      }
-    }
-  }
-
-  std::vector<double> c(static_cast<std::size_t>(m) * m * m);
-  const int plane = m * m;
-  for (int k = 0; k < m; ++k) {
-    const double* irow = interp.data() + static_cast<std::size_t>(k) * np;
-    double* cslab = c.data() + static_cast<std::size_t>(k) * plane;
-    for (int ij = 0; ij < plane; ++ij) {
-      double sum = 0.0;
-      for (int q = 0; q < np; ++q) {
-        sum += irow[q] * b[static_cast<std::size_t>(q) * plane + ij];
-      }
-      cslab[ij] = sum;
-    }
-  }
-  return c;
+  std::vector<double> out(static_cast<std::size_t>(m) * m * m);
+  std::vector<double> scratch(Interp3DScratchSize(m, np));
+  Interp3D<double>(interp, m, np, u, out, scratch);
+  return out;
 }
 
 }  // namespace sem

@@ -228,6 +228,171 @@ TEST(TensorTest, Interp3DRefinesSmoothly) {
   }
 }
 
+// Deterministic pseudo-random fill for the kernel-equivalence tests: rich
+// enough to exercise every term, reproducible across runs and platforms.
+double Wiggle(std::size_t i) {
+  return std::sin(0.37 * static_cast<double>(i) + 0.11) +
+         0.25 * std::cos(1.91 * static_cast<double>(i));
+}
+
+// Reference for the fused Laplacian: the six separate matrix sweeps it
+// replaces, composed per element with the same per-entry operation order.
+void LaplacianByDimComposition(std::span<const double> deriv,
+                               std::span<const double> deriv_t, int np,
+                               int nel, const sem::LaplacianGeo<double>& geo,
+                               std::span<const double> u,
+                               std::span<double> out) {
+  const std::size_t per_el = static_cast<std::size_t>(np) * np * np;
+  std::vector<double> ur(per_el), us(per_el), ut(per_el);
+  std::vector<double> wr(per_el), ws(per_el), wt(per_el);
+  std::vector<double> ar(per_el), as(per_el), at(per_el);
+  for (int e = 0; e < nel; ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * per_el;
+    auto sub = [&](std::span<const double> v) {
+      return v.subspan(base, per_el);
+    };
+    sem::ApplyDim0T<double>(deriv, np, np, u.subspan(base, per_el), ur);
+    sem::ApplyDim1T<double>(deriv, np, np, u.subspan(base, per_el), us);
+    sem::ApplyDim2T<double>(deriv, np, np, u.subspan(base, per_el), ut);
+    auto g11 = sub(geo.g11), g12 = sub(geo.g12), g13 = sub(geo.g13);
+    auto g22 = sub(geo.g22), g23 = sub(geo.g23), g33 = sub(geo.g33);
+    for (std::size_t q = 0; q < per_el; ++q) {
+      wr[q] = g11[q] * ur[q] + g12[q] * us[q] + g13[q] * ut[q];
+      ws[q] = g12[q] * ur[q] + g22[q] * us[q] + g23[q] * ut[q];
+      wt[q] = g13[q] * ur[q] + g23[q] * us[q] + g33[q] * ut[q];
+    }
+    sem::ApplyDim0T<double>(deriv_t, np, np, wr, ar);
+    sem::ApplyDim1T<double>(deriv_t, np, np, ws, as);
+    sem::ApplyDim2T<double>(deriv_t, np, np, wt, at);
+    for (std::size_t q = 0; q < per_el; ++q) {
+      out[base + q] = (ar[q] + as[q]) + at[q];
+    }
+  }
+}
+
+struct FusedProblem {
+  int np = 0;
+  int nel = 0;
+  std::vector<double> deriv, deriv_t;
+  std::vector<double> g11, g12, g13, g22, g23, g33;
+  std::vector<double> u;
+  [[nodiscard]] sem::LaplacianGeo<double> Geo() const {
+    return {g11, g12, g13, g22, g23, g33};
+  }
+};
+
+FusedProblem MakeFusedProblem(int np, int nel) {
+  FusedProblem p;
+  p.np = np;
+  p.nel = nel;
+  const std::size_t n = static_cast<std::size_t>(nel) * np * np * np;
+  p.deriv.resize(static_cast<std::size_t>(np) * np);
+  p.deriv_t.resize(p.deriv.size());
+  for (int i = 0; i < np; ++i) {
+    for (int j = 0; j < np; ++j) {
+      const double v = Wiggle(static_cast<std::size_t>(i * np + j));
+      p.deriv[static_cast<std::size_t>(i) * np + j] = v;
+      p.deriv_t[static_cast<std::size_t>(j) * np + i] = v;
+    }
+  }
+  p.g11.resize(n);
+  p.g12.resize(n);
+  p.g13.resize(n);
+  p.g22.resize(n);
+  p.g23.resize(n);
+  p.g33.resize(n);
+  p.u.resize(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    p.g11[q] = 1.0 + 0.1 * Wiggle(q);
+    p.g22[q] = 1.2 + 0.1 * Wiggle(q + 7);
+    p.g33[q] = 0.9 + 0.1 * Wiggle(q + 13);
+    p.g12[q] = 0.05 * Wiggle(q + 3);
+    p.g13[q] = 0.05 * Wiggle(q + 5);
+    p.g23[q] = 0.05 * Wiggle(q + 11);
+    p.u[q] = Wiggle(q + 17);
+  }
+  return p;
+}
+
+TEST(TensorTest, LaplacianFusedBitIdenticalToDimComposition) {
+  // np in {4, 9} exercises the compile-time-unrolled dispatch cases;
+  // np = 11 the runtime-extent fallback.  Bit identity (EXPECT_EQ on
+  // doubles) is the contract the solver's golden norms rest on.
+  for (const int np : {4, 9, 11}) {
+    const int nel = 3;
+    FusedProblem p = MakeFusedProblem(np, nel);
+    const std::size_t n = p.u.size();
+    std::vector<double> ref(n), fused(n);
+    std::vector<double> scratch(6 * static_cast<std::size_t>(np) * np * np);
+    LaplacianByDimComposition(p.deriv, p.deriv_t, np, nel, p.Geo(), p.u,
+                              ref);
+    sem::LaplacianFused<double>(p.deriv, p.deriv_t, np, nel, p.Geo(), p.u,
+                                fused, scratch);
+    for (std::size_t q = 0; q < n; ++q) {
+      ASSERT_EQ(ref[q], fused[q]) << "np=" << np << " q=" << q;
+    }
+  }
+}
+
+TEST(TensorTest, LaplacianFusedFloatTracksDouble) {
+  // The pfloat instantiation of the same kernel: no bit contract, but the
+  // relative error must stay at the level of float rounding accumulated
+  // over np-length dot products.
+  const int np = 5, nel = 4;
+  FusedProblem p = MakeFusedProblem(np, nel);
+  const std::size_t n = p.u.size();
+  std::vector<double> ref(n), scratch_d(6 * static_cast<std::size_t>(np) * np * np);
+  sem::LaplacianFused<double>(p.deriv, p.deriv_t, np, nel, p.Geo(), p.u, ref,
+                              scratch_d);
+
+  auto to_float = [](std::span<const double> v) {
+    std::vector<float> f(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      f[i] = static_cast<float>(v[i]);
+    }
+    return f;
+  };
+  auto deriv = to_float(p.deriv);
+  auto deriv_t = to_float(p.deriv_t);
+  auto g11 = to_float(p.g11), g12 = to_float(p.g12), g13 = to_float(p.g13);
+  auto g22 = to_float(p.g22), g23 = to_float(p.g23), g33 = to_float(p.g33);
+  auto uf = to_float(p.u);
+  sem::LaplacianGeo<float> geo{g11, g12, g13, g22, g23, g33};
+  std::vector<float> out(n), scratch_f(scratch_d.size());
+  sem::LaplacianFused<float>(deriv, deriv_t, np, nel, geo, uf, out,
+                             scratch_f);
+
+  double scale = 0.0;
+  for (std::size_t q = 0; q < n; ++q) scale = std::max(scale, std::abs(ref[q]));
+  for (std::size_t q = 0; q < n; ++q) {
+    EXPECT_NEAR(static_cast<double>(out[q]), ref[q], 1e-4 * scale);
+  }
+}
+
+TEST(TensorTest, Interp3DScratchOverloadBitIdentical) {
+  // The allocation-free overload is the multigrid transfer hot path; it
+  // must reproduce the vector-returning reference exactly.
+  const GllRule rule = MakeGllRule(4);
+  const int np = rule.NumPoints();
+  const int m = 3;  // coarsen, as Restrict does
+  std::vector<double> targets(m);
+  for (int i = 0; i < m; ++i) {
+    targets[static_cast<std::size_t>(i)] = -1.0 + 2.0 * i / (m - 1);
+  }
+  auto matrix = sem::InterpolationMatrix(rule, targets);
+  std::vector<double> u(static_cast<std::size_t>(np) * np * np);
+  for (std::size_t q = 0; q < u.size(); ++q) u[q] = Wiggle(q);
+
+  auto ref = sem::Interp3D(matrix, m, np, u);
+  std::vector<double> out(static_cast<std::size_t>(m) * m * m);
+  std::vector<double> scratch(sem::Interp3DScratchSize(m, np));
+  sem::Interp3D<double>(matrix, m, np, u, out, scratch);
+  ASSERT_EQ(ref.size(), out.size());
+  for (std::size_t q = 0; q < out.size(); ++q) {
+    ASSERT_EQ(ref[q], out[q]);
+  }
+}
+
 // ---- BoxMesh --------------------------------------------------------------
 
 TEST(BoxMeshTest, PartitionCoversAllLayers) {
